@@ -1,0 +1,77 @@
+(* Regenerates every table and figure of the paper. *)
+
+open Cmdliner
+module E = Tdo_cim.Experiments
+module Dataset = Tdo_polybench.Dataset
+
+let dataset_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Dataset.of_string s) in
+  let print ppf d = Format.fprintf ppf "%s" (Dataset.to_string d) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Dataset.Medium
+    & info [ "d"; "dataset" ] ~docv:"SIZE" ~doc:"Problem size: mini, small, medium or large.")
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Square-matrix extent.")
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table I (system configuration).")
+    Term.(const E.print_table1 $ const ())
+
+let fig1_cmd =
+  Cmd.v (Cmd.info "fig1" ~doc:"Print Fig. 1 (PCM programming pulses).")
+    Term.(const E.print_fig1 $ const ())
+
+let fig2d_cmd =
+  let run n = E.print_fig2d ~n () in
+  Cmd.v (Cmd.info "fig2d" ~doc:"Print Fig. 2(d) (offload timeline).")
+    Term.(const run $ n_arg 16)
+
+let fig5_cmd =
+  let run n = E.print_fig5 ~n () in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Print Fig. 5 (lifetime vs endurance, naive vs smart mapping).")
+    Term.(const run $ n_arg 64)
+
+let breakdown_flag =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ] ~doc:"Also print the per-kernel energy split by Table-I component.")
+
+let fig6_cmd =
+  let run dataset breakdown = E.print_fig6 ~dataset ~breakdown () in
+  Cmd.v (Cmd.info "fig6" ~doc:"Print Fig. 6 (energy and EDP across PolyBench).")
+    Term.(const run $ dataset_arg $ breakdown_flag)
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:
+         "Run the ablation studies: operand pinning, fusion, double buffering, selective \
+          offload, crossbar geometry, analog noise.")
+    Term.(const Tdo_cim.Ablations.print_all $ const ())
+
+let all_cmd =
+  let run dataset =
+    E.print_table1 ();
+    print_newline ();
+    E.print_fig1 ();
+    print_newline ();
+    E.print_fig2d ();
+    print_newline ();
+    E.print_fig5 ();
+    print_newline ();
+    E.print_fig6 ~dataset ~breakdown:true ();
+    print_newline ();
+    Tdo_cim.Ablations.print_all ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure, plus the ablation studies.")
+    Term.(const run $ dataset_arg)
+
+let () =
+  let info = Cmd.info "experiments" ~doc:"TDO-CIM paper experiment driver." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table1_cmd; fig1_cmd; fig2d_cmd; fig5_cmd; fig6_cmd; ablations_cmd; all_cmd ]))

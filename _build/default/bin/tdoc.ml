@@ -1,0 +1,137 @@
+(* tdoc: the TDO-CIM compiler driver.
+
+   Mirrors the paper's compile strings:
+     tdoc -O3 file.c                        (host only)
+     tdoc -O3 -enable-loop-tactics file.c   (detect + offload to CIM)
+   with -emit-ir to inspect the generated (Listing-1 style) IR. *)
+
+open Cmdliner
+module Flow = Tdo_cim.Flow
+module Offload = Tdo_tactics.Offload
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file.")
+
+let o3_flag =
+  Arg.(value & flag & info [ "O3" ] ~doc:"Accepted for compatibility; optimisation is always on.")
+
+let tactics_flag =
+  Arg.(
+    value & flag
+    & info [ "enable-loop-tactics" ]
+        ~doc:"Run Loop Tactics: detect GEMM/GEMV/conv kernels and offload them to the CIM device.")
+
+let emit_ir_flag =
+  Arg.(value & flag & info [ "emit-ir" ] ~doc:"Print the final IR to stdout.")
+
+let report_flag =
+  Arg.(value & flag & info [ "report" ] ~doc:"Print what the tactics pipeline did.")
+
+let naive_pin_flag =
+  Arg.(
+    value & flag
+    & info [ "naive-mapping" ]
+        ~doc:"Ablation: stream the shared operand instead of pinning it (Fig. 5 naive mapping).")
+
+let selective_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-intensity" ] ~docv:"MACS_PER_WRITE"
+        ~doc:"Selective offload: keep kernels below this MACs-per-crossbar-write on the host.")
+
+let run_flag =
+  Arg.(
+    value & flag
+    & info [ "run" ]
+        ~doc:
+          "Execute the compiled function on the emulated platform with synthesised arguments \
+           (random float arrays; alpha=1.5, beta=1.2) and print the measurement.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for --run data.")
+
+(* Synthesised arguments: deterministic random arrays, conventional
+   scalar values for the usual BLAS parameter names. *)
+let synthesise_args ~seed (f : Tdo_ir.Ir.func) =
+  let module Interp = Tdo_lang.Interp in
+  let module Ast = Tdo_lang.Ast in
+  let g = Tdo_util.Prng.create ~seed in
+  List.map
+    (fun (p : Ast.param) ->
+      let value =
+        match (p.Ast.dims, p.Ast.ptyp) with
+        | [], Ast.Tfloat ->
+            Interp.Vfloat
+              (match p.Ast.pname with "alpha" -> 1.5 | "beta" -> 1.2 | _ -> 1.0)
+        | [], (Ast.Tint | Ast.Tvoid) -> Interp.Vint 1
+        | dims, _ ->
+            let arr = Interp.make_array ~dims in
+            Array.iteri
+              (fun i _ ->
+                let v = Tdo_util.Prng.float_range g ~lo:(-1.0) ~hi:1.0 in
+                arr.Interp.data.(i) <- Int32.float_of_bits (Int32.bits_of_float v))
+              arr.Interp.data;
+            Interp.Varray arr
+      in
+      (p.Ast.pname, value))
+    f.Tdo_ir.Ir.params
+
+let execute ~seed f =
+  let m, _platform = Flow.run f ~args:(synthesise_args ~seed f) in
+  Printf.printf "ROI: %d instructions, %d cycles, %.3f ms\n" m.Flow.roi_instructions
+    m.Flow.roi_cycles (m.Flow.time_s *. 1e3);
+  Printf.printf "energy: %s (EDP %sJs)\n"
+    (Tdo_util.Pretty.si_float m.Flow.energy_j ^ "J")
+    (Tdo_util.Pretty.si_float m.Flow.edp_js);
+  if m.Flow.used_cim then
+    Printf.printf "CIM: %d launch(es), %d MACs, %d crossbar writes (%.1f MACs/write)\n"
+      m.Flow.launches m.Flow.cim_macs m.Flow.cim_write_bytes m.Flow.macs_per_cim_write
+  else print_endline "CIM: not used (host only)"
+
+let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed =
+  ignore o3;
+  let source = In_channel.with_open_text file In_channel.input_all in
+  let options =
+    {
+      Flow.enable_loop_tactics = tactics;
+      tactics =
+        { Offload.default_config with Offload.naive_pin; min_intensity };
+    }
+  in
+  match Flow.compile ~options source with
+  | exception Tdo_lang.Lexer.Lex_error { line; message } ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" file line message;
+      exit 1
+  | exception Tdo_lang.Parser.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: syntax error: %s\n" file line message;
+      exit 1
+  | exception Tdo_lang.Typecheck.Type_error message ->
+      Printf.eprintf "%s: type error: %s\n" file message;
+      exit 1
+  | f, tactics_report ->
+      if report then begin
+        match tactics_report with
+        | None ->
+            if tactics then print_endline "loop-tactics: function body is not a SCoP; host path"
+            else print_endline "loop-tactics: disabled"
+        | Some r ->
+            Printf.printf
+              "loop-tactics: %d kernels detected, %d offloaded, %d batched groups, %d tiled, %d kept on host\n"
+              r.Offload.kernels_detected r.Offload.kernels_offloaded r.Offload.fused_groups
+              r.Offload.tiled_kernels r.Offload.skipped_low_intensity
+      end;
+      if emit_ir then Format.printf "%a@." Tdo_ir.Ir.pp_func f;
+      if do_run then execute ~seed f;
+      if (not emit_ir) && (not report) && not do_run then
+        Printf.printf "compiled %s (%s)\n" file
+          (if Tdo_ir.Ir.contains_cim_calls f then "with CIM offload" else "host only")
+
+let cmd =
+  let info = Cmd.info "tdoc" ~doc:"TDO-CIM compiler driver." in
+  Cmd.v info
+    Term.(
+      const run $ file_arg $ o3_flag $ tactics_flag $ emit_ir_flag $ report_flag
+      $ naive_pin_flag $ selective_arg $ run_flag $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

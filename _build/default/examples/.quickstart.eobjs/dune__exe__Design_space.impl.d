@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Result Tdo_cim Tdo_cimacc Tdo_pcm Tdo_polybench Tdo_runtime Tdo_tactics Tdo_util

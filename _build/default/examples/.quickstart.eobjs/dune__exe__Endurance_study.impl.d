@@ -1,0 +1,1 @@
+examples/endurance_study.ml: Format Printf Tdo_cim Tdo_ir Tdo_tactics

@@ -1,0 +1,1 @@
+examples/endurance_study.mli:

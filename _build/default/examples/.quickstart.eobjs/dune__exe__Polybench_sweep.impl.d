@@ -1,0 +1,1 @@
+examples/polybench_sweep.ml: List Printf Tdo_cim Tdo_polybench

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Int32 Printf Tdo_cim Tdo_ir Tdo_lang Tdo_linalg Tdo_tactics Tdo_util

@@ -1,0 +1,1 @@
+examples/runtime_api.ml: List Printf Tdo_cimacc Tdo_linalg Tdo_runtime Tdo_util

@@ -1,0 +1,1 @@
+examples/tiling_demo.ml: Array Format Int32 Printf Tdo_cim Tdo_cimacc Tdo_ir Tdo_lang Tdo_linalg Tdo_pcm Tdo_runtime Tdo_tactics Tdo_util

@@ -1,0 +1,89 @@
+(* Design-space exploration, as the paper's conclusion invites:
+   "perform domain-space exploration by tweaking our simulator".
+
+   Sweeps the accelerator's two main architectural knobs — crossbar
+   geometry and tile count — for one representative GEMM-like workload
+   (3mm: three chained matrix products, the first two independent) and
+   prints energy, run time and EDP for every configuration, normalised
+   to the Arm-A7 host.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Flow = Tdo_cim.Flow
+module Kernels = Tdo_polybench.Kernels
+module Platform = Tdo_runtime.Platform
+module Offload = Tdo_tactics.Offload
+module Pretty = Tdo_util.Pretty
+
+let n = 64
+let seed = 23
+
+let benchmark = Result.get_ok (Kernels.find "3mm")
+let source = benchmark.Kernels.source ~n
+
+let host =
+  let args, _ = benchmark.Kernels.make_args ~n ~seed in
+  fst (Flow.run_source ~options:Flow.o3 source ~args)
+
+let measure ~xbar ~tiles =
+  let engine =
+    {
+      Tdo_cimacc.Micro_engine.default_config with
+      Tdo_cimacc.Micro_engine.xbar =
+        { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = xbar; cols = xbar };
+      tiles;
+    }
+  in
+  let platform_config = { Platform.default_config with Platform.engine } in
+  let options =
+    {
+      Flow.enable_loop_tactics = true;
+      tactics = { Offload.default_config with Offload.xbar_rows = xbar; xbar_cols = xbar };
+    }
+  in
+  let f, _ = Flow.compile ~options source in
+  let args, _ = benchmark.Kernels.make_args ~n ~seed in
+  fst (Flow.run ~platform_config f ~args)
+
+let () =
+  Printf.printf "=== Design-space exploration: 3mm at n=%d ===\n\n" n;
+  Printf.printf "host baseline: %s, %s (EDP %sJs)\n\n"
+    (Pretty.si_float host.Flow.energy_j ^ "J")
+    (Pretty.si_float host.Flow.time_s ^ "s")
+    (Pretty.si_float host.Flow.edp_js);
+  let rows = ref [] in
+  List.iter
+    (fun xbar ->
+      List.iter
+        (fun tiles ->
+          let m = measure ~xbar ~tiles in
+          rows :=
+            [
+              Printf.sprintf "%dx%d" xbar xbar;
+              string_of_int tiles;
+              Pretty.si_float m.Flow.energy_j ^ "J";
+              Pretty.si_float m.Flow.time_s ^ "s";
+              Pretty.fixed ~digits:1 (host.Flow.energy_j /. m.Flow.energy_j) ^ "x";
+              Pretty.fixed ~digits:1 (host.Flow.edp_js /. m.Flow.edp_js) ^ "x";
+              string_of_int m.Flow.launches;
+            ]
+            :: !rows)
+        [ 1; 2; 4 ])
+    [ 64; 128; 256 ];
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column ~align:Pretty.Right "crossbar";
+        Pretty.column ~align:Pretty.Right "tiles";
+        Pretty.column ~align:Pretty.Right "energy";
+        Pretty.column ~align:Pretty.Right "time";
+        Pretty.column ~align:Pretty.Right "E gain";
+        Pretty.column ~align:Pretty.Right "EDP gain";
+        Pretty.column ~align:Pretty.Right "launches";
+      ]
+    ~rows:(List.rev !rows);
+  print_newline ();
+  print_endline "Reading the table:";
+  print_endline "- larger crossbars amortise the per-launch flush/ioctl overhead;";
+  print_endline "- a second tile runs 3mm's two independent products in parallel;";
+  print_endline "- beyond that, the chain's dependence limits further tile-level gains."

@@ -1,0 +1,98 @@
+(* Tiling demo: the paper's Listing 3.
+
+   A GEMM whose operands exceed the crossbar cannot be offloaded as
+   one call. The revisited tiling transformation splits the pinned
+   dimension and the reduction into crossbar-sized tiles, peeling the
+   first k-tile so beta is applied exactly once, and reuses each A tile
+   across the whole streamed dimension (the j point loops of Listing 3
+   are subsumed by the engine's column streaming).
+
+   To make the tiling visible at a friendly size, this demo shrinks the
+   crossbar to 32x32 and compiles a 96x96x96 GEMM against it.
+
+   Run with: dune exec examples/tiling_demo.exe *)
+
+module Flow = Tdo_cim.Flow
+module Offload = Tdo_tactics.Offload
+module Platform = Tdo_runtime.Platform
+module Interp = Tdo_lang.Interp
+module Mat = Tdo_linalg.Mat
+module Prng = Tdo_util.Prng
+
+let n = 96
+let xbar = 32
+
+let source =
+  Printf.sprintf
+    {|
+void big_gemm(float C[%d][%d], float A[%d][%d], float B[%d][%d]) {
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++) {
+      C[i][j] = 0.0;
+      for (int k = 0; k < %d; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+}
+|}
+    n n n n n n n n n
+
+let options =
+  {
+    Flow.enable_loop_tactics = true;
+    tactics = { Offload.default_config with Offload.xbar_rows = xbar; xbar_cols = xbar };
+  }
+
+let platform_config =
+  let engine =
+    {
+      Tdo_cimacc.Micro_engine.default_config with
+      Tdo_cimacc.Micro_engine.xbar =
+        { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = xbar; cols = xbar };
+    }
+  in
+  { Platform.default_config with Platform.engine }
+
+let fresh_args seed =
+  let g = Prng.create ~seed in
+  let random () =
+    let arr = Interp.make_array ~dims:[ n; n ] in
+    Array.iteri
+      (fun i _ ->
+        let v = Prng.float_range g ~lo:(-1.0) ~hi:1.0 in
+        arr.Interp.data.(i) <- Int32.float_of_bits (Int32.bits_of_float v))
+      arr.Interp.data;
+    arr
+  in
+  let c = Interp.make_array ~dims:[ n; n ] in
+  ( [
+      ("C", Interp.Varray c);
+      ("A", Interp.Varray (random ()));
+      ("B", Interp.Varray (random ()));
+    ],
+    c )
+
+let () =
+  Printf.printf "=== Revisited tiling (Listing 3): %dx%dx%d GEMM on a %dx%d crossbar ===\n\n" n
+    n n xbar xbar;
+  let f, report = Flow.compile ~options source in
+  (match report with
+  | Some r ->
+      Printf.printf "Loop Tactics: %d kernel detected, %d tiled for the crossbar.\n"
+        r.Offload.kernels_detected r.Offload.tiled_kernels
+  | None -> ());
+  print_endline "\nGenerated IR (tile loops with the first k-tile peeled for beta):";
+  Format.printf "%a@.@." Tdo_ir.Ir.pp_func f;
+
+  let args_cim, c_cim = fresh_args 7 in
+  let cim, _ = Flow.run ~platform_config f ~args:args_cim in
+  let args_host, c_host = fresh_args 7 in
+  let host_f, _ = Flow.compile ~options:Flow.o3 source in
+  let host, _ = Flow.run ~platform_config host_f ~args:args_host in
+  Printf.printf "tile launches: %d\n" cim.Flow.launches;
+  Printf.printf "max |host - cim| on C: %.4f\n"
+    (Mat.max_abs_diff (Interp.mat_of_arr c_host) (Interp.mat_of_arr c_cim));
+  Printf.printf "energy: host %.2f uJ vs host+CIM %.2f uJ (%.1fx)\n" (host.Flow.energy_j *. 1e6)
+    (cim.Flow.energy_j *. 1e6)
+    (host.Flow.energy_j /. cim.Flow.energy_j);
+  Printf.printf "crossbar writes: %d bytes (= every A tile programmed exactly once)\n"
+    cim.Flow.cim_write_bytes

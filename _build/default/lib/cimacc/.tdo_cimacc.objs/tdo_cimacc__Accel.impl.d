@@ -1,0 +1,1 @@
+lib/cimacc/accel.ml: Context_regs Micro_engine Tdo_sim

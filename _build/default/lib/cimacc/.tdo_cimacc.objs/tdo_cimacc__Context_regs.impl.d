@@ -1,0 +1,1 @@
+lib/cimacc/context_regs.ml: Array Int32 Printf Result Tdo_sim

@@ -1,0 +1,1 @@
+lib/cimacc/context_regs.mli: Tdo_sim

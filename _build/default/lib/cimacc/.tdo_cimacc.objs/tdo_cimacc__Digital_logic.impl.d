@@ -1,0 +1,1 @@
+lib/cimacc/digital_logic.ml: Array

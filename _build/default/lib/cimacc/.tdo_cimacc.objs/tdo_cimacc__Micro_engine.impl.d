@@ -1,0 +1,1 @@
+lib/cimacc/micro_engine.ml: Array Bytes Context_regs Digital_logic Float Int32 List Option Printf Result Tdo_linalg Tdo_pcm Tdo_sim Timeline

@@ -1,0 +1,1 @@
+lib/cimacc/micro_engine.mli: Context_regs Digital_logic Tdo_pcm Tdo_sim Timeline

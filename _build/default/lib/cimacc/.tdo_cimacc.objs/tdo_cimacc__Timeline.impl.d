@@ -1,0 +1,1 @@
+lib/cimacc/timeline.ml: Buffer Bytes Format List Printf Tdo_sim

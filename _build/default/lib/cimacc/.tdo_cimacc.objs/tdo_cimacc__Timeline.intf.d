@@ -1,0 +1,1 @@
+lib/cimacc/timeline.mli: Format Tdo_sim

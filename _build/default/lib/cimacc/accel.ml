@@ -1,0 +1,52 @@
+module Sim = Tdo_sim
+
+let default_register_base = 0x4000_0000
+
+type t = {
+  queue : Sim.Event_queue.t;
+  regs : Context_regs.t;
+  engine : Micro_engine.t;
+  dma : Sim.Dma.t;
+  mutable last_error : string option;
+  mutable completion_time : Sim.Time_base.ps option;
+}
+
+let on_trigger t job =
+  match Context_regs.status t.regs with
+  | Context_regs.Busy ->
+      (* The host must not re-trigger a running engine. *)
+      t.last_error <- Some "trigger while busy";
+      Context_regs.set_status t.regs Context_regs.Error
+  | Context_regs.Idle | Context_regs.Done | Context_regs.Error -> (
+      Context_regs.set_status t.regs Context_regs.Busy;
+      match Micro_engine.run_job t.engine job ~start:(Sim.Event_queue.now t.queue) with
+      | Error reason ->
+          t.last_error <- Some reason;
+          Context_regs.set_status t.regs Context_regs.Error
+      | Ok finish ->
+          t.completion_time <- Some finish;
+          Sim.Event_queue.schedule_at t.queue ~time:finish ~name:"cim-done" (fun () ->
+              Context_regs.set_status t.regs Context_regs.Done))
+
+let create ?engine_config ~queue ~bus ~memory () =
+  let dma = Sim.Dma.create ~bus ~memory () in
+  let engine =
+    match engine_config with
+    | None -> Micro_engine.create ~dma ()
+    | Some config -> Micro_engine.create ~config ~dma ()
+  in
+  let t =
+    { queue; regs = Context_regs.create (); engine; dma; last_error = None; completion_time = None }
+  in
+  Context_regs.set_on_trigger t.regs (on_trigger t);
+  t
+
+let map_registers t mmio ~base =
+  Sim.Mmio.map mmio ~base ~size:Context_regs.register_file_bytes (Context_regs.handler t.regs)
+
+let regs t = t.regs
+let engine t = t.engine
+let dma t = t.dma
+let status t = Context_regs.status t.regs
+let last_error t = t.last_error
+let completion_time t = t.completion_time

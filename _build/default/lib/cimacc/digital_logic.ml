@@ -1,0 +1,33 @@
+type counters = { weighted_sums : int; alu_ops : int }
+
+type t = { mutable sums : int; mutable ops : int }
+
+let create () = { sums = 0; ops = 0 }
+let counters t = { weighted_sums = t.sums; alu_ops = t.ops }
+
+let reset_counters t =
+  t.sums <- 0;
+  t.ops <- 0
+
+let postprocess t ~alpha ~beta ~scale ~raw ~c_old =
+  let n = Array.length raw in
+  (match c_old with
+  | Some c when Array.length c <> n ->
+      invalid_arg "Digital_logic.postprocess: c_old length mismatch"
+  | Some _ -> ()
+  | None -> if beta <> 0.0 then invalid_arg "Digital_logic.postprocess: beta without c_old");
+  t.sums <- t.sums + 1;
+  let out =
+    Array.mapi
+      (fun i v ->
+        let scaled = alpha *. scale *. float_of_int v in
+        match c_old with
+        | None -> scaled
+        | Some c -> scaled +. (beta *. c.(i)))
+      raw
+  in
+  (* Per element: one rescale multiply, one alpha multiply, and the
+     beta multiply-accumulate when the epilogue reads C. *)
+  let per_element = if c_old = None then 2 else 4 in
+  t.ops <- t.ops + (per_element * n);
+  out

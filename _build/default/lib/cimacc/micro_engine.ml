@@ -1,0 +1,453 @@
+module Sim = Tdo_sim
+module Quant = Tdo_linalg.Quant
+module Crossbar = Tdo_pcm.Crossbar
+
+type config = {
+  xbar : Crossbar.config;
+  tiles : int;
+  decode_latency_ps : Sim.Time_base.ps;
+  compute_latency_ps : Sim.Time_base.ps;
+  min_compute_latency_ps : Sim.Time_base.ps;
+  write_latency_per_row_ps : Sim.Time_base.ps;
+  alu_latency_ps : Sim.Time_base.ps;
+  double_buffering : bool;
+}
+
+let default_config =
+  {
+    xbar = Crossbar.default_config;
+    tiles = 1;
+    decode_latency_ps = 100 * Sim.Time_base.ps_per_ns;
+    compute_latency_ps = Sim.Time_base.ps_per_us;
+    min_compute_latency_ps = 100 * Sim.Time_base.ps_per_ns;
+    write_latency_per_row_ps = 25 * Sim.Time_base.ps_per_us / 10;
+    alu_latency_ps = 2 * Sim.Time_base.ps_per_ns;
+    double_buffering = true;
+  }
+
+type counters = {
+  jobs : int;
+  gemv_jobs : int;
+  gemm_jobs : int;
+  batched_jobs : int;
+  streamed_vectors : int;
+  programming_skipped : int;
+  busy_ps : Sim.Time_base.ps;
+}
+
+let zero_counters =
+  {
+    jobs = 0;
+    gemv_jobs = 0;
+    gemm_jobs = 0;
+    batched_jobs = 0;
+    streamed_vectors = 0;
+    programming_skipped = 0;
+    busy_ps = 0;
+  }
+
+type pinned = {
+  pin_addr : int;
+  pin_rows : int;
+  pin_cols : int;
+  pin_trans : bool;  (** orientation of the programmed operand *)
+  pin_generation : int;
+  pin_scale : float;
+}
+
+type t = {
+  config : config;
+  dma : Sim.Dma.t;
+  xbars : Crossbar.t array;
+  digital : Digital_logic.t;
+  timeline : Timeline.t;
+  pinned : pinned option array;  (** per tile *)
+  busy_until : Sim.Time_base.ps array;  (** per tile *)
+  mutable counters : counters;
+}
+
+let create ?(config = default_config) ~dma () =
+  if config.tiles <= 0 then invalid_arg "Micro_engine.create: need at least one tile";
+  {
+    config;
+    dma;
+    xbars = Array.init config.tiles (fun _ -> Crossbar.create ~config:config.xbar ());
+    digital = Digital_logic.create ();
+    timeline = Timeline.create ();
+    pinned = Array.make config.tiles None;
+    busy_until = Array.make config.tiles 0;
+    counters = zero_counters;
+  }
+
+let crossbars t = t.xbars
+let crossbar t = t.xbars.(0)
+
+let total_crossbar_counters t =
+  Array.fold_left
+    (fun (acc : Crossbar.counters) xb ->
+      let c = Crossbar.counters xb in
+      {
+        Crossbar.cell_writes = acc.Crossbar.cell_writes + c.Crossbar.cell_writes;
+        logical_writes = acc.Crossbar.logical_writes + c.Crossbar.logical_writes;
+        write_bytes = acc.Crossbar.write_bytes + c.Crossbar.write_bytes;
+        gemv_ops = acc.Crossbar.gemv_ops + c.Crossbar.gemv_ops;
+        macs = acc.Crossbar.macs + c.Crossbar.macs;
+        input_buffer_bytes = acc.Crossbar.input_buffer_bytes + c.Crossbar.input_buffer_bytes;
+        output_buffer_bytes = acc.Crossbar.output_buffer_bytes + c.Crossbar.output_buffer_bytes;
+      })
+    (Crossbar.counters t.xbars.(0))
+    (Array.sub t.xbars 1 (Array.length t.xbars - 1))
+
+let total_adc_conversions t =
+  Array.fold_left (fun acc xb -> acc + Tdo_pcm.Adc.conversions (Crossbar.adc xb)) 0 t.xbars
+
+let digital t = t.digital
+let timeline t = t.timeline
+let counters t = t.counters
+let reset_counters t = t.counters <- zero_counters
+
+let pinned t =
+  Option.map
+    (fun p -> (p.pin_addr, p.pin_rows, p.pin_cols, p.pin_generation))
+    t.pinned.(0)
+
+let invalidate_pinned t = Array.fill t.pinned 0 (Array.length t.pinned) None
+
+let f32_at bytes i = Int32.float_of_bits (Bytes.get_int32_le bytes (4 * i))
+
+(* Fetch a [rows x cols] float matrix stored row-major with leading
+   dimension [ld] (in elements). *)
+let fetch_matrix t ~addr ~rows ~cols ~ld =
+  let data, latency =
+    Sim.Dma.read_strided t.dma ~addr ~row_bytes:(cols * 4) ~rows ~stride_bytes:(ld * 4)
+  in
+  (Array.init rows (fun r -> Array.init cols (fun c -> f32_at data ((r * cols) + c))), latency)
+
+let fetch_vector t ~addr ~len ~stride_elems =
+  let data, latency =
+    Sim.Dma.read_strided t.dma ~addr ~row_bytes:4 ~rows:len ~stride_bytes:(stride_elems * 4)
+  in
+  (Array.init len (fun i -> f32_at data i), latency)
+
+let store_vector t ~addr ~stride_elems values =
+  let data = Bytes.create (4 * Array.length values) in
+  Array.iteri (fun i v -> Bytes.set_int32_le data (4 * i) (Int32.bits_of_float v)) values;
+  Sim.Dma.write_strided t.dma ~addr ~row_bytes:4 ~stride_bytes:(stride_elems * 4) data
+
+let max_abs_2d m =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) acc row)
+    0.0 m
+
+let transpose_2d m =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  Array.init cols (fun i -> Array.init rows (fun j -> m.(j).(i)))
+
+(* One GEMM (or GEMV, n = 1) with explicit operand addresses; the
+   batched path calls this once per descriptor. Returns the finish
+   time. *)
+let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
+  let xbar = t.xbars.(tile) in
+  let { Context_regs.m; n; k; trans_a; trans_b; alpha; beta; lda; ldb; ldc; pin; generation; _ }
+      =
+    job
+  in
+  let cfg = t.config in
+  let record at phase detail = Timeline.record t.timeline ~at ~phase ~detail in
+  let cursor = ref start in
+  (* -- decode ------------------------------------------------------ *)
+  cursor := !cursor + cfg.decode_latency_ps;
+  (* -- pinned operand: fetch, quantise, program -------------------- *)
+  (* Physical layout of A is (m x k) unless transposed, of B (k x n). *)
+  let fetch_op_a () =
+    if trans_a then
+      let raw, lat = fetch_matrix t ~addr:a_addr ~rows:k ~cols:m ~ld:lda in
+      (transpose_2d raw, lat)
+    else fetch_matrix t ~addr:a_addr ~rows:m ~cols:k ~ld:lda
+  in
+  let fetch_op_b () =
+    if trans_b then
+      let raw, lat = fetch_matrix t ~addr:b_addr ~rows:n ~cols:k ~ld:ldb in
+      (transpose_2d raw, lat)
+    else fetch_matrix t ~addr:b_addr ~rows:k ~cols:n ~ld:ldb
+  in
+  let pin_addr = match pin with Context_regs.Pin_a -> a_addr | Context_regs.Pin_b -> b_addr in
+  (* W is what goes into the crossbar: op(A)^T (k x m) or op(B) (k x n). *)
+  let w_rows = k in
+  let w_cols = match pin with Context_regs.Pin_a -> m | Context_regs.Pin_b -> n in
+  if w_rows > cfg.xbar.Crossbar.rows || w_cols > cfg.xbar.Crossbar.cols then
+    Error
+      (Printf.sprintf "operand %dx%d exceeds the %dx%d crossbar" w_rows w_cols
+         cfg.xbar.Crossbar.rows cfg.xbar.Crossbar.cols)
+  else begin
+    let pin_trans = match pin with Context_regs.Pin_a -> trans_a | Context_regs.Pin_b -> trans_b in
+    let reusable =
+      match t.pinned.(tile) with
+      | Some p ->
+          p.pin_addr = pin_addr && p.pin_rows = w_rows && p.pin_cols = w_cols
+          && p.pin_trans = pin_trans
+          && p.pin_generation = generation
+      | None -> false
+    in
+    let scale_w =
+      if reusable then begin
+        t.counters <- { t.counters with programming_skipped = t.counters.programming_skipped + 1 };
+        (Option.get t.pinned.(tile)).pin_scale
+      end
+      else begin
+        let w, fill_lat =
+          match pin with
+          | Context_regs.Pin_a ->
+              let op_a, lat = fetch_op_a () in
+              (transpose_2d op_a, lat)
+          | Context_regs.Pin_b -> fetch_op_b ()
+        in
+        record !cursor Timeline.Dma_fill (Printf.sprintf "pinned operand %dx%d" w_rows w_cols);
+        cursor := !cursor + fill_lat;
+        let scheme = Quant.scheme_for ~bits:8 ~max_abs:(max_abs_2d w) in
+        let codes = Array.map (Array.map (Quant.quantize scheme)) w in
+        record !cursor Timeline.Program_crossbar
+          (Printf.sprintf "tile %d, %d rows" tile w_rows);
+        Crossbar.program_codes xbar codes;
+        cursor := !cursor + (w_rows * cfg.write_latency_per_row_ps);
+        t.pinned.(tile) <-
+          Some
+            {
+              pin_addr;
+              pin_rows = w_rows;
+              pin_cols = w_cols;
+              pin_trans;
+              pin_generation = generation;
+              pin_scale = scheme.Quant.scale;
+            };
+        scheme.Quant.scale
+      end
+    in
+    (* -- streamed phase -------------------------------------------- *)
+    (* Pin_a: stream the n columns of op(B), produce columns of C.
+       Pin_b: stream the m rows of op(A), produce rows of C. *)
+    let stream_count = match pin with Context_regs.Pin_a -> n | Context_regs.Pin_b -> m in
+    let out_len = match pin with Context_regs.Pin_a -> m | Context_regs.Pin_b -> n in
+    let fetch_stream idx =
+      match (pin, trans_b, trans_a) with
+      | Context_regs.Pin_a, false, _ ->
+          (* column idx of B (k x n, ld = ldb) *)
+          fetch_vector t ~addr:(b_addr + (4 * idx)) ~len:k ~stride_elems:ldb
+      | Context_regs.Pin_a, true, _ ->
+          (* column idx of op(B) = row idx of physical B (n x k) *)
+          fetch_vector t ~addr:(b_addr + (4 * idx * ldb)) ~len:k ~stride_elems:1
+      | Context_regs.Pin_b, _, false ->
+          (* row idx of A (m x k) *)
+          fetch_vector t ~addr:(a_addr + (4 * idx * lda)) ~len:k ~stride_elems:1
+      | Context_regs.Pin_b, _, true ->
+          (* row idx of op(A) = column idx of physical A (k x m) *)
+          fetch_vector t ~addr:(a_addr + (4 * idx)) ~len:k ~stride_elems:lda
+    in
+    let c_slice_addr idx =
+      match pin with
+      | Context_regs.Pin_a -> (c_addr + (4 * idx), ldc) (* column idx of C *)
+      | Context_regs.Pin_b -> (c_addr + (4 * idx * ldc), 1) (* row idx of C *)
+    in
+    (* integration time scales with the number of active wordlines *)
+    let gemv_latency =
+      max cfg.min_compute_latency_ps (cfg.compute_latency_ps * k / cfg.xbar.Crossbar.rows)
+    in
+    (* Consecutive streamed vectors that are contiguous rows in memory
+       (rows of A under Pin_b, rows of physical B under Pin_a+trans_b)
+       are fetched in row-buffer-sized bursts: one DMA descriptor per
+       burst instead of one per vector. *)
+    let row_buffer_bytes = 1536 in
+    let burst =
+      let contiguous_rows =
+        match (pin, trans_a, trans_b) with
+        | Context_regs.Pin_b, false, _ | Context_regs.Pin_a, _, true -> true
+        | Context_regs.Pin_b, true, _ | Context_regs.Pin_a, _, false -> false
+      in
+      if contiguous_rows then max 1 (row_buffer_bytes / (4 * k)) else 1
+    in
+    let fill_channel = ref !cursor in
+    let compute_channel = ref !cursor in
+    for idx = 0 to stream_count - 1 do
+      if not cfg.double_buffering then fill_channel := max !fill_channel !compute_channel;
+      record !fill_channel Timeline.Dma_fill (Printf.sprintf "vector %d" idx);
+      let x, fill_lat = fetch_stream idx in
+      (* burst accounting: the descriptor fetched at the head of a burst
+         covers the next [burst-1] vectors; their payload time is part
+         of that burst's latency *)
+      let fill_lat =
+        if burst = 1 then fill_lat
+        else if idx mod burst = 0 then
+          let vectors = min burst (stream_count - idx) in
+          fill_lat + ((vectors - 1) * 4 * k * Sim.Time_base.ps_per_ns / 5)
+          (* ~payload share at bus bandwidth for the rest of the burst *)
+        else 0
+      in
+      let c_old, c_fill_lat =
+        if beta = 0.0 then (None, 0)
+        else begin
+          let addr, stride = c_slice_addr idx in
+          let c, lat = fetch_vector t ~addr ~len:out_len ~stride_elems:stride in
+          (Some c, lat)
+        end
+      in
+      fill_channel := !fill_channel + fill_lat + c_fill_lat;
+      compute_channel := max !compute_channel !fill_channel;
+      record !compute_channel Timeline.Compute (Printf.sprintf "gemv %d" idx);
+      let scheme_x = Quant.scheme_for ~bits:8 ~max_abs:(Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 x) in
+      let x_codes = Array.map (Quant.quantize scheme_x) x in
+      let raw = Crossbar.gemv_codes xbar x_codes in
+      compute_channel := !compute_channel + gemv_latency;
+      record !compute_channel Timeline.Accumulate (Printf.sprintf "epilogue %d" idx);
+      let result =
+        Digital_logic.postprocess t.digital ~alpha ~beta
+          ~scale:(scale_w *. scheme_x.Quant.scale)
+          ~raw ~c_old
+      in
+      compute_channel := !compute_channel + (out_len * cfg.alu_latency_ps);
+      record !compute_channel Timeline.Store_result (Printf.sprintf "slice %d" idx);
+      let addr, stride = c_slice_addr idx in
+      let store_lat = store_vector t ~addr ~stride_elems:stride result in
+      (* results collect in the output buffer and drain one DMA
+         descriptor per buffer-full, mirroring the input bursting *)
+      let store_burst = max 1 (row_buffer_bytes / (4 * out_len)) in
+      let store_lat =
+        if store_burst = 1 then store_lat
+        else if idx mod store_burst = store_burst - 1 || idx = stream_count - 1 then
+          store_lat + ((min store_burst (idx + 1) - 1) * 4 * out_len * Sim.Time_base.ps_per_ns / 5)
+        else 0
+      in
+      compute_channel := !compute_channel + store_lat;
+      t.counters <- { t.counters with streamed_vectors = t.counters.streamed_vectors + 1 }
+    done;
+    Ok (max !cursor !compute_channel)
+  end
+
+let read_batch_descriptors t ~addr ~count =
+  let data, latency = Sim.Dma.read t.dma ~addr ~bytes:(12 * count) in
+  let entry i =
+    let word j = Int32.to_int (Bytes.get_int32_le data ((12 * i) + (4 * j))) land 0xFFFFFFFF in
+    (word 0, word 1, word 2)
+  in
+  (List.init count entry, latency)
+
+(* Identity of the operand a job would pin, for tile affinity. *)
+let prospective_pin_key (job : Context_regs.job) ~a_addr ~b_addr =
+  let pin_addr =
+    match job.Context_regs.pin with
+    | Context_regs.Pin_a -> a_addr
+    | Context_regs.Pin_b -> b_addr
+  in
+  let pin_trans =
+    match job.Context_regs.pin with
+    | Context_regs.Pin_a -> job.Context_regs.trans_a
+    | Context_regs.Pin_b -> job.Context_regs.trans_b
+  in
+  let pin_cols =
+    match job.Context_regs.pin with
+    | Context_regs.Pin_a -> job.Context_regs.m
+    | Context_regs.Pin_b -> job.Context_regs.n
+  in
+  (pin_addr, job.Context_regs.k, pin_cols, pin_trans, job.Context_regs.generation)
+
+let tile_holding t (addr, rows, cols, trans, generation) =
+  let found = ref None in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | Some p
+        when !found = None && p.pin_addr = addr && p.pin_rows = rows && p.pin_cols = cols
+             && p.pin_trans = trans
+             && p.pin_generation = generation ->
+          found := Some i
+      | Some _ | None -> ())
+    t.pinned;
+  !found
+
+let least_busy_tile busy =
+  let best = ref 0 in
+  Array.iteri (fun i u -> if u < busy.(!best) then best := i) busy;
+  !best
+
+let run_job t (job : Context_regs.job) ~start =
+  let record at phase detail = Timeline.record t.timeline ~at ~phase ~detail in
+  record start Timeline.Trigger (Printf.sprintf "job op=%d m=%d n=%d k=%d"
+      (match job.Context_regs.op with
+      | Context_regs.Gemv -> 0
+      | Context_regs.Gemm -> 1
+      | Context_regs.Gemm_batched -> 2)
+      job.Context_regs.m job.Context_regs.n job.Context_regs.k);
+  let result =
+    match job.Context_regs.op with
+    | Context_regs.Gemv | Context_regs.Gemm ->
+        let a_addr = job.Context_regs.a_addr and b_addr = job.Context_regs.b_addr in
+        let tile =
+          match tile_holding t (prospective_pin_key job ~a_addr ~b_addr) with
+          | Some tile -> tile
+          | None -> least_busy_tile t.busy_until
+        in
+        let begin_time = max start t.busy_until.(tile) in
+        let result =
+          run_single t job ~tile ~a_addr ~b_addr ~c_addr:job.Context_regs.c_addr
+            ~start:begin_time
+        in
+        Result.iter (fun finish -> t.busy_until.(tile) <- finish) result;
+        result
+    | Context_regs.Gemm_batched ->
+        let descriptors, desc_lat =
+          read_batch_descriptors t ~addr:job.Context_regs.batch_desc_addr
+            ~count:job.Context_regs.batch_count
+        in
+        let t0 = start + desc_lat in
+        (* Group the batch entries by the operand they would pin; groups
+           with different pinned operands run on different tiles in
+           parallel, entries within a group run back-to-back on their
+           tile and reuse its programming. *)
+        let groups = ref [] in
+        List.iter
+          (fun ((a_addr, b_addr, _) as entry) ->
+            let key = prospective_pin_key job ~a_addr ~b_addr in
+            match List.assoc_opt key !groups with
+            | Some entries -> entries := entry :: !entries
+            | None -> groups := !groups @ [ (key, ref [ entry ]) ])
+          descriptors;
+        let tile_free = Array.map (fun busy -> max busy t0) t.busy_until in
+        let run_group acc (key, entries) =
+          Result.bind acc (fun latest ->
+              let tile =
+                match tile_holding t key with
+                | Some tile -> tile
+                | None -> least_busy_tile tile_free
+              in
+              let group_result =
+                List.fold_left
+                  (fun acc (a_addr, b_addr, c_addr) ->
+                    Result.bind acc (fun time ->
+                        run_single t job ~tile ~a_addr ~b_addr ~c_addr ~start:time))
+                  (Ok tile_free.(tile))
+                  (List.rev !entries)
+              in
+              Result.map
+                (fun finish ->
+                  tile_free.(tile) <- finish;
+                  t.busy_until.(tile) <- finish;
+                  max latest finish)
+                group_result)
+        in
+        List.fold_left run_group (Ok t0) !groups
+  in
+  (match result with
+  | Ok finish ->
+      record finish Timeline.Result_ready "status <- done";
+      let c = t.counters in
+      t.counters <-
+        {
+          c with
+          jobs = c.jobs + 1;
+          gemv_jobs = (c.gemv_jobs + match job.Context_regs.op with Context_regs.Gemv -> 1 | _ -> 0);
+          gemm_jobs = (c.gemm_jobs + match job.Context_regs.op with Context_regs.Gemm -> 1 | _ -> 0);
+          batched_jobs =
+            (c.batched_jobs + match job.Context_regs.op with Context_regs.Gemm_batched -> 1 | _ -> 0);
+          busy_ps = c.busy_ps + (finish - start);
+        }
+  | Error _ -> ());
+  result

@@ -1,0 +1,80 @@
+(** Micro-engine of the CIM accelerator (Section II-C).
+
+    Translates a {!Context_regs.job} into circuit-level operations:
+    fetching operands from shared memory over DMA, quantising and
+    programming the crossbar, decomposing GEMM into a series of GEMVs,
+    running the digital epilogue, and storing results back. Supports
+    double buffering (fetch of the next streamed vector overlaps the
+    current compute/store) and pinned-operand reuse (a job whose pinned
+    operand is already programmed skips the crossbar writes — the
+    mechanism behind the paper's endurance-oriented fusion and
+    tiling). *)
+
+module Sim = Tdo_sim
+
+type config = {
+  xbar : Tdo_pcm.Crossbar.config;
+  tiles : int;
+      (** CIM tiles in the accelerator (paper default: 1; Eq. 1's
+          512 KB capacity corresponds to 8 tiles of 64 KB). Batched
+          jobs whose entries pin different operands run on different
+          tiles in parallel, and each tile retains its own pinned
+          operand across jobs. *)
+  decode_latency_ps : Sim.Time_base.ps;  (** context-register decode *)
+  compute_latency_ps : Sim.Time_base.ps;
+      (** full-array analog GEMV (all wordlines active); Table I: 1 us.
+          A GEMV over fewer active rows integrates proportionally
+          faster, down to [min_compute_latency_ps]. *)
+  min_compute_latency_ps : Sim.Time_base.ps;  (** engine cycle floor per GEMV *)
+  write_latency_per_row_ps : Sim.Time_base.ps;
+      (** crossbar programming, row-parallel; Table I: 2.5 us per row *)
+  alu_latency_ps : Sim.Time_base.ps;  (** per digital epilogue element *)
+  double_buffering : bool;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> dma:Sim.Dma.t -> unit -> t
+
+val run_job : t -> Context_regs.job -> start:Sim.Time_base.ps -> (Sim.Time_base.ps, string) result
+(** Execute the job. Functional effects (result stores) happen
+    immediately; the returned value is the simulated completion time.
+    [Error] reports a rejected job (e.g. operands exceeding the
+    crossbar) without side effects on memory. *)
+
+type counters = {
+  jobs : int;
+  gemv_jobs : int;
+  gemm_jobs : int;
+  batched_jobs : int;
+  streamed_vectors : int;
+  programming_skipped : int;  (** jobs that reused the pinned operand *)
+  busy_ps : Sim.Time_base.ps;  (** total engine-occupied time *)
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val crossbar : t -> Tdo_pcm.Crossbar.t
+(** Tile 0 (the only tile in the default configuration). *)
+
+val crossbars : t -> Tdo_pcm.Crossbar.t array
+(** All tiles. *)
+
+val total_crossbar_counters : t -> Tdo_pcm.Crossbar.counters
+(** Counters summed over every tile. *)
+
+val total_adc_conversions : t -> int
+
+val digital : t -> Digital_logic.t
+val timeline : t -> Timeline.t
+
+val pinned : t -> (int * int * int * int) option
+(** [(addr, rows, cols, generation)] of the operand held in tile 0, if
+    any. *)
+
+val invalidate_pinned : t -> unit
+(** Forget the pinned operand (e.g. after the host rewrites its
+    buffer). *)

@@ -1,0 +1,81 @@
+type phase =
+  | Trigger
+  | Dma_fill
+  | Program_crossbar
+  | Compute
+  | Accumulate
+  | Store_result
+  | Result_ready
+
+type event = { at : Tdo_sim.Time_base.ps; phase : phase; detail : string }
+
+let phase_to_string = function
+  | Trigger -> "trigger"
+  | Dma_fill -> "dma-fill"
+  | Program_crossbar -> "program-crossbar"
+  | Compute -> "compute"
+  | Accumulate -> "accumulate"
+  | Store_result -> "store-result"
+  | Result_ready -> "result-ready"
+
+let pp_event ppf e =
+  Format.fprintf ppf "%10d ps  %-16s %s" e.at (phase_to_string e.phase) e.detail
+
+type t = { capacity : int; mutable events : event list; mutable count : int }
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Timeline.create: capacity must be positive";
+  { capacity; events = []; count = 0 }
+
+let record t ~at ~phase ~detail =
+  t.count <- t.count + 1;
+  if t.count <= t.capacity then t.events <- { at; phase; detail } :: t.events
+
+let events t = List.rev t.events
+let dropped t = max 0 (t.count - t.capacity)
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let all_phases =
+  [ Trigger; Dma_fill; Program_crossbar; Compute; Accumulate; Store_result; Result_ready ]
+
+let render_gantt ?(width = 72) events =
+  match events with
+  | [] -> ""
+  | first :: _ ->
+      let t0 = List.fold_left (fun acc e -> min acc e.at) first.at events in
+      let t1 = List.fold_left (fun acc e -> max acc e.at) first.at events in
+      let span = max 1 (t1 - t0) in
+      let column at = min (width - 1) ((at - t0) * (width - 1) / span) in
+      (* sort by time to pair each event with its successor *)
+      let ordered = List.stable_sort (fun a b -> compare a.at b.at) events in
+      let buffer = Buffer.create 1024 in
+      let label p = Printf.sprintf "%-16s" (phase_to_string p) in
+      List.iter
+        (fun phase ->
+          let lane = Bytes.make width ' ' in
+          let rec mark = function
+            | e :: (next :: _ as rest) ->
+                if e.phase = phase then begin
+                  let from = column e.at and until = max (column e.at) (column next.at) in
+                  for c = from to until do
+                    Bytes.set lane c (if c = from then '#' else '=')
+                  done
+                end;
+                mark rest
+            | [ e ] -> if e.phase = phase then Bytes.set lane (column e.at) '#'
+            | [] -> ()
+          in
+          mark ordered;
+          if Bytes.exists (fun c -> c <> ' ') lane then begin
+            Buffer.add_string buffer (label phase);
+            Buffer.add_char buffer '|';
+            Buffer.add_bytes buffer lane;
+            Buffer.add_string buffer "|\n"
+          end)
+        all_phases;
+      Buffer.add_string buffer
+        (Printf.sprintf "%-16s %d ps .. %d ps (%d events)\n" "" t0 t1 (List.length events));
+      Buffer.contents buffer

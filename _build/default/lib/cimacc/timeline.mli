@@ -1,0 +1,38 @@
+(** Execution timeline of the accelerator (paper Fig. 2(d)).
+
+    The micro-engine appends one entry per pipeline phase; the
+    experiment driver renders the trace to reproduce the figure. *)
+
+type phase =
+  | Trigger  (** host wrote the command register *)
+  | Dma_fill  (** operand fetched from shared memory into local buffers *)
+  | Program_crossbar  (** conductances written *)
+  | Compute  (** analog GEMV *)
+  | Accumulate  (** digital post-processing (weighted sum, alpha/beta) *)
+  | Store_result  (** result DMA-ed back to shared memory *)
+  | Result_ready  (** status register flipped to done *)
+
+type event = { at : Tdo_sim.Time_base.ps; phase : phase; detail : string }
+
+val phase_to_string : phase -> string
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring-limited recorder: at most [capacity] events are kept (default
+    10000); later events are dropped but counted. *)
+
+val record : t -> at:Tdo_sim.Time_base.ps -> phase:phase -> detail:string -> unit
+val events : t -> event list
+(** In chronological (insertion) order. *)
+
+val dropped : t -> int
+val clear : t -> unit
+
+val render_gantt : ?width:int -> event list -> string
+(** ASCII Gantt chart of an event list (paper Fig. 2(d)): one lane per
+    phase, time flowing left to right over [width] columns (default
+    72). Each event marks the instant its phase begins; the mark
+    extends until the next event so phase overlap (double buffering) is
+    visible. Returns "" for an empty list. *)

@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Array Flow List Printf Result Tdo_cimacc Tdo_linalg Tdo_pcm Tdo_polybench Tdo_runtime Tdo_sim Tdo_tactics Tdo_util Workloads

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Float Flow Format List Printf Tdo_cimacc Tdo_energy Tdo_linalg Tdo_pcm Tdo_polybench Tdo_runtime Tdo_tactics Tdo_util Workloads

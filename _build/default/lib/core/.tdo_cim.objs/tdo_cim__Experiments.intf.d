@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Flow Tdo_cimacc Tdo_polybench

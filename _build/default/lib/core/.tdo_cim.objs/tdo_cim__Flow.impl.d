@@ -1,0 +1,1 @@
+lib/core/flow.ml: Tdo_cimacc Tdo_energy Tdo_ir Tdo_lang Tdo_pcm Tdo_runtime Tdo_sim Tdo_tactics

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Tdo_energy Tdo_ir Tdo_lang Tdo_runtime Tdo_tactics

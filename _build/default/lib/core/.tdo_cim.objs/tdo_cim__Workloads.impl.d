@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Int32 Printf Tdo_lang Tdo_util

@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Tdo_lang Tdo_linalg Tdo_util

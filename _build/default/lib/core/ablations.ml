@@ -1,0 +1,469 @@
+module Dataset = Tdo_polybench.Dataset
+module Kernels = Tdo_polybench.Kernels
+module Offload = Tdo_tactics.Offload
+module Platform = Tdo_runtime.Platform
+module Endurance = Tdo_pcm.Endurance
+module Pretty = Tdo_util.Pretty
+module Stats = Tdo_util.Stats
+module Mat = Tdo_linalg.Mat
+module Sim = Tdo_sim
+
+let options_with tactics = { Flow.enable_loop_tactics = true; tactics }
+
+(* ---------- operand pinning ---------- *)
+
+type pinning_row = {
+  mapping : string;
+  crossbar_write_bytes : int;
+  energy_j : float;
+  lifetime_years_at_25m : float;
+}
+
+let pinning ?(n = 64) ?(seed = 13) () =
+  let measure naive_pin =
+    let args, _ = Workloads.listing2_args ~n ~seed in
+    let m, _ =
+      Flow.run_source
+        ~options:(options_with { Offload.default_config with Offload.naive_pin })
+        (Workloads.listing2_source ~n) ~args
+    in
+    m
+  in
+  let row mapping (m : Flow.measurement) =
+    {
+      mapping;
+      crossbar_write_bytes = m.Flow.cim_write_bytes;
+      energy_j = m.Flow.energy_j;
+      lifetime_years_at_25m =
+        Endurance.lifetime_years ~cell_endurance:25e6 ~crossbar_bytes:(512 * 1024)
+          ~write_bytes_per_second:
+            (Endurance.write_traffic_bytes_per_second ~bytes_written:m.Flow.cim_write_bytes
+               ~elapsed_seconds:m.Flow.time_s);
+    }
+  in
+  [ row "smart (pin shared A)" (measure false); row "naive (stream A)" (measure true) ]
+
+let print_pinning ?(n = 64) () =
+  Printf.printf "Ablation: operand pinning (Listing-2 workload, %dx%d)\n" n n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column "mapping";
+        Pretty.column ~align:Pretty.Right "crossbar writes";
+        Pretty.column ~align:Pretty.Right "energy";
+        Pretty.column ~align:Pretty.Right "lifetime @25M";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.mapping;
+             string_of_int r.crossbar_write_bytes ^ " B";
+             Pretty.si_float r.energy_j ^ "J";
+             Pretty.fixed ~digits:3 r.lifetime_years_at_25m ^ " y";
+           ])
+         (pinning ~n ()))
+
+(* ---------- fusion ---------- *)
+
+type fusion_row = {
+  fusion : bool;
+  launches : int;
+  cache_flushes : int;
+  energy_j : float;
+  time_s : float;
+}
+
+let fusion ?(n = 32) ?(seed = 13) () =
+  let measure enable_fusion =
+    let args, _ = Workloads.listing2_args ~n ~seed in
+    let m, platform =
+      Flow.run_source
+        ~options:(options_with { Offload.default_config with Offload.enable_fusion })
+        (Workloads.listing2_source ~n) ~args
+    in
+    {
+      fusion = enable_fusion;
+      launches = m.Flow.launches;
+      cache_flushes = (Sim.Cache.stats platform.Platform.l2).Sim.Cache.flushes;
+      energy_j = m.Flow.energy_j;
+      time_s = m.Flow.time_s;
+    }
+  in
+  [ measure true; measure false ]
+
+let print_fusion ?(n = 32) () =
+  Printf.printf "Ablation: kernel fusion to batched calls (Listing-2 workload, %dx%d)\n" n n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column "fusion";
+        Pretty.column ~align:Pretty.Right "launches";
+        Pretty.column ~align:Pretty.Right "cache flushes";
+        Pretty.column ~align:Pretty.Right "energy";
+        Pretty.column ~align:Pretty.Right "time";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             (if r.fusion then "on" else "off");
+             string_of_int r.launches;
+             string_of_int r.cache_flushes;
+             Pretty.si_float r.energy_j ^ "J";
+             Pretty.si_float r.time_s ^ "s";
+           ])
+         (fusion ~n ()))
+
+(* ---------- double buffering ---------- *)
+
+type double_buffering_row = { double_buffering : bool; device_time_s : float }
+
+let double_buffering ?(n = 64) ?(seed = 13) () =
+  let measure enabled =
+    let engine =
+      {
+        Tdo_cimacc.Micro_engine.default_config with
+        Tdo_cimacc.Micro_engine.double_buffering = enabled;
+      }
+    in
+    let platform_config = { Platform.default_config with Platform.engine } in
+    let args, _ = Workloads.gemm_args ~n ~seed in
+    let f, _ = Flow.compile ~options:Flow.o3_loop_tactics (Workloads.gemm_source ~n) in
+    let _, platform = Flow.run ~platform_config f ~args in
+    let busy =
+      (Tdo_cimacc.Micro_engine.counters (Tdo_cimacc.Accel.engine platform.Platform.accel))
+        .Tdo_cimacc.Micro_engine.busy_ps
+    in
+    { double_buffering = enabled; device_time_s = Sim.Time_base.seconds_of_ps busy }
+  in
+  [ measure true; measure false ]
+
+let print_double_buffering ?(n = 64) () =
+  Printf.printf "Ablation: micro-engine double buffering (%dx%dx%d GEMM)\n" n n n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column "double buffering";
+        Pretty.column ~align:Pretty.Right "device busy time";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             (if r.double_buffering then "on" else "off");
+             Pretty.si_float r.device_time_s ^ "s";
+           ])
+         (double_buffering ~n ()))
+
+(* ---------- selective offload ---------- *)
+
+type selective_row = {
+  min_intensity : float option;
+  offloaded : int;
+  kept_on_host : int;
+  geomean_energy_improvement : float;
+}
+
+let selective ?(dataset = Dataset.Small) ?(seed = 17) () =
+  let n = Dataset.n dataset in
+  let run_kernel options (b : Kernels.benchmark) =
+    let args, _ = b.Kernels.make_args ~n ~seed in
+    let f, report = Flow.compile ~options (b.Kernels.source ~n) in
+    let m, _ = Flow.run f ~args in
+    (m, report)
+  in
+  let hosts =
+    List.map (fun b -> fst (run_kernel Flow.o3 b)) Kernels.all
+  in
+  let threshold min_intensity =
+    let options = options_with { Offload.default_config with Offload.min_intensity } in
+    let results = List.map (run_kernel options) Kernels.all in
+    let offloaded =
+      List.fold_left
+        (fun acc (_, report) ->
+          match report with
+          | Some r -> acc + r.Offload.kernels_offloaded
+          | None -> acc)
+        0 results
+    in
+    let skipped =
+      List.fold_left
+        (fun acc (_, report) ->
+          match report with
+          | Some r -> acc + r.Offload.skipped_low_intensity
+          | None -> acc)
+        0 results
+    in
+    let improvements =
+      List.map2
+        (fun (host : Flow.measurement) ((m : Flow.measurement), _) ->
+          host.Flow.energy_j /. m.Flow.energy_j)
+        hosts results
+    in
+    {
+      min_intensity;
+      offloaded;
+      kept_on_host = skipped;
+      geomean_energy_improvement = Stats.geomean improvements;
+    }
+  in
+  List.map threshold [ None; Some 2.0; Some 16.0; Some 256.0; Some 1e6 ]
+
+let print_selective ?(dataset = Dataset.Small) () =
+  Printf.printf "Ablation: selective offload threshold (PolyBench, n=%d)\n" (Dataset.n dataset);
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column ~align:Pretty.Right "min MACs/write";
+        Pretty.column ~align:Pretty.Right "kernels offloaded";
+        Pretty.column ~align:Pretty.Right "kept on host";
+        Pretty.column ~align:Pretty.Right "geomean E gain";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             (match r.min_intensity with
+             | None -> "offload all"
+             | Some t -> Pretty.fixed ~digits:0 t);
+             string_of_int r.offloaded;
+             string_of_int r.kept_on_host;
+             Pretty.fixed ~digits:2 r.geomean_energy_improvement ^ "x";
+           ])
+         (selective ~dataset ()))
+
+(* ---------- crossbar geometry ---------- *)
+
+type geometry_row = {
+  xbar_size : int;
+  launches : int;
+  crossbar_write_bytes : int;
+  energy_improvement : float;
+}
+
+let geometry ?(n = 128) ?(seed = 13) () =
+  let host =
+    let args, _ = Workloads.gemm_args ~n ~seed in
+    fst (Flow.run_source ~options:Flow.o3 (Workloads.gemm_source ~n) ~args)
+  in
+  let measure size =
+    let engine =
+      {
+        Tdo_cimacc.Micro_engine.default_config with
+        Tdo_cimacc.Micro_engine.xbar =
+          { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = size; cols = size };
+      }
+    in
+    let platform_config = { Platform.default_config with Platform.engine } in
+    let options =
+      options_with { Offload.default_config with Offload.xbar_rows = size; xbar_cols = size }
+    in
+    let args, _ = Workloads.gemm_args ~n ~seed in
+    let f, _ = Flow.compile ~options (Workloads.gemm_source ~n) in
+    let m, _ = Flow.run ~platform_config f ~args in
+    {
+      xbar_size = size;
+      launches = m.Flow.launches;
+      crossbar_write_bytes = m.Flow.cim_write_bytes;
+      energy_improvement = host.Flow.energy_j /. m.Flow.energy_j;
+    }
+  in
+  List.map measure [ 32; 64; 128; 256 ]
+
+let print_geometry ?(n = 128) () =
+  Printf.printf "Ablation: crossbar geometry (%dx%dx%d GEMM)\n" n n n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column ~align:Pretty.Right "crossbar";
+        Pretty.column ~align:Pretty.Right "launches";
+        Pretty.column ~align:Pretty.Right "crossbar writes";
+        Pretty.column ~align:Pretty.Right "E gain vs host";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%dx%d" r.xbar_size r.xbar_size;
+             string_of_int r.launches;
+             string_of_int r.crossbar_write_bytes ^ " B";
+             Pretty.fixed ~digits:2 r.energy_improvement ^ "x";
+           ])
+         (geometry ~n ()))
+
+(* ---------- analog noise vs accuracy ---------- *)
+
+type noise_row = { noise_sigma : float option; max_abs_error : float }
+
+let noise ?(n = 32) ?(seed = 13) () =
+  let host =
+    let args, readback = Workloads.gemm_args ~n ~seed in
+    let _ = Flow.run_source ~options:Flow.o3 (Workloads.gemm_source ~n) ~args in
+    readback ()
+  in
+  let measure noise_sigma =
+    let engine =
+      {
+        Tdo_cimacc.Micro_engine.default_config with
+        Tdo_cimacc.Micro_engine.xbar =
+          { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.noise_sigma };
+      }
+    in
+    let platform_config = { Platform.default_config with Platform.engine } in
+    let args, readback = Workloads.gemm_args ~n ~seed in
+    let f, _ = Flow.compile ~options:Flow.o3_loop_tactics (Workloads.gemm_source ~n) in
+    let _ = Flow.run ~platform_config f ~args in
+    { noise_sigma; max_abs_error = Mat.max_abs_diff host (readback ()) }
+  in
+  List.map measure [ None; Some 0.5; Some 2.0; Some 8.0; Some 32.0 ]
+
+let print_noise ?(n = 32) () =
+  Printf.printf "Ablation: analog noise vs accuracy (%dx%dx%d GEMM)\n" n n n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column ~align:Pretty.Right "noise sigma (LSB)";
+        Pretty.column ~align:Pretty.Right "max |error| vs host";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             (match r.noise_sigma with None -> "ideal" | Some s -> Pretty.fixed ~digits:1 s);
+             Pretty.fixed ~digits:4 r.max_abs_error;
+           ])
+         (noise ~n ()))
+
+(* ---------- architectural wear leveling ---------- *)
+
+type wear_leveling_row = {
+  scheme : string;
+  max_wear : int;
+  ideal_max_wear : int;
+  overhead_writes : int;
+}
+
+let wear_leveling ?(lines = 64) ?(writes = 100_000) ?(seed = 13) () =
+  let module Wl = Tdo_pcm.Wear_leveling in
+  let module Prng = Tdo_util.Prng in
+  (* Zipf-ish skew: line l gets weight 1/(l+1) *)
+  let weights = Array.init lines (fun l -> 1.0 /. float_of_int (l + 1)) in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  let draw g =
+    let x = Prng.float g ~bound:total_weight in
+    let rec pick l acc =
+      if l = lines - 1 then l
+      else if acc +. weights.(l) > x then l
+      else pick (l + 1) (acc +. weights.(l))
+    in
+    pick 0 0.0
+  in
+  let unlevelled =
+    let g = Prng.create ~seed in
+    let wear = Array.make lines 0 in
+    for _ = 1 to writes do
+      let l = draw g in
+      wear.(l) <- wear.(l) + 1
+    done;
+    {
+      scheme = "none";
+      max_wear = Array.fold_left max 0 wear;
+      ideal_max_wear = (writes + lines - 1) / lines;
+      overhead_writes = 0;
+    }
+  in
+  let start_gap =
+    let g = Prng.create ~seed in
+    let wl = Wl.create ~lines ~gap_interval:16 in
+    for _ = 1 to writes do
+      Wl.write wl (draw g)
+    done;
+    {
+      scheme = "start-gap (psi=16)";
+      max_wear = Wl.max_wear wl;
+      ideal_max_wear = Wl.ideal_max_wear wl;
+      overhead_writes = Wl.gap_movements wl;
+    }
+  in
+  [ unlevelled; start_gap ]
+
+let print_wear_leveling () =
+  let rows = wear_leveling () in
+  print_endline "Ablation: architectural wear-leveling under Zipf-skewed row writes";
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column "scheme";
+        Pretty.column ~align:Pretty.Right "max wear";
+        Pretty.column ~align:Pretty.Right "ideal bound";
+        Pretty.column ~align:Pretty.Right "copy overhead";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.scheme;
+             string_of_int r.max_wear;
+             string_of_int r.ideal_max_wear;
+             string_of_int r.overhead_writes;
+           ])
+         rows)
+
+(* ---------- tile count ---------- *)
+
+type tiles_row = { tiles : int; time_s : float; energy_j : float; edp_js : float }
+
+let tiles ?(n = 64) ?(seed = 17) () =
+  let b = Result.get_ok (Kernels.find "3mm") in
+  let source = b.Kernels.source ~n in
+  let f, _ = Flow.compile ~options:Flow.o3_loop_tactics source in
+  let measure count =
+    let engine =
+      { Tdo_cimacc.Micro_engine.default_config with Tdo_cimacc.Micro_engine.tiles = count }
+    in
+    let platform_config = { Platform.default_config with Platform.engine } in
+    let args, _ = b.Kernels.make_args ~n ~seed in
+    let m, _ = Flow.run ~platform_config f ~args in
+    { tiles = count; time_s = m.Flow.time_s; energy_j = m.Flow.energy_j; edp_js = m.Flow.edp_js }
+  in
+  List.map measure [ 1; 2; 4 ]
+
+let print_tiles ?(n = 64) () =
+  Printf.printf "Ablation: CIM tile count (3mm at n=%d; independent products run in parallel)\n"
+    n;
+  Pretty.print
+    ~columns:
+      [
+        Pretty.column ~align:Pretty.Right "tiles";
+        Pretty.column ~align:Pretty.Right "time";
+        Pretty.column ~align:Pretty.Right "energy";
+        Pretty.column ~align:Pretty.Right "EDP";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.tiles;
+             Pretty.si_float r.time_s ^ "s";
+             Pretty.si_float r.energy_j ^ "J";
+             Pretty.si_float r.edp_js ^ "Js";
+           ])
+         (tiles ~n ()))
+
+let print_all () =
+  print_pinning ();
+  print_newline ();
+  print_fusion ();
+  print_newline ();
+  print_double_buffering ();
+  print_newline ();
+  print_selective ();
+  print_newline ();
+  print_geometry ();
+  print_newline ();
+  print_noise ();
+  print_newline ();
+  print_wear_leveling ();
+  print_newline ();
+  print_tiles ()

@@ -1,0 +1,85 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+    Each function returns plain data; [print_*] renders the paper-style
+    text table. The experiment index lives in DESIGN.md; measured
+    values vs paper values are recorded in EXPERIMENTS.md. *)
+
+module Dataset = Tdo_polybench.Dataset
+module Kernels = Tdo_polybench.Kernels
+module Timeline = Tdo_cimacc.Timeline
+
+(** {1 Table I — system configuration} *)
+
+val table1 : unit -> (string * string) list
+val print_table1 : unit -> unit
+
+(** {1 Fig. 1 — PCM programming pulses} *)
+
+val fig1 : unit -> (string * (float * float) list) list
+(** [(pulse name, (time ns, temperature K) trace)] for reset, set and
+    read pulses. *)
+
+val print_fig1 : unit -> unit
+
+(** {1 Fig. 2(d) — offload timeline} *)
+
+val fig2d : ?n:int -> unit -> Timeline.event list
+(** Timeline of one transparent GEMM offload (default 16x16x16). *)
+
+val print_fig2d : ?n:int -> unit -> unit
+
+(** {1 Fig. 5 — lifetime vs cell endurance} *)
+
+type fig5_row = {
+  endurance_millions : float;
+  naive_years : float;
+  smart_years : float;
+}
+
+type fig5_meta = {
+  naive_write_bytes : int;
+  smart_write_bytes : int;
+  naive_traffic_bytes_per_s : float;
+  smart_traffic_bytes_per_s : float;
+  crossbar_bytes : int;
+}
+
+val fig5 :
+  ?endurances_millions:float list -> ?n:int -> ?seed:int -> unit -> fig5_row list * fig5_meta
+(** Listing-2 workload (two GEMMs sharing A, [n x n] matrices of 4096
+    elements by default): measured crossbar write traffic under the
+    naive and smart mappings, fed through Eq. 1 with the 512 KB
+    crossbar. *)
+
+val print_fig5 : ?n:int -> unit -> unit
+
+(** {1 Fig. 6 — energy and EDP across PolyBench} *)
+
+type fig6_row = {
+  kernel : string;
+  kind : Kernels.kind;
+  host : Flow.measurement;
+  cim : Flow.measurement;
+  energy_improvement : float;  (** host / host+CIM; > 1 means CIM wins *)
+  edp_improvement : float;
+  perf_improvement : float;
+  macs_per_cim_write : float;
+  max_abs_error : float;  (** offloaded vs host results *)
+}
+
+type fig6_summary = {
+  geomean_energy_improvement : float;
+  selective_geomean_energy_improvement : float;
+      (** GEMV-like kernels kept on the host (improvement 1x), as in
+          the paper's "Selective Geomean" column *)
+  geomean_edp_improvement : float;
+  max_edp_improvement : float;
+}
+
+val fig6 : ?dataset:Dataset.t -> ?seed:int -> unit -> fig6_row list * fig6_summary
+(** Runs every kernel twice (host-only and TDO-CIM) on fresh
+    platforms. Default dataset: [Medium]. *)
+
+val print_fig6 : ?dataset:Dataset.t -> ?breakdown:bool -> unit -> unit
+(** [breakdown] additionally prints each host+CIM run's energy split
+    into the Table-I components (host side, crossbar compute/write,
+    mixed signal, buffers, digital, DMA/engine). *)

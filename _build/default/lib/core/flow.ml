@@ -1,0 +1,64 @@
+module Ir = Tdo_ir.Ir
+module Interp = Tdo_lang.Interp
+module Platform = Tdo_runtime.Platform
+module Offload = Tdo_tactics.Offload
+module Ledger = Tdo_energy.Ledger
+
+type options = { enable_loop_tactics : bool; tactics : Offload.config }
+
+let o3 = { enable_loop_tactics = false; tactics = Offload.default_config }
+let o3_loop_tactics = { enable_loop_tactics = true; tactics = Offload.default_config }
+
+let compile ?(options = o3_loop_tactics) source =
+  let ast = Tdo_lang.Parser.parse_func source in
+  let f = Tdo_ir.Lower.func ast in
+  if options.enable_loop_tactics then Tdo_tactics.Pipeline.run ~config:options.tactics f
+  else (f, None)
+
+type measurement = {
+  roi_instructions : int;
+  roi_cycles : int;
+  time_s : float;
+  energy : Ledger.breakdown;
+  energy_j : float;
+  edp_js : float;
+  used_cim : bool;
+  launches : int;
+  cim_macs : int;
+  cim_write_bytes : int;
+  macs_per_cim_write : float;
+}
+
+let run ?(platform_config = Platform.default_config) f ~args =
+  let platform = Platform.create ~config:platform_config () in
+  let metrics = Tdo_ir.Exec.run f ~platform ~args in
+  let energy =
+    Ledger.collect platform ~host_instructions:metrics.Tdo_ir.Exec.roi_instructions
+  in
+  let energy_j = Ledger.total_j energy in
+  let time_s = Tdo_sim.Time_base.seconds_of_ps metrics.Tdo_ir.Exec.roi_time_ps in
+  let xbar =
+    Tdo_cimacc.Micro_engine.total_crossbar_counters
+      (Tdo_cimacc.Accel.engine platform.Platform.accel)
+  in
+  let macs = xbar.Tdo_pcm.Crossbar.macs in
+  let writes = xbar.Tdo_pcm.Crossbar.write_bytes in
+  ( {
+      roi_instructions = metrics.Tdo_ir.Exec.roi_instructions;
+      roi_cycles = metrics.Tdo_ir.Exec.roi_cycles;
+      time_s;
+      energy;
+      energy_j;
+      edp_js = Ledger.edp ~energy_j ~time_s;
+      used_cim = metrics.Tdo_ir.Exec.used_cim;
+      launches = metrics.Tdo_ir.Exec.cim_launches;
+      cim_macs = macs;
+      cim_write_bytes = writes;
+      macs_per_cim_write =
+        (if writes = 0 then 0.0 else float_of_int macs /. float_of_int writes);
+    },
+    platform )
+
+let run_source ?options ?platform_config source ~args =
+  let f, _report = compile ?options source in
+  run ?platform_config f ~args

@@ -1,0 +1,54 @@
+(** The end-to-end TDO-CIM compilation flow (paper Fig. 4): mini-C
+    front end -> IR -> Polly-style SCoP detection -> Loop Tactics
+    matching, fusion, tiling and offload -> IR with runtime calls ->
+    timed execution on the emulated full system.
+
+    [o3] corresponds to the paper's host compile string
+    ["clang -O3 -march-native"], [o3_loop_tactics] to
+    ["clang -O3 -march-native -enable-loop-tactics"]. *)
+
+module Ir = Tdo_ir.Ir
+module Interp = Tdo_lang.Interp
+module Platform = Tdo_runtime.Platform
+module Offload = Tdo_tactics.Offload
+module Ledger = Tdo_energy.Ledger
+
+type options = { enable_loop_tactics : bool; tactics : Offload.config }
+
+val o3 : options
+val o3_loop_tactics : options
+
+val compile : ?options:options -> string -> Ir.func * Offload.report option
+(** Parse, type-check, lower and (optionally) run the tactics
+    pipeline on a single-function translation unit. Raises the
+    front-end exceptions on malformed source. *)
+
+type measurement = {
+  roi_instructions : int;
+  roi_cycles : int;
+  time_s : float;  (** ROI wall-clock in simulated seconds *)
+  energy : Ledger.breakdown;
+  energy_j : float;
+  edp_js : float;
+  used_cim : bool;
+  launches : int;
+  cim_macs : int;
+  cim_write_bytes : int;
+  macs_per_cim_write : float;  (** 0 when nothing was offloaded *)
+}
+
+val run :
+  ?platform_config:Platform.config ->
+  Ir.func ->
+  args:(string * Interp.value) list ->
+  measurement * Platform.t
+(** Execute on a fresh platform; [Varray] arguments are mutated with
+    the results. *)
+
+val run_source :
+  ?options:options ->
+  ?platform_config:Platform.config ->
+  string ->
+  args:(string * Interp.value) list ->
+  measurement * Platform.t
+(** [compile] followed by [run]. *)

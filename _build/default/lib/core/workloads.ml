@@ -1,0 +1,71 @@
+module Interp = Tdo_lang.Interp
+module Prng = Tdo_util.Prng
+
+let random_array g ~dims =
+  let arr = Interp.make_array ~dims in
+  Array.iteri
+    (fun i _ ->
+      let v = Prng.float_range g ~lo:(-1.0) ~hi:1.0 in
+      arr.Interp.data.(i) <- Int32.float_of_bits (Int32.bits_of_float v))
+    arr.Interp.data;
+  arr
+
+let gemm_source ~n =
+  Printf.sprintf
+    {|
+void gemm(float alpha, float beta, float C[%d][%d], float A[%d][%d], float B[%d][%d]) {
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++) {
+      C[i][j] *= beta;
+      for (int k = 0; k < %d; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}
+|}
+    n n n n n n n n n
+
+let gemm_args ~n ~seed =
+  let g = Prng.create ~seed in
+  let a = random_array g ~dims:[ n; n ] in
+  let b = random_array g ~dims:[ n; n ] in
+  let c = random_array g ~dims:[ n; n ] in
+  ( [
+      ("alpha", Interp.Vfloat 1.0);
+      ("beta", Interp.Vfloat 0.5);
+      ("C", Interp.Varray c);
+      ("A", Interp.Varray a);
+      ("B", Interp.Varray b);
+    ],
+    fun () -> Interp.mat_of_arr c )
+
+let listing2_source ~n =
+  Printf.sprintf
+    {|
+void listing2(float C[%d][%d], float D[%d][%d], float A[%d][%d], float B[%d][%d], float E[%d][%d]) {
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++)
+      for (int k = 0; k < %d; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++)
+      for (int k = 0; k < %d; k++)
+        D[i][j] += A[i][k] * E[k][j];
+}
+|}
+    n n n n n n n n n n n n n n n n
+
+let listing2_args ~n ~seed =
+  let g = Prng.create ~seed in
+  let a = random_array g ~dims:[ n; n ] in
+  let b = random_array g ~dims:[ n; n ] in
+  let e = random_array g ~dims:[ n; n ] in
+  let c = Interp.make_array ~dims:[ n; n ] in
+  let d = Interp.make_array ~dims:[ n; n ] in
+  ( [
+      ("C", Interp.Varray c);
+      ("D", Interp.Varray d);
+      ("A", Interp.Varray a);
+      ("B", Interp.Varray b);
+      ("E", Interp.Varray e);
+    ],
+    fun () -> (Interp.mat_of_arr c, Interp.mat_of_arr d) )

@@ -1,0 +1,1 @@
+lib/energy/ledger.ml: Format Table1 Tdo_cimacc Tdo_pcm Tdo_runtime Tdo_util

@@ -1,0 +1,1 @@
+lib/energy/ledger.mli: Format Table1 Tdo_runtime

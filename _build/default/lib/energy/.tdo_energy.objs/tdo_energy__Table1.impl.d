@@ -1,0 +1,1 @@
+lib/energy/table1.ml: Printf Tdo_util

@@ -1,0 +1,1 @@
+lib/energy/table1.mli:

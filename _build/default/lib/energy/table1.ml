@@ -1,0 +1,50 @@
+type t = {
+  crossbar_compute_j_per_mac : float;
+  crossbar_write_j_per_byte : float;
+  mixed_signal_j_per_full_gemv : float;
+  buffer_j_per_byte : float;
+  weighted_sum_j_per_gemv : float;
+  alu_j_per_op : float;
+  dma_engine_j_per_full_gemv : float;
+  host_j_per_instruction : float;
+  reference_rows : int;
+  reference_cols : int;
+  compute_latency_s : float;
+  write_latency_s : float;
+}
+
+let ibm_pcm_a7 =
+  {
+    crossbar_compute_j_per_mac = 200e-15;
+    crossbar_write_j_per_byte = 200e-12;
+    mixed_signal_j_per_full_gemv = 3.9e-9;
+    buffer_j_per_byte = 5.4e-12;
+    weighted_sum_j_per_gemv = 40e-12;
+    alu_j_per_op = 2.11e-12;
+    dma_engine_j_per_full_gemv = 0.78e-9;
+    host_j_per_instruction = 128e-12;
+    reference_rows = 256;
+    reference_cols = 256;
+    compute_latency_s = 1e-6;
+    write_latency_s = 2.5e-6;
+  }
+
+let rows t =
+  let si = Tdo_util.Pretty.si_float ~digits:2 in
+  [
+    ( "PCM crossbar technology",
+      Printf.sprintf "%dx%d @8-bit (2x %dx%d @4-bit IBM PCM)" t.reference_rows t.reference_cols
+        t.reference_rows t.reference_cols );
+    ("Compute latency / 8-bit GEMV", si t.compute_latency_s ^ "s");
+    ("Write latency / row", si t.write_latency_s ^ "s");
+    ("Compute energy / 8-bit MAC", si t.crossbar_compute_j_per_mac ^ "J");
+    ("Write energy / 8-bit", si t.crossbar_write_j_per_byte ^ "J");
+    ("Mixed-signal circuit / full GEMV", si t.mixed_signal_j_per_full_gemv ^ "J");
+    ("Input/output buffer / byte access", si t.buffer_j_per_byte ^ "J");
+    ("Digital weighted sum / GEMV", si t.weighted_sum_j_per_gemv ^ "J");
+    ("Extra digital ALU op", si t.alu_j_per_op ^ "J");
+    ("DMA + micro-engine / full GEMV", si t.dma_engine_j_per_full_gemv ^ "J");
+    ("Host (2x Arm-A7 @1.2 GHz) / instruction", si t.host_j_per_instruction ^ "J");
+    ("Host caches", "L1-I/D 32 KB, L2 2 MB shared");
+    ("Main memory", "2 GB LPDDR3 @933 MHz");
+  ]

@@ -1,0 +1,30 @@
+(** Energy and latency constants of the paper's Table I.
+
+    Per-event costs are given at the reference crossbar geometry
+    (256x256); the ledger scales events that only exercise part of the
+    array (a GEMV reading [r] rows and sensing [c] columns pays
+    proportionally for integration, conversion and engine control). *)
+
+type t = {
+  crossbar_compute_j_per_mac : float;  (** 200 fJ per 8-bit MAC *)
+  crossbar_write_j_per_byte : float;  (** 200 pJ per 8-bit cell pair *)
+  mixed_signal_j_per_full_gemv : float;
+      (** 3.9 nJ for a full-width GEMV = all columns sensed through the
+          shared S&H/ADC chain *)
+  buffer_j_per_byte : float;  (** 5.4 pJ per input/output buffer byte *)
+  weighted_sum_j_per_gemv : float;  (** 40 pJ digital MSB/LSB combine *)
+  alu_j_per_op : float;  (** 2.11 pJ per extra digital ALU operation *)
+  dma_engine_j_per_full_gemv : float;
+      (** < 0.78 nJ DMA + micro-engine control per full-depth GEMV *)
+  host_j_per_instruction : float;  (** 128 pJ/inst including caches *)
+  reference_rows : int;
+  reference_cols : int;
+  compute_latency_s : float;  (** 1 us full-array GEMV *)
+  write_latency_s : float;  (** 2.5 us per row write *)
+}
+
+val ibm_pcm_a7 : t
+(** The configuration of Table I. *)
+
+val rows : t -> (string * string) list
+(** Printable (parameter, value) pairs reproducing Table I. *)

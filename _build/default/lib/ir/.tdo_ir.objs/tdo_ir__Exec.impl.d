@@ -1,0 +1,1 @@
+lib/ir/exec.ml: Array Hashtbl Ir List Printf Tdo_cimacc Tdo_lang Tdo_linalg Tdo_runtime Tdo_sim

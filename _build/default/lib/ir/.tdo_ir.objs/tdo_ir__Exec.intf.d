@@ -1,0 +1,1 @@
+lib/ir/exec.mli: Ir Tdo_lang Tdo_runtime

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Format List Tdo_lang

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ir List String Tdo_lang

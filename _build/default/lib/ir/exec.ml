@@ -1,0 +1,418 @@
+module Ast = Tdo_lang.Ast
+module Interp = Tdo_lang.Interp
+module Sim = Tdo_sim
+module Platform = Tdo_runtime.Platform
+module Api = Tdo_runtime.Api
+module Regs = Tdo_cimacc.Context_regs
+
+type metrics = {
+  roi_instructions : int;
+  roi_cycles : int;
+  roi_time_ps : int;
+  used_cim : bool;
+  cim_launches : int;
+}
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+type array_info = { base : int; dims : int list }
+
+type slot = Sint of int ref | Sfloat of float ref | Sarray of array_info
+
+type state = {
+  platform : Platform.t;
+  cpu : Sim.Cpu.t;
+  mutable heap : int;
+  mutable api : Api.t option;
+  dev : (string, Api.buffer) Hashtbl.t;
+}
+
+let heap_base = 0x0100_0000
+
+let alloc_array st dims =
+  let bytes = 4 * List.fold_left ( * ) 1 dims in
+  let base = st.heap in
+  st.heap <- (st.heap + bytes + 63) / 64 * 64;
+  { base; dims }
+
+let issue st ?addr cls = Sim.Cpu.issue st.cpu ?addr cls
+
+(* ---------- expression evaluation with instruction charging ---------- *)
+
+type value = Vi of int | Vf of float
+
+let as_f = function Vi n -> float_of_int n | Vf f -> f
+
+let as_i what = function
+  | Vi n -> n
+  | Vf _ -> fail "%s: expected an integer value" what
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some s -> s
+  | None -> fail "unbound identifier '%s'" name
+
+let element_address st env info indices =
+  let idxs =
+    List.map
+      (fun e ->
+        match e with
+        | Vi n -> n
+        | Vf _ -> fail "non-integer subscript")
+      indices
+  in
+  let flat =
+    List.fold_left2
+      (fun acc idx dim ->
+        if idx < 0 || idx >= dim then fail "index %d out of bound %d" idx dim;
+        issue st Sim.Cpu.Int_alu;
+        (* mul + add of the row-major address computation *)
+        (acc * dim) + idx)
+      0 idxs info.dims
+  in
+  ignore env;
+  info.base + (4 * flat)
+
+let rec eval st env (e : Ast.expr) : value =
+  match e with
+  | Ast.Int_lit n -> Vi n
+  | Ast.Float_lit f -> Vf f
+  | Ast.Var name -> (
+      match lookup env name with
+      | Sint r -> Vi !r
+      | Sfloat r -> Vf !r
+      | Sarray _ -> fail "array '%s' used as a scalar" name)
+  | Ast.Index (name, indices) -> (
+      match lookup env name with
+      | Sarray info ->
+          let idx_values = List.map (eval st env) indices in
+          let addr = element_address st env info idx_values in
+          issue st ~addr Sim.Cpu.Load;
+          Vf (Sim.Memory.read_f32 st.platform.Platform.memory addr)
+      | Sint _ | Sfloat _ -> fail "scalar '%s' indexed" name)
+  | Ast.Binop (op, a, b) -> (
+      let va = eval st env a and vb = eval st env b in
+      match (va, vb) with
+      | Vi x, Vi y ->
+          issue st Sim.Cpu.Int_alu;
+          Vi
+            (match op with
+            | Ast.Add -> x + y
+            | Ast.Sub -> x - y
+            | Ast.Mul -> x * y
+            | Ast.Div ->
+                if y = 0 then fail "integer division by zero";
+                x / y)
+      | _ ->
+          let x = as_f va and y = as_f vb in
+          let cls =
+            match op with
+            | Ast.Add | Ast.Sub -> Sim.Cpu.Fp_add
+            | Ast.Mul -> Sim.Cpu.Fp_mul
+            | Ast.Div -> Sim.Cpu.Fp_div
+          in
+          issue st cls;
+          Vf
+            (match op with
+            | Ast.Add -> x +. y
+            | Ast.Sub -> x -. y
+            | Ast.Mul -> x *. y
+            | Ast.Div -> x /. y))
+  | Ast.Neg e -> (
+      match eval st env e with
+      | Vi n ->
+          issue st Sim.Cpu.Int_alu;
+          Vi (-n)
+      | Vf f ->
+          issue st Sim.Cpu.Fp_add;
+          Vf (-.f))
+
+let eval_int st env what e = as_i what (eval st env e)
+
+(* The += x*y idiom retires as one fused multiply-accumulate on the A7's
+   VFP, so charge Fp_mac instead of Fp_mul-then-Fp_add. *)
+let eval_rhs_for_accumulate st env (rhs : Ast.expr) =
+  match rhs with
+  | Ast.Binop (Ast.Mul, a, b) ->
+      let va = eval st env a and vb = eval st env b in
+      (match (va, vb) with
+      | Vi _, Vi _ -> issue st Sim.Cpu.Int_alu
+      | _ -> issue st Sim.Cpu.Fp_mac);
+      (va, vb, true)
+  | _ -> (eval st env rhs, Vi 0, false)
+
+(* ---------- runtime-call support ---------- *)
+
+let require_api st =
+  match st.api with
+  | Some api -> api
+  | None -> fail "CIM runtime used before polly_cimInit"
+
+let array_info env name =
+  match lookup env name with
+  | Sarray info -> info
+  | Sint _ | Sfloat _ -> fail "'%s' is not an array" name
+
+let array_shape_2d info =
+  match info.dims with
+  | [ rows; cols ] -> (rows, cols)
+  | [ n ] -> (n, 1)
+  | _ -> fail "device arrays must have rank 1 or 2"
+
+let dev_buffer st name =
+  match Hashtbl.find_opt st.dev name with
+  | Some buf -> buf
+  | None -> fail "array '%s' is not on the device (missing polly_cimMalloc)" name
+
+let host_matrix st env name =
+  (* charged element loads: the copy loop runs on the host *)
+  let info = array_info env name in
+  let rows, cols = array_shape_2d info in
+  Tdo_linalg.Mat.init ~rows ~cols ~f:(fun i j ->
+      let addr = info.base + (4 * ((i * cols) + j)) in
+      issue st Sim.Cpu.Int_alu;
+      issue st ~addr Sim.Cpu.Load;
+      Sim.Memory.read_f32 st.platform.Platform.memory addr)
+
+let store_host_matrix st env name m =
+  let info = array_info env name in
+  let rows, cols = array_shape_2d info in
+  if Tdo_linalg.Mat.rows m <> rows || Tdo_linalg.Mat.cols m <> cols then
+    fail "polly_cimDevToHost: shape mismatch for '%s'" name;
+  Tdo_linalg.Mat.iteri
+    ~f:(fun i j v ->
+      let addr = info.base + (4 * ((i * cols) + j)) in
+      issue st Sim.Cpu.Int_alu;
+      issue st ~addr Sim.Cpu.Store;
+      Sim.Memory.write_f32 st.platform.Platform.memory addr v)
+    m
+
+let view_of_ref st env (r : Ir.mat_ref) =
+  let info = array_info env r.Ir.array in
+  let _, ld = array_shape_2d info in
+  let buf = dev_buffer st r.Ir.array in
+  let row_off = eval_int st env "mat_ref row offset" r.Ir.row_off in
+  let col_off = eval_int st env "mat_ref col offset" r.Ir.col_off in
+  issue st Sim.Cpu.Int_alu;
+  Api.view ~offset_elems:((row_off * ld) + col_off) ~ld buf
+
+let pin_of = function Ir.Pin_a -> Regs.Pin_a | Ir.Pin_b -> Regs.Pin_b
+
+let exec_call st env (call : Ir.call) =
+  match call with
+  | Ir.Cim_init -> if st.api = None then st.api <- Some (Api.init st.platform)
+  | Ir.Cim_alloc { array } ->
+      let api = require_api st in
+      let info = array_info env array in
+      let rows, cols = array_shape_2d info in
+      if Hashtbl.mem st.dev array then fail "polly_cimMalloc: '%s' already allocated" array;
+      (match Api.malloc api ~bytes:(4 * rows * cols) with
+      | Error reason -> fail "polly_cimMalloc(%s): %s" array reason
+      | Ok buf -> Hashtbl.add st.dev array buf)
+  | Ir.Cim_h2d { array } ->
+      let api = require_api st in
+      let info = array_info env array in
+      let _, ld = array_shape_2d info in
+      let buf = dev_buffer st array in
+      Api.host_to_dev api ~src:(host_matrix st env array) ~dst:(Api.view ~ld buf)
+  | Ir.Cim_d2h { array } ->
+      let api = require_api st in
+      let info = array_info env array in
+      let rows, cols = array_shape_2d info in
+      let buf = dev_buffer st array in
+      let m = Api.dev_to_host api ~src:(Api.view ~ld:cols buf) ~rows ~cols in
+      store_host_matrix st env array m
+  | Ir.Cim_free { array } ->
+      let api = require_api st in
+      Api.free api (dev_buffer st array);
+      Hashtbl.remove st.dev array
+  | Ir.Cim_gemm { m; n; k; alpha; beta; a; b; c; pin } ->
+      let api = require_api st in
+      if c.Ir.trans then fail "polly_cimBlasSGemm: transposed C is not supported";
+      let alpha = as_f (eval st env alpha) and beta = as_f (eval st env beta) in
+      let va = view_of_ref st env a in
+      let vb = view_of_ref st env b in
+      let vc = view_of_ref st env c in
+      (match
+         Api.sgemm api ~trans_a:a.Ir.trans ~trans_b:b.Ir.trans ~pin:(pin_of pin) ~m ~n ~k ~alpha
+           ~a:va ~b:vb ~beta ~c:vc ()
+       with
+      | Ok () -> ()
+      | Error reason -> fail "polly_cimBlasSGemm: %s" reason)
+  | Ir.Cim_gemm_batched { m; n; k; alpha; beta; batch; pin } ->
+      let api = require_api st in
+      let alpha = as_f (eval st env alpha) and beta = as_f (eval st env beta) in
+      let trans_a, trans_b =
+        match batch with
+        | (a, b, _) :: _ -> (a.Ir.trans, b.Ir.trans)
+        | [] -> fail "polly_cimBlasGemmBatched: empty batch"
+      in
+      let batch =
+        List.map
+          (fun (a, b, c) -> (view_of_ref st env a, view_of_ref st env b, view_of_ref st env c))
+          batch
+      in
+      (match
+         Api.gemm_batched api ~trans_a ~trans_b ~pin:(pin_of pin) ~m ~n ~k ~alpha ~beta ~batch
+           ()
+       with
+      | Ok () -> ()
+      | Error reason -> fail "polly_cimBlasGemmBatched: %s" reason)
+  | Ir.Cim_im2col { src; dst; kh; kw; oh; ow } ->
+      let api = require_api st in
+      let src_info = array_info env src in
+      let src_rows, src_cols = array_shape_2d src_info in
+      let dst_info = array_info env dst in
+      let _, dst_ld = array_shape_2d dst_info in
+      let src_buf = dev_buffer st src and dst_buf = dev_buffer st dst in
+      Api.dev_im2col api
+        ~src:(Api.view ~ld:src_cols src_buf)
+        ~src_rows ~src_cols
+        ~dst:(Api.view ~ld:dst_ld dst_buf)
+        ~kh ~kw ~oh ~ow
+
+(* ---------- statements ---------- *)
+
+let apply_op op old rhs =
+  match op with
+  | Ast.Set -> rhs
+  | Ast.Add_assign -> old +. rhs
+  | Ast.Sub_assign -> old -. rhs
+  | Ast.Mul_assign -> old *. rhs
+
+let rec exec_stmt st env (stmt : Ir.stmt) =
+  match stmt with
+  | Ir.For { var; lo; hi; step; body } ->
+      let lo = eval_int st env "loop bound" lo and hi = eval_int st env "loop bound" hi in
+      let counter = ref lo in
+      let env = (var, Sint counter) :: env in
+      while !counter < hi do
+        exec_body st env body;
+        (* increment + back-edge test *)
+        issue st Sim.Cpu.Int_alu;
+        issue st Sim.Cpu.Branch;
+        counter := !counter + step
+      done
+  | Ir.Assign { lhs; op; rhs } -> (
+      match (lookup env lhs.Ast.base, lhs.Ast.indices) with
+      | Sarray info, indices ->
+          let idx_values = List.map (eval st env) indices in
+          let addr = element_address st env info idx_values in
+          let rhs_value =
+            match op with
+            | Ast.Add_assign -> (
+                match eval_rhs_for_accumulate st env rhs with
+                | va, vb, true -> as_f va *. as_f vb
+                | v, _, false -> as_f v)
+            | Ast.Set | Ast.Sub_assign | Ast.Mul_assign -> as_f (eval st env rhs)
+          in
+          let old =
+            match op with
+            | Ast.Set -> 0.0
+            | Ast.Add_assign | Ast.Sub_assign | Ast.Mul_assign ->
+                issue st ~addr Sim.Cpu.Load;
+                Sim.Memory.read_f32 st.platform.Platform.memory addr
+          in
+          (match op with
+          | Ast.Set | Ast.Add_assign -> () (* Add_assign folded into the MAC *)
+          | Ast.Sub_assign | Ast.Mul_assign -> issue st Sim.Cpu.Fp_add);
+          issue st ~addr Sim.Cpu.Store;
+          Sim.Memory.write_f32 st.platform.Platform.memory addr (apply_op op old rhs_value)
+      | Sfloat r, [] ->
+          let rhs = as_f (eval st env rhs) in
+          if op <> Ast.Set then issue st Sim.Cpu.Fp_add;
+          r := apply_op op !r rhs
+      | Sint r, [] ->
+          let rhs = as_i "integer assignment" (eval st env rhs) in
+          issue st Sim.Cpu.Int_alu;
+          (match op with
+          | Ast.Set -> r := rhs
+          | Ast.Add_assign -> r := !r + rhs
+          | Ast.Sub_assign -> r := !r - rhs
+          | Ast.Mul_assign -> r := !r * rhs)
+      | (Sint _ | Sfloat _), _ :: _ -> fail "scalar '%s' indexed" lhs.Ast.base)
+  | Ir.Decl_scalar _ | Ir.Decl_array _ ->
+      (* bound by exec_body so the binding covers the remaining body *)
+      assert false
+  | Ir.Call call -> exec_call st env call
+  | Ir.Roi_begin -> Sim.Cpu.roi_begin st.cpu
+  | Ir.Roi_end -> Sim.Cpu.roi_end st.cpu
+
+and exec_body st env = function
+  | [] -> ()
+  | Ir.Decl_scalar { name; typ; init } :: rest ->
+      let slot =
+        match typ with
+        | Ast.Tint ->
+            Sint (ref (match init with Some e -> eval_int st env "initialiser" e | None -> 0))
+        | Ast.Tfloat ->
+            Sfloat (ref (match init with Some e -> as_f (eval st env e) | None -> 0.0))
+        | Ast.Tvoid -> fail "void declaration"
+      in
+      exec_body st ((name, slot) :: env) rest
+  | Ir.Decl_array { name; dims } :: rest ->
+      exec_body st ((name, Sarray (alloc_array st dims)) :: env) rest
+  | stmt :: rest ->
+      exec_stmt st env stmt;
+      exec_body st env rest
+
+(* ---------- staging arguments in and out of simulated memory ---------- *)
+
+let stage_in st (arr : Interp.arr) =
+  let info = alloc_array st arr.Interp.dims in
+  Array.iteri
+    (fun i v -> Sim.Memory.write_f32 st.platform.Platform.memory (info.base + (4 * i)) v)
+    arr.Interp.data;
+  info
+
+let stage_out st info (arr : Interp.arr) =
+  Array.iteri
+    (fun i _ ->
+      arr.Interp.data.(i) <- Sim.Memory.read_f32 st.platform.Platform.memory (info.base + (4 * i)))
+    arr.Interp.data
+
+let run (f : Ir.func) ~platform ~args =
+  let st =
+    {
+      platform;
+      cpu = Platform.cpu platform;
+      heap = heap_base;
+      api = None;
+      dev = Hashtbl.create 8;
+    }
+  in
+  let staged = ref [] in
+  let bind_param (p : Ast.param) =
+    match List.assoc_opt p.Ast.pname args with
+    | None -> fail "missing argument '%s'" p.Ast.pname
+    | Some (Interp.Vint n) ->
+        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
+        (p.Ast.pname, Sint (ref n))
+    | Some (Interp.Vfloat v) ->
+        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
+        (p.Ast.pname, Sfloat (ref v))
+    | Some (Interp.Varray arr) ->
+        if arr.Interp.dims <> p.Ast.dims then
+          fail "argument '%s' has mismatched dimensions" p.Ast.pname;
+        let info = stage_in st arr in
+        staged := (info, arr) :: !staged;
+        (p.Ast.pname, Sarray info)
+  in
+  let env = List.map bind_param f.Ir.params in
+  let instructions_before = Sim.Cpu.instructions st.cpu in
+  exec_body st env f.Ir.body;
+  List.iter (fun (info, arr) -> stage_out st info arr) !staged;
+  ignore instructions_before;
+  let roi = Sim.Cpu.roi st.cpu in
+  let launches =
+    match st.api with None -> 0 | Some api -> (Api.counters api).Api.launches
+  in
+  {
+    roi_instructions = roi.Sim.Cpu.roi_instructions;
+    roi_cycles = roi.Sim.Cpu.roi_cycles;
+    roi_time_ps = roi.Sim.Cpu.roi_time_ps;
+    used_cim = st.api <> None;
+    cim_launches = launches;
+  }

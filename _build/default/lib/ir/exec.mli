@@ -1,0 +1,31 @@
+(** Timed IR executor — the "back-end + gem5" of the flow.
+
+    Runs an IR function on the emulated platform: every dynamic
+    instruction (address arithmetic, loads, stores, floating point,
+    loop control) is issued to the host core's timing model with its
+    real address, so run time reflects the cache hierarchy; runtime
+    calls go through the user-space CIM API, the kernel driver and the
+    accelerator. Functional results are bit-exact with the reference
+    interpreter (binary32 array stores).
+
+    Array arguments are staged into simulated main memory before the
+    run and copied back afterwards (uncharged — PolyBench
+    initialisation sits outside the ROI markers). *)
+
+module Interp = Tdo_lang.Interp
+module Platform = Tdo_runtime.Platform
+
+type metrics = {
+  roi_instructions : int;  (** dynamic instructions inside ROI *)
+  roi_cycles : int;
+  roi_time_ps : int;
+  used_cim : bool;  (** at least one runtime call executed *)
+  cim_launches : int;
+}
+
+exception Exec_error of string
+
+val run : Ir.func -> platform:Platform.t -> args:(string * Interp.value) list -> metrics
+(** Mutates [Varray] arguments in place with the final memory contents.
+    Raises {!Exec_error} on argument mismatch, out-of-bounds accesses,
+    runtime-call misuse, or a device error. *)

@@ -1,0 +1,109 @@
+module Ast = Tdo_lang.Ast
+
+type pin = Pin_a | Pin_b
+
+type mat_ref = {
+  array : string;
+  row_off : Ast.expr;
+  col_off : Ast.expr;
+  rows : int;
+  cols : int;
+  trans : bool;
+}
+
+and call =
+  | Cim_init
+  | Cim_alloc of { array : string }
+  | Cim_h2d of { array : string }
+  | Cim_d2h of { array : string }
+  | Cim_free of { array : string }
+  | Cim_gemm of {
+      m : int;
+      n : int;
+      k : int;
+      alpha : Ast.expr;
+      beta : Ast.expr;
+      a : mat_ref;
+      b : mat_ref;
+      c : mat_ref;
+      pin : pin;
+    }
+  | Cim_gemm_batched of {
+      m : int;
+      n : int;
+      k : int;
+      alpha : Ast.expr;
+      beta : Ast.expr;
+      batch : (mat_ref * mat_ref * mat_ref) list;
+      pin : pin;
+    }
+  | Cim_im2col of { src : string; dst : string; kh : int; kw : int; oh : int; ow : int }
+
+type stmt =
+  | For of { var : string; lo : Ast.expr; hi : Ast.expr; step : int; body : stmt list }
+  | Assign of { lhs : Ast.lvalue; op : Ast.assign_op; rhs : Ast.expr }
+  | Decl_scalar of { name : string; typ : Ast.typ; init : Ast.expr option }
+  | Decl_array of { name : string; dims : int list }
+  | Call of call
+  | Roi_begin
+  | Roi_end
+
+type func = { name : string; params : Ast.param list; body : stmt list }
+
+let mat_ref_whole ~array ~rows ~cols ?(trans = false) () =
+  { array; row_off = Ast.Int_lit 0; col_off = Ast.Int_lit 0; rows; cols; trans }
+
+let pp_mat_ref ppf r =
+  let pp_off ppf (e : Ast.expr) =
+    match e with Ast.Int_lit 0 -> () | e -> Format.fprintf ppf "+%a" Ast.pp_expr e
+  in
+  Format.fprintf ppf "cim_%s[%a%a, %dx%d%s]" r.array pp_off r.row_off pp_off r.col_off r.rows
+    r.cols
+    (if r.trans then "^T" else "")
+
+let pp_call ppf = function
+  | Cim_init -> Format.fprintf ppf "polly_cimInit(0);"
+  | Cim_alloc { array } -> Format.fprintf ppf "polly_cimMalloc((void**)&cim_%s, ...);" array
+  | Cim_h2d { array } -> Format.fprintf ppf "polly_cimHostToDev(cim_%s, %s, ...);" array array
+  | Cim_d2h { array } -> Format.fprintf ppf "polly_cimDevToHost(%s, cim_%s, ...);" array array
+  | Cim_free { array } -> Format.fprintf ppf "polly_cimFree(cim_%s);" array
+  | Cim_gemm { m; n; k; alpha; beta; a; b; c; pin } ->
+      Format.fprintf ppf
+        "polly_cimBlasSGemm(m=%d, n=%d, k=%d, alpha=%a, %a, %a, beta=%a, %a, pin=%s);" m n k
+        Ast.pp_expr alpha pp_mat_ref a pp_mat_ref b Ast.pp_expr beta pp_mat_ref c
+        (match pin with Pin_a -> "A" | Pin_b -> "B")
+  | Cim_gemm_batched { m; n; k; alpha; beta; batch; pin } ->
+      Format.fprintf ppf "polly_cimBlasGemmBatched(m=%d, n=%d, k=%d, alpha=%a, beta=%a, pin=%s,"
+        m n k Ast.pp_expr alpha Ast.pp_expr beta
+        (match pin with Pin_a -> "A" | Pin_b -> "B");
+      List.iter
+        (fun (a, b, c) ->
+          Format.fprintf ppf "@ {%a, %a, %a}" pp_mat_ref a pp_mat_ref b pp_mat_ref c)
+        batch;
+      Format.fprintf ppf ");"
+  | Cim_im2col { src; dst; kh; kw; oh; ow } ->
+      Format.fprintf ppf "polly_cimIm2col(cim_%s, cim_%s, k=%dx%d, out=%dx%d);" dst src kh kw
+        oh ow
+
+let rec pp_stmt ppf = function
+  | For { var; lo; hi; step; body } ->
+      Format.fprintf ppf "@[<v 2>for (int %s = %a; %s < %a; %s += %d) {@,%a@]@,}" var Ast.pp_expr
+        lo var Ast.pp_expr hi var step pp_stmts body
+  | Assign { lhs; op; rhs } -> Ast.pp_stmt ppf (Ast.Assign { lhs; op; rhs })
+  | Decl_scalar { name; typ; init } -> Ast.pp_stmt ppf (Ast.Decl_scalar { name; typ; init })
+  | Decl_array { name; dims } -> Ast.pp_stmt ppf (Ast.Decl_array { name; dims })
+  | Call call -> pp_call ppf call
+  | Roi_begin -> Format.fprintf ppf "__roi_begin();"
+  | Roi_end -> Format.fprintf ppf "__roi_end();"
+
+and pp_stmts ppf body = Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf body
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>// IR for %s@,%s(...) {@,%a@]@,}" f.name f.name pp_stmts f.body
+
+let rec stmt_has_call = function
+  | Call _ -> true
+  | For { body; _ } -> List.exists stmt_has_call body
+  | Assign _ | Decl_scalar _ | Decl_array _ | Roi_begin | Roi_end -> false
+
+let contains_cim_calls f = List.exists stmt_has_call f.body

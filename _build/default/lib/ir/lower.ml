@@ -1,0 +1,48 @@
+module Ast = Tdo_lang.Ast
+
+(* Canonicalise update idioms so later pattern matching sees one form:
+     X = X + e   ->  X += e        X = e + X  ->  X += e
+     X = X - e   ->  X -= e
+     X = X * e   ->  X *= e        X = e * X  ->  X *= e
+   where X is the (array) destination itself. *)
+let canonicalise_assign (lhs : Ast.lvalue) op rhs =
+  let is_self = function
+    | Ast.Index (base, indices) ->
+        String.equal base lhs.Ast.base
+        && List.length indices = List.length lhs.Ast.indices
+        && List.for_all2 Ast.expr_equal indices lhs.Ast.indices
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ | Ast.Binop _ | Ast.Neg _ -> false
+  in
+  match (op, rhs) with
+  | Ast.Set, Ast.Binop (Ast.Add, x, e) when is_self x -> (Ast.Add_assign, e)
+  | Ast.Set, Ast.Binop (Ast.Add, e, x) when is_self x -> (Ast.Add_assign, e)
+  | Ast.Set, Ast.Binop (Ast.Sub, x, e) when is_self x -> (Ast.Sub_assign, e)
+  | Ast.Set, Ast.Binop (Ast.Mul, x, e) when is_self x -> (Ast.Mul_assign, e)
+  | Ast.Set, Ast.Binop (Ast.Mul, e, x) when is_self x -> (Ast.Mul_assign, e)
+  | op, rhs -> (op, rhs)
+
+(* Bare blocks are flattened into the enclosing body: IR bodies are
+   plain statement lists. Declarations keep their relative order, so
+   scoping is preserved for every program whose bare blocks do not
+   shadow names declared later in the same body (the type checker has
+   already validated the source with proper scopes). *)
+let rec lower_stmt (stmt : Ast.stmt) : Ir.stmt list =
+  match stmt with
+  | Ast.For { var; lo; hi; step; body } ->
+      [ Ir.For { var; lo; hi; step; body = lower_body body } ]
+  | Ast.Assign { lhs; op; rhs } ->
+      let op, rhs = if lhs.Ast.indices <> [] then canonicalise_assign lhs op rhs else (op, rhs) in
+      [ Ir.Assign { lhs; op; rhs } ]
+  | Ast.Decl_scalar { name; typ; init } -> [ Ir.Decl_scalar { name; typ; init } ]
+  | Ast.Decl_array { name; dims } -> [ Ir.Decl_array { name; dims } ]
+  | Ast.Block body -> lower_body body
+
+and lower_body body = List.concat_map lower_stmt body
+
+let func (f : Ast.func) =
+  Tdo_lang.Typecheck.check_func f;
+  {
+    Ir.name = f.Ast.fname;
+    params = f.Ast.params;
+    body = (Ir.Roi_begin :: lower_body f.Ast.body) @ [ Ir.Roi_end ];
+  }

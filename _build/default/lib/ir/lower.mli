@@ -1,0 +1,9 @@
+(** Front-end lowering: type-checked AST -> IR.
+
+    Structure is preserved one-to-one (the polyhedral passes want the
+    loops intact); the pass adds the ROI markers around the function
+    body, which is how the flow profiles kernels (paper Section IV). *)
+
+val func : Tdo_lang.Ast.func -> Ir.func
+(** Raises {!Tdo_lang.Typecheck.Type_error} if the function does not
+    type-check. *)

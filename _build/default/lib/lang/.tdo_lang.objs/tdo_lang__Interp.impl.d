@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Int32 List Printf Tdo_linalg

@@ -1,0 +1,167 @@
+open Ast
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type arr = { dims : int list; data : float array }
+type value = Vint of int | Vfloat of float | Varray of arr
+
+let f32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let make_array ~dims =
+  if dims = [] || List.exists (fun d -> d <= 0) dims then
+    fail "make_array: invalid dimensions";
+  { dims; data = Array.make (List.fold_left ( * ) 1 dims) 0.0 }
+
+let flat_index arr indices =
+  if List.length indices <> List.length arr.dims then fail "rank mismatch";
+  List.fold_left2
+    (fun acc idx dim ->
+      if idx < 0 || idx >= dim then fail "index %d out of bound %d" idx dim;
+      (acc * dim) + idx)
+    0 indices arr.dims
+
+let arr_get arr indices = arr.data.(flat_index arr indices)
+let arr_set arr indices v = arr.data.(flat_index arr indices) <- f32 v
+
+let arr_of_mat m =
+  let module Mat = Tdo_linalg.Mat in
+  let arr = make_array ~dims:[ Mat.rows m; Mat.cols m ] in
+  Mat.iteri ~f:(fun i j v -> arr_set arr [ i; j ] v) m;
+  arr
+
+let mat_of_arr arr =
+  let module Mat = Tdo_linalg.Mat in
+  match arr.dims with
+  | [ rows; cols ] -> Mat.init ~rows ~cols ~f:(fun i j -> arr_get arr [ i; j ])
+  | _ -> fail "mat_of_arr: not a 2-D array"
+
+(* Environment: association list, innermost first; values are boxed so
+   scalar assignment mutates the binding. *)
+type slot = Sint of int ref | Sfloat of float ref | Sarr of arr
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some s -> s
+  | None -> fail "unbound identifier '%s'" name
+
+let rec eval env = function
+  | Int_lit n -> Vint n
+  | Float_lit f -> Vfloat f
+  | Var name -> (
+      match lookup env name with
+      | Sint r -> Vint !r
+      | Sfloat r -> Vfloat !r
+      | Sarr _ -> fail "array '%s' used as a scalar" name)
+  | Index (name, indices) -> (
+      match lookup env name with
+      | Sarr arr -> Vfloat (arr_get arr (List.map (eval_int env) indices))
+      | Sint _ | Sfloat _ -> fail "scalar '%s' indexed" name)
+  | Binop (op, a, b) -> (
+      match (eval env a, eval env b) with
+      | Vint x, Vint y -> (
+          match op with
+          | Add -> Vint (x + y)
+          | Sub -> Vint (x - y)
+          | Mul -> Vint (x * y)
+          | Div ->
+              if y = 0 then fail "integer division by zero";
+              Vint (x / y))
+      | va, vb ->
+          let x = as_float va and y = as_float vb in
+          Vfloat
+            (match op with Add -> x +. y | Sub -> x -. y | Mul -> x *. y | Div -> x /. y))
+  | Neg e -> (
+      match eval env e with Vint n -> Vint (-n) | Vfloat f -> Vfloat (-.f) | Varray _ -> fail "negating an array")
+
+and as_float = function
+  | Vint n -> float_of_int n
+  | Vfloat f -> f
+  | Varray _ -> fail "array used as a scalar"
+
+and eval_int env e =
+  match eval env e with
+  | Vint n -> n
+  | Vfloat _ -> fail "expected an integer expression"
+  | Varray _ -> fail "expected an integer expression"
+
+let apply_op op old rhs =
+  match op with
+  | Set -> rhs
+  | Add_assign -> old +. rhs
+  | Sub_assign -> old -. rhs
+  | Mul_assign -> old *. rhs
+
+let rec exec_stmt env = function
+  | For { var; lo; hi; step; body } ->
+      let lo = eval_int env lo and hi = eval_int env hi in
+      let counter = ref lo in
+      let env = (var, Sint counter) :: env in
+      while !counter < hi do
+        exec_body env body;
+        counter := !counter + step
+      done
+  | Assign { lhs; op; rhs } -> (
+      match (lookup env lhs.base, lhs.indices) with
+      | Sarr arr, indices ->
+          let indices = List.map (eval_int env) indices in
+          let rhs = as_float (eval env rhs) in
+          let old = arr_get arr indices in
+          arr_set arr indices (apply_op op old rhs)
+      | Sfloat r, [] ->
+          let rhs = as_float (eval env rhs) in
+          r := apply_op op !r rhs
+      | Sint r, [] -> (
+          match eval env rhs with
+          | Vint v -> (
+              match op with
+              | Set -> r := v
+              | Add_assign -> r := !r + v
+              | Sub_assign -> r := !r - v
+              | Mul_assign -> r := !r * v)
+          | Vfloat _ | Varray _ -> fail "integer '%s' assigned a non-integer" lhs.base)
+      | (Sint _ | Sfloat _), _ :: _ -> fail "scalar '%s' indexed" lhs.base)
+  | Decl_scalar _ | Decl_array _ ->
+      (* handled by exec_body so the binding covers the remaining
+         statements of the enclosing body *)
+      assert false
+  | Block body -> exec_body env body
+
+and exec_body env = function
+  | [] -> ()
+  | Decl_scalar { name; typ; init } :: rest ->
+      let slot =
+        match typ with
+        | Tint -> Sint (ref (match init with Some e -> eval_int env e | None -> 0))
+        | Tfloat ->
+            Sfloat (ref (match init with Some e -> as_float (eval env e) | None -> 0.0))
+        | Tvoid -> fail "void declaration"
+      in
+      exec_body ((name, slot) :: env) rest
+  | Decl_array { name; dims } :: rest ->
+      exec_body ((name, Sarr (make_array ~dims)) :: env) rest
+  | stmt :: rest ->
+      exec_stmt env stmt;
+      exec_body env rest
+
+let run f ~args =
+  let bind_param p =
+    match List.assoc_opt p.pname args with
+    | None -> fail "missing argument '%s'" p.pname
+    | Some value -> (
+        match (p.dims, value) with
+        | [], Vint n ->
+            if p.ptyp <> Tint then fail "argument '%s' should be %s" p.pname "int";
+            (p.pname, Sint (ref n))
+        | [], Vfloat v ->
+            if p.ptyp <> Tfloat then fail "argument '%s' should be float" p.pname;
+            (p.pname, Sfloat (ref v))
+        | [], Varray _ -> fail "argument '%s' is a scalar" p.pname
+        | dims, Varray arr ->
+            if arr.dims <> dims then fail "argument '%s' has mismatched dimensions" p.pname;
+            (p.pname, Sarr arr)
+        | _ :: _, (Vint _ | Vfloat _) -> fail "argument '%s' is an array" p.pname)
+  in
+  let env = List.map bind_param f.params in
+  exec_body env f.body

@@ -1,0 +1,265 @@
+open Ast
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let fail_at line message = raise (Parse_error { line; message })
+
+let peek st =
+  match st.tokens with
+  | (tok, line) :: _ -> (tok, line)
+  | [] -> (Lexer.EOF, 0)
+
+let advance st = match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let expect st expected =
+  let tok, line = peek st in
+  if tok = expected then advance st
+  else
+    fail_at line
+      (Printf.sprintf "expected '%s' but found '%s'" (Lexer.token_to_string expected)
+         (Lexer.token_to_string tok))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | tok, line ->
+      fail_at line (Printf.sprintf "expected identifier, found '%s'" (Lexer.token_to_string tok))
+
+let parse_typ st =
+  match peek st with
+  | Lexer.KW_VOID, _ -> advance st; Tvoid
+  | Lexer.KW_FLOAT, _ -> advance st; Tfloat
+  | Lexer.KW_INT, _ -> advance st; Tint
+  | tok, line ->
+      fail_at line (Printf.sprintf "expected a type, found '%s'" (Lexer.token_to_string tok))
+
+(* expressions: precedence climbing over + - and * / with unary minus *)
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS, _ ->
+        advance st;
+        lhs := Binop (Add, !lhs, parse_multiplicative st)
+    | Lexer.MINUS, _ ->
+        advance st;
+        lhs := Binop (Sub, !lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        lhs := Binop (Mul, !lhs, parse_unary st)
+    | Lexer.SLASH, _ ->
+        advance st;
+        lhs := Binop (Div, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ ->
+      advance st;
+      Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n, _ ->
+      advance st;
+      Int_lit n
+  | Lexer.FLOAT f, _ ->
+      advance st;
+      Float_lit f
+  | Lexer.LPAREN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name, _ ->
+      advance st;
+      let indices = parse_indices st in
+      if indices = [] then Var name else Index (name, indices)
+  | tok, line ->
+      fail_at line
+        (Printf.sprintf "expected an expression, found '%s'" (Lexer.token_to_string tok))
+
+and parse_indices st =
+  match peek st with
+  | Lexer.LBRACKET, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RBRACKET;
+      e :: parse_indices st
+  | _ -> []
+
+let parse_const_dims st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LBRACKET, line -> (
+        advance st;
+        match peek st with
+        | Lexer.INT d, _ ->
+            advance st;
+            expect st Lexer.RBRACKET;
+            loop (d :: acc)
+        | tok, _ ->
+            fail_at line
+              (Printf.sprintf "array dimensions must be integer literals, found '%s'"
+                 (Lexer.token_to_string tok)))
+    | _ -> List.rev acc
+  in
+  loop []
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.KW_FOR, _ -> parse_for st
+  | Lexer.LBRACE, _ -> Block (parse_block st)
+  | Lexer.KW_FLOAT, _ | Lexer.KW_INT, _ -> parse_decl st
+  | Lexer.IDENT _, _ -> parse_assign st
+  | tok, line ->
+      fail_at line (Printf.sprintf "expected a statement, found '%s'" (Lexer.token_to_string tok))
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_for st =
+  expect st Lexer.KW_FOR;
+  expect st Lexer.LPAREN;
+  expect st Lexer.KW_INT;
+  let var = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let lo = parse_expr st in
+  expect st Lexer.SEMI;
+  let var2 = expect_ident st in
+  let _, line = peek st in
+  if var2 <> var then fail_at line "loop condition must test the loop variable";
+  expect st Lexer.LT;
+  let hi = parse_expr st in
+  expect st Lexer.SEMI;
+  let var3 = expect_ident st in
+  if var3 <> var then fail_at line "loop increment must update the loop variable";
+  let step =
+    match peek st with
+    | Lexer.PLUS_PLUS, _ ->
+        advance st;
+        1
+    | Lexer.PLUS_ASSIGN, line -> (
+        advance st;
+        match peek st with
+        | Lexer.INT n, _ when n > 0 ->
+            advance st;
+            n
+        | _ -> fail_at line "loop step must be a positive integer literal")
+    | tok, line ->
+        fail_at line
+          (Printf.sprintf "expected '++' or '+=', found '%s'" (Lexer.token_to_string tok))
+  in
+  expect st Lexer.RPAREN;
+  let body = match peek st with Lexer.LBRACE, _ -> parse_block st | _ -> [ parse_stmt st ] in
+  For { var; lo; hi; step; body }
+
+and parse_decl st =
+  let typ = parse_typ st in
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.LBRACKET, line ->
+      if typ <> Tfloat then fail_at line "only float arrays are supported";
+      let dims = parse_const_dims st in
+      expect st Lexer.SEMI;
+      Decl_array { name; dims }
+  | Lexer.ASSIGN, _ ->
+      advance st;
+      let init = parse_expr st in
+      expect st Lexer.SEMI;
+      Decl_scalar { name; typ; init = Some init }
+  | _ ->
+      expect st Lexer.SEMI;
+      Decl_scalar { name; typ; init = None }
+
+and parse_assign st =
+  let base = expect_ident st in
+  let indices = parse_indices st in
+  let op =
+    match peek st with
+    | Lexer.ASSIGN, _ -> advance st; Set
+    | Lexer.PLUS_ASSIGN, _ -> advance st; Add_assign
+    | Lexer.MINUS_ASSIGN, _ -> advance st; Sub_assign
+    | Lexer.STAR_ASSIGN, _ -> advance st; Mul_assign
+    | tok, line ->
+        fail_at line
+          (Printf.sprintf "expected an assignment operator, found '%s'"
+             (Lexer.token_to_string tok))
+  in
+  let rhs = parse_expr st in
+  expect st Lexer.SEMI;
+  Assign { lhs = { base; indices }; op; rhs }
+
+let parse_param st =
+  let ptyp = parse_typ st in
+  let pname = expect_ident st in
+  let dims = parse_const_dims st in
+  let _, line = peek st in
+  if dims <> [] && ptyp <> Tfloat then fail_at line "only float array parameters are supported";
+  { pname; ptyp; dims }
+
+let parse_function st =
+  let ret = parse_typ st in
+  let fname = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    match peek st with
+    | Lexer.RPAREN, _ -> []
+    | _ ->
+        let rec loop acc =
+          let p = parse_param st in
+          match peek st with
+          | Lexer.COMMA, _ ->
+              advance st;
+              loop (p :: acc)
+          | _ -> List.rev (p :: acc)
+        in
+        loop []
+  in
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  { fname; ret; params; body }
+
+let parse_program src =
+  let st = { tokens = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | _ -> loop (parse_function st :: acc)
+  in
+  loop []
+
+let parse_func src =
+  match parse_program src with
+  | [ f ] -> f
+  | fs ->
+      raise
+        (Parse_error
+           { line = 0; message = Printf.sprintf "expected one function, found %d" (List.length fs) })

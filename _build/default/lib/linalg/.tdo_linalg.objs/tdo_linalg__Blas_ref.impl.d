@@ -1,0 +1,1 @@
+lib/linalg/blas_ref.ml: Array List Mat

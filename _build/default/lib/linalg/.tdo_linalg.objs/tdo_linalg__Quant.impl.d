@@ -1,0 +1,1 @@
+lib/linalg/quant.ml: Array Float Mat

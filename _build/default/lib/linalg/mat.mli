@@ -1,0 +1,55 @@
+(** Dense row-major matrices of [float].
+
+    Used by the reference BLAS implementations, by the PCM crossbar
+    model (as the functional view of the programmed conductances), and
+    by the tests to validate offloaded results against host results. *)
+
+module Prng = Tdo_util.Prng
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix. Dimensions must be strictly positive. *)
+
+val init : rows:int -> cols:int -> f:(int -> int -> float) -> t
+(** [init ~rows ~cols ~f] where [f i j] gives the element at row [i],
+    column [j]. *)
+
+val of_arrays : float array array -> t
+(** Copies a rectangular array-of-rows. Raises [Invalid_argument] on a
+    ragged input or an empty one. *)
+
+val to_arrays : t -> float array array
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** [get m i j]; bounds-checked. *)
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val fill : t -> float -> unit
+val transpose : t -> t
+
+val row : t -> int -> float array
+(** Copy of row [i]. *)
+
+val col : t -> int -> float array
+(** Copy of column [j]. *)
+
+val map : f:(float -> float) -> t -> t
+val iteri : f:(int -> int -> float -> unit) -> t -> unit
+
+val max_abs : t -> float
+(** Largest absolute element, 0 for the all-zero matrix. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest elementwise absolute difference. Raises [Invalid_argument]
+    on shape mismatch. *)
+
+val equal_eps : eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val random : Prng.t -> rows:int -> cols:int -> lo:float -> hi:float -> t

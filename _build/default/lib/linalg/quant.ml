@@ -1,0 +1,39 @@
+type scheme = { bits : int; scale : float }
+
+let max_code s = (1 lsl (s.bits - 1)) - 1
+let min_code s = -(1 lsl (s.bits - 1))
+
+let scheme_for ~bits ~max_abs =
+  if bits < 2 || bits > 16 then invalid_arg "Quant.scheme_for: bits out of range";
+  if max_abs < 0.0 then invalid_arg "Quant.scheme_for: negative max_abs";
+  let top = float_of_int ((1 lsl (bits - 1)) - 1) in
+  let scale = if max_abs = 0.0 then 1.0 else max_abs /. top in
+  { bits; scale }
+
+let quantize s v =
+  let code = int_of_float (Float.round (v /. s.scale)) in
+  let hi = max_code s and lo = min_code s in
+  if code > hi then hi else if code < lo then lo else code
+
+let dequantize s code = float_of_int code *. s.scale
+
+let quantize_mat s m =
+  Array.init (Mat.rows m) (fun i -> Array.init (Mat.cols m) (fun j -> quantize s (Mat.get m i j)))
+
+let dequantize_mat s codes =
+  Mat.init ~rows:(Array.length codes) ~cols:(Array.length codes.(0)) ~f:(fun i j ->
+      dequantize s codes.(i).(j))
+
+let quantization_error_bound s = s.scale /. 2.0
+
+let split_nibbles code =
+  if code < -128 || code > 127 then invalid_arg "Quant.split_nibbles: not an 8-bit code";
+  (* Euclidean split keeps the low nibble non-negative so it maps onto
+     an unsigned 4-bit conductance level. *)
+  let lsb = ((code mod 16) + 16) mod 16 in
+  let msb = (code - lsb) / 16 in
+  (msb, lsb)
+
+let combine_nibbles ~msb ~lsb =
+  if lsb < 0 || lsb > 15 then invalid_arg "Quant.combine_nibbles: bad low nibble";
+  (msb * 16) + lsb

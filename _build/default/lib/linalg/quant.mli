@@ -1,0 +1,38 @@
+(** Symmetric fixed-point quantisation.
+
+    The PCM crossbar stores 8-bit signed weights (two 4-bit cells per
+    operand, Section IV of the paper); inputs are driven as 8-bit DAC
+    levels. This module converts between [float] values and integer
+    codes with a per-tensor scale, and bounds the quantisation error so
+    tests can assert crossbar results against the float reference. *)
+
+type scheme = { bits : int; scale : float }
+(** [bits]-bit signed codes in [\[-2^(bits-1), 2^(bits-1)-1\]];
+    [value ~= code *. scale]. *)
+
+val scheme_for : bits:int -> max_abs:float -> scheme
+(** Choose the scale so that [max_abs] maps to the largest positive
+    code. [max_abs = 0] yields scale 1 (all codes 0). Requires
+    [2 <= bits <= 16]. *)
+
+val quantize : scheme -> float -> int
+(** Round-to-nearest, saturating at the code range. *)
+
+val dequantize : scheme -> int -> float
+
+val quantize_mat : scheme -> Mat.t -> int array array
+val dequantize_mat : scheme -> int array array -> Mat.t
+
+val max_code : scheme -> int
+val min_code : scheme -> int
+
+val quantization_error_bound : scheme -> float
+(** Worst-case absolute error for one in-range value: [scale /. 2]. *)
+
+val split_nibbles : int -> int * int
+(** [split_nibbles code] for an 8-bit signed code returns
+    [(msb, lsb)] with [code = msb*16 + lsb], [lsb] in [\[0,15\]]. Used
+    to program a pair of 4-bit PCM columns. *)
+
+val combine_nibbles : msb:int -> lsb:int -> int
+(** Inverse of [split_nibbles]. *)

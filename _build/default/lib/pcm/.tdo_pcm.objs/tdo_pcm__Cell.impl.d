@@ -1,0 +1,1 @@
+lib/pcm/cell.ml: Printf

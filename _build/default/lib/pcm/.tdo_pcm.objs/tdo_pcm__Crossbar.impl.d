@@ -1,0 +1,1 @@
+lib/pcm/crossbar.ml: Adc Array Cell Float Printf Tdo_linalg Tdo_util

@@ -1,0 +1,1 @@
+lib/pcm/crossbar.mli: Adc Cell

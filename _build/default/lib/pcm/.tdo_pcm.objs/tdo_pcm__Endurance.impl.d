@@ -1,0 +1,1 @@
+lib/pcm/endurance.ml:

@@ -1,0 +1,179 @@
+module Prng = Tdo_util.Prng
+module Quant = Tdo_linalg.Quant
+
+type config = {
+  rows : int;
+  cols : int;
+  cell : Cell.config;
+  adc : Adc.config;
+  noise_sigma : float option;
+  size_bytes : int;
+}
+
+let default_config =
+  {
+    rows = 256;
+    cols = 256;
+    cell = Cell.default_config;
+    adc = Adc.default_config;
+    noise_sigma = None;
+    size_bytes = 512 * 1024;
+  }
+
+type counters = {
+  cell_writes : int;
+  logical_writes : int;
+  write_bytes : int;
+  gemv_ops : int;
+  macs : int;
+  input_buffer_bytes : int;
+  output_buffer_bytes : int;
+}
+
+let zero_counters =
+  {
+    cell_writes = 0;
+    logical_writes = 0;
+    write_bytes = 0;
+    gemv_ops = 0;
+    macs = 0;
+    input_buffer_bytes = 0;
+    output_buffer_bytes = 0;
+  }
+
+type t = {
+  config : config;
+  msb : Cell.t array array;  (** plane holding the signed high nibble, offset by +8 *)
+  lsb : Cell.t array array;  (** plane holding the unsigned low nibble *)
+  adc : Adc.t;
+  prng : Prng.t;
+  mutable active : (int * int * int * int) option;
+  mutable counters : counters;
+}
+
+let create ?(config = default_config) ?(seed = 0) () =
+  if config.rows <= 0 || config.cols <= 0 then
+    invalid_arg "Crossbar.create: dimensions must be positive";
+  if config.cell.Cell.levels <> 16 then
+    invalid_arg "Crossbar.create: operand split assumes 4-bit (16-level) cells";
+  let plane () =
+    Array.init config.rows (fun _ ->
+        Array.init config.cols (fun _ -> Cell.create ~config:config.cell ()))
+  in
+  {
+    config;
+    msb = plane ();
+    lsb = plane ();
+    adc = Adc.create ~config:config.adc ();
+    prng = Prng.create ~seed;
+    active = None;
+    counters = zero_counters;
+  }
+
+let config t = t.config
+let counters t = t.counters
+let reset_counters t = t.counters <- zero_counters
+let adc t = t.adc
+let active_region t = t.active
+
+let program_codes t ?(row_off = 0) ?(col_off = 0) codes =
+  let m = Array.length codes in
+  if m = 0 then invalid_arg "Crossbar.program_codes: empty matrix";
+  let n = Array.length codes.(0) in
+  if n = 0 then invalid_arg "Crossbar.program_codes: empty row";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Crossbar.program_codes: ragged matrix")
+    codes;
+  if row_off < 0 || col_off < 0 || row_off + m > t.config.rows || col_off + n > t.config.cols
+  then invalid_arg "Crossbar.program_codes: region exceeds the array";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let code = codes.(i).(j) in
+      let hi, lo = Quant.split_nibbles code in
+      (* The signed high nibble [-8,7] is stored with a +8 offset so it
+         maps onto the unsigned conductance levels; the digital logic
+         removes the offset after sensing. *)
+      Cell.program t.msb.(row_off + i).(col_off + j) ~level:(hi + 8);
+      Cell.program t.lsb.(row_off + i).(col_off + j) ~level:lo
+    done
+  done;
+  t.active <- Some (row_off, col_off, m, n);
+  t.counters <-
+    {
+      t.counters with
+      cell_writes = t.counters.cell_writes + (2 * m * n);
+      logical_writes = t.counters.logical_writes + (m * n);
+      write_bytes = t.counters.write_bytes + (m * n);
+    }
+
+let require_active t =
+  match t.active with
+  | Some region -> region
+  | None -> failwith "Crossbar: no matrix programmed"
+
+let read_codes t =
+  let row_off, col_off, m, n = require_active t in
+  Array.init m (fun i ->
+      Array.init n (fun j ->
+          let hi = Cell.level t.msb.(row_off + i).(col_off + j) - 8 in
+          let lo = Cell.level t.lsb.(row_off + i).(col_off + j) in
+          Quant.combine_nibbles ~msb:hi ~lsb:lo))
+
+let gemv_codes t input =
+  let row_off, col_off, m, n = require_active t in
+  if Array.length input <> m then
+    invalid_arg
+      (Printf.sprintf "Crossbar.gemv_codes: input length %d, active rows %d"
+         (Array.length input) m);
+  (* Analog currents: one Kirchhoff sum per plane per column. The model
+     is functional — the integer column sums are what an ideal
+     sense/convert chain recovers — with optional additive noise. *)
+  let full_scale = float_of_int (m * 127 * 15) +. 1.0 in
+  let out =
+    Array.init n (fun j ->
+        let sum_hi = ref 0 and sum_lo = ref 0 in
+        for i = 0 to m - 1 do
+          let x = input.(i) in
+          sum_hi := !sum_hi + (x * (Cell.level t.msb.(row_off + i).(col_off + j) - 8));
+          sum_lo := !sum_lo + (x * Cell.level t.lsb.(row_off + i).(col_off + j))
+        done;
+        let perturb v =
+          match t.config.noise_sigma with
+          | None -> v
+          | Some sigma ->
+              v + int_of_float (Float.round (Prng.gaussian t.prng ~mu:0.0 ~sigma))
+        in
+        (* Two conversions per column: one per physical plane. The ADC
+           model is charged for the events; the code path keeps the
+           integer value (ideal transfer function). *)
+        let hi = perturb !sum_hi in
+        let lo = perturb !sum_lo in
+        ignore (Adc.convert t.adc ~full_scale (float_of_int hi));
+        ignore (Adc.convert t.adc ~full_scale (float_of_int lo));
+        (16 * hi) + lo)
+  in
+  t.counters <-
+    {
+      t.counters with
+      gemv_ops = t.counters.gemv_ops + 1;
+      macs = t.counters.macs + (m * n);
+      input_buffer_bytes = t.counters.input_buffer_bytes + m;
+      output_buffer_bytes = t.counters.output_buffer_bytes + (4 * n);
+    };
+  out
+
+let fold_cells t f init =
+  let acc = ref init in
+  let visit plane = Array.iter (fun row -> Array.iter (fun c -> acc := f !acc c) row) plane in
+  visit t.msb;
+  visit t.lsb;
+  !acc
+
+let wear_total t = fold_cells t (fun acc c -> acc + Cell.writes c) 0
+let wear_max t = fold_cells t (fun acc c -> max acc (Cell.writes c)) 0
+
+let worn_out_fraction t =
+  let worn = fold_cells t (fun acc c -> if Cell.is_worn_out c then acc + 1 else acc) 0 in
+  let total = 2 * t.config.rows * t.config.cols in
+  float_of_int worn /. float_of_int total

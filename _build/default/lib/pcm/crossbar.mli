@@ -1,0 +1,81 @@
+(** A memristor crossbar computing analog matrix-vector products
+    (paper Section II-B, Fig. 2(c)).
+
+    The logical array stores [rows x cols] signed 8-bit operands. Each
+    operand is realised by {e two} 4-bit PCM cells in adjacent physical
+    planes — one for the 4 MSBs, one for the 4 LSBs — exactly the
+    "2x(256x256 @4-bit)" organisation of Table I. A matrix is written as
+    conductances; a GEMV drives the input vector as row voltages and
+    senses per-column currents, which the shared ADCs digitise and the
+    digital logic combines with a weighted MSB/LSB sum.
+
+    The functional result is the exact integer dot product (the model is
+    functional like CIM-SIM, with optional additive analog noise); the
+    counters feed the Table-I energy model. *)
+
+type config = {
+  rows : int;
+  cols : int;
+  cell : Cell.config;
+  adc : Adc.config;
+  noise_sigma : float option;
+      (** standard deviation of additive per-column analog noise, in
+          LSB units of the integer result; [None] = ideal *)
+  size_bytes : int;
+      (** capacity used in the lifetime equation (Eq. 1); the paper
+          uses 512 KB *)
+}
+
+val default_config : config
+(** 256x256 logical 8-bit operands, IBM 4-bit cells, 512 KB. *)
+
+type t
+
+val create : ?config:config -> ?seed:int -> unit -> t
+val config : t -> config
+
+val program_codes : t -> ?row_off:int -> ?col_off:int -> int array array -> unit
+(** Write a (rectangular, non-empty) matrix of signed 8-bit codes at the
+    given offset. Every element programs two physical cells (one write
+    pulse each, counted even on worn-out cells). Also latches the
+    written region as the active compute region — the row/column enable
+    masks of the digital interface. Raises [Invalid_argument] if the
+    region exceeds the array or a code is outside [-128, 127]. *)
+
+val active_region : t -> (int * int * int * int) option
+(** [(row_off, col_off, rows, cols)] of the last programmed region. *)
+
+val gemv_codes : t -> int array -> int array
+(** Analog GEMV over the active region: input length must equal the
+    active row count; the result has one (exact, full-precision) integer
+    per active column. Raises [Failure] if nothing was programmed. *)
+
+val read_codes : t -> int array array
+(** Read back the active region (digital read path; reconstructs codes
+    from the stored levels of worn and healthy cells alike). *)
+
+type counters = {
+  cell_writes : int;  (** physical write pulses (2 per logical write) *)
+  logical_writes : int;  (** 8-bit operands programmed *)
+  write_bytes : int;  (** bytes of matrix data written to the array *)
+  gemv_ops : int;
+  macs : int;  (** multiply-accumulates performed in the analog domain *)
+  input_buffer_bytes : int;
+  output_buffer_bytes : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val adc : t -> Adc.t
+(** The shared ADC bank (for conversion counts). *)
+
+val wear_total : t -> int
+(** Total physical write pulses over the array's lifetime (not reset by
+    [reset_counters]). *)
+
+val wear_max : t -> int
+(** Largest per-cell write count. *)
+
+val worn_out_fraction : t -> float
+(** Fraction of physical cells past their endurance budget. *)

@@ -1,0 +1,14 @@
+let seconds_per_year = 365.25 *. 24.0 *. 3600.0
+
+let lifetime_seconds ~cell_endurance ~crossbar_bytes ~write_bytes_per_second =
+  if cell_endurance <= 0.0 then invalid_arg "Endurance: endurance must be positive";
+  if crossbar_bytes <= 0 then invalid_arg "Endurance: capacity must be positive";
+  if write_bytes_per_second <= 0.0 then invalid_arg "Endurance: traffic must be positive";
+  cell_endurance *. float_of_int crossbar_bytes /. write_bytes_per_second
+
+let lifetime_years ~cell_endurance ~crossbar_bytes ~write_bytes_per_second =
+  lifetime_seconds ~cell_endurance ~crossbar_bytes ~write_bytes_per_second /. seconds_per_year
+
+let write_traffic_bytes_per_second ~bytes_written ~elapsed_seconds =
+  if elapsed_seconds <= 0.0 then invalid_arg "Endurance: elapsed time must be positive";
+  float_of_int bytes_written /. elapsed_seconds

@@ -1,0 +1,20 @@
+(** System lifetime model (paper Eq. 1, Fig. 5).
+
+    [SystemLifetime = CellEndurance * S / B] where [S] is the crossbar
+    capacity in bytes and [B] the write traffic in bytes per second,
+    assuming writes are spread uniformly over the array (the paper's
+    stated assumption). *)
+
+val lifetime_seconds :
+  cell_endurance:float -> crossbar_bytes:int -> write_bytes_per_second:float -> float
+(** Raises [Invalid_argument] on non-positive traffic, capacity or
+    endurance. *)
+
+val lifetime_years :
+  cell_endurance:float -> crossbar_bytes:int -> write_bytes_per_second:float -> float
+
+val write_traffic_bytes_per_second : bytes_written:int -> elapsed_seconds:float -> float
+(** [B] from a measured execution. Raises [Invalid_argument] when
+    [elapsed_seconds <= 0]. *)
+
+val seconds_per_year : float

@@ -1,0 +1,68 @@
+type t = {
+  lines : int;
+  gap_interval : int;
+  mutable start : int;  (** rotation offset, in [0, lines] *)
+  mutable gap : int;  (** physical index of the gap line, in [0, lines] *)
+  mutable writes_since_move : int;
+  mutable total_writes : int;
+  mutable gap_movements : int;
+  wear : int array;  (** per physical line *)
+}
+
+let create ~lines ~gap_interval =
+  if lines <= 0 then invalid_arg "Wear_leveling.create: lines must be positive";
+  if gap_interval <= 0 then invalid_arg "Wear_leveling.create: interval must be positive";
+  {
+    lines;
+    gap_interval;
+    start = 0;
+    gap = lines;
+    writes_since_move = 0;
+    total_writes = 0;
+    gap_movements = 0;
+    wear = Array.make (lines + 1) 0;
+  }
+
+let lines t = t.lines
+
+(* Start-Gap address computation (Qureshi et al., Eq. in Sec. 3.2):
+   rotate by [start] over the logical lines, then skip the gap line. *)
+let physical_of_logical t logical =
+  if logical < 0 || logical >= t.lines then
+    invalid_arg (Printf.sprintf "Wear_leveling: logical line %d out of %d" logical t.lines);
+  let rotated = (logical + t.start) mod t.lines in
+  if rotated >= t.gap then rotated + 1 else rotated
+
+let move_gap t =
+  t.gap_movements <- t.gap_movements + 1;
+  if t.gap = 0 then begin
+    (* the gap wraps to the top; one full rotation completed, so the
+       whole mapping advances by one line *)
+    t.gap <- t.lines;
+    t.start <- (t.start + 1) mod t.lines
+  end
+  else begin
+    (* the line below the gap is copied into the gap: one write to the
+       gap's physical position *)
+    t.wear.(t.gap) <- t.wear.(t.gap) + 1;
+    t.gap <- t.gap - 1
+  end
+
+let write t logical =
+  let phys = physical_of_logical t logical in
+  t.wear.(phys) <- t.wear.(phys) + 1;
+  t.total_writes <- t.total_writes + 1;
+  t.writes_since_move <- t.writes_since_move + 1;
+  if t.writes_since_move >= t.gap_interval then begin
+    t.writes_since_move <- 0;
+    move_gap t
+  end
+
+let wear t = Array.copy t.wear
+let max_wear t = Array.fold_left max 0 t.wear
+let total_writes t = t.total_writes
+let gap_movements t = t.gap_movements
+
+let ideal_max_wear t =
+  let physical = t.lines + 1 in
+  (t.total_writes + t.gap_movements + physical - 1) / physical

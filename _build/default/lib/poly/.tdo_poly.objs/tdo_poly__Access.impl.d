@@ -1,0 +1,1 @@
+lib/poly/access.ml: Affine Domain Format List Option String Tdo_lang

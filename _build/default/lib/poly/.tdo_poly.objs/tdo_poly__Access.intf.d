@@ -1,0 +1,1 @@
+lib/poly/access.mli: Affine Domain Format Tdo_lang

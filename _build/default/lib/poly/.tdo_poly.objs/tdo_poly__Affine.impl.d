@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Format List Map Option String Tdo_lang

@@ -1,0 +1,1 @@
+lib/poly/codegen.ml: Access Affine List Schedule_tree Tdo_ir Tdo_lang

@@ -1,0 +1,1 @@
+lib/poly/codegen.mli: Schedule_tree Tdo_ir

@@ -1,0 +1,1 @@
+lib/poly/deps.ml: Access Affine Domain Hashtbl List Option Schedule_tree Set String Tdo_ir Tdo_lang

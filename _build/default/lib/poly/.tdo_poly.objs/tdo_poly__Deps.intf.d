@@ -1,0 +1,1 @@
+lib/poly/deps.mli: Domain Schedule_tree Set

@@ -1,0 +1,1 @@
+lib/poly/domain.ml: Array Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/poly/schedule_tree.ml: Access Affine Format List String Tdo_ir Tdo_lang

@@ -1,0 +1,1 @@
+lib/poly/schedule_tree.mli: Access Affine Format Tdo_ir Tdo_lang

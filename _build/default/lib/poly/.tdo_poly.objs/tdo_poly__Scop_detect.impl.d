@@ -1,0 +1,1 @@
+lib/poly/scop_detect.ml: Access Affine List Printf Result Schedule_tree Tdo_ir Tdo_lang

@@ -1,0 +1,1 @@
+lib/poly/scop_detect.mli: Schedule_tree Tdo_ir

@@ -1,0 +1,27 @@
+(** Array access relations: which array, with which affine subscripts. *)
+
+module Ast = Tdo_lang.Ast
+
+type t = { array : string; indices : Affine.t list }
+
+val of_lvalue : Ast.lvalue -> t option
+(** [None] when a subscript is not affine. *)
+
+val reads_of_expr : Ast.expr -> t list option
+(** All array reads in an expression, left to right. [None] when any
+    subscript is non-affine. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val region : t -> extents:(string * (int * int)) list -> Domain.box option
+(** Bounding box of the cells this access can touch when each iterator
+    [v] ranges over the inclusive interval [extents v]. [None] when an
+    index involves a variable without an extent. The box is exact for
+    single-iterator indices and a (safe) superset in general. *)
+
+val index_signature : t -> iters:string list -> [ `Iter of int | `Other ] list option
+(** Classify each subscript against an iterator list: [`Iter p] when the
+    subscript is exactly the [p]-th iterator (coefficient 1, nothing
+    else); [None] if some subscript is neither a plain iterator nor
+    iterator-free. Used by the GEMM/GEMV pattern matchers. *)

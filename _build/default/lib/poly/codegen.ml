@@ -1,0 +1,36 @@
+module Ir = Tdo_ir.Ir
+module Ast = Tdo_lang.Ast
+
+let rec to_ir (tree : Schedule_tree.t) : Ir.stmt list =
+  match tree with
+  | Schedule_tree.Band (b, child) ->
+      [
+        Ir.For
+          {
+            var = b.Schedule_tree.iter;
+            lo = Affine.to_expr b.Schedule_tree.lo;
+            hi = Affine.to_expr b.Schedule_tree.hi;
+            step = b.Schedule_tree.step;
+            body = to_ir child;
+          };
+      ]
+  | Schedule_tree.Seq children -> List.concat_map to_ir children
+  | Schedule_tree.Stmt s ->
+      [
+        Ir.Assign
+          {
+            lhs =
+              {
+                Ast.base = s.Schedule_tree.write.Access.array;
+                indices = List.map Affine.to_expr s.Schedule_tree.write.Access.indices;
+              };
+            op = s.Schedule_tree.op;
+            rhs = s.Schedule_tree.rhs;
+          };
+      ]
+  | Schedule_tree.Mark (_, child) -> to_ir child
+  | Schedule_tree.Code stmts -> stmts
+
+let func_with_body (f : Ir.func) tree =
+  let lowered = to_ir tree in
+  { f with Ir.body = (Ir.Roi_begin :: lowered) @ [ Ir.Roi_end ] }

@@ -1,0 +1,37 @@
+(** Dependence summaries at array granularity.
+
+    This is precisely the independence test of the paper's kernel
+    fusion (Section III-B): two kernels X and Y (Y after X) can be
+    fused when Y neither reads from nor writes to any output of X, and
+    Y does not write to any input of X. Array-name granularity is exact
+    for whole-kernel regions that write disjoint output arrays. *)
+
+module Strings : Set.S with type elt = string
+
+val arrays_written : Schedule_tree.t -> Strings.t
+val arrays_read : Schedule_tree.t -> Strings.t
+(** Reads include the old value of [+=]/[-=]/[*=] targets. [Code]
+    subtrees contribute the arrays referenced by their runtime calls. *)
+
+val independent : Schedule_tree.t -> Schedule_tree.t -> bool
+(** [independent x y] with [y] textually after [x]. Array-name overlap
+    is refined with access regions ({!Access.region} over the enclosing
+    bands): kernels that touch provably disjoint slices of a shared
+    array remain independent. Unknown regions (non-constant bounds,
+    [Code] subtrees) fall back to the conservative name-level answer. *)
+
+val access_regions :
+  Schedule_tree.t -> writes:bool -> (string * Domain.box option list) list
+(** Per array, the bounding boxes of its accesses under the tree
+    ([writes:true] for written cells, [writes:false] for read cells,
+    the old value of [+=]-style targets included). A [None] entry means
+    an access whose region could not be bounded. [Code] subtrees
+    contribute [None] for every array they mention. *)
+
+val may_interchange : Schedule_tree.band -> Schedule_tree.band -> Schedule_tree.t -> bool
+(** Conservative legality of swapping two perfectly nested bands:
+    holds when every statement under the nest either only accumulates
+    into its target ([+=] with the same access on both sides) or writes
+    an access indexed by neither of the two bands' iterators in a
+    reordering-sensitive way. Sufficient for the GEMM-family nests this
+    flow transforms. *)

@@ -1,0 +1,55 @@
+module Ir = Tdo_ir.Ir
+module Ast = Tdo_lang.Ast
+
+let ( let* ) = Result.bind
+
+let detect body =
+  let next_sid = ref 0 in
+  let rec tree_of_stmt (stmt : Ir.stmt) =
+    match stmt with
+    | Ir.For { var; lo; hi; step; body } -> (
+        match (Affine.of_expr lo, Affine.of_expr hi) with
+        | Some lo, Some hi ->
+            let* child = tree_of_body body in
+            Ok (Schedule_tree.Band ({ Schedule_tree.iter = var; lo; hi; step }, child))
+        | None, _ | _, None ->
+            Error (Printf.sprintf "non-affine bound of loop '%s'" var))
+    | Ir.Assign { lhs; op; rhs } -> (
+        match Access.of_lvalue lhs with
+        | None -> Error (Printf.sprintf "non-affine subscript writing '%s'" lhs.Ast.base)
+        | Some write -> (
+            if lhs.Ast.indices = [] then
+              Error (Printf.sprintf "scalar write to '%s'" lhs.Ast.base)
+            else
+              match Access.reads_of_expr rhs with
+              | None -> Error "non-affine subscript in a read"
+              | Some reads ->
+                  let sid = !next_sid in
+                  incr next_sid;
+                  Ok (Schedule_tree.Stmt { Schedule_tree.sid; write; op; rhs; reads })))
+    | Ir.Decl_scalar { name; _ } ->
+        Error (Printf.sprintf "scalar declaration '%s' inside the region" name)
+    | Ir.Decl_array { name; _ } ->
+        Error (Printf.sprintf "array declaration '%s' inside the region" name)
+    | Ir.Call _ -> Error "runtime call inside the region"
+    | Ir.Roi_begin | Ir.Roi_end -> Error "ROI marker inside the region"
+  and tree_of_body body =
+    let* children =
+      List.fold_left
+        (fun acc stmt ->
+          let* acc = acc in
+          let* tree = tree_of_stmt stmt in
+          Ok (tree :: acc))
+        (Ok []) body
+    in
+    match List.rev children with
+    | [ single ] -> Ok single
+    | children -> Ok (Schedule_tree.Seq children)
+  in
+  (* strip ROI markers at the edges *)
+  let body =
+    List.filter (function Ir.Roi_begin | Ir.Roi_end -> false | _ -> true) body
+  in
+  tree_of_body body
+
+let detect_func (f : Ir.func) = detect f.Ir.body

@@ -1,0 +1,1 @@
+lib/polybench/dataset.mli:

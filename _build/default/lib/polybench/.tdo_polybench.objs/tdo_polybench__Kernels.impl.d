@@ -1,0 +1,1 @@
+lib/polybench/kernels.ml: Array Int32 List Printf String Tdo_lang Tdo_linalg Tdo_util

@@ -1,0 +1,1 @@
+lib/polybench/kernels.mli: Tdo_lang Tdo_linalg

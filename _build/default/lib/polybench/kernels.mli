@@ -1,0 +1,36 @@
+(** The PolyBench/C kernels of the paper's evaluation (Fig. 6): 2mm,
+    3mm, gemm, conv, gesummv, bicg, mvt — as mini-C sources
+    parameterised by the problem size.
+
+    Porting notes (documented in DESIGN.md): kernels that PolyBench
+    writes with two statements inside one loop nest (bicg, gesummv,
+    mvt in some variants) are expressed as consecutive single-statement
+    nests computing the same function — the form the paper's own
+    kernel-granularity detection operates on. *)
+
+module Interp = Tdo_lang.Interp
+module Mat = Tdo_linalg.Mat
+
+type kind = Gemm_like | Gemv_like
+(** The paper's grouping: GEMM-like kernels profit from CIM, GEMV-like
+    kernels lose to offload overhead. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  kind : kind;
+  source : n:int -> string;
+  macs : n:int -> int;  (** multiply-accumulate count of the kernel *)
+  make_args : n:int -> seed:int -> (string * Interp.value) list * (unit -> Mat.t list);
+      (** fresh argument bindings (deterministic in [seed]) and a
+          readback closure returning the output arrays (vectors as
+          n x 1 matrices) *)
+}
+
+val all : benchmark list
+(** In the paper's Fig. 6 order: 2mm, 3mm, gemm, conv, gesummv, bicg,
+    mvt. *)
+
+val names : string list
+
+val find : string -> (benchmark, string) result

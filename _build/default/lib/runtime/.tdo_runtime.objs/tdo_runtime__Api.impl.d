@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Cma Driver Int32 List Platform Printf Result Tdo_cimacc Tdo_linalg Tdo_pcm Tdo_sim

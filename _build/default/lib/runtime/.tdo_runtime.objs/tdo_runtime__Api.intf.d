@@ -1,0 +1,1 @@
+lib/runtime/api.mli: Driver Platform Tdo_cimacc Tdo_linalg

@@ -1,0 +1,1 @@
+lib/runtime/cma.ml: Hashtbl List Printf

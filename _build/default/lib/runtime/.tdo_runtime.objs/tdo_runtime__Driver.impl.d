@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: Int32 Option Platform Printf Tdo_cimacc Tdo_sim

@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Platform Tdo_cimacc Tdo_sim

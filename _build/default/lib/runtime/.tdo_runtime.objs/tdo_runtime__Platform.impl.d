@@ -1,0 +1,1 @@
+lib/runtime/platform.ml: Array Cma Tdo_cimacc Tdo_sim

@@ -1,0 +1,1 @@
+lib/runtime/platform.mli: Cma Tdo_cimacc Tdo_sim

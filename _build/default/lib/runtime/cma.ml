@@ -1,0 +1,85 @@
+type config = { base : int; size : int; alignment : int }
+
+let default_config = { base = 0x3000_0000; size = 64 * 1024 * 1024; alignment = 256 }
+
+type t = {
+  config : config;
+  mutable free_list : (int * int) list;  (** (addr, size), sorted by addr *)
+  live : (int, int) Hashtbl.t;  (** addr -> rounded size *)
+  mutable allocations : int;
+  mutable frees : int;
+  mutable allocated : int;
+  mutable peak : int;
+}
+
+let create ?(config = default_config) () =
+  if config.size <= 0 then invalid_arg "Cma.create: empty region";
+  if config.alignment <= 0 || config.alignment land (config.alignment - 1) <> 0 then
+    invalid_arg "Cma.create: alignment must be a positive power of two";
+  if config.base mod config.alignment <> 0 then
+    invalid_arg "Cma.create: base must be aligned";
+  {
+    config;
+    free_list = [ (config.base, config.size) ];
+    live = Hashtbl.create 64;
+    allocations = 0;
+    frees = 0;
+    allocated = 0;
+    peak = 0;
+  }
+
+let config t = t.config
+
+let round_up t bytes = (bytes + t.config.alignment - 1) / t.config.alignment * t.config.alignment
+
+let alloc t ~bytes =
+  if bytes <= 0 then Error "Cma.alloc: non-positive size"
+  else begin
+    let need = round_up t bytes in
+    (* first fit *)
+    let rec take acc = function
+      | [] -> None
+      | (addr, size) :: rest when size >= need ->
+          let remainder = if size > need then [ (addr + need, size - need) ] else [] in
+          Some (addr, List.rev_append acc (remainder @ rest))
+      | block :: rest -> take (block :: acc) rest
+    in
+    match take [] t.free_list with
+    | None -> Error (Printf.sprintf "Cma.alloc: no contiguous block of %d bytes" need)
+    | Some (addr, free_list) ->
+        t.free_list <- free_list;
+        Hashtbl.add t.live addr need;
+        t.allocations <- t.allocations + 1;
+        t.allocated <- t.allocated + need;
+        t.peak <- max t.peak t.allocated;
+        Ok addr
+  end
+
+let free t addr =
+  match Hashtbl.find_opt t.live addr with
+  | None -> invalid_arg (Printf.sprintf "Cma.free: 0x%x was not allocated" addr)
+  | Some size ->
+      Hashtbl.remove t.live addr;
+      t.frees <- t.frees + 1;
+      t.allocated <- t.allocated - size;
+      (* insert sorted, then coalesce neighbours *)
+      let merged =
+        List.sort compare ((addr, size) :: t.free_list)
+        |> List.fold_left
+             (fun acc (a, s) ->
+               match acc with
+               | (pa, ps) :: rest when pa + ps = a -> (pa, ps + s) :: rest
+               | _ -> (a, s) :: acc)
+             []
+        |> List.rev
+      in
+      t.free_list <- merged
+
+let is_allocated t addr = Hashtbl.mem t.live addr
+let allocation_size t addr = Hashtbl.find_opt t.live addr
+let allocated_bytes t = t.allocated
+let free_bytes t = List.fold_left (fun acc (_, s) -> acc + s) 0 t.free_list
+let largest_free_block t = List.fold_left (fun acc (_, s) -> max acc s) 0 t.free_list
+let allocations t = t.allocations
+let frees t = t.frees
+let peak_allocated_bytes t = t.peak

@@ -1,0 +1,174 @@
+module Sim = Tdo_sim
+module Regs = Tdo_cimacc.Context_regs
+
+type wait_policy = Spin | Event
+
+type config = {
+  wait_policy : wait_policy;
+  syscall_instructions : int;
+  translate_instructions : int;
+  reg_write_instructions : int;
+  uncached_access_ps : Sim.Time_base.ps;
+  poll_instructions : int;
+  flush_instructions_per_line : int;
+}
+
+let default_config =
+  {
+    wait_policy = Spin;
+    syscall_instructions = 180;
+    translate_instructions = 12;
+    reg_write_instructions = 4;
+    uncached_access_ps = 20 * Sim.Time_base.ps_per_ns;
+    poll_instructions = 8;
+    flush_instructions_per_line = 2;
+  }
+
+type t = {
+  config : config;
+  platform : Platform.t;
+  mutable ioctls : int;
+  mutable cache_flushes : int;
+  mutable reg_writes : int;
+  mutable translations : int;
+  mutable flush_stall_ps : Sim.Time_base.ps;
+  mutable wait_stall_ps : Sim.Time_base.ps;
+}
+
+let create ?(config = default_config) platform =
+  {
+    config;
+    platform;
+    ioctls = 0;
+    cache_flushes = 0;
+    reg_writes = 0;
+    translations = 0;
+    flush_stall_ps = 0;
+    wait_stall_ps = 0;
+  }
+
+let config t = t.config
+
+let charge_instructions t n =
+  let cpu = Platform.cpu t.platform in
+  for _ = 1 to n do
+    Sim.Cpu.issue cpu Sim.Cpu.Int_alu
+  done
+
+let translate t addr =
+  charge_instructions t t.config.translate_instructions;
+  t.translations <- t.translations + 1;
+  if Platform.is_device_virtual t.platform addr then Platform.resolve t.platform addr
+  else if addr >= 0 && addr < (Sim.Memory.config t.platform.Platform.memory).Sim.Memory.size_bytes
+  then addr
+  else invalid_arg (Printf.sprintf "Driver.translate: unmapped address 0x%x" addr)
+
+let cache_lines cache =
+  let cfg = Sim.Cache.config cache in
+  cfg.Sim.Cache.size_bytes / cfg.Sim.Cache.line_bytes
+
+let flush_caches t =
+  let cpu = Platform.cpu t.platform in
+  (* set/way walk over both caches: real instructions on the host *)
+  let lines = cache_lines t.platform.Platform.l1d + cache_lines t.platform.Platform.l2 in
+  Sim.Cpu.issue_many cpu Sim.Cpu.Int_alu (lines * t.config.flush_instructions_per_line);
+  let lat =
+    Sim.Cache.flush t.platform.Platform.l1d + Sim.Cache.flush t.platform.Platform.l2
+  in
+  Sim.Cpu.stall_ps cpu lat;
+  t.cache_flushes <- t.cache_flushes + 1;
+  t.flush_stall_ps <- t.flush_stall_ps + lat
+
+let write_reg t ~reg value =
+  charge_instructions t t.config.reg_write_instructions;
+  Sim.Cpu.stall_ps (Platform.cpu t.platform) t.config.uncached_access_ps;
+  t.reg_writes <- t.reg_writes + 1;
+  Platform.sync_queue_to_cpu t.platform;
+  Sim.Mmio.write t.platform.Platform.mmio
+    ~addr:(t.platform.Platform.config.Platform.register_base + (4 * reg))
+    value
+
+let read_reg t ~reg =
+  charge_instructions t t.config.poll_instructions;
+  Sim.Cpu.stall_ps (Platform.cpu t.platform) t.config.uncached_access_ps;
+  Sim.Mmio.read t.platform.Platform.mmio
+    ~addr:(t.platform.Platform.config.Platform.register_base + (4 * reg))
+
+let launch t (job : Regs.job) =
+  t.ioctls <- t.ioctls + 1;
+  charge_instructions t t.config.syscall_instructions;
+  (* Coherence: make every host-side store visible to the device's
+     uncacheable reads before it starts. *)
+  flush_caches t;
+  let wi reg v = write_reg t ~reg (Int32.of_int v) in
+  let wf reg v = write_reg t ~reg (Int32.bits_of_float v) in
+  wi Regs.reg_op
+    (match job.Regs.op with Regs.Gemv -> 0 | Regs.Gemm -> 1 | Regs.Gemm_batched -> 2);
+  wi Regs.reg_m job.Regs.m;
+  wi Regs.reg_n job.Regs.n;
+  wi Regs.reg_k job.Regs.k;
+  wi Regs.reg_trans ((if job.Regs.trans_a then 1 else 0) lor if job.Regs.trans_b then 2 else 0);
+  wf Regs.reg_alpha job.Regs.alpha;
+  wf Regs.reg_beta job.Regs.beta;
+  wi Regs.reg_a_addr (translate t job.Regs.a_addr);
+  wi Regs.reg_b_addr (translate t job.Regs.b_addr);
+  wi Regs.reg_c_addr (translate t job.Regs.c_addr);
+  wi Regs.reg_lda job.Regs.lda;
+  wi Regs.reg_ldb job.Regs.ldb;
+  wi Regs.reg_ldc job.Regs.ldc;
+  wi Regs.reg_batch_count job.Regs.batch_count;
+  wi Regs.reg_batch_desc
+    (if job.Regs.batch_desc_addr = 0 then 0 else translate t job.Regs.batch_desc_addr);
+  wi Regs.reg_pin (match job.Regs.pin with Regs.Pin_a -> 0 | Regs.Pin_b -> 1);
+  wi Regs.reg_generation job.Regs.generation;
+  Platform.sync_queue_to_cpu t.platform;
+  wi Regs.reg_command 1
+
+let await t =
+  let accel = t.platform.Platform.accel in
+  let queue = t.platform.Platform.queue in
+  let cpu = Platform.cpu t.platform in
+  let rec spin () =
+    let status = read_reg t ~reg:Regs.reg_status in
+    match Int32.to_int status with
+    | 2 (* done *) -> Ok ()
+    | 3 (* error *) ->
+        Error (Option.value ~default:"device error" (Tdo_cimacc.Accel.last_error accel))
+    | 0 | 1 ->
+        (* Fast-forward to the device's next event instead of burning
+           host cycles one poll at a time. *)
+        if Sim.Event_queue.pending queue = 0 then
+          failwith "Driver.await: device busy with no pending completion event";
+        ignore (Sim.Event_queue.run_next queue);
+        let ahead = Sim.Event_queue.now queue - Sim.Cpu.time_ps cpu in
+        if ahead > 0 then begin
+          (match t.config.wait_policy with
+          | Event -> Sim.Cpu.stall_ps cpu ahead
+          | Spin ->
+              (* one poll iteration = the loop body's instructions plus
+                 the uncached status read; issue the instructions (they
+                 advance the clock by themselves) and stall only for the
+                 register-access share of the wait *)
+              let period = Sim.Cpu.config cpu in
+              let cycle_ps = Tdo_sim.Time_base.period_ps ~freq_hz:period.Sim.Cpu.freq_hz in
+              let iteration_ps =
+                (t.config.poll_instructions * cycle_ps) + t.config.uncached_access_ps
+              in
+              let iterations = ahead / iteration_ps in
+              let instructions = iterations * t.config.poll_instructions in
+              Sim.Cpu.issue_many cpu Sim.Cpu.Int_alu instructions;
+              let remaining = ahead - (instructions * cycle_ps) in
+              if remaining > 0 then Sim.Cpu.stall_ps cpu remaining);
+          t.wait_stall_ps <- t.wait_stall_ps + ahead
+        end;
+        spin ()
+    | code -> failwith (Printf.sprintf "Driver.await: unknown status code %d" code)
+  in
+  spin ()
+
+let ioctls t = t.ioctls
+let cache_flushes t = t.cache_flushes
+let reg_writes t = t.reg_writes
+let translations t = t.translations
+let flush_stall_ps t = t.flush_stall_ps
+let wait_stall_ps t = t.wait_stall_ps

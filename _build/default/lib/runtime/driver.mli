@@ -1,0 +1,66 @@
+(** Kernel-space CIM driver (paper Fig. 3, Section II-E).
+
+    The driver is the only component that touches the accelerator's
+    context registers. It translates user-space virtual buffer
+    addresses to the physical addresses the device requires, triggers a
+    host-side cache flush before each launch (the accelerator itself
+    issues only uncacheable accesses, so flush-before-launch is the
+    whole coherence protocol), and exposes launch/await entry points
+    that the user-space runtime reaches through ioctl.
+
+    All driver work is charged to the host core: syscall entry,
+    register writes, address translation and the flush stall all show
+    up in the host's instruction and cycle counts — this is the
+    offload overhead that makes low-intensity (GEMV-like) kernels lose
+    on CIM in Fig. 6. *)
+
+type wait_policy =
+  | Spin  (** busy-wait on the status register, burning host instructions *)
+  | Event  (** idle until the completion event (WFI-style; optimistic) *)
+
+type config = {
+  wait_policy : wait_policy;
+      (** the paper's host "wait[s] on spinlock" — [Spin] charges the
+          poll loop's instructions for the whole device busy time *)
+  syscall_instructions : int;  (** user/kernel crossing cost, per ioctl *)
+  translate_instructions : int;  (** page-table walk per address *)
+  reg_write_instructions : int;
+  uncached_access_ps : Tdo_sim.Time_base.ps;  (** PMIO register access *)
+  poll_instructions : int;  (** one spin iteration *)
+  flush_instructions_per_line : int;
+      (** the set/way clean-and-invalidate walk executes real
+          instructions for every line of L1D and L2; with a 2 MB L2
+          this fixed cost dominates the offload overhead of
+          low-intensity kernels (Fig. 6's GEMV-like losses) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Platform.t -> t
+val config : t -> config
+
+val translate : t -> int -> int
+(** Virtual-to-physical translation of a device-buffer address
+    (charged). Raises [Invalid_argument] for an address outside the
+    CMA region's virtual window and outside physical memory. *)
+
+val launch : t -> Tdo_cimacc.Context_regs.job -> unit
+(** One ioctl: enter the kernel, flush L1D and L2, translate the
+    job's buffer addresses, program the context registers over PMIO
+    and write the command register. The job's addresses are virtual;
+    the device sees physical ones. *)
+
+val await : t -> (unit, string) result
+(** Spin on the status register until the device reports done or
+    error, fast-forwarding the host clock to the device's completion
+    event. [Error] carries the device's reason. Raises [Failure] if
+    the device can never complete (no pending event). *)
+
+val ioctls : t -> int
+val cache_flushes : t -> int
+val reg_writes : t -> int
+val translations : t -> int
+val flush_stall_ps : t -> Tdo_sim.Time_base.ps
+val wait_stall_ps : t -> Tdo_sim.Time_base.ps

@@ -1,0 +1,1 @@
+lib/sim/bus.ml: Float Hashtbl List Option Time_base

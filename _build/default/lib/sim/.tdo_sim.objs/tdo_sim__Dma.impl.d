@@ -1,0 +1,1 @@
+lib/sim/dma.ml: Bus Bytes Memory Time_base

@@ -1,0 +1,1 @@
+lib/sim/dma.mli: Bus Bytes Memory Time_base

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Bytes Char Float Hashtbl Int32 Printf Time_base

@@ -1,0 +1,1 @@
+lib/sim/mmio.ml: List Printf

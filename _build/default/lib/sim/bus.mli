@@ -1,0 +1,29 @@
+(** Shared system bus connecting the host, the CIM accelerator's DMA
+    and main memory (Fig. 2(a)).
+
+    The model charges an arbitration cost plus a bandwidth term per
+    transfer and keeps per-master traffic statistics. *)
+
+type config = {
+  name : string;
+  bytes_per_ps : float;
+  arbitration_ps : Time_base.ps;
+}
+
+val default_config : config
+(** 64-bit bus at 600 MHz (4.8 GB/s), 10 ns arbitration. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val transfer : t -> master:string -> bytes:int -> Time_base.ps
+(** Latency of moving [bytes] across the bus on behalf of [master].
+    Raises [Invalid_argument] on a negative size. *)
+
+val traffic : t -> (string * int) list
+(** Bytes moved per master, sorted by master name. *)
+
+val total_bytes : t -> int
+val transfers : t -> int

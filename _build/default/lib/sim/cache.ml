@@ -1,0 +1,153 @@
+type op = Read | Write
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+  hit_latency_ps : Time_base.ps;
+}
+
+let l1d_arm_a7 =
+  {
+    name = "l1d";
+    size_bytes = 32 * 1024;
+    line_bytes = 64;
+    ways = 4;
+    hit_latency_ps = 2 * Time_base.ps_per_ns;
+  }
+
+let l2_arm_a7 =
+  {
+    name = "l2";
+    size_bytes = 2 * 1024 * 1024;
+    line_bytes = 64;
+    ways = 8;
+    hit_latency_ps = 10 * Time_base.ps_per_ns;
+  }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  flushes : int;
+  flushed_bytes : int;
+}
+
+let zero_stats =
+  { hits = 0; misses = 0; evictions = 0; writebacks = 0; flushes = 0; flushed_bytes = 0 }
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  config : config;
+  sets : line array array;
+  next : op -> addr:int -> bytes:int -> Time_base.ps;
+  mutable clock : int;  (** logical timestamp for LRU ordering *)
+  mutable stats : stats;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(config = l1d_arm_a7) ~next () =
+  if not (is_power_of_two config.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if config.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  let lines = config.size_bytes / config.line_bytes in
+  if lines mod config.ways <> 0 || lines / config.ways = 0 then
+    invalid_arg "Cache.create: size / line / ways mismatch";
+  let nsets = lines / config.ways in
+  let sets =
+    Array.init nsets (fun _ ->
+        Array.init config.ways (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }))
+  in
+  { config; sets; next; clock = 0; stats = zero_stats }
+
+let config t = t.config
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let line_base t set tag =
+  let nsets = Array.length t.sets in
+  ((tag * nsets) + set) * t.config.line_bytes
+
+let access t op ~addr =
+  if addr < 0 then invalid_arg "Cache.access: negative address";
+  let line_addr = addr / t.config.line_bytes in
+  let nsets = Array.length t.sets in
+  let set_idx = line_addr mod nsets in
+  let tag = line_addr / nsets in
+  let set = t.sets.(set_idx) in
+  let found = ref None in
+  Array.iter (fun l -> if l.valid && l.tag = tag then found := Some l) set;
+  match !found with
+  | Some l ->
+      l.lru <- tick t;
+      if op = Write then l.dirty <- true;
+      t.stats <- { t.stats with hits = t.stats.hits + 1 };
+      t.config.hit_latency_ps
+  | None ->
+      t.stats <- { t.stats with misses = t.stats.misses + 1 };
+      (* Victim selection: an invalid way if any, otherwise LRU. *)
+      let victim = ref set.(0) in
+      Array.iter
+        (fun l ->
+          if not l.valid then (if !victim.valid then victim := l)
+          else if !victim.valid && l.lru < !victim.lru then victim := l)
+        set;
+      let victim = !victim in
+      let writeback_latency =
+        if victim.valid && victim.dirty then begin
+          t.stats <-
+            { t.stats with evictions = t.stats.evictions + 1; writebacks = t.stats.writebacks + 1 };
+          t.next Write ~addr:(line_base t set_idx victim.tag) ~bytes:t.config.line_bytes
+        end
+        else begin
+          if victim.valid then t.stats <- { t.stats with evictions = t.stats.evictions + 1 };
+          0
+        end
+      in
+      let fill_latency =
+        t.next Read ~addr:(line_addr * t.config.line_bytes) ~bytes:t.config.line_bytes
+      in
+      victim.tag <- tag;
+      victim.valid <- true;
+      victim.dirty <- op = Write;
+      victim.lru <- tick t;
+      t.config.hit_latency_ps + writeback_latency + fill_latency
+
+let flush t =
+  let total = ref 0 in
+  let flushed = ref 0 in
+  Array.iteri
+    (fun set_idx set ->
+      Array.iter
+        (fun l ->
+          if l.valid && l.dirty then begin
+            total := !total + t.next Write ~addr:(line_base t set_idx l.tag) ~bytes:t.config.line_bytes;
+            flushed := !flushed + t.config.line_bytes
+          end;
+          l.valid <- false;
+          l.dirty <- false)
+        set)
+    t.sets;
+  t.stats <-
+    {
+      t.stats with
+      flushes = t.stats.flushes + 1;
+      writebacks = t.stats.writebacks + (!flushed / t.config.line_bytes);
+      flushed_bytes = t.stats.flushed_bytes + !flushed;
+    };
+  !total
+
+let stats t = t.stats
+let reset_stats t = t.stats <- zero_stats
+
+let dirty_lines t =
+  Array.fold_left
+    (fun acc set ->
+      Array.fold_left (fun acc l -> if l.valid && l.dirty then acc + 1 else acc) acc set)
+    0 t.sets

@@ -1,0 +1,60 @@
+(** Set-associative write-back, write-allocate cache with LRU
+    replacement.
+
+    The cache is a {e timing and statistics} model: data always lives in
+    {!Memory} (the simulator is functionally coherent by construction),
+    and the cache decides how long each access takes and how much
+    traffic reaches the next level. This mirrors how the paper uses
+    gem5: what matters for the evaluation is run time, energy and the
+    flush cost the driver pays before each offload. *)
+
+type op = Read | Write
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  ways : int;
+  hit_latency_ps : Time_base.ps;
+}
+
+val l1d_arm_a7 : config
+(** 32 KB, 64-byte lines, 4-way, 2 ns. *)
+
+val l2_arm_a7 : config
+(** 2 MB shared, 64-byte lines, 8-way, 10 ns. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  flushes : int;
+  flushed_bytes : int;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  next:(op -> addr:int -> bytes:int -> Time_base.ps) ->
+  unit ->
+  t
+(** [next] is the access function of the next level (another cache or
+    main memory) and returns that level's latency. *)
+
+val config : t -> config
+
+val access : t -> op -> addr:int -> Time_base.ps
+(** Latency of one access at [addr]. A miss fetches the line from the
+    next level (and writes back the victim first if dirty). *)
+
+val flush : t -> Time_base.ps
+(** Write back every dirty line and invalidate the whole cache; the
+    result is the total write-back latency. The CIM driver performs
+    this before triggering the accelerator (paper Section II-E). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val dirty_lines : t -> int

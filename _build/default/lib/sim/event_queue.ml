@@ -1,0 +1,58 @@
+module Key = struct
+  type t = Time_base.ps * int
+
+  let compare (t1, s1) (t2, s2) =
+    match compare t1 t2 with 0 -> compare s1 s2 | c -> c
+end
+
+module Pending = Map.Make (Key)
+
+type event = { name : string; callback : unit -> unit }
+
+type t = {
+  mutable now : Time_base.ps;
+  mutable seq : int;
+  mutable pending : event Pending.t;
+  mutable executed : int;
+}
+
+let create () = { now = 0; seq = 0; pending = Pending.empty; executed = 0 }
+let now t = t.now
+
+let schedule_at t ~time ~name callback =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Event_queue.schedule_at: %s scheduled at %d before now=%d" name time t.now);
+  t.seq <- t.seq + 1;
+  t.pending <- Pending.add (time, t.seq) { name; callback } t.pending
+
+let schedule t ~delay ~name callback =
+  if delay < 0 then invalid_arg "Event_queue.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) ~name callback
+
+let run_next t =
+  match Pending.min_binding_opt t.pending with
+  | None -> false
+  | Some (((time, _) as key), event) ->
+      t.pending <- Pending.remove key t.pending;
+      t.now <- time;
+      t.executed <- t.executed + 1;
+      event.callback ();
+      true
+
+let run_until t ~time =
+  let rec loop () =
+    match Pending.min_binding_opt t.pending with
+    | Some ((event_time, _), _) when event_time <= time ->
+        ignore (run_next t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if time > t.now then t.now <- time
+
+let run_all t = while run_next t do () done
+
+let advance_to t ~time = if time > t.now then t.now <- time
+let pending t = Pending.cardinal t.pending
+let executed t = t.executed

@@ -1,0 +1,38 @@
+(** Discrete-event kernel (the gem5 event queue).
+
+    Events are callbacks scheduled at absolute simulated times; events
+    scheduled for the same tick run in scheduling order, which keeps
+    whole-system runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_base.ps
+(** Current simulated time. *)
+
+val schedule_at : t -> time:Time_base.ps -> name:string -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when scheduling in the past. *)
+
+val schedule : t -> delay:Time_base.ps -> name:string -> (unit -> unit) -> unit
+(** [schedule_at] relative to [now]. The delay must be non-negative. *)
+
+val run_next : t -> bool
+(** Run the earliest pending event, advancing [now] to its time.
+    Returns [false] (and leaves time unchanged) when the queue is
+    empty. *)
+
+val run_until : t -> time:Time_base.ps -> unit
+(** Run every event scheduled at or before [time], then advance [now]
+    to exactly [time]. *)
+
+val run_all : t -> unit
+(** Drain the queue. *)
+
+val advance_to : t -> time:Time_base.ps -> unit
+(** Move the clock forward without running events; used by synchronous
+    components (the CPU) to publish their progress. No-op if [time] is
+    in the past. *)
+
+val pending : t -> int
+val executed : t -> int

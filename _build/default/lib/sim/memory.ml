@@ -1,0 +1,90 @@
+type config = {
+  size_bytes : int;
+  access_latency_ps : Time_base.ps;
+  bytes_per_ps : float;
+}
+
+let default_config =
+  {
+    size_bytes = 2 * 1024 * 1024 * 1024;
+    access_latency_ps = 50 * Time_base.ps_per_ns;
+    bytes_per_ps = 7.46e9 /. 1e12;
+  }
+
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+
+type t = {
+  config : config;
+  chunks : (int, Bytes.t) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?(config = default_config) () =
+  if config.size_bytes <= 0 then invalid_arg "Memory.create: size must be positive";
+  { config; chunks = Hashtbl.create 64; reads = 0; writes = 0 }
+
+let config t = t.config
+
+let check_range t addr len =
+  if addr < 0 || len < 0 || addr + len > t.config.size_bytes then
+    invalid_arg (Printf.sprintf "Memory: access [%d, %d) out of range" addr (addr + len))
+
+let chunk t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some c -> c
+  | None ->
+      let c = Bytes.make chunk_size '\000' in
+      Hashtbl.add t.chunks idx c;
+      c
+
+let read_u8 t addr =
+  check_range t addr 1;
+  t.reads <- t.reads + 1;
+  Char.code (Bytes.get (chunk t (addr lsr chunk_bits)) (addr land (chunk_size - 1)))
+
+let write_u8 t addr v =
+  check_range t addr 1;
+  if v < 0 || v > 255 then invalid_arg "Memory.write_u8: byte out of range";
+  t.writes <- t.writes + 1;
+  Bytes.set (chunk t (addr lsr chunk_bits)) (addr land (chunk_size - 1)) (Char.chr v)
+
+let read_bytes t addr len =
+  check_range t addr len;
+  t.reads <- t.reads + len;
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    let a = addr + i in
+    Bytes.set out i (Bytes.get (chunk t (a lsr chunk_bits)) (a land (chunk_size - 1)))
+  done;
+  out
+
+let write_bytes t addr data =
+  let len = Bytes.length data in
+  check_range t addr len;
+  t.writes <- t.writes + len;
+  for i = 0 to len - 1 do
+    let a = addr + i in
+    Bytes.set (chunk t (a lsr chunk_bits)) (a land (chunk_size - 1)) (Bytes.get data i)
+  done
+
+let read_i32 t addr =
+  let b = read_bytes t addr 4 in
+  Bytes.get_int32_le b 0
+
+let write_i32 t addr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  write_bytes t addr b
+
+let read_f32 t addr = Int32.float_of_bits (read_i32 t addr)
+let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)
+
+let burst_latency t ~bytes =
+  if bytes < 0 then invalid_arg "Memory.burst_latency: negative size";
+  t.config.access_latency_ps
+  + int_of_float (Float.round (float_of_int bytes /. t.config.bytes_per_ps))
+
+let reads t = t.reads
+let writes t = t.writes

@@ -1,0 +1,48 @@
+(** Physical main memory (the 2 GB LPDDR3 of Table I).
+
+    Functionally a sparse byte-addressable array (allocated in chunks on
+    first touch); the timing side reports a fixed row-access latency
+    plus a bandwidth term per burst, which the caches and the DMA engine
+    incorporate into their own latencies.
+
+    Single-precision floats are stored as IEEE-754 binary32, matching
+    the 4-byte operands the paper's kernels use. *)
+
+type config = {
+  size_bytes : int;
+  access_latency_ps : Time_base.ps;  (** fixed cost per burst *)
+  bytes_per_ps : float;  (** sustained bandwidth *)
+}
+
+val default_config : config
+(** 2 GB, 50 ns access, 7.46 GB/s (LPDDR3-933 x 8 bytes). *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+
+val read_i32 : t -> int -> int32
+val write_i32 : t -> int -> int32 -> unit
+
+val read_f32 : t -> int -> float
+(** Reads 4 bytes as an IEEE binary32 (little endian), widened to
+    [float]. *)
+
+val write_f32 : t -> int -> float -> unit
+(** Rounds to binary32 before storing. *)
+
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+
+val burst_latency : t -> bytes:int -> Time_base.ps
+(** Time for one burst of [bytes]: access latency + size / bandwidth. *)
+
+val reads : t -> int
+(** Total bytes read (functional accesses). *)
+
+val writes : t -> int
+(** Total bytes written. *)

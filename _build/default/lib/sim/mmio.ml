@@ -1,0 +1,38 @@
+type handler = { read : offset:int -> int32; write : offset:int -> int32 -> unit }
+
+type mapping = { base : int; size : int; handler : handler }
+
+type t = { mutable mappings : mapping list; mutable reads : int; mutable writes : int }
+
+let create () = { mappings = []; reads = 0; writes = 0 }
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let map t ~base ~size handler =
+  if size <= 0 then invalid_arg "Mmio.map: empty range";
+  if base < 0 then invalid_arg "Mmio.map: negative base";
+  let candidate = { base; size; handler } in
+  if List.exists (overlaps candidate) t.mappings then
+    invalid_arg (Printf.sprintf "Mmio.map: range [0x%x, 0x%x) overlaps" base (base + size));
+  t.mappings <- candidate :: t.mappings
+
+let find t addr =
+  match List.find_opt (fun m -> addr >= m.base && addr < m.base + m.size) t.mappings with
+  | Some m -> m
+  | None -> failwith (Printf.sprintf "Mmio: unmapped address 0x%x" addr)
+
+let read t ~addr =
+  let m = find t addr in
+  t.reads <- t.reads + 1;
+  m.handler.read ~offset:(addr - m.base)
+
+let write t ~addr v =
+  let m = find t addr in
+  t.writes <- t.writes + 1;
+  m.handler.write ~offset:(addr - m.base) v
+
+let reads t = t.reads
+let writes t = t.writes
+
+let mapped_ranges t =
+  List.map (fun m -> (m.base, m.size)) t.mappings |> List.sort compare

@@ -1,0 +1,24 @@
+(** Simulated time.
+
+    Like gem5, the simulator keeps one integer tick clock; one tick is
+    one picosecond. Components convert between their clock domain and
+    ticks with these helpers. *)
+
+type ps = int
+(** Picoseconds. *)
+
+val ps_per_ns : int
+val ps_per_us : int
+val ps_per_ms : int
+val ps_per_s : int
+
+val period_ps : freq_hz:float -> ps
+(** Clock period (rounded to the nearest picosecond). Raises
+    [Invalid_argument] on a non-positive frequency. *)
+
+val cycles_to_ps : freq_hz:float -> int -> ps
+val ps_to_cycles : freq_hz:float -> ps -> int
+(** Rounds up: a partial period still occupies a full cycle. *)
+
+val seconds_of_ps : ps -> float
+val ps_of_seconds : float -> ps

@@ -1,0 +1,1 @@
+lib/tactics/matchers.ml: List Option String Tdo_poly

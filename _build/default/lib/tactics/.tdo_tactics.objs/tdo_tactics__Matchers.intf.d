@@ -1,0 +1,1 @@
+lib/tactics/matchers.mli: Tdo_poly

@@ -1,0 +1,1 @@
+lib/tactics/offload.ml: Hashtbl List Patterns Printf String Tdo_ir Tdo_lang Tdo_poly Transform

@@ -1,0 +1,1 @@
+lib/tactics/offload.mli: Tdo_poly

@@ -1,0 +1,1 @@
+lib/tactics/patterns.ml: List Option Tdo_lang Tdo_poly

@@ -1,0 +1,1 @@
+lib/tactics/patterns.mli: Tdo_lang Tdo_poly

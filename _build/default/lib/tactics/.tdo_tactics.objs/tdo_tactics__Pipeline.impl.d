@@ -1,0 +1,1 @@
+lib/tactics/pipeline.ml: Offload Tdo_poly

@@ -1,0 +1,1 @@
+lib/tactics/pipeline.mli: Offload Tdo_ir

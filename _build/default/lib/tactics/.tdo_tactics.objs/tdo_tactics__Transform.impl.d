@@ -1,0 +1,1 @@
+lib/tactics/transform.ml: List Option String Tdo_lang Tdo_poly

@@ -1,0 +1,1 @@
+lib/tactics/transform.mli: Tdo_poly

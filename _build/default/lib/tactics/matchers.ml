@@ -1,0 +1,50 @@
+module St = Tdo_poly.Schedule_tree
+
+type pattern =
+  | P_band of string option * pattern
+  | P_seq of pattern list
+  | P_stmt of string option
+  | P_any
+  | P_mark of string * pattern
+
+let band ?capture child = P_band (capture, child)
+let sequence children = P_seq children
+let stmt ?capture () = P_stmt capture
+let any = P_any
+let mark name child = P_mark (name, child)
+
+type capture = {
+  bands : (string * St.band) list;
+  stmts : (string * St.stmt_info) list;
+}
+
+let empty = { bands = []; stmts = [] }
+let find c name = List.assoc name c.bands
+let find_stmt c name = List.assoc name c.stmts
+
+let rec matches_at pattern tree capture =
+  match (pattern, tree) with
+  | P_any, _ -> Some capture
+  | P_band (name, child), St.Band (b, subtree) ->
+      let capture =
+        match name with
+        | None -> capture
+        | Some n -> { capture with bands = (n, b) :: capture.bands }
+      in
+      matches_at child subtree capture
+  | P_seq patterns, St.Seq children ->
+      if List.length patterns <> List.length children then None
+      else
+        List.fold_left2
+          (fun acc p c -> Option.bind acc (matches_at p c))
+          (Some capture) patterns children
+  | P_stmt name, St.Stmt s ->
+      Some
+        (match name with
+        | None -> capture
+        | Some n -> { capture with stmts = (n, s) :: capture.stmts })
+  | P_mark (name, child), St.Mark (n, subtree) when String.equal name n ->
+      matches_at child subtree capture
+  | (P_band _ | P_seq _ | P_stmt _ | P_mark _), _ -> None
+
+let matches pattern tree = matches_at pattern tree empty

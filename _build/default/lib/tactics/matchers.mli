@@ -1,0 +1,38 @@
+(** Declarative structural matchers over schedule trees — the Loop
+    Tactics tree-matcher DSL (paper Section III, refs [18][19]).
+
+    A pattern describes the shape of a subtree; matching returns the
+    bands and statements bound to the pattern's capture names. Pattern
+    detectors ({!Patterns}) are written on top of these combinators. *)
+
+module St = Tdo_poly.Schedule_tree
+
+type pattern
+
+val band : ?capture:string -> pattern -> pattern
+(** One loop dimension. *)
+
+val sequence : pattern list -> pattern
+(** Exactly these children, in order. *)
+
+val stmt : ?capture:string -> unit -> pattern
+(** A statement leaf. *)
+
+val any : pattern
+(** Any subtree. *)
+
+val mark : string -> pattern -> pattern
+(** A [Mark] node with the given name. *)
+
+type capture = {
+  bands : (string * St.band) list;
+  stmts : (string * St.stmt_info) list;
+}
+
+val find : capture -> string -> St.band
+(** Raises [Not_found]. *)
+
+val find_stmt : capture -> string -> St.stmt_info
+
+val matches : pattern -> St.t -> capture option
+(** Structural match at the root of the tree. *)

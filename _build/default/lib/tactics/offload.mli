@@ -1,0 +1,53 @@
+(** The TDO-CIM offload pass.
+
+    Walks the top-level sequence of a schedule tree, classifies each
+    subtree with the {!Patterns} detectors, and rewrites offloadable
+    kernels into runtime-library calls, applying the paper's two
+    endurance-oriented transformations:
+
+    - {b Revisited loop fusion} (Section III-B, Listing 2): adjacent,
+      independent kernels with the same access pattern become one
+      [polly_cimBlasGemmBatched] call, and a shared input picks the
+      crossbar-pinned operand so it is written once ("smart mapping").
+    - {b Revisited tiling} (Section III-B, Listing 3): a GEMM whose
+      operands exceed the crossbar is decomposed into crossbar-sized
+      tiles with the k-loop peeled so every tile of the pinned operand
+      is programmed exactly once; the streamed dimension needs no
+      tiling because the micro-engine streams it through the row
+      buffers.
+
+    Data movement ([polly_cimMalloc/HostToDev/DevToHost/Free]) is
+    placed by a host/device validity analysis so host code between
+    kernels always reads fresh data, and every device-written array is
+    copied back before the region ends (Listing 1's shape). *)
+
+module St = Tdo_poly.Schedule_tree
+
+type config = {
+  xbar_rows : int;
+  xbar_cols : int;
+  enable_fusion : bool;
+  enable_tiling : bool;
+  naive_pin : bool;
+      (** ablation: always stream the shared operand (Fig. 5's "naive
+          mapping") instead of pinning it *)
+  min_intensity : float option;
+      (** selective offload: skip kernels whose estimated
+          MACs-per-crossbar-write falls below this threshold *)
+}
+
+val default_config : config
+(** 256x256 crossbar, fusion and tiling on, smart pinning, offload
+    everything. *)
+
+type report = {
+  kernels_detected : int;
+  kernels_offloaded : int;
+  fused_groups : int;  (** batched calls emitted *)
+  tiled_kernels : int;
+  skipped_low_intensity : int;
+}
+
+val apply : config -> St.t -> St.t * report
+(** Rewrite the tree. When nothing matches (or everything is skipped)
+    the tree is returned unchanged up to structure. *)

@@ -1,0 +1,60 @@
+(** Computational-pattern detectors — the access-relation side of Loop
+    Tactics. Each detector recognises one kernel family on a schedule
+    subtree and extracts the BLAS-level parameters the offload pass
+    needs (Listing 1: "Blas parameters are automatically collected or
+    computed by Loop Tactics"). *)
+
+module St = Tdo_poly.Schedule_tree
+module Ast = Tdo_lang.Ast
+
+type operand = { array : string; trans : bool }
+
+type gemm = {
+  c_array : string;
+  a : operand;
+  b : operand;
+  m : int;
+  n : int;
+  k : int;
+  iter_i : string;
+  iter_j : string;
+  iter_k : string;
+  alpha : Ast.expr;
+  beta : Ast.expr;
+}
+(** [C <- alpha*op(A)*op(B) + beta*C] over constant, zero-based loop
+    extents [m x n x k]. *)
+
+type gemv = {
+  a : operand;
+  x_array : string;
+  y_array : string;
+  m : int;
+  k : int;
+  alpha : Ast.expr;
+  beta : Ast.expr;
+}
+(** [y <- alpha*op(A)*x + beta*y]. *)
+
+type conv = {
+  input : string;
+  weights : string;
+  output : string;
+  out_h : int;
+  out_w : int;
+  ker_h : int;
+  ker_w : int;
+  alpha : Ast.expr;
+  accumulate : bool;  (** no zero-init statement: add into the output *)
+}
+(** Single-channel valid 2-D convolution
+    [out\[i\]\[j\] (+)= alpha * sum_pq W\[p\]\[q\] * In\[i+p\]\[j+q\]]. *)
+
+type kernel = Kgemm of gemm | Kgemv of gemv | Kconv of conv
+
+val match_gemm : St.t -> gemm option
+val match_gemv : St.t -> gemv option
+val match_conv : St.t -> conv option
+
+val classify : St.t -> kernel option
+(** First match among gemm, gemv, conv. *)

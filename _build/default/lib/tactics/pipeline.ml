@@ -1,0 +1,9 @@
+module Scop_detect = Tdo_poly.Scop_detect
+module Codegen = Tdo_poly.Codegen
+
+let run ?(config = Offload.default_config) f =
+  match Scop_detect.detect_func f with
+  | Error _ -> (f, None)
+  | Ok tree ->
+      let tree, report = Offload.apply config tree in
+      (Codegen.func_with_body f tree, Some report)

@@ -1,0 +1,9 @@
+(** The Loop Tactics pass pipeline, as it sits inside Polly in Fig. 4:
+    SCoP detection -> schedule-tree matching and rewriting -> AST/IR
+    regeneration. *)
+
+val run :
+  ?config:Offload.config -> Tdo_ir.Ir.func -> Tdo_ir.Ir.func * Offload.report option
+(** [run f] returns the CIM-optimised function. When the function body
+    is not a SCoP the input is returned unchanged with [None] (the
+    flow silently falls back to the host path, as Polly does). *)

@@ -1,0 +1,61 @@
+type align = Left | Right
+type column = { header : string; align : align }
+
+let column ?(align = Left) header = { header; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Pretty.render: row arity mismatch")
+    rows;
+  let widths =
+    List.mapi
+      (fun i c ->
+        let cell_width row = String.length (List.nth row i) in
+        List.fold_left (fun acc row -> max acc (cell_width row)) (String.length c.header) rows)
+      columns
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun i (cell, (col, width)) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad col.align width cell))
+      (List.combine cells (List.combine columns widths));
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map (fun c -> c.header) columns);
+  let total = List.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~columns ~rows = print_string (render ~columns ~rows)
+
+let si_float ?(digits = 2) v =
+  let abs = Float.abs v in
+  let scaled, suffix =
+    if abs = 0.0 then (v, "")
+    else if abs >= 1e12 then (v /. 1e12, "T")
+    else if abs >= 1e9 then (v /. 1e9, "G")
+    else if abs >= 1e6 then (v /. 1e6, "M")
+    else if abs >= 1e3 then (v /. 1e3, "k")
+    else if abs >= 1.0 then (v, "")
+    else if abs >= 1e-3 then (v *. 1e3, "m")
+    else if abs >= 1e-6 then (v *. 1e6, "u")
+    else if abs >= 1e-9 then (v *. 1e9, "n")
+    else if abs >= 1e-12 then (v *. 1e12, "p")
+    else (v *. 1e15, "f")
+  in
+  Printf.sprintf "%.*f%s" digits scaled suffix
+
+let fixed ?(digits = 2) v = Printf.sprintf "%.*f" digits v

@@ -1,0 +1,24 @@
+(** Fixed-width text tables for the paper-style reports printed by the
+    benchmark harness and the experiment driver. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+(** Column with [Left] alignment by default. *)
+
+val render : columns:column list -> rows:string list list -> string
+(** Render a table with a header rule. Every row must have exactly as
+    many cells as there are columns; raises [Invalid_argument]
+    otherwise. *)
+
+val print : columns:column list -> rows:string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val si_float : ?digits:int -> float -> string
+(** Human-friendly engineering formatting: [si_float 3.2e-9 = "3.20n"],
+    [si_float 42e6 = "42.0M"]. Used for energy/time cells. *)
+
+val fixed : ?digits:int -> float -> string
+(** Plain fixed-point formatting. *)

@@ -1,0 +1,22 @@
+(** Small statistics helpers used by the experiment reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean. All inputs must be strictly positive; raises
+    [Invalid_argument] otherwise. The paper reports geomean energy
+    improvements (Fig. 6). *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] with [p] in [\[0,100\]], linear interpolation on
+    the sorted sample. *)
+
+val ratio : float -> float -> float
+(** [ratio a b = a /. b], raising [Invalid_argument] when [b = 0.]. *)

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest List Tdo_cim Tdo_polybench

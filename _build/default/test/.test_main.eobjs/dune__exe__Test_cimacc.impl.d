@@ -1,0 +1,1 @@
+test/test_cimacc.ml: Accel Alcotest Array Context_regs Digital_logic Int32 List Micro_engine QCheck QCheck_alcotest String Tdo_cimacc Tdo_linalg Tdo_pcm Tdo_sim Tdo_util Timeline

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Lazy List Result String Tdo_cim Tdo_cimacc Tdo_ir Tdo_lang Tdo_linalg Tdo_polybench

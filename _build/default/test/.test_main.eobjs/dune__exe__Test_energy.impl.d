@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest List Result String Tdo_energy Tdo_linalg Tdo_runtime Tdo_sim Tdo_util

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Exec Format Ir List Lower Printf QCheck QCheck_alcotest String Tdo_cimacc Tdo_ir Tdo_lang Tdo_linalg Tdo_pcm Tdo_runtime Tdo_sim Tdo_util

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Builder Float Format Interp Lexer List Parser Printf QCheck QCheck_alcotest Tdo_lang Tdo_linalg Tdo_util Typecheck

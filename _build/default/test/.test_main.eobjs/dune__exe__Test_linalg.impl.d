@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Blas_ref Float Mat QCheck QCheck_alcotest Quant Tdo_linalg Tdo_util

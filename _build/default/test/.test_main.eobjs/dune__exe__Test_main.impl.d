@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_ablations Test_cimacc Test_core Test_energy Test_ir Test_lang Test_linalg Test_pcm Test_poly Test_runtime Test_sim Test_tactics Test_util

@@ -1,0 +1,1 @@
+test/test_pcm.ml: Adc Alcotest Array Cell Crossbar Endurance Float Hashtbl List Option QCheck QCheck_alcotest Tdo_linalg Tdo_pcm Tdo_util Wear_leveling

@@ -1,0 +1,1 @@
+test/test_poly.ml: Access Affine Alcotest Codegen Deps Domain List Option Printf QCheck QCheck_alcotest Schedule_tree Scop_detect String Tdo_ir Tdo_lang Tdo_linalg Tdo_poly Tdo_runtime Tdo_util

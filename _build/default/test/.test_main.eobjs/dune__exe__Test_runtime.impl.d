@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Api Cma Driver List Option Platform QCheck QCheck_alcotest Result Tdo_cimacc Tdo_linalg Tdo_pcm Tdo_runtime Tdo_sim Tdo_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bus Bytes Cache Cpu Dma Event_queue Float Int32 List Memory Mmio QCheck QCheck_alcotest Tdo_sim Time_base

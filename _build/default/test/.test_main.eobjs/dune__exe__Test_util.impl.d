@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Pretty Prng QCheck QCheck_alcotest Stats String Tdo_util

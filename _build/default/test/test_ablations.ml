@@ -1,0 +1,105 @@
+module Ablations = Tdo_cim.Ablations
+
+let test_pinning () =
+  match Ablations.pinning ~n:32 () with
+  | [ smart; naive ] ->
+      Alcotest.(check int) "naive doubles the writes"
+        (2 * smart.Ablations.crossbar_write_bytes)
+        naive.Ablations.crossbar_write_bytes;
+      Alcotest.(check bool) "smart lives longer" true
+        (smart.Ablations.lifetime_years_at_25m > naive.Ablations.lifetime_years_at_25m);
+      Alcotest.(check bool) "smart uses less energy" true
+        (smart.Ablations.energy_j < naive.Ablations.energy_j)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_fusion () =
+  match Ablations.fusion ~n:16 () with
+  | [ fused; unfused ] ->
+      Alcotest.(check bool) "rows labelled" true
+        (fused.Ablations.fusion && not unfused.Ablations.fusion);
+      Alcotest.(check int) "fusion: one launch" 1 fused.Ablations.launches;
+      Alcotest.(check int) "no fusion: two launches" 2 unfused.Ablations.launches;
+      Alcotest.(check bool) "fusion flushes less" true
+        (fused.Ablations.cache_flushes < unfused.Ablations.cache_flushes);
+      Alcotest.(check bool) "fusion saves energy" true
+        (fused.Ablations.energy_j < unfused.Ablations.energy_j)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_double_buffering () =
+  match Ablations.double_buffering ~n:32 () with
+  | [ on; off ] ->
+      Alcotest.(check bool) "double buffering hides fill time" true
+        (on.Ablations.device_time_s < off.Ablations.device_time_s)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_geometry () =
+  let rows = Ablations.geometry ~n:64 () in
+  Alcotest.(check int) "four geometries" 4 (List.length rows);
+  let launches = List.map (fun r -> r.Ablations.launches) rows in
+  Alcotest.(check bool) "launches decrease with crossbar size" true
+    (List.sort compare launches = List.rev launches);
+  (* the pinned operand is written exactly once regardless of tiling *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "writes independent of geometry" (64 * 64)
+        r.Ablations.crossbar_write_bytes)
+    rows
+
+let test_noise () =
+  let rows = Ablations.noise ~n:16 () in
+  let ideal = List.hd rows in
+  let worst = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "ideal row first" true (ideal.Ablations.noise_sigma = None);
+  Alcotest.(check bool) "heavy noise degrades accuracy" true
+    (worst.Ablations.max_abs_error > ideal.Ablations.max_abs_error)
+
+let test_selective () =
+  let rows = Ablations.selective ~dataset:Tdo_polybench.Dataset.Mini () in
+  let all_offloaded = List.hd rows in
+  Alcotest.(check bool) "no threshold offloads everything" true
+    (all_offloaded.Ablations.kept_on_host = 0);
+  let strictest = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "strict threshold keeps kernels on the host" true
+    (strictest.Ablations.kept_on_host > all_offloaded.Ablations.kept_on_host);
+  (* kept + offloaded is conserved *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "kernels conserved"
+        (all_offloaded.Ablations.offloaded + all_offloaded.Ablations.kept_on_host)
+        (r.Ablations.offloaded + r.Ablations.kept_on_host))
+    rows
+
+let test_wear_leveling () =
+  match Ablations.wear_leveling ~lines:32 ~writes:20_000 () with
+  | [ none; start_gap ] ->
+      Alcotest.(check bool) "start-gap reduces max wear" true
+        (start_gap.Ablations.max_wear < none.Ablations.max_wear / 2);
+      Alcotest.(check bool) "start-gap near the ideal bound" true
+        (start_gap.Ablations.max_wear <= 4 * start_gap.Ablations.ideal_max_wear);
+      Alcotest.(check bool) "leveling costs copy writes" true
+        (start_gap.Ablations.overhead_writes > 0 && none.Ablations.overhead_writes = 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_tiles () =
+  match Ablations.tiles ~n:32 () with
+  | one :: two :: _ ->
+      Alcotest.(check int) "row labels" 1 one.Ablations.tiles;
+      Alcotest.(check bool) "a second tile parallelises 3mm's independent products" true
+        (two.Ablations.time_s < one.Ablations.time_s);
+      Alcotest.(check bool) "and lowers EDP" true (two.Ablations.edp_js < one.Ablations.edp_js)
+  | _ -> Alcotest.fail "expected three rows"
+
+let suites =
+  [
+    ( "core.ablations",
+      [
+        Alcotest.test_case "operand pinning" `Quick test_pinning;
+        Alcotest.test_case "fusion" `Quick test_fusion;
+        Alcotest.test_case "double buffering" `Quick test_double_buffering;
+        Alcotest.test_case "crossbar geometry" `Slow test_geometry;
+        Alcotest.test_case "analog noise" `Quick test_noise;
+        Alcotest.test_case "selective offload" `Slow test_selective;
+        Alcotest.test_case "wear leveling" `Quick test_wear_leveling;
+        Alcotest.test_case "tile count" `Quick test_tiles;
+      ] );
+  ]

@@ -1,0 +1,604 @@
+open Tdo_cimacc
+module Sim = Tdo_sim
+module Mat = Tdo_linalg.Mat
+module Blas_ref = Tdo_linalg.Blas_ref
+module Prng = Tdo_util.Prng
+
+(* ---------- helpers: a minimal system ---------- *)
+
+type system = {
+  queue : Sim.Event_queue.t;
+  memory : Sim.Memory.t;
+  bus : Sim.Bus.t;
+  accel : Accel.t;
+}
+
+let small_xbar =
+  { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = 32; cols = 32 }
+
+let make_system ?(engine_config = { Micro_engine.default_config with Micro_engine.xbar = small_xbar })
+    () =
+  let queue = Sim.Event_queue.create () in
+  let memory = Sim.Memory.create () in
+  let bus = Sim.Bus.create () in
+  let accel = Accel.create ~engine_config ~queue ~bus ~memory () in
+  { queue; memory; bus; accel }
+
+let write_matrix memory ~addr ~ld m =
+  Mat.iteri ~f:(fun i j v -> Sim.Memory.write_f32 memory (addr + (4 * ((i * ld) + j))) v) m
+
+let read_matrix memory ~addr ~ld ~rows ~cols =
+  Mat.init ~rows ~cols ~f:(fun i j -> Sim.Memory.read_f32 memory (addr + (4 * ((i * ld) + j))))
+
+let a_addr = 0x1000
+let b_addr = 0x8000
+let c_addr = 0x10000
+let desc_addr = 0x20000
+
+let base_job ~m ~n ~k =
+  {
+    Context_regs.op = Context_regs.Gemm;
+    m;
+    n;
+    k;
+    trans_a = false;
+    trans_b = false;
+    alpha = 1.0;
+    beta = 0.0;
+    a_addr;
+    b_addr;
+    c_addr;
+    lda = k;
+    ldb = n;
+    ldc = n;
+    batch_count = 0;
+    batch_desc_addr = 0;
+    pin = Context_regs.Pin_a;
+    generation = 0;
+  }
+
+(* Worst-case absolute error of the quantised GEMM against the float
+   reference: k products, each with half-ulp error on both operands. *)
+let gemm_tolerance ~k ~a ~b =
+  let sa = Tdo_linalg.Quant.scheme_for ~bits:8 ~max_abs:(Mat.max_abs a) in
+  let sb = Tdo_linalg.Quant.scheme_for ~bits:8 ~max_abs:(Mat.max_abs b) in
+  let ea = sa.Tdo_linalg.Quant.scale /. 2.0 and eb = sb.Tdo_linalg.Quant.scale /. 2.0 in
+  float_of_int k *. ((ea *. (Mat.max_abs b +. eb)) +. (eb *. Mat.max_abs a)) *. 1.5 +. 1e-4
+
+let run_gemm ?(job_patch = fun j -> j) ~m ~n ~k ~alpha ~beta ~seed () =
+  let sys = make_system () in
+  let g = Prng.create ~seed in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let c0 = Mat.random g ~rows:m ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  write_matrix sys.memory ~addr:a_addr ~ld:k a;
+  write_matrix sys.memory ~addr:b_addr ~ld:n b;
+  write_matrix sys.memory ~addr:c_addr ~ld:n c0;
+  let job = job_patch { (base_job ~m ~n ~k) with Context_regs.alpha; beta } in
+  let engine = Accel.engine sys.accel in
+  let result = Micro_engine.run_job engine job ~start:0 in
+  let expected = Mat.copy c0 in
+  Blas_ref.gemm ~alpha ~beta ~a ~b ~c:expected ();
+  (sys, a, b, expected, result)
+
+let check_gemm_close ~what ~k ~a ~b ~expected sys =
+  let actual =
+    read_matrix sys.memory ~addr:c_addr ~ld:(Mat.cols expected) ~rows:(Mat.rows expected)
+      ~cols:(Mat.cols expected)
+  in
+  let tol = gemm_tolerance ~k ~a ~b in
+  let err = Mat.max_abs_diff expected actual in
+  if err > tol then
+    Alcotest.failf "%s: error %.6f exceeds tolerance %.6f" what err tol
+
+(* ---------- Context registers ---------- *)
+
+let test_regs_decode_roundtrip () =
+  let regs = Context_regs.create () in
+  let h = Context_regs.handler regs in
+  let wr reg v = h.Sim.Mmio.write ~offset:(4 * reg) v in
+  wr Context_regs.reg_op 1l;
+  wr Context_regs.reg_m 8l;
+  wr Context_regs.reg_n 4l;
+  wr Context_regs.reg_k 6l;
+  wr Context_regs.reg_alpha (Int32.bits_of_float 2.5);
+  wr Context_regs.reg_beta (Int32.bits_of_float 0.5);
+  wr Context_regs.reg_a_addr 0x100l;
+  wr Context_regs.reg_b_addr 0x200l;
+  wr Context_regs.reg_c_addr 0x300l;
+  wr Context_regs.reg_lda 6l;
+  wr Context_regs.reg_ldb 4l;
+  wr Context_regs.reg_ldc 4l;
+  wr Context_regs.reg_trans 2l;
+  wr Context_regs.reg_pin 1l;
+  wr Context_regs.reg_generation 7l;
+  match Context_regs.decode_job regs with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok job ->
+      Alcotest.(check bool) "op" true (job.Context_regs.op = Context_regs.Gemm);
+      Alcotest.(check int) "m" 8 job.Context_regs.m;
+      Alcotest.(check (float 1e-7)) "alpha (f32 bits)" 2.5 job.Context_regs.alpha;
+      Alcotest.(check bool) "trans_b" true job.Context_regs.trans_b;
+      Alcotest.(check bool) "trans_a" false job.Context_regs.trans_a;
+      Alcotest.(check bool) "pin b" true (job.Context_regs.pin = Context_regs.Pin_b);
+      Alcotest.(check int) "generation" 7 job.Context_regs.generation
+
+let test_regs_trigger_and_status () =
+  let regs = Context_regs.create () in
+  let triggered = ref None in
+  Context_regs.set_on_trigger regs (fun job -> triggered := Some job);
+  let h = Context_regs.handler regs in
+  let wr reg v = h.Sim.Mmio.write ~offset:(4 * reg) v in
+  wr Context_regs.reg_op 1l;
+  wr Context_regs.reg_m 2l;
+  wr Context_regs.reg_n 2l;
+  wr Context_regs.reg_k 2l;
+  Alcotest.(check bool) "no trigger before command" true (!triggered = None);
+  wr Context_regs.reg_command 1l;
+  Alcotest.(check bool) "triggered" true (!triggered <> None);
+  Alcotest.(check int) "trigger count" 1 (Context_regs.triggers regs);
+  (* device-owned status: host writes must be ignored *)
+  Context_regs.set_status regs Context_regs.Done;
+  wr Context_regs.reg_status 0l;
+  Alcotest.(check bool) "status write ignored" true
+    (Context_regs.status regs = Context_regs.Done);
+  Alcotest.(check int32) "status readable" 2l
+    (h.Sim.Mmio.read ~offset:(4 * Context_regs.reg_status))
+
+let test_regs_bad_job_sets_error () =
+  let regs = Context_regs.create () in
+  Context_regs.set_on_trigger regs (fun _ -> ());
+  let h = Context_regs.handler regs in
+  let wr reg v = h.Sim.Mmio.write ~offset:(4 * reg) v in
+  wr Context_regs.reg_op 9l;
+  wr Context_regs.reg_command 1l;
+  Alcotest.(check bool) "error status" true (Context_regs.status regs = Context_regs.Error)
+
+let test_regs_unaligned () =
+  let regs = Context_regs.create () in
+  let h = Context_regs.handler regs in
+  Alcotest.(check bool) "unaligned raises" true
+    (try
+       ignore (h.Sim.Mmio.read ~offset:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Digital logic ---------- *)
+
+let test_digital_postprocess () =
+  let d = Digital_logic.create () in
+  let out =
+    Digital_logic.postprocess d ~alpha:2.0 ~beta:0.5 ~scale:0.1 ~raw:[| 10; -20 |]
+      ~c_old:(Some [| 1.0; 2.0 |])
+  in
+  Alcotest.(check (array (float 1e-9))) "epilogue" [| 2.5; -3.0 |] out;
+  let c = Digital_logic.counters d in
+  Alcotest.(check int) "one weighted sum" 1 c.Digital_logic.weighted_sums;
+  Alcotest.(check int) "alu ops" 8 c.Digital_logic.alu_ops
+
+let test_digital_beta_needs_c () =
+  let d = Digital_logic.create () in
+  Alcotest.(check bool) "beta without c_old raises" true
+    (try
+       ignore (Digital_logic.postprocess d ~alpha:1.0 ~beta:1.0 ~scale:1.0 ~raw:[| 1 |] ~c_old:None);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Micro-engine ---------- *)
+
+let test_engine_gemm_correct () =
+  let sys, a, b, expected, result = run_gemm ~m:8 ~n:6 ~k:7 ~alpha:1.0 ~beta:0.0 ~seed:31 () in
+  (match result with Error e -> Alcotest.failf "job rejected: %s" e | Ok _ -> ());
+  check_gemm_close ~what:"plain gemm" ~k:7 ~a ~b ~expected sys
+
+let test_engine_alpha_beta () =
+  let sys, a, b, expected, result = run_gemm ~m:5 ~n:5 ~k:5 ~alpha:1.5 ~beta:0.75 ~seed:32 () in
+  (match result with Error e -> Alcotest.failf "job rejected: %s" e | Ok _ -> ());
+  check_gemm_close ~what:"alpha/beta gemm" ~k:5 ~a ~b ~expected sys
+
+let test_engine_pin_b () =
+  let patch j = { j with Context_regs.pin = Context_regs.Pin_b } in
+  let sys, a, b, expected, result =
+    run_gemm ~job_patch:patch ~m:6 ~n:9 ~k:4 ~alpha:1.0 ~beta:0.0 ~seed:33 ()
+  in
+  (match result with Error e -> Alcotest.failf "job rejected: %s" e | Ok _ -> ());
+  check_gemm_close ~what:"pin-B gemm" ~k:4 ~a ~b ~expected sys
+
+let test_engine_gemv () =
+  let patch j = { j with Context_regs.op = Context_regs.Gemv } in
+  let sys, a, b, expected, result =
+    run_gemm ~job_patch:patch ~m:12 ~n:1 ~k:9 ~alpha:1.0 ~beta:0.0 ~seed:34 ()
+  in
+  (match result with Error e -> Alcotest.failf "job rejected: %s" e | Ok _ -> ());
+  check_gemm_close ~what:"gemv" ~k:9 ~a ~b ~expected sys;
+  let c = Micro_engine.counters (Accel.engine sys.accel) in
+  Alcotest.(check int) "counted as gemv" 1 c.Micro_engine.gemv_jobs
+
+let test_engine_transposes () =
+  (* trans_a: physical A is k x m; trans_b: physical B is n x k. *)
+  let sys = make_system () in
+  let g = Prng.create ~seed:35 in
+  let m = 5 and n = 4 and k = 6 in
+  let a_phys = Mat.random g ~rows:k ~cols:m ~lo:(-1.0) ~hi:1.0 in
+  let b_phys = Mat.random g ~rows:n ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  write_matrix sys.memory ~addr:a_addr ~ld:m a_phys;
+  write_matrix sys.memory ~addr:b_addr ~ld:k b_phys;
+  let job =
+    {
+      (base_job ~m ~n ~k) with
+      Context_regs.trans_a = true;
+      trans_b = true;
+      lda = m;
+      ldb = k;
+    }
+  in
+  (match Micro_engine.run_job (Accel.engine sys.accel) job ~start:0 with
+  | Error e -> Alcotest.failf "job rejected: %s" e
+  | Ok _ -> ());
+  let a = Mat.transpose a_phys and b = Mat.transpose b_phys in
+  let expected = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b ~c:expected ();
+  check_gemm_close ~what:"transposed gemm" ~k ~a ~b ~expected sys
+
+let test_engine_pinned_reuse () =
+  let sys, a, b, expected, _ = run_gemm ~m:8 ~n:6 ~k:7 ~alpha:1.0 ~beta:0.0 ~seed:36 () in
+  let engine = Accel.engine sys.accel in
+  let writes_after_first =
+    (Tdo_pcm.Crossbar.counters (Micro_engine.crossbar engine)).Tdo_pcm.Crossbar.logical_writes
+  in
+  let job = base_job ~m:8 ~n:6 ~k:7 in
+  (match Micro_engine.run_job engine job ~start:1_000_000 with
+  | Error e -> Alcotest.failf "second job rejected: %s" e
+  | Ok _ -> ());
+  let counters = Micro_engine.counters engine in
+  Alcotest.(check int) "second job skipped programming" 1
+    counters.Micro_engine.programming_skipped;
+  let writes_after_second =
+    (Tdo_pcm.Crossbar.counters (Micro_engine.crossbar engine)).Tdo_pcm.Crossbar.logical_writes
+  in
+  Alcotest.(check int) "no extra crossbar writes" writes_after_first writes_after_second;
+  check_gemm_close ~what:"reused-pin gemm" ~k:7 ~a ~b ~expected sys
+
+let test_engine_generation_forces_reprogram () =
+  let sys, _, _, _, _ = run_gemm ~m:8 ~n:6 ~k:7 ~alpha:1.0 ~beta:0.0 ~seed:37 () in
+  let engine = Accel.engine sys.accel in
+  let job = { (base_job ~m:8 ~n:6 ~k:7) with Context_regs.generation = 1 } in
+  (match Micro_engine.run_job engine job ~start:1_000_000 with
+  | Error e -> Alcotest.failf "job rejected: %s" e
+  | Ok _ -> ());
+  Alcotest.(check int) "stale generation reprograms" 0
+    (Micro_engine.counters engine).Micro_engine.programming_skipped
+
+let test_engine_oversize_rejected () =
+  let sys = make_system () in
+  let job = base_job ~m:8 ~n:6 ~k:64 in
+  (* k = 64 > 32 crossbar rows *)
+  match Micro_engine.run_job (Accel.engine sys.accel) job ~start:0 with
+  | Ok _ -> Alcotest.fail "oversized operand must be rejected"
+  | Error reason ->
+      Alcotest.(check string) "reason" "operand 64x8 exceeds the 32x32 crossbar" reason
+
+let test_engine_double_buffering_faster () =
+  let finish double_buffering =
+    let engine_config =
+      { Micro_engine.default_config with Micro_engine.xbar = small_xbar; double_buffering }
+    in
+    let sys = make_system ~engine_config () in
+    let g = Prng.create ~seed:38 in
+    let a = Mat.random g ~rows:16 ~cols:16 ~lo:(-1.0) ~hi:1.0 in
+    let b = Mat.random g ~rows:16 ~cols:16 ~lo:(-1.0) ~hi:1.0 in
+    write_matrix sys.memory ~addr:a_addr ~ld:16 a;
+    write_matrix sys.memory ~addr:b_addr ~ld:16 b;
+    match
+      Micro_engine.run_job (Accel.engine sys.accel) (base_job ~m:16 ~n:16 ~k:16) ~start:0
+    with
+    | Error e -> Alcotest.failf "job rejected: %s" e
+    | Ok finish -> finish
+  in
+  Alcotest.(check bool) "double buffering hides fill latency" true (finish true < finish false)
+
+let test_engine_batched_shares_pinned () =
+  let sys = make_system () in
+  let g = Prng.create ~seed:39 in
+  let m = 8 and n = 6 and k = 7 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b1 = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let b2 = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let b2_addr = b_addr + 0x1000 and c2_addr = c_addr + 0x1000 in
+  write_matrix sys.memory ~addr:a_addr ~ld:k a;
+  write_matrix sys.memory ~addr:b_addr ~ld:n b1;
+  write_matrix sys.memory ~addr:b2_addr ~ld:n b2;
+  (* descriptor table: (a, b, c) per batch entry *)
+  let write_desc i (a, b, c) =
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i)) (Int32.of_int a);
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i) + 4) (Int32.of_int b);
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i) + 8) (Int32.of_int c)
+  in
+  write_desc 0 (a_addr, b_addr, c_addr);
+  write_desc 1 (a_addr, b2_addr, c2_addr);
+  let job =
+    {
+      (base_job ~m ~n ~k) with
+      Context_regs.op = Context_regs.Gemm_batched;
+      batch_count = 2;
+      batch_desc_addr = desc_addr;
+    }
+  in
+  let engine = Accel.engine sys.accel in
+  (match Micro_engine.run_job engine job ~start:0 with
+  | Error e -> Alcotest.failf "batched job rejected: %s" e
+  | Ok _ -> ());
+  (* shared A: programmed once, reused once *)
+  Alcotest.(check int) "second batch entry reused the pin" 1
+    (Micro_engine.counters engine).Micro_engine.programming_skipped;
+  Alcotest.(check int) "crossbar written once" (m * k)
+    (Tdo_pcm.Crossbar.counters (Micro_engine.crossbar engine)).Tdo_pcm.Crossbar.logical_writes;
+  let tol = gemm_tolerance ~k ~a ~b:b1 in
+  let expected1 = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b:b1 ~c:expected1 ();
+  let actual1 = read_matrix sys.memory ~addr:c_addr ~ld:n ~rows:m ~cols:n in
+  Alcotest.(check bool) "batch 0 result" true (Mat.max_abs_diff expected1 actual1 <= tol);
+  let expected2 = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b:b2 ~c:expected2 ();
+  let actual2 = read_matrix sys.memory ~addr:c2_addr ~ld:n ~rows:m ~cols:n in
+  Alcotest.(check bool) "batch 1 result" true (Mat.max_abs_diff expected2 actual2 <= tol)
+
+let test_engine_timeline_phases () =
+  let sys, _, _, _, _ = run_gemm ~m:4 ~n:3 ~k:4 ~alpha:1.0 ~beta:0.0 ~seed:40 () in
+  let events = Timeline.events (Micro_engine.timeline (Accel.engine sys.accel)) in
+  let phases = List.map (fun e -> e.Timeline.phase) events in
+  Alcotest.(check bool) "starts with trigger" true (List.hd phases = Timeline.Trigger);
+  Alcotest.(check bool) "ends result-ready" true
+    (List.nth phases (List.length phases - 1) = Timeline.Result_ready);
+  let has p = List.mem p phases in
+  Alcotest.(check bool) "has fill" true (has Timeline.Dma_fill);
+  Alcotest.(check bool) "has program" true (has Timeline.Program_crossbar);
+  Alcotest.(check bool) "has compute" true (has Timeline.Compute);
+  Alcotest.(check bool) "has accumulate" true (has Timeline.Accumulate);
+  Alcotest.(check bool) "has store" true (has Timeline.Store_result);
+  (* result-ready time must not precede any other event *)
+  let last = List.nth events (List.length events - 1) in
+  List.iter
+    (fun e -> Alcotest.(check bool) "monotone finish" true (e.Timeline.at <= last.Timeline.at))
+    events
+
+let qcheck_engine_matches_reference =
+  QCheck.Test.make ~name:"engine gemm tracks float reference within quantisation bound"
+    ~count:25 QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed:(seed + 1000) in
+      let m = 1 + Prng.int g ~bound:12
+      and n = 1 + Prng.int g ~bound:12
+      and k = 1 + Prng.int g ~bound:12 in
+      let pin = if Prng.bool g then Context_regs.Pin_a else Context_regs.Pin_b in
+      let patch j = { j with Context_regs.pin } in
+      let sys, a, b, expected, result =
+        run_gemm ~job_patch:patch ~m ~n ~k ~alpha:1.0 ~beta:0.0 ~seed:(seed + 2000) ()
+      in
+      match result with
+      | Error _ -> false
+      | Ok _ ->
+          let actual = read_matrix sys.memory ~addr:c_addr ~ld:n ~rows:m ~cols:n in
+          Mat.max_abs_diff expected actual <= gemm_tolerance ~k ~a ~b)
+
+(* ---------- Accelerator (register-level round trip) ---------- *)
+
+let test_accel_register_roundtrip () =
+  let sys = make_system () in
+  let mmio = Sim.Mmio.create () in
+  Accel.map_registers sys.accel mmio ~base:Accel.default_register_base;
+  let g = Prng.create ~seed:41 in
+  let m = 8 and n = 6 and k = 7 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  write_matrix sys.memory ~addr:a_addr ~ld:k a;
+  write_matrix sys.memory ~addr:b_addr ~ld:n b;
+  let wr reg v =
+    Sim.Mmio.write mmio ~addr:(Accel.default_register_base + (4 * reg)) (Int32.of_int v)
+  in
+  wr Context_regs.reg_op 1;
+  wr Context_regs.reg_m m;
+  wr Context_regs.reg_n n;
+  wr Context_regs.reg_k k;
+  Sim.Mmio.write mmio
+    ~addr:(Accel.default_register_base + (4 * Context_regs.reg_alpha))
+    (Int32.bits_of_float 1.0);
+  Sim.Mmio.write mmio
+    ~addr:(Accel.default_register_base + (4 * Context_regs.reg_beta))
+    (Int32.bits_of_float 0.0);
+  wr Context_regs.reg_a_addr a_addr;
+  wr Context_regs.reg_b_addr b_addr;
+  wr Context_regs.reg_c_addr c_addr;
+  wr Context_regs.reg_lda k;
+  wr Context_regs.reg_ldb n;
+  wr Context_regs.reg_ldc n;
+  wr Context_regs.reg_command 1;
+  Alcotest.(check bool) "busy after trigger" true (Accel.status sys.accel = Context_regs.Busy);
+  Sim.Event_queue.run_all sys.queue;
+  Alcotest.(check bool) "done after events drain" true
+    (Accel.status sys.accel = Context_regs.Done);
+  (match Accel.completion_time sys.accel with
+  | None -> Alcotest.fail "no completion time"
+  | Some finish -> Alcotest.(check int) "clock advanced to completion" finish
+      (Sim.Event_queue.now sys.queue));
+  let expected = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b ~c:expected ();
+  check_gemm_close ~what:"register-driven gemm" ~k ~a ~b ~expected sys
+
+let test_accel_error_reported () =
+  let sys = make_system () in
+  let mmio = Sim.Mmio.create () in
+  Accel.map_registers sys.accel mmio ~base:0x4000 ;
+  let wr reg v = Sim.Mmio.write mmio ~addr:(0x4000 + (4 * reg)) (Int32.of_int v) in
+  wr Context_regs.reg_op 1;
+  wr Context_regs.reg_m 8;
+  wr Context_regs.reg_n 8;
+  wr Context_regs.reg_k 64;
+  (* exceeds the 32x32 crossbar *)
+  wr Context_regs.reg_lda 64;
+  wr Context_regs.reg_ldb 8;
+  wr Context_regs.reg_ldc 8;
+  wr Context_regs.reg_command 1;
+  Alcotest.(check bool) "error status" true (Accel.status sys.accel = Context_regs.Error);
+  Alcotest.(check bool) "reason recorded" true (Accel.last_error sys.accel <> None)
+
+let suites =
+  [
+    ( "cimacc.regs",
+      [
+        Alcotest.test_case "decode roundtrip" `Quick test_regs_decode_roundtrip;
+        Alcotest.test_case "trigger & status" `Quick test_regs_trigger_and_status;
+        Alcotest.test_case "bad job -> error" `Quick test_regs_bad_job_sets_error;
+        Alcotest.test_case "unaligned access" `Quick test_regs_unaligned;
+      ] );
+    ( "cimacc.digital",
+      [
+        Alcotest.test_case "postprocess" `Quick test_digital_postprocess;
+        Alcotest.test_case "beta needs c_old" `Quick test_digital_beta_needs_c;
+      ] );
+    ( "cimacc.engine",
+      [
+        Alcotest.test_case "gemm correct" `Quick test_engine_gemm_correct;
+        Alcotest.test_case "alpha/beta epilogue" `Quick test_engine_alpha_beta;
+        Alcotest.test_case "pin-B streaming" `Quick test_engine_pin_b;
+        Alcotest.test_case "gemv" `Quick test_engine_gemv;
+        Alcotest.test_case "transposes" `Quick test_engine_transposes;
+        Alcotest.test_case "pinned reuse" `Quick test_engine_pinned_reuse;
+        Alcotest.test_case "generation reprogram" `Quick test_engine_generation_forces_reprogram;
+        Alcotest.test_case "oversize rejected" `Quick test_engine_oversize_rejected;
+        Alcotest.test_case "double buffering" `Quick test_engine_double_buffering_faster;
+        Alcotest.test_case "batched shares pin" `Quick test_engine_batched_shares_pinned;
+        Alcotest.test_case "timeline phases (Fig 2d)" `Quick test_engine_timeline_phases;
+        QCheck_alcotest.to_alcotest qcheck_engine_matches_reference;
+      ] );
+    ( "cimacc.accel",
+      [
+        Alcotest.test_case "register roundtrip" `Quick test_accel_register_roundtrip;
+        Alcotest.test_case "error reported" `Quick test_accel_error_reported;
+      ] );
+  ]
+
+(* ---------- multi-tile accelerator ---------- *)
+
+let make_tiled_system tiles =
+  let engine_config =
+    { Micro_engine.default_config with Micro_engine.xbar = small_xbar; tiles }
+  in
+  make_system ~engine_config ()
+
+let batched_two_matrices sys =
+  (* two GEMMs with different A operands: distinct pin groups *)
+  let g = Prng.create ~seed:61 in
+  let m = 16 and n = 12 and k = 16 in
+  let a1 = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let a2 = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let a2_addr = a_addr + 0x2000 and c2_addr = c_addr + 0x2000 in
+  write_matrix sys.memory ~addr:a_addr ~ld:k a1;
+  write_matrix sys.memory ~addr:a2_addr ~ld:k a2;
+  write_matrix sys.memory ~addr:b_addr ~ld:n b;
+  let write_desc i (a, b, c) =
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i)) (Int32.of_int a);
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i) + 4) (Int32.of_int b);
+    Sim.Memory.write_i32 sys.memory (desc_addr + (12 * i) + 8) (Int32.of_int c)
+  in
+  write_desc 0 (a_addr, b_addr, c_addr);
+  write_desc 1 (a2_addr, b_addr, c2_addr);
+  let job =
+    {
+      (base_job ~m ~n ~k) with
+      Context_regs.op = Context_regs.Gemm_batched;
+      batch_count = 2;
+      batch_desc_addr = desc_addr;
+    }
+  in
+  (job, a1, a2, b, c2_addr, m, n, k)
+
+let test_multi_tile_parallel_batch () =
+  let finish_with tiles =
+    let sys = make_tiled_system tiles in
+    let job, a1, a2, b, c2_addr, m, n, k = batched_two_matrices sys in
+    match Micro_engine.run_job (Accel.engine sys.accel) job ~start:0 with
+    | Error e -> Alcotest.failf "batched job rejected: %s" e
+    | Ok finish ->
+        (* both results must be correct regardless of tile count *)
+        let tol = gemm_tolerance ~k ~a:a1 ~b in
+        let expected1 = Mat.create ~rows:m ~cols:n in
+        Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a:a1 ~b ~c:expected1 ();
+        let actual1 = read_matrix sys.memory ~addr:c_addr ~ld:n ~rows:m ~cols:n in
+        Alcotest.(check bool) "entry 0 correct" true (Mat.max_abs_diff expected1 actual1 <= tol);
+        let expected2 = Mat.create ~rows:m ~cols:n in
+        Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a:a2 ~b ~c:expected2 ();
+        let actual2 = read_matrix sys.memory ~addr:c2_addr ~ld:n ~rows:m ~cols:n in
+        Alcotest.(check bool) "entry 1 correct" true (Mat.max_abs_diff expected2 actual2 <= tol);
+        finish
+  in
+  let one = finish_with 1 and two = finish_with 2 in
+  Alcotest.(check bool) "two tiles run the batch in parallel" true (two < one)
+
+let test_multi_tile_wear_distributed () =
+  let sys = make_tiled_system 2 in
+  let job, _, _, _, _, m, _, k = batched_two_matrices sys in
+  (match Micro_engine.run_job (Accel.engine sys.accel) job ~start:0 with
+  | Error e -> Alcotest.failf "batched job rejected: %s" e
+  | Ok _ -> ());
+  let engine = Accel.engine sys.accel in
+  let tiles = Micro_engine.crossbars engine in
+  Alcotest.(check int) "two tiles" 2 (Array.length tiles);
+  Array.iter
+    (fun xb ->
+      Alcotest.(check int) "each tile programmed one operand" (m * k)
+        (Tdo_pcm.Crossbar.counters xb).Tdo_pcm.Crossbar.logical_writes)
+    tiles;
+  Alcotest.(check int) "totals aggregate over tiles" (2 * m * k)
+    (Micro_engine.total_crossbar_counters engine).Tdo_pcm.Crossbar.logical_writes
+
+let test_multi_tile_affinity_across_jobs () =
+  (* A then B then A again: with two tiles the third job must find A
+     still resident on its tile *)
+  let sys = make_tiled_system 2 in
+  let g = Prng.create ~seed:62 in
+  let m = 8 and n = 6 and k = 8 in
+  let a1 = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let a2 = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let a2_addr = a_addr + 0x2000 in
+  write_matrix sys.memory ~addr:a_addr ~ld:k a1;
+  write_matrix sys.memory ~addr:a2_addr ~ld:k a2;
+  write_matrix sys.memory ~addr:b_addr ~ld:n b;
+  let engine = Accel.engine sys.accel in
+  let run ?(a = a_addr) start =
+    match
+      Micro_engine.run_job engine { (base_job ~m ~n ~k) with Context_regs.a_addr = a } ~start
+    with
+    | Error e -> Alcotest.failf "job rejected: %s" e
+    | Ok finish -> finish
+  in
+  let t1 = run 0 in
+  let t2 = run ~a:a2_addr t1 in
+  let _ = run (t2 + 1) in
+  Alcotest.(check int) "third job reused a resident tile" 1
+    (Micro_engine.counters engine).Micro_engine.programming_skipped
+
+let test_timeline_gantt () =
+  let sys, _, _, _, _ = run_gemm ~m:4 ~n:3 ~k:4 ~alpha:1.0 ~beta:0.0 ~seed:44 () in
+  let events = Timeline.events (Micro_engine.timeline (Accel.engine sys.accel)) in
+  let gantt = Timeline.render_gantt events in
+  Alcotest.(check bool) "renders something" true (String.length gantt > 0);
+  let lines = String.split_on_char '\n' gantt in
+  Alcotest.(check bool) "one lane per active phase + footer" true (List.length lines >= 6);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "bounded width" true (String.length line <= 16 + 1 + 72 + 1))
+    lines;
+  Alcotest.(check string) "empty events render empty" "" (Timeline.render_gantt [])
+
+let multi_tile_suite =
+  ( "cimacc.multi_tile",
+    [
+      Alcotest.test_case "parallel batch" `Quick test_multi_tile_parallel_batch;
+      Alcotest.test_case "wear distributed" `Quick test_multi_tile_wear_distributed;
+      Alcotest.test_case "pin affinity across jobs" `Quick test_multi_tile_affinity_across_jobs;
+      Alcotest.test_case "gantt rendering" `Quick test_timeline_gantt;
+    ] )
+
+let suites = suites @ [ multi_tile_suite ]

@@ -1,0 +1,87 @@
+module Table1 = Tdo_energy.Table1
+module Ledger = Tdo_energy.Ledger
+module Platform = Tdo_runtime.Platform
+module Api = Tdo_runtime.Api
+module Mat = Tdo_linalg.Mat
+module Prng = Tdo_util.Prng
+module Sim = Tdo_sim
+
+let t1 = Table1.ibm_pcm_a7
+
+let test_table1_constants () =
+  (* the exact Table-I numbers *)
+  Alcotest.(check (float 0.0)) "compute 200fJ/MAC" 200e-15 t1.Table1.crossbar_compute_j_per_mac;
+  Alcotest.(check (float 0.0)) "write 200pJ/byte" 200e-12 t1.Table1.crossbar_write_j_per_byte;
+  Alcotest.(check (float 0.0)) "mixed signal 3.9nJ" 3.9e-9 t1.Table1.mixed_signal_j_per_full_gemv;
+  Alcotest.(check (float 0.0)) "buffers 5.4pJ/B" 5.4e-12 t1.Table1.buffer_j_per_byte;
+  Alcotest.(check (float 0.0)) "weighted sum 40pJ" 40e-12 t1.Table1.weighted_sum_j_per_gemv;
+  Alcotest.(check (float 0.0)) "alu 2.11pJ" 2.11e-12 t1.Table1.alu_j_per_op;
+  Alcotest.(check (float 0.0)) "dma/engine 0.78nJ" 0.78e-9 t1.Table1.dma_engine_j_per_full_gemv;
+  Alcotest.(check (float 0.0)) "host 128pJ/inst" 128e-12 t1.Table1.host_j_per_instruction;
+  Alcotest.(check (float 0.0)) "compute 1us" 1e-6 t1.Table1.compute_latency_s;
+  Alcotest.(check (float 0.0)) "write 2.5us/row" 2.5e-6 t1.Table1.write_latency_s
+
+let test_ledger_zero_on_idle_platform () =
+  let p = Platform.create () in
+  let b = Ledger.collect p ~host_instructions:1000 in
+  Alcotest.(check (float 1e-18)) "host term" (1000.0 *. 128e-12) b.Ledger.host_j;
+  Alcotest.(check (float 0.0)) "no accelerator energy" 0.0 (Ledger.accelerator_j b);
+  Alcotest.(check (float 1e-18)) "total = host" b.Ledger.host_j (Ledger.total_j b)
+
+let test_ledger_crossbar_terms () =
+  (* one known offload: write term must equal bytes x 200pJ, compute
+     term MACs x 200fJ *)
+  let p = Platform.create () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:91 in
+  let n = 16 in
+  let alloc () = Result.get_ok (Api.malloc api ~bytes:(4 * n * n)) in
+  let buf_a = alloc () and buf_b = alloc () and buf_c = alloc () in
+  Api.host_to_dev api ~src:(Mat.random g ~rows:n ~cols:n ~lo:(-1.0) ~hi:1.0)
+    ~dst:(Api.view ~ld:n buf_a);
+  Api.host_to_dev api ~src:(Mat.random g ~rows:n ~cols:n ~lo:(-1.0) ~hi:1.0)
+    ~dst:(Api.view ~ld:n buf_b);
+  (match
+     Api.sgemm api ~m:n ~n ~k:n ~alpha:1.0 ~a:(Api.view ~ld:n buf_a)
+       ~b:(Api.view ~ld:n buf_b) ~beta:0.0 ~c:(Api.view ~ld:n buf_c) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sgemm: %s" e);
+  let b = Ledger.collect p ~host_instructions:0 in
+  Alcotest.(check (float 1e-15)) "write energy = n*n bytes x 200pJ"
+    (float_of_int (n * n) *. 200e-12)
+    b.Ledger.crossbar_write_j;
+  Alcotest.(check (float 1e-15)) "compute energy = n^3 MACs x 200fJ"
+    (float_of_int (n * n * n) *. 200e-15)
+    b.Ledger.crossbar_compute_j;
+  (* n gemvs, 2 conversions per active column each *)
+  let conversions = float_of_int (n * 2 * n) in
+  Alcotest.(check (float 1e-15)) "mixed signal scales per conversion"
+    (conversions *. (3.9e-9 /. 512.0))
+    b.Ledger.mixed_signal_j;
+  Alcotest.(check bool) "buffers charged" true (b.Ledger.buffers_j > 0.0);
+  Alcotest.(check bool) "digital charged" true (b.Ledger.digital_j > 0.0);
+  Alcotest.(check bool) "dma/engine charged" true (b.Ledger.dma_engine_j > 0.0);
+  Alcotest.(check (float 1e-18)) "total is the sum" (Ledger.total_j b)
+    (b.Ledger.host_j +. Ledger.accelerator_j b)
+
+let test_edp () =
+  Alcotest.(check (float 1e-12)) "edp = E x t" 6e-9
+    (Ledger.edp ~energy_j:3e-6 ~time_s:2e-3)
+
+let test_table1_rows_printable () =
+  let rows = Table1.rows t1 in
+  Alcotest.(check bool) "every row has a value" true
+    (List.for_all (fun (k, v) -> String.length k > 0 && String.length v > 0) rows)
+
+let suites =
+  [
+    ( "energy",
+      [
+        Alcotest.test_case "Table I constants" `Quick test_table1_constants;
+        Alcotest.test_case "idle platform" `Quick test_ledger_zero_on_idle_platform;
+        Alcotest.test_case "crossbar terms" `Quick test_ledger_crossbar_terms;
+        Alcotest.test_case "edp" `Quick test_edp;
+        Alcotest.test_case "Table I printable" `Quick test_table1_rows_printable;
+      ] );
+  ]

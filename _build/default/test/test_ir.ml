@@ -1,0 +1,335 @@
+open Tdo_ir
+module Ast = Tdo_lang.Ast
+module Parser = Tdo_lang.Parser
+module Interp = Tdo_lang.Interp
+module Platform = Tdo_runtime.Platform
+module Sim = Tdo_sim
+module Mat = Tdo_linalg.Mat
+module Blas_ref = Tdo_linalg.Blas_ref
+module Prng = Tdo_util.Prng
+
+let gemm_src m n k =
+  Printf.sprintf
+    {|
+void gemm(float alpha, float beta, float C[%d][%d], float A[%d][%d], float B[%d][%d]) {
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++) {
+      C[i][j] *= beta;
+      for (int k = 0; k < %d; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}
+|}
+    m n m k k n m n k
+
+let small_platform () =
+  let engine =
+    {
+      Tdo_cimacc.Micro_engine.default_config with
+      Tdo_cimacc.Micro_engine.xbar =
+        { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = 64; cols = 64 };
+    }
+  in
+  Platform.create ~config:{ Platform.default_config with Platform.engine } ()
+
+let test_lower_roi_markers () =
+  let f = Lower.func (Parser.parse_func (gemm_src 4 4 4)) in
+  (match f.Ir.body with
+  | Ir.Roi_begin :: _ -> ()
+  | _ -> Alcotest.fail "ROI begin missing");
+  (match List.rev f.Ir.body with
+  | Ir.Roi_end :: _ -> ()
+  | _ -> Alcotest.fail "ROI end missing");
+  Alcotest.(check bool) "no cim calls before tactics" false (Ir.contains_cim_calls f)
+
+let test_lower_rejects_ill_typed () =
+  let f = Parser.parse_func "void f() { x = 1.0; }" in
+  Alcotest.(check bool) "type error propagates" true
+    (try
+       ignore (Lower.func f);
+       false
+     with Tdo_lang.Typecheck.Type_error _ -> true)
+
+let run_gemm_exec ~m ~n ~k ~alpha ~beta ~seed =
+  let src = gemm_src m n k in
+  let ast = Parser.parse_func src in
+  let f = Lower.func ast in
+  let g = Prng.create ~seed in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let c = Mat.random g ~rows:m ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let arr_c_exec = Interp.arr_of_mat c in
+  let platform = small_platform () in
+  let args mk_c =
+    [
+      ("alpha", Interp.Vfloat alpha);
+      ("beta", Interp.Vfloat beta);
+      ("C", Interp.Varray mk_c);
+      ("A", Interp.Varray (Interp.arr_of_mat a));
+      ("B", Interp.Varray (Interp.arr_of_mat b));
+    ]
+  in
+  let metrics = Exec.run f ~platform ~args:(args arr_c_exec) in
+  (* golden model *)
+  let arr_c_interp = Interp.arr_of_mat c in
+  Interp.run ast ~args:(args arr_c_interp);
+  (platform, metrics, arr_c_exec, arr_c_interp)
+
+let test_exec_matches_interpreter_bitexact () =
+  let _, metrics, c_exec, c_interp = run_gemm_exec ~m:6 ~n:5 ~k:7 ~alpha:1.5 ~beta:0.5 ~seed:71 in
+  Alcotest.(check (float 0.0)) "bit-exact against the interpreter" 0.0
+    (Mat.max_abs_diff (Interp.mat_of_arr c_exec) (Interp.mat_of_arr c_interp));
+  Alcotest.(check bool) "host-only" false metrics.Exec.used_cim
+
+let test_exec_instruction_accounting () =
+  let platform, metrics, _, _ = run_gemm_exec ~m:6 ~n:5 ~k:7 ~alpha:1.0 ~beta:1.0 ~seed:72 in
+  let cpu = Platform.cpu platform in
+  Alcotest.(check int) "one MAC per inner iteration" (6 * 5 * 7)
+    (Sim.Cpu.class_count cpu Sim.Cpu.Fp_mac);
+  Alcotest.(check bool) "instructions dominated by the nest" true
+    (metrics.Exec.roi_instructions > 6 * 5 * 7 * 5);
+  Alcotest.(check bool) "cycles accumulated" true (metrics.Exec.roi_cycles > 0);
+  Alcotest.(check bool) "time accumulated" true (metrics.Exec.roi_time_ps > 0)
+
+let test_exec_cache_locality_visible () =
+  (* summing B row-major vs column-major: the strided version must be
+     slower on the same platform model *)
+  let run src =
+    let f = Lower.func (Parser.parse_func src) in
+    let platform = small_platform () in
+    let b = Interp.make_array ~dims:[ 128; 128 ] in
+    let s = Interp.make_array ~dims:[ 1 ] in
+    let m =
+      Exec.run f ~platform ~args:[ ("B", Interp.Varray b); ("s", Interp.Varray s) ]
+    in
+    m.Exec.roi_time_ps
+  in
+  let row_major =
+    run
+      {|
+void sum(float B[128][128], float s[1]) {
+  for (int i = 0; i < 128; i++)
+    for (int j = 0; j < 128; j++)
+      s[0] += B[i][j];
+}
+|}
+  in
+  let col_major =
+    run
+      {|
+void sum(float B[128][128], float s[1]) {
+  for (int j = 0; j < 128; j++)
+    for (int i = 0; i < 128; i++)
+      s[0] += B[i][j];
+}
+|}
+  in
+  Alcotest.(check bool) "column-major traversal slower" true (col_major > row_major)
+
+(* hand-written offloaded IR, the Listing-1 shape *)
+let offloaded_gemm ~m ~n ~k =
+  let open Ir in
+  let ref_whole array rows cols = mat_ref_whole ~array ~rows ~cols () in
+  {
+    name = "gemm_cim";
+    params =
+      [
+        { Ast.pname = "alpha"; ptyp = Ast.Tfloat; dims = [] };
+        { Ast.pname = "beta"; ptyp = Ast.Tfloat; dims = [] };
+        { Ast.pname = "C"; ptyp = Ast.Tfloat; dims = [ m; n ] };
+        { Ast.pname = "A"; ptyp = Ast.Tfloat; dims = [ m; k ] };
+        { Ast.pname = "B"; ptyp = Ast.Tfloat; dims = [ k; n ] };
+      ];
+    body =
+      [
+        Roi_begin;
+        Call Cim_init;
+        Call (Cim_alloc { array = "A" });
+        Call (Cim_alloc { array = "B" });
+        Call (Cim_alloc { array = "C" });
+        Call (Cim_h2d { array = "A" });
+        Call (Cim_h2d { array = "B" });
+        Call (Cim_h2d { array = "C" });
+        Call
+          (Cim_gemm
+             {
+               m;
+               n;
+               k;
+               alpha = Ast.Var "alpha";
+               beta = Ast.Var "beta";
+               a = ref_whole "A" m k;
+               b = ref_whole "B" k n;
+               c = ref_whole "C" m n;
+               pin = Pin_a;
+             });
+        Call (Cim_d2h { array = "C" });
+        Call (Cim_free { array = "A" });
+        Call (Cim_free { array = "B" });
+        Call (Cim_free { array = "C" });
+        Roi_end;
+      ];
+  }
+
+let test_exec_offloaded_gemm () =
+  let m = 12 and n = 10 and k = 9 in
+  let f = offloaded_gemm ~m ~n ~k in
+  let g = Prng.create ~seed:73 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let c = Mat.random g ~rows:m ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let arr_c = Interp.arr_of_mat c in
+  let platform = small_platform () in
+  let metrics =
+    Exec.run f ~platform
+      ~args:
+        [
+          ("alpha", Interp.Vfloat 1.0);
+          ("beta", Interp.Vfloat 0.5);
+          ("C", Interp.Varray arr_c);
+          ("A", Interp.Varray (Interp.arr_of_mat a));
+          ("B", Interp.Varray (Interp.arr_of_mat b));
+        ]
+  in
+  Alcotest.(check bool) "used cim" true metrics.Exec.used_cim;
+  Alcotest.(check int) "one launch" 1 metrics.Exec.cim_launches;
+  let expected = Mat.copy c in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.5 ~a ~b ~c:expected ();
+  Alcotest.(check bool) "offloaded result close" true
+    (Mat.max_abs_diff expected (Interp.mat_of_arr arr_c) < 0.3)
+
+let test_exec_offload_needs_malloc () =
+  let f =
+    {
+      Ir.name = "bad";
+      params = [ { Ast.pname = "A"; ptyp = Ast.Tfloat; dims = [ 4; 4 ] } ];
+      body = [ Ir.Call Ir.Cim_init; Ir.Call (Ir.Cim_h2d { array = "A" }) ];
+    }
+  in
+  let platform = small_platform () in
+  Alcotest.(check bool) "missing malloc raises" true
+    (try
+       ignore
+         (Exec.run f ~platform ~args:[ ("A", Interp.Varray (Interp.make_array ~dims:[ 4; 4 ])) ]);
+       false
+     with Exec.Exec_error _ -> true)
+
+let test_exec_offload_needs_init () =
+  let f =
+    {
+      Ir.name = "bad";
+      params = [ { Ast.pname = "A"; ptyp = Ast.Tfloat; dims = [ 4; 4 ] } ];
+      body = [ Ir.Call (Ir.Cim_alloc { array = "A" }) ];
+    }
+  in
+  let platform = small_platform () in
+  Alcotest.(check bool) "missing init raises" true
+    (try
+       ignore
+         (Exec.run f ~platform ~args:[ ("A", Interp.Varray (Interp.make_array ~dims:[ 4; 4 ])) ]);
+       false
+     with Exec.Exec_error _ -> true)
+
+let test_ir_pp_listing1_shape () =
+  let f = offloaded_gemm ~m:8 ~n:8 ~k:8 in
+  let printed = Format.asprintf "%a" Ir.pp_func f in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " printed") true (contains printed needle))
+    [ "polly_cimInit"; "polly_cimMalloc"; "polly_cimBlasSGemm"; "polly_cimDevToHost" ]
+
+let qcheck_exec_interp_equivalence =
+  QCheck.Test.make ~name:"executor is semantics-preserving vs the interpreter" ~count:10
+    QCheck.small_int (fun seed ->
+      let _, _, c_exec, c_interp =
+        run_gemm_exec ~m:(3 + (seed mod 4)) ~n:(2 + (seed mod 5)) ~k:(2 + (seed mod 6))
+          ~alpha:1.0 ~beta:1.0 ~seed:(seed + 900)
+      in
+      Mat.max_abs_diff (Interp.mat_of_arr c_exec) (Interp.mat_of_arr c_interp) = 0.0)
+
+let suites =
+  [
+    ( "ir.lower",
+      [
+        Alcotest.test_case "roi markers" `Quick test_lower_roi_markers;
+        Alcotest.test_case "rejects ill-typed" `Quick test_lower_rejects_ill_typed;
+      ] );
+    ( "ir.exec",
+      [
+        Alcotest.test_case "matches interpreter" `Quick test_exec_matches_interpreter_bitexact;
+        Alcotest.test_case "instruction accounting" `Quick test_exec_instruction_accounting;
+        Alcotest.test_case "cache locality" `Quick test_exec_cache_locality_visible;
+        Alcotest.test_case "offloaded gemm" `Quick test_exec_offloaded_gemm;
+        Alcotest.test_case "offload needs malloc" `Quick test_exec_offload_needs_malloc;
+        Alcotest.test_case "offload needs init" `Quick test_exec_offload_needs_init;
+        Alcotest.test_case "Listing-1 printing" `Quick test_ir_pp_listing1_shape;
+        QCheck_alcotest.to_alcotest qcheck_exec_interp_equivalence;
+      ] );
+  ]
+
+(* ---------- executor edge cases ---------- *)
+
+let exec_src src args =
+  let f = Lower.func (Parser.parse_func src) in
+  let platform = small_platform () in
+  ignore (Exec.run f ~platform ~args)
+
+let test_exec_loop_step () =
+  let a = Interp.make_array ~dims:[ 16 ] in
+  exec_src "void f(float A[16]) { for (int i = 0; i < 16; i += 4) A[i] = 1.0; }"
+    [ ("A", Interp.Varray a) ];
+  Alcotest.(check (float 0.0)) "step hits 0" 1.0 a.Interp.data.(0);
+  Alcotest.(check (float 0.0)) "step hits 12" 1.0 a.Interp.data.(12);
+  Alcotest.(check (float 0.0)) "step skips 2" 0.0 a.Interp.data.(2)
+
+let test_exec_empty_loop () =
+  let a = Interp.make_array ~dims:[ 4 ] in
+  exec_src "void f(float A[4]) { for (int i = 4; i < 4; i++) A[0] = 9.0; }"
+    [ ("A", Interp.Varray a) ];
+  Alcotest.(check (float 0.0)) "zero-trip loop runs nothing" 0.0 a.Interp.data.(0)
+
+let test_exec_neg_and_div () =
+  let a = Interp.make_array ~dims:[ 1 ] in
+  a.Interp.data.(0) <- 8.0;
+  exec_src "void f(float A[1]) { A[0] = -A[0] / 4.0; }" [ ("A", Interp.Varray a) ];
+  Alcotest.(check (float 1e-7)) "negation and division" (-2.0) a.Interp.data.(0)
+
+let test_exec_scalar_param_types () =
+  let a = Interp.make_array ~dims:[ 4 ] in
+  exec_src "void f(float A[4], int off, float v) { A[off] = v; }"
+    [ ("A", Interp.Varray a); ("off", Interp.Vint 2); ("v", Interp.Vfloat 7.5) ];
+  Alcotest.(check (float 0.0)) "int and float scalars bound" 7.5 a.Interp.data.(2)
+
+let test_exec_out_of_bounds () =
+  Alcotest.(check bool) "runtime bounds check" true
+    (try
+       exec_src "void f(float A[4]) { for (int i = 0; i < 8; i++) A[i] = 0.0; }"
+         [ ("A", Interp.Varray (Interp.make_array ~dims:[ 4 ])) ];
+       false
+     with Exec.Exec_error _ -> true)
+
+let test_exec_dims_mismatch () =
+  Alcotest.(check bool) "argument shape checked" true
+    (try
+       exec_src "void f(float A[4]) { A[0] = 1.0; }"
+         [ ("A", Interp.Varray (Interp.make_array ~dims:[ 8 ])) ];
+       false
+     with Exec.Exec_error _ -> true)
+
+let exec_edge_suite =
+  ( "ir.exec_edges",
+    [
+      Alcotest.test_case "loop step" `Quick test_exec_loop_step;
+      Alcotest.test_case "zero-trip loop" `Quick test_exec_empty_loop;
+      Alcotest.test_case "neg / div" `Quick test_exec_neg_and_div;
+      Alcotest.test_case "scalar params" `Quick test_exec_scalar_param_types;
+      Alcotest.test_case "out of bounds" `Quick test_exec_out_of_bounds;
+      Alcotest.test_case "dims mismatch" `Quick test_exec_dims_mismatch;
+    ] )
+
+let suites = suites @ [ exec_edge_suite ]

@@ -1,0 +1,396 @@
+open Tdo_pcm
+module Prng = Tdo_util.Prng
+module Mat = Tdo_linalg.Mat
+module Blas_ref = Tdo_linalg.Blas_ref
+
+(* ---------- Cell ---------- *)
+
+let test_cell_program_read () =
+  let c = Cell.create () in
+  Alcotest.(check int) "starts amorphous" 0 (Cell.level c);
+  Cell.program c ~level:9;
+  Alcotest.(check int) "stores level" 9 (Cell.level c);
+  Alcotest.(check int) "one write" 1 (Cell.writes c)
+
+let test_cell_level_range () =
+  let c = Cell.create () in
+  Alcotest.check_raises "rejects level 16" (Invalid_argument "Cell.program: level 16 out of [0,16)")
+    (fun () -> Cell.program c ~level:16);
+  Alcotest.check_raises "rejects negative" (Invalid_argument "Cell.program: level -1 out of [0,16)")
+    (fun () -> Cell.program c ~level:(-1))
+
+let test_cell_wear_out_sticks () =
+  let config = { Cell.default_config with Cell.endurance = 3 } in
+  let c = Cell.create ~config () in
+  Cell.program c ~level:5;
+  Cell.program c ~level:6;
+  Cell.program c ~level:7;
+  Alcotest.(check bool) "worn after budget" true (Cell.is_worn_out c);
+  Cell.program c ~level:1;
+  Alcotest.(check int) "stuck at last good level" 7 (Cell.level c);
+  Alcotest.(check int) "write attempts still counted" 4 (Cell.writes c)
+
+let test_cell_conductance_monotone () =
+  let c = Cell.create () in
+  let prev = ref (-1.0) in
+  for level = 0 to 15 do
+    Cell.program c ~level;
+    let g = Cell.conductance c in
+    Alcotest.(check bool) "monotone in level" true (g > !prev);
+    prev := g
+  done;
+  Cell.program c ~level:0;
+  Alcotest.(check (float 1e-12)) "min conductance" Cell.default_config.Cell.g_min_siemens
+    (Cell.conductance c)
+
+let test_pulse_shapes () =
+  let peak p = List.fold_left (fun acc (_, temp) -> Float.max acc temp) 0.0 (Cell.pulse_profile p) in
+  let duration p = List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 (Cell.pulse_profile p) in
+  Alcotest.(check bool) "reset exceeds melt" true (peak Cell.Reset > Cell.melt_temperature_k);
+  Alcotest.(check bool) "set below melt" true (peak Cell.Set < Cell.melt_temperature_k);
+  Alcotest.(check bool) "set above crystallisation" true
+    (peak Cell.Set > Cell.crystallisation_temperature_k);
+  Alcotest.(check bool) "read below crystallisation" true
+    (peak Cell.Read < Cell.crystallisation_temperature_k);
+  Alcotest.(check bool) "reset shorter than set" true (duration Cell.Reset < duration Cell.Set)
+
+(* ---------- ADC ---------- *)
+
+let test_adc_counts () =
+  let a = Adc.create () in
+  ignore (Adc.convert a ~full_scale:100.0 50.0);
+  ignore (Adc.convert a ~full_scale:100.0 10.0);
+  Alcotest.(check int) "conversions" 2 (Adc.conversions a);
+  Alcotest.(check int) "samples" 2 (Adc.samples a)
+
+let test_adc_quantisation () =
+  let a = Adc.create ~config:{ Adc.bits = 8; columns_per_adc = 32 } () in
+  Alcotest.(check int) "full scale maps to top code" 127 (Adc.convert a ~full_scale:1.0 1.0);
+  Alcotest.(check int) "zero maps to zero" 0 (Adc.convert a ~full_scale:1.0 0.0);
+  Alcotest.(check int) "saturates" 127 (Adc.convert a ~full_scale:1.0 50.0);
+  Alcotest.(check int) "negative saturates" (-128) (Adc.convert a ~full_scale:1.0 (-50.0))
+
+let test_adc_sharing () =
+  let a = Adc.create ~config:{ Adc.bits = 8; columns_per_adc = 32 } () in
+  Alcotest.(check int) "256 cols need 8 adcs" 8 (Adc.adc_count_for_columns a 256);
+  Alcotest.(check int) "33 cols need 2 adcs" 2 (Adc.adc_count_for_columns a 33);
+  Alcotest.(check int) "0 cols need 0" 0 (Adc.adc_count_for_columns a 0)
+
+(* ---------- Crossbar ---------- *)
+
+let small_config =
+  { Crossbar.default_config with Crossbar.rows = 16; cols = 16; size_bytes = 256 }
+
+let random_codes g ~rows ~cols =
+  Array.init rows (fun _ -> Array.init cols (fun _ -> Prng.int g ~bound:256 - 128))
+
+let test_crossbar_program_read_roundtrip () =
+  let g = Prng.create ~seed:21 in
+  let xb = Crossbar.create ~config:small_config () in
+  let codes = random_codes g ~rows:10 ~cols:12 in
+  Crossbar.program_codes xb codes;
+  Alcotest.(check bool) "read back equals written" true (Crossbar.read_codes xb = codes)
+
+let test_crossbar_gemv_exact () =
+  let g = Prng.create ~seed:22 in
+  let xb = Crossbar.create ~config:small_config () in
+  let m = 9 and n = 11 in
+  let codes = random_codes g ~rows:m ~cols:n in
+  Crossbar.program_codes xb codes;
+  let input = Array.init m (fun _ -> Prng.int g ~bound:256 - 128) in
+  let out = Crossbar.gemv_codes xb input in
+  let expected =
+    Array.init n (fun j ->
+        let acc = ref 0 in
+        for i = 0 to m - 1 do
+          acc := !acc + (input.(i) * codes.(i).(j))
+        done;
+        !acc)
+  in
+  Alcotest.(check (array int)) "exact integer GEMV" expected out
+
+let test_crossbar_matches_float_reference () =
+  let g = Prng.create ~seed:23 in
+  let xb = Crossbar.create ~config:small_config () in
+  let m = 8 and n = 8 in
+  let codes = random_codes g ~rows:m ~cols:n in
+  Crossbar.program_codes xb codes;
+  let input = Array.init m (fun _ -> Prng.int g ~bound:21 - 10) in
+  let out = Crossbar.gemv_codes xb input in
+  (* Same computation through the float reference: x^T * A == (A^T x). *)
+  let a = Mat.init ~rows:m ~cols:n ~f:(fun i j -> float_of_int codes.(i).(j)) in
+  let x = Array.map float_of_int input in
+  let y = Array.make n 0.0 in
+  Blas_ref.gemv ~trans_a:Blas_ref.Transpose ~alpha:1.0 ~beta:0.0 ~a ~x ~y ();
+  Array.iteri
+    (fun j v -> Alcotest.(check (float 1e-9)) "agrees with Blas_ref" v (float_of_int out.(j)))
+    y
+
+let test_crossbar_counters () =
+  let g = Prng.create ~seed:24 in
+  let xb = Crossbar.create ~config:small_config () in
+  Crossbar.program_codes xb (random_codes g ~rows:4 ~cols:5);
+  let input = Array.make 4 1 in
+  ignore (Crossbar.gemv_codes xb input);
+  ignore (Crossbar.gemv_codes xb input);
+  let c = Crossbar.counters xb in
+  Alcotest.(check int) "cell writes = 2 per operand" 40 c.Crossbar.cell_writes;
+  Alcotest.(check int) "logical writes" 20 c.Crossbar.logical_writes;
+  Alcotest.(check int) "write bytes" 20 c.Crossbar.write_bytes;
+  Alcotest.(check int) "gemv ops" 2 c.Crossbar.gemv_ops;
+  Alcotest.(check int) "macs" 40 c.Crossbar.macs;
+  Alcotest.(check int) "adc conversions = 2 planes x cols x gemvs" 20
+    (Adc.conversions (Crossbar.adc xb));
+  Crossbar.reset_counters xb;
+  Alcotest.(check int) "reset clears" 0 (Crossbar.counters xb).Crossbar.gemv_ops
+
+let test_crossbar_region_and_errors () =
+  let g = Prng.create ~seed:25 in
+  let xb = Crossbar.create ~config:small_config () in
+  Alcotest.check_raises "gemv before program" (Failure "Crossbar: no matrix programmed")
+    (fun () -> ignore (Crossbar.gemv_codes xb [| 1 |]));
+  Crossbar.program_codes xb ~row_off:2 ~col_off:3 (random_codes g ~rows:4 ~cols:5);
+  Alcotest.(check (option (list int))) "active region"
+    (Some [ 2; 3; 4; 5 ])
+    (Option.map (fun (a, b, c, d) -> [ a; b; c; d ]) (Crossbar.active_region xb));
+  Alcotest.check_raises "input length mismatch"
+    (Invalid_argument "Crossbar.gemv_codes: input length 3, active rows 4") (fun () ->
+      ignore (Crossbar.gemv_codes xb [| 1; 2; 3 |]));
+  Alcotest.check_raises "region overflow"
+    (Invalid_argument "Crossbar.program_codes: region exceeds the array") (fun () ->
+      Crossbar.program_codes xb ~row_off:14 (random_codes g ~rows:4 ~cols:4))
+
+let test_crossbar_wear_accumulates () =
+  let g = Prng.create ~seed:26 in
+  let xb = Crossbar.create ~config:small_config () in
+  Crossbar.program_codes xb (random_codes g ~rows:16 ~cols:16);
+  Alcotest.(check int) "wear total after one full write" (2 * 16 * 16) (Crossbar.wear_total xb);
+  Crossbar.program_codes xb (random_codes g ~rows:16 ~cols:16);
+  Alcotest.(check int) "wear grows" (4 * 16 * 16) (Crossbar.wear_total xb);
+  Alcotest.(check int) "max per-cell wear" 2 (Crossbar.wear_max xb);
+  Crossbar.reset_counters xb;
+  Alcotest.(check int) "wear survives counter reset" (4 * 16 * 16) (Crossbar.wear_total xb)
+
+let test_crossbar_wear_out_visible_in_results () =
+  let config =
+    {
+      small_config with
+      Crossbar.rows = 1;
+      cols = 1;
+      cell = { Cell.default_config with Cell.endurance = 1 };
+    }
+  in
+  let xb = Crossbar.create ~config () in
+  let codes = [| [| 100 |] |] in
+  Crossbar.program_codes xb codes;
+  (* Endurance 1: the second programming no longer switches the cells. *)
+  Crossbar.program_codes xb [| [| -50 |] |];
+  Alcotest.(check bool) "stuck at first value" true (Crossbar.read_codes xb = codes);
+  Alcotest.(check (float 1e-9)) "all cells worn" 1.0 (Crossbar.worn_out_fraction xb)
+
+let test_crossbar_noise_bounded () =
+  let config = { small_config with Crossbar.noise_sigma = Some 1.0 } in
+  let xb = Crossbar.create ~config ~seed:3 () in
+  let codes = Array.make_matrix 8 8 10 in
+  Crossbar.program_codes xb codes;
+  let input = Array.make 8 5 in
+  let out = Crossbar.gemv_codes xb input in
+  let exact = 8 * 5 * 10 in
+  Array.iter
+    (fun v ->
+      (* result = 16*(hi + e1) + (lo + e2); 6-sigma bound on the combined noise *)
+      Alcotest.(check bool) "noise within 6 sigma of both planes" true
+        (abs (v - exact) <= 16 * 6 + 6))
+    out
+
+let qcheck_gemv_additive =
+  QCheck.Test.make ~name:"crossbar gemv is additive in the input" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let m = 1 + Prng.int g ~bound:12 and n = 1 + Prng.int g ~bound:12 in
+      let xb = Crossbar.create ~config:small_config () in
+      Crossbar.program_codes xb (random_codes g ~rows:m ~cols:n);
+      let x = Array.init m (fun _ -> Prng.int g ~bound:101 - 50) in
+      let y = Array.init m (fun _ -> Prng.int g ~bound:101 - 50) in
+      let xy = Array.init m (fun i -> x.(i) + y.(i)) in
+      let ox = Crossbar.gemv_codes xb x
+      and oy = Crossbar.gemv_codes xb y
+      and oxy = Crossbar.gemv_codes xb xy in
+      Array.for_all2 (fun a b -> a = b) oxy (Array.init n (fun j -> ox.(j) + oy.(j))))
+
+let qcheck_program_read_roundtrip =
+  QCheck.Test.make ~name:"crossbar program/read roundtrip" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let m = 1 + Prng.int g ~bound:16 and n = 1 + Prng.int g ~bound:16 in
+      let xb = Crossbar.create ~config:small_config () in
+      let codes = random_codes g ~rows:m ~cols:n in
+      Crossbar.program_codes xb codes;
+      Crossbar.read_codes xb = codes)
+
+(* ---------- Endurance ---------- *)
+
+let test_lifetime_equation () =
+  (* endurance * S / B with easy numbers: 10 writes * 100 bytes / 1 B/s. *)
+  Alcotest.(check (float 1e-9)) "seconds" 1000.0
+    (Endurance.lifetime_seconds ~cell_endurance:10.0 ~crossbar_bytes:100
+       ~write_bytes_per_second:1.0);
+  let years =
+    Endurance.lifetime_years ~cell_endurance:1.0 ~crossbar_bytes:1
+      ~write_bytes_per_second:(1.0 /. Endurance.seconds_per_year)
+  in
+  Alcotest.(check (float 1e-9)) "one year" 1.0 years
+
+let test_lifetime_linear_in_endurance () =
+  let life e =
+    Endurance.lifetime_years ~cell_endurance:e ~crossbar_bytes:(512 * 1024)
+      ~write_bytes_per_second:1e6
+  in
+  Alcotest.(check (float 1e-9)) "doubling endurance doubles lifetime" (2.0 *. life 1e7) (life 2e7)
+
+let test_lifetime_invalid () =
+  Alcotest.check_raises "zero traffic" (Invalid_argument "Endurance: traffic must be positive")
+    (fun () ->
+      ignore
+        (Endurance.lifetime_seconds ~cell_endurance:1.0 ~crossbar_bytes:1
+           ~write_bytes_per_second:0.0))
+
+let test_write_traffic () =
+  Alcotest.(check (float 1e-9)) "bytes/s" 2000.0
+    (Endurance.write_traffic_bytes_per_second ~bytes_written:1000 ~elapsed_seconds:0.5)
+
+let suites =
+  [
+    ( "pcm.cell",
+      [
+        Alcotest.test_case "program/read" `Quick test_cell_program_read;
+        Alcotest.test_case "level range" `Quick test_cell_level_range;
+        Alcotest.test_case "wear-out sticks" `Quick test_cell_wear_out_sticks;
+        Alcotest.test_case "conductance monotone" `Quick test_cell_conductance_monotone;
+        Alcotest.test_case "pulse shapes (Fig 1)" `Quick test_pulse_shapes;
+      ] );
+    ( "pcm.adc",
+      [
+        Alcotest.test_case "event counts" `Quick test_adc_counts;
+        Alcotest.test_case "quantisation" `Quick test_adc_quantisation;
+        Alcotest.test_case "column sharing" `Quick test_adc_sharing;
+      ] );
+    ( "pcm.crossbar",
+      [
+        Alcotest.test_case "program/read roundtrip" `Quick test_crossbar_program_read_roundtrip;
+        Alcotest.test_case "gemv exact" `Quick test_crossbar_gemv_exact;
+        Alcotest.test_case "matches float reference" `Quick test_crossbar_matches_float_reference;
+        Alcotest.test_case "counters" `Quick test_crossbar_counters;
+        Alcotest.test_case "active region & errors" `Quick test_crossbar_region_and_errors;
+        Alcotest.test_case "wear accumulates" `Quick test_crossbar_wear_accumulates;
+        Alcotest.test_case "wear-out visible" `Quick test_crossbar_wear_out_visible_in_results;
+        Alcotest.test_case "noise bounded" `Quick test_crossbar_noise_bounded;
+        QCheck_alcotest.to_alcotest qcheck_gemv_additive;
+        QCheck_alcotest.to_alcotest qcheck_program_read_roundtrip;
+      ] );
+    ( "pcm.endurance",
+      [
+        Alcotest.test_case "Eq. 1" `Quick test_lifetime_equation;
+        Alcotest.test_case "linear in endurance" `Quick test_lifetime_linear_in_endurance;
+        Alcotest.test_case "invalid inputs" `Quick test_lifetime_invalid;
+        Alcotest.test_case "write traffic" `Quick test_write_traffic;
+      ] );
+  ]
+
+(* ---------- Start-Gap wear leveling ---------- *)
+
+let test_wl_mapping_bijective () =
+  let wl = Wear_leveling.create ~lines:8 ~gap_interval:3 in
+  let check_bijective () =
+    let seen = Hashtbl.create 16 in
+    for logical = 0 to 7 do
+      let phys = Wear_leveling.physical_of_logical wl logical in
+      Alcotest.(check bool) "in physical range" true (phys >= 0 && phys <= 8);
+      Alcotest.(check bool) "no collision" false (Hashtbl.mem seen phys);
+      Hashtbl.add seen phys ()
+    done
+  in
+  check_bijective ();
+  (* drive enough writes to move the gap through several full rotations *)
+  for i = 0 to 999 do
+    Wear_leveling.write wl (i mod 8);
+    check_bijective ()
+  done
+
+let test_wl_rotation_progress () =
+  let wl = Wear_leveling.create ~lines:4 ~gap_interval:1 in
+  let initial = Wear_leveling.physical_of_logical wl 0 in
+  (* 5 gap movements = one full rotation; mapping must have shifted *)
+  for _ = 1 to 5 do
+    Wear_leveling.write wl 0
+  done;
+  Alcotest.(check bool) "mapping rotated" true
+    (Wear_leveling.physical_of_logical wl 0 <> initial);
+  Alcotest.(check int) "gap movements counted" 5 (Wear_leveling.gap_movements wl)
+
+let test_wl_levels_skewed_traffic () =
+  (* hammer one logical line; without leveling max wear = all writes,
+     with Start-Gap it must approach the ideal bound *)
+  let lines = 16 in
+  let writes = 20_000 in
+  let wl = Wear_leveling.create ~lines ~gap_interval:4 in
+  for _ = 1 to writes do
+    Wear_leveling.write wl 3
+  done;
+  let max_wear = Wear_leveling.max_wear wl in
+  let ideal = Wear_leveling.ideal_max_wear wl in
+  Alcotest.(check bool) "far below the unlevelled worst case" true
+    (max_wear < writes / 2);
+  Alcotest.(check bool) "within 8x of the ideal bound" true (max_wear <= 8 * ideal);
+  Alcotest.(check int) "writes counted" writes (Wear_leveling.total_writes wl)
+
+let test_wl_wear_conservation () =
+  let wl = Wear_leveling.create ~lines:8 ~gap_interval:2 in
+  let g = Prng.create ~seed:77 in
+  for _ = 1 to 5000 do
+    Wear_leveling.write wl (Prng.int g ~bound:8)
+  done;
+  let total_wear = Array.fold_left ( + ) 0 (Wear_leveling.wear wl) in
+  (* every logical write plus every gap-copy lands on some physical line *)
+  Alcotest.(check bool) "wear accounts for writes and copies" true
+    (total_wear >= Wear_leveling.total_writes wl
+    && total_wear <= Wear_leveling.total_writes wl + Wear_leveling.gap_movements wl)
+
+let test_wl_invalid () =
+  let wl = Wear_leveling.create ~lines:4 ~gap_interval:1 in
+  Alcotest.(check bool) "range checked" true
+    (try
+       ignore (Wear_leveling.physical_of_logical wl 4);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_wl_bijection =
+  QCheck.Test.make ~name:"start-gap mapping stays a bijection under random traffic" ~count:50
+    QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed in
+      let lines = 2 + Prng.int g ~bound:30 in
+      let wl = Wear_leveling.create ~lines ~gap_interval:(1 + Prng.int g ~bound:5) in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        Wear_leveling.write wl (Prng.int g ~bound:lines);
+        let seen = Hashtbl.create 32 in
+        for logical = 0 to lines - 1 do
+          let phys = Wear_leveling.physical_of_logical wl logical in
+          if phys < 0 || phys > lines || Hashtbl.mem seen phys then ok := false;
+          Hashtbl.add seen phys ()
+        done
+      done;
+      !ok)
+
+let wear_leveling_suite =
+  ( "pcm.wear_leveling",
+    [
+      Alcotest.test_case "bijective mapping" `Quick test_wl_mapping_bijective;
+      Alcotest.test_case "rotation progress" `Quick test_wl_rotation_progress;
+      Alcotest.test_case "levels skewed traffic" `Quick test_wl_levels_skewed_traffic;
+      Alcotest.test_case "wear conservation" `Quick test_wl_wear_conservation;
+      Alcotest.test_case "range checks" `Quick test_wl_invalid;
+      QCheck_alcotest.to_alcotest qcheck_wl_bijection;
+    ] )
+
+let suites = suites @ [ wear_leveling_suite ]

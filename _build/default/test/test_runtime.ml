@@ -1,0 +1,650 @@
+open Tdo_runtime
+module Sim = Tdo_sim
+module Mat = Tdo_linalg.Mat
+module Blas_ref = Tdo_linalg.Blas_ref
+module Regs = Tdo_cimacc.Context_regs
+module Prng = Tdo_util.Prng
+
+(* ---------- CMA ---------- *)
+
+let small_cma = { Cma.base = 0x1000; size = 4096; alignment = 256 }
+
+let test_cma_alloc_free () =
+  let cma = Cma.create ~config:small_cma () in
+  let a = Result.get_ok (Cma.alloc cma ~bytes:100) in
+  Alcotest.(check int) "first block at base" 0x1000 a;
+  Alcotest.(check bool) "aligned" true (a mod 256 = 0);
+  Alcotest.(check int) "rounded to alignment" 256 (Option.get (Cma.allocation_size cma a));
+  let b = Result.get_ok (Cma.alloc cma ~bytes:512) in
+  Alcotest.(check int) "second block follows" 0x1100 b;
+  Cma.free cma a;
+  Alcotest.(check bool) "a freed" false (Cma.is_allocated cma a);
+  Alcotest.(check bool) "b live" true (Cma.is_allocated cma b)
+
+let test_cma_exhaustion () =
+  let cma = Cma.create ~config:small_cma () in
+  let a = Cma.alloc cma ~bytes:4096 in
+  Alcotest.(check bool) "whole region" true (Result.is_ok a);
+  Alcotest.(check bool) "second alloc fails" true (Result.is_error (Cma.alloc cma ~bytes:1))
+
+let test_cma_coalescing () =
+  let cma = Cma.create ~config:small_cma () in
+  let a = Result.get_ok (Cma.alloc cma ~bytes:1024) in
+  let b = Result.get_ok (Cma.alloc cma ~bytes:1024) in
+  let c = Result.get_ok (Cma.alloc cma ~bytes:1024) in
+  ignore (Result.get_ok (Cma.alloc cma ~bytes:1024));
+  Cma.free cma a;
+  Cma.free cma c;
+  (* fragmented: two 1 KB holes *)
+  Alcotest.(check int) "largest hole 1KB" 1024 (Cma.largest_free_block cma);
+  Alcotest.(check bool) "2KB alloc fails (fragmentation)" true
+    (Result.is_error (Cma.alloc cma ~bytes:2048));
+  Cma.free cma b;
+  (* a+b+c coalesce into 3 KB *)
+  Alcotest.(check int) "coalesced" 3072 (Cma.largest_free_block cma);
+  Alcotest.(check bool) "2KB alloc now fits" true (Result.is_ok (Cma.alloc cma ~bytes:2048))
+
+let test_cma_double_free () =
+  let cma = Cma.create ~config:small_cma () in
+  let a = Result.get_ok (Cma.alloc cma ~bytes:64) in
+  Cma.free cma a;
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Cma.free cma a;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cma_stats () =
+  let cma = Cma.create ~config:small_cma () in
+  let a = Result.get_ok (Cma.alloc cma ~bytes:256) in
+  let _b = Result.get_ok (Cma.alloc cma ~bytes:256) in
+  Cma.free cma a;
+  Alcotest.(check int) "allocations" 2 (Cma.allocations cma);
+  Alcotest.(check int) "frees" 1 (Cma.frees cma);
+  Alcotest.(check int) "allocated" 256 (Cma.allocated_bytes cma);
+  Alcotest.(check int) "peak" 512 (Cma.peak_allocated_bytes cma);
+  Alcotest.(check int) "free bytes" (4096 - 256) (Cma.free_bytes cma)
+
+let qcheck_cma_no_overlap =
+  QCheck.Test.make ~name:"cma blocks never overlap" ~count:100 QCheck.small_int (fun seed ->
+      let g = Prng.create ~seed in
+      let cma = Cma.create ~config:{ Cma.base = 0; size = 65536; alignment = 64 } () in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        if Prng.bool g || !live = [] then begin
+          let bytes = 1 + Prng.int g ~bound:2048 in
+          match Cma.alloc cma ~bytes with
+          | Error _ -> ()
+          | Ok addr ->
+              let size = Option.get (Cma.allocation_size cma addr) in
+              List.iter
+                (fun (a, s) -> if addr < a + s && a < addr + size then ok := false)
+                !live;
+              live := (addr, size) :: !live
+        end
+        else begin
+          let idx = Prng.int g ~bound:(List.length !live) in
+          let addr, _ = List.nth !live idx in
+          Cma.free cma addr;
+          live := List.filter (fun (a, _) -> a <> addr) !live
+        end
+      done;
+      !ok)
+
+let qcheck_cma_conservation =
+  QCheck.Test.make ~name:"cma allocated + free = region size" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let cma = Cma.create ~config:{ Cma.base = 0; size = 65536; alignment = 64 } () in
+      let live = ref [] in
+      for _ = 1 to 40 do
+        if Prng.bool g || !live = [] then begin
+          match Cma.alloc cma ~bytes:(1 + Prng.int g ~bound:4096) with
+          | Error _ -> ()
+          | Ok addr -> live := addr :: !live
+        end
+        else begin
+          let idx = Prng.int g ~bound:(List.length !live) in
+          let addr = List.nth !live idx in
+          Cma.free cma addr;
+          live := List.filter (fun a -> a <> addr) !live
+        end
+      done;
+      Cma.allocated_bytes cma + Cma.free_bytes cma = 65536)
+
+(* ---------- Platform / Driver ---------- *)
+
+let small_engine =
+  {
+    Tdo_cimacc.Micro_engine.default_config with
+    Tdo_cimacc.Micro_engine.xbar =
+      { Tdo_pcm.Crossbar.default_config with Tdo_pcm.Crossbar.rows = 32; cols = 32 };
+  }
+
+let make_platform () =
+  Platform.create
+    ~config:{ Platform.default_config with Platform.engine = small_engine }
+    ()
+
+let test_platform_resolve () =
+  let p = make_platform () in
+  let cma_base = (Platform.default_config.Platform.cma).Cma.base in
+  let virt = cma_base + Platform.default_config.Platform.virt_offset in
+  Alcotest.(check bool) "virt recognised" true (Platform.is_device_virtual p virt);
+  Alcotest.(check int) "virt -> phys" cma_base (Platform.resolve p virt);
+  Alcotest.(check int) "identity elsewhere" 0x1234 (Platform.resolve p 0x1234);
+  Alcotest.(check bool) "plain addr not device" false (Platform.is_device_virtual p 0x1234)
+
+let test_driver_translate_charges () =
+  let p = make_platform () in
+  let d = Driver.create p in
+  let insts0 = Sim.Cpu.instructions (Platform.cpu p) in
+  let phys = Driver.translate d (0x3000_0000 + 0x4000_0000) in
+  Alcotest.(check int) "translation result" 0x3000_0000 phys;
+  Alcotest.(check bool) "translation charged to host" true
+    (Sim.Cpu.instructions (Platform.cpu p) > insts0);
+  Alcotest.(check int) "counted" 1 (Driver.translations d)
+
+let test_driver_translate_rejects () =
+  let p = make_platform () in
+  let d = Driver.create p in
+  Alcotest.(check bool) "out-of-range raises" true
+    (try
+       ignore (Driver.translate d (-5));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- API end-to-end ---------- *)
+
+let test_api_gemm_end_to_end () =
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:51 in
+  let m = 8 and n = 6 and k = 7 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let buf_a = Result.get_ok (Api.malloc api ~bytes:(4 * m * k)) in
+  let buf_b = Result.get_ok (Api.malloc api ~bytes:(4 * k * n)) in
+  let buf_c = Result.get_ok (Api.malloc api ~bytes:(4 * m * n)) in
+  let va = Api.view ~ld:k buf_a and vb = Api.view ~ld:n buf_b and vc = Api.view ~ld:n buf_c in
+  Api.host_to_dev api ~src:a ~dst:va;
+  Api.host_to_dev api ~src:b ~dst:vb;
+  (match Api.sgemm api ~m ~n ~k ~alpha:1.0 ~a:va ~b:vb ~beta:0.0 ~c:vc () with
+  | Error e -> Alcotest.failf "sgemm failed: %s" e
+  | Ok () -> ());
+  let actual = Api.dev_to_host api ~src:vc ~rows:m ~cols:n in
+  let expected = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b ~c:expected ();
+  Alcotest.(check bool) "result within quantisation error" true
+    (Mat.max_abs_diff expected actual < 0.2);
+  let c = Api.counters api in
+  Alcotest.(check int) "one gemm call" 1 c.Api.gemm_calls;
+  Alcotest.(check int) "one launch" 1 c.Api.launches;
+  (* the offload really went through the driver and the device *)
+  let d = Api.driver api in
+  Alcotest.(check int) "one ioctl" 1 (Driver.ioctls d);
+  Alcotest.(check int) "flush before launch" 1 (Driver.cache_flushes d);
+  Alcotest.(check bool) "device executed a job" true
+    ((Tdo_cimacc.Micro_engine.counters (Tdo_cimacc.Accel.engine p.Platform.accel))
+       .Tdo_cimacc.Micro_engine.jobs = 1)
+
+let test_api_gemm_tiled_when_oversized () =
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:52 in
+  (* 48 > 32 in both m and k: needs 2x2 = 4 tile launches *)
+  let m = 48 and n = 8 and k = 48 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let buf_a = Result.get_ok (Api.malloc api ~bytes:(4 * m * k)) in
+  let buf_b = Result.get_ok (Api.malloc api ~bytes:(4 * k * n)) in
+  let buf_c = Result.get_ok (Api.malloc api ~bytes:(4 * m * n)) in
+  let va = Api.view ~ld:k buf_a and vb = Api.view ~ld:n buf_b and vc = Api.view ~ld:n buf_c in
+  Api.host_to_dev api ~src:a ~dst:va;
+  Api.host_to_dev api ~src:b ~dst:vb;
+  (match Api.sgemm api ~m ~n ~k ~alpha:1.0 ~a:va ~b:vb ~beta:0.0 ~c:vc () with
+  | Error e -> Alcotest.failf "tiled sgemm failed: %s" e
+  | Ok () -> ());
+  let actual = Api.dev_to_host api ~src:vc ~rows:m ~cols:n in
+  let expected = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b ~c:expected ();
+  Alcotest.(check bool) "tiled result close" true (Mat.max_abs_diff expected actual < 1.0);
+  Alcotest.(check int) "4 tile launches" 4 (Api.counters api).Api.launches
+
+let test_api_gemv () =
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:53 in
+  let m = 12 and k = 9 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let x = Mat.random g ~rows:k ~cols:1 ~lo:(-1.0) ~hi:1.0 in
+  let buf_a = Result.get_ok (Api.malloc api ~bytes:(4 * m * k)) in
+  let buf_x = Result.get_ok (Api.malloc api ~bytes:(4 * k)) in
+  let buf_y = Result.get_ok (Api.malloc api ~bytes:(4 * m)) in
+  Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:k buf_a);
+  Api.host_to_dev api ~src:x ~dst:(Api.view ~ld:1 buf_x);
+  (match
+     Api.sgemv api ~m ~k ~alpha:1.0 ~a:(Api.view ~ld:k buf_a) ~x:(Api.view ~ld:1 buf_x)
+       ~beta:0.0 ~y:(Api.view ~ld:1 buf_y) ()
+   with
+  | Error e -> Alcotest.failf "sgemv failed: %s" e
+  | Ok () -> ());
+  let actual = Api.dev_to_host api ~src:(Api.view ~ld:1 buf_y) ~rows:m ~cols:1 in
+  let expected = Mat.create ~rows:m ~cols:1 in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b:x ~c:expected ();
+  Alcotest.(check bool) "gemv close" true (Mat.max_abs_diff expected actual < 0.2);
+  Alcotest.(check int) "counted as gemv" 1 (Api.counters api).Api.gemv_calls
+
+let test_api_batched_endurance_win () =
+  (* Listing 2: two GEMMs sharing A. Batched + Pin_a must program the
+     crossbar once; two separate calls with Pin_b (naive) must program
+     twice as many operands. *)
+  let run_smart () =
+    let p = make_platform () in
+    let api = Api.init p in
+    let g = Prng.create ~seed:54 in
+    let m = 16 and n = 12 and k = 16 in
+    let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+    let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+    let e = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+    let alloc bytes = Result.get_ok (Api.malloc api ~bytes) in
+    let buf_a = alloc (4 * m * k)
+    and buf_b = alloc (4 * k * n)
+    and buf_e = alloc (4 * k * n)
+    and buf_c = alloc (4 * m * n)
+    and buf_d = alloc (4 * m * n) in
+    Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:k buf_a);
+    Api.host_to_dev api ~src:b ~dst:(Api.view ~ld:n buf_b);
+    Api.host_to_dev api ~src:e ~dst:(Api.view ~ld:n buf_e);
+    let va = Api.view ~ld:k buf_a in
+    (match
+       Api.gemm_batched api ~pin:Regs.Pin_a ~m ~n ~k ~alpha:1.0 ~beta:0.0
+         ~batch:
+           [
+             (va, Api.view ~ld:n buf_b, Api.view ~ld:n buf_c);
+             (va, Api.view ~ld:n buf_e, Api.view ~ld:n buf_d);
+           ]
+         ()
+     with
+    | Error err -> Alcotest.failf "batched failed: %s" err
+    | Ok () -> ());
+    let writes =
+      (Tdo_pcm.Crossbar.counters
+         (Tdo_cimacc.Micro_engine.crossbar (Tdo_cimacc.Accel.engine p.Platform.accel)))
+        .Tdo_pcm.Crossbar.logical_writes
+    in
+    (* validate results too *)
+    let actual_c = Api.dev_to_host api ~src:(Api.view ~ld:n buf_c) ~rows:m ~cols:n in
+    let expected_c = Mat.create ~rows:m ~cols:n in
+    Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b ~c:expected_c ();
+    Alcotest.(check bool) "batched C close" true (Mat.max_abs_diff expected_c actual_c < 0.5);
+    let actual_d = Api.dev_to_host api ~src:(Api.view ~ld:n buf_d) ~rows:m ~cols:n in
+    let expected_d = Mat.create ~rows:m ~cols:n in
+    Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a ~b:e ~c:expected_d ();
+    Alcotest.(check bool) "batched D close" true (Mat.max_abs_diff expected_d actual_d < 0.5);
+    writes
+  in
+  let run_naive () =
+    let p = make_platform () in
+    let api = Api.init p in
+    let g = Prng.create ~seed:54 in
+    let m = 16 and n = 12 and k = 16 in
+    let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+    let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+    let e = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+    let alloc bytes = Result.get_ok (Api.malloc api ~bytes) in
+    let buf_a = alloc (4 * m * k)
+    and buf_b = alloc (4 * k * n)
+    and buf_e = alloc (4 * k * n)
+    and buf_c = alloc (4 * m * n)
+    and buf_d = alloc (4 * m * n) in
+    Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:k buf_a);
+    Api.host_to_dev api ~src:b ~dst:(Api.view ~ld:n buf_b);
+    Api.host_to_dev api ~src:e ~dst:(Api.view ~ld:n buf_e);
+    let call b_buf c_buf =
+      match
+        Api.sgemm api ~pin:Regs.Pin_b ~m ~n ~k ~alpha:1.0 ~a:(Api.view ~ld:k buf_a)
+          ~b:(Api.view ~ld:n b_buf) ~beta:0.0 ~c:(Api.view ~ld:n c_buf) ()
+      with
+      | Error err -> Alcotest.failf "naive sgemm failed: %s" err
+      | Ok () -> ()
+    in
+    call buf_b buf_c;
+    call buf_e buf_d;
+    (Tdo_pcm.Crossbar.counters
+       (Tdo_cimacc.Micro_engine.crossbar (Tdo_cimacc.Accel.engine p.Platform.accel)))
+      .Tdo_pcm.Crossbar.logical_writes
+  in
+  let smart = run_smart () and naive = run_naive () in
+  Alcotest.(check int) "smart writes A once" (16 * 16) smart;
+  Alcotest.(check int) "naive writes B and E" (2 * 16 * 12) naive;
+  Alcotest.(check bool) "smart mapping halves writes" true (smart < naive)
+
+let test_api_generation_invalidation () =
+  (* Rewriting A between two calls must force reprogramming. *)
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:55 in
+  let m = 8 and n = 6 and k = 8 in
+  let a = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:k ~cols:n ~lo:(-1.0) ~hi:1.0 in
+  let alloc bytes = Result.get_ok (Api.malloc api ~bytes) in
+  let buf_a = alloc (4 * m * k) and buf_b = alloc (4 * k * n) and buf_c = alloc (4 * m * n) in
+  let va = Api.view ~ld:k buf_a and vb = Api.view ~ld:n buf_b and vc = Api.view ~ld:n buf_c in
+  Api.host_to_dev api ~src:a ~dst:va;
+  Api.host_to_dev api ~src:b ~dst:vb;
+  let gemm () =
+    match Api.sgemm api ~m ~n ~k ~alpha:1.0 ~a:va ~b:vb ~beta:0.0 ~c:vc () with
+    | Error e -> Alcotest.failf "sgemm failed: %s" e
+    | Ok () -> ()
+  in
+  gemm ();
+  gemm ();
+  let engine = Tdo_cimacc.Accel.engine p.Platform.accel in
+  Alcotest.(check int) "second call reused pin" 1
+    (Tdo_cimacc.Micro_engine.counters engine).Tdo_cimacc.Micro_engine.programming_skipped;
+  (* mutate A, call again: reuse must NOT happen *)
+  let a2 = Mat.random g ~rows:m ~cols:k ~lo:(-1.0) ~hi:1.0 in
+  Api.host_to_dev api ~src:a2 ~dst:va;
+  gemm ();
+  Alcotest.(check int) "rewrite invalidates pin" 1
+    (Tdo_cimacc.Micro_engine.counters engine).Tdo_cimacc.Micro_engine.programming_skipped;
+  (* and the result reflects the new A *)
+  let actual = Api.dev_to_host api ~src:vc ~rows:m ~cols:n in
+  let expected = Mat.create ~rows:m ~cols:n in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a:a2 ~b ~c:expected ();
+  Alcotest.(check bool) "fresh data used" true (Mat.max_abs_diff expected actual < 0.2)
+
+let test_api_free_rejected_after_use () =
+  let p = make_platform () in
+  let api = Api.init p in
+  let buf = Result.get_ok (Api.malloc api ~bytes:64) in
+  Api.free api buf;
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Api.free api buf;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "use after free raises" true
+    (try
+       ignore (Api.load_f32 api buf ~offset_elems:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_api_offload_overhead_visible () =
+  (* The host must pay instructions for init/ioctl/flush/poll: this is
+     the per-offload overhead that sinks GEMV-like kernels. *)
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:56 in
+  let a = Mat.random g ~rows:4 ~cols:4 ~lo:(-1.0) ~hi:1.0 in
+  let alloc bytes = Result.get_ok (Api.malloc api ~bytes) in
+  let buf_a = alloc 64 and buf_b = alloc 64 and buf_c = alloc 64 in
+  Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:4 buf_a);
+  Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:4 buf_b);
+  let before = Sim.Cpu.instructions (Platform.cpu p) in
+  (match
+     Api.sgemm api ~m:4 ~n:4 ~k:4 ~alpha:1.0 ~a:(Api.view ~ld:4 buf_a)
+       ~b:(Api.view ~ld:4 buf_b) ~beta:0.0 ~c:(Api.view ~ld:4 buf_c) ()
+   with
+  | Error e -> Alcotest.failf "sgemm failed: %s" e
+  | Ok () -> ());
+  let overhead = Sim.Cpu.instructions (Platform.cpu p) - before in
+  Alcotest.(check bool) "offload costs hundreds of host instructions" true (overhead > 200);
+  Alcotest.(check bool) "host stalled during flush" true (Driver.flush_stall_ps (Api.driver api) > 0);
+  Alcotest.(check bool) "host stalled waiting" true (Driver.wait_stall_ps (Api.driver api) > 0)
+
+let suites =
+  [
+    ( "runtime.cma",
+      [
+        Alcotest.test_case "alloc/free" `Quick test_cma_alloc_free;
+        Alcotest.test_case "exhaustion" `Quick test_cma_exhaustion;
+        Alcotest.test_case "coalescing" `Quick test_cma_coalescing;
+        Alcotest.test_case "double free" `Quick test_cma_double_free;
+        Alcotest.test_case "stats" `Quick test_cma_stats;
+        QCheck_alcotest.to_alcotest qcheck_cma_no_overlap;
+        QCheck_alcotest.to_alcotest qcheck_cma_conservation;
+      ] );
+    ( "runtime.platform",
+      [
+        Alcotest.test_case "mmu resolve" `Quick test_platform_resolve;
+        Alcotest.test_case "driver translate" `Quick test_driver_translate_charges;
+        Alcotest.test_case "translate rejects" `Quick test_driver_translate_rejects;
+      ] );
+    ( "runtime.api",
+      [
+        Alcotest.test_case "gemm end to end" `Quick test_api_gemm_end_to_end;
+        Alcotest.test_case "tiled oversized gemm" `Quick test_api_gemm_tiled_when_oversized;
+        Alcotest.test_case "gemv" `Quick test_api_gemv;
+        Alcotest.test_case "batched endurance win (Listing 2)" `Quick
+          test_api_batched_endurance_win;
+        Alcotest.test_case "generation invalidation" `Quick test_api_generation_invalidation;
+        Alcotest.test_case "free semantics" `Quick test_api_free_rejected_after_use;
+        Alcotest.test_case "offload overhead visible" `Quick test_api_offload_overhead_visible;
+      ] );
+  ]
+
+(* ---------- driver details ---------- *)
+
+let test_driver_launch_register_writes () =
+  let p = make_platform () in
+  let d = Driver.create p in
+  let job =
+    {
+      Regs.op = Regs.Gemm;
+      m = 4;
+      n = 4;
+      k = 4;
+      trans_a = false;
+      trans_b = true;
+      alpha = 1.5;
+      beta = 0.25;
+      a_addr = 0x3000_0000 + 0x4000_0000;
+      b_addr = 0x3000_1000 + 0x4000_0000;
+      c_addr = 0x3000_2000 + 0x4000_0000;
+      lda = 4;
+      ldb = 4;
+      ldc = 4;
+      batch_count = 0;
+      batch_desc_addr = 0;
+      pin = Regs.Pin_b;
+      generation = 9;
+    }
+  in
+  Driver.launch d job;
+  Alcotest.(check int) "one ioctl" 1 (Driver.ioctls d);
+  Alcotest.(check int) "all parameter registers + command written" 18 (Driver.reg_writes d);
+  Alcotest.(check int) "three buffer translations" 3 (Driver.translations d);
+  Alcotest.(check int) "flush happened" 1 (Driver.cache_flushes d);
+  (* the device decoded what we wrote, with physical addresses *)
+  let regs = Tdo_cimacc.Accel.regs p.Platform.accel in
+  match Regs.decode_job regs with
+  | Error e -> Alcotest.failf "device decode failed: %s" e
+  | Ok decoded ->
+      Alcotest.(check int) "a translated" 0x3000_0000 decoded.Regs.a_addr;
+      Alcotest.(check bool) "trans_b carried" true decoded.Regs.trans_b;
+      Alcotest.(check (float 1e-6)) "alpha carried" 1.5 decoded.Regs.alpha;
+      Alcotest.(check int) "generation carried" 9 decoded.Regs.generation;
+      Alcotest.(check bool) "pin carried" true (decoded.Regs.pin = Regs.Pin_b)
+
+let test_driver_flush_charges_instructions () =
+  let p = make_platform () in
+  let d = Driver.create p in
+  let before = Sim.Cpu.instructions (Platform.cpu p) in
+  Driver.launch d
+    {
+      Regs.op = Regs.Gemm;
+      m = 1;
+      n = 1;
+      k = 1;
+      trans_a = false;
+      trans_b = false;
+      alpha = 1.0;
+      beta = 0.0;
+      a_addr = 0;
+      b_addr = 0;
+      c_addr = 0;
+      lda = 1;
+      ldb = 1;
+      ldc = 1;
+      batch_count = 0;
+      batch_desc_addr = 0;
+      pin = Regs.Pin_a;
+      generation = 0;
+    };
+  let spent = Sim.Cpu.instructions (Platform.cpu p) - before in
+  (* the 2 MB L2 alone is 32768 lines x 2 instructions *)
+  Alcotest.(check bool) "set/way walk dominates the launch cost" true (spent > 60_000)
+
+let test_wait_policy_energy () =
+  (* spinning burns instructions; event-waiting doesn't *)
+  let run policy =
+    let p = make_platform () in
+    let driver_config = { Driver.default_config with Driver.wait_policy = policy } in
+    let d = Driver.create ~config:driver_config p in
+    (* stage a tiny gemm via raw memory writes *)
+    let g = Prng.create ~seed:77 in
+    let m = Mat.random g ~rows:8 ~cols:8 ~lo:(-1.0) ~hi:1.0 in
+    Mat.iteri
+      ~f:(fun i j v ->
+        Sim.Memory.write_f32 p.Platform.memory (0x3000_0000 + (4 * ((i * 8) + j))) v;
+        Sim.Memory.write_f32 p.Platform.memory (0x3000_1000 + (4 * ((i * 8) + j))) v)
+      m;
+    Driver.launch d
+      {
+        Regs.op = Regs.Gemm;
+        m = 8;
+        n = 8;
+        k = 8;
+        trans_a = false;
+        trans_b = false;
+        alpha = 1.0;
+        beta = 0.0;
+        a_addr = 0x3000_0000;
+        b_addr = 0x3000_1000;
+        c_addr = 0x3000_2000;
+        lda = 8;
+        ldb = 8;
+        ldc = 8;
+        batch_count = 0;
+        batch_desc_addr = 0;
+        pin = Regs.Pin_a;
+        generation = 0;
+      };
+    let before = Sim.Cpu.instructions (Platform.cpu p) in
+    (match Driver.await d with Ok () -> () | Error e -> Alcotest.failf "await: %s" e);
+    ( Sim.Cpu.instructions (Platform.cpu p) - before,
+      Driver.wait_stall_ps d,
+      Sim.Cpu.time_ps (Platform.cpu p) )
+  in
+  let spin_insts, spin_wait, spin_time = run Driver.Spin in
+  let event_insts, event_wait, event_time = run Driver.Event in
+  Alcotest.(check bool) "spin burns instructions" true (spin_insts > 10 * event_insts);
+  Alcotest.(check bool) "both waited comparable wall time" true
+    (abs (spin_wait - event_wait) < spin_wait / 2);
+  (* wall-clock must agree regardless of policy: spinning may not
+     double-count time *)
+  let drift = abs (spin_time - event_time) in
+  Alcotest.(check bool) "no double-counted time" true
+    (drift < event_time / 50)
+
+(* ---------- api edge cases ---------- *)
+
+let test_api_view_validation () =
+  let p = make_platform () in
+  let api = Api.init p in
+  let buf = Result.get_ok (Api.malloc api ~bytes:64) in
+  Alcotest.(check bool) "offset outside buffer" true
+    (try
+       ignore (Api.view ~offset_elems:16 ~ld:4 buf);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-positive ld" true
+    (try
+       ignore (Api.view ~ld:0 buf);
+       false
+     with Invalid_argument _ -> true)
+
+let test_api_malloc_exhaustion () =
+  let cma = { Tdo_runtime.Cma.base = 0x3000_0000; size = 4096; alignment = 256 } in
+  let p =
+    Platform.create ~config:{ Platform.default_config with Platform.cma } ()
+  in
+  let api = Api.init p in
+  let first = Api.malloc api ~bytes:4096 in
+  Alcotest.(check bool) "region-sized malloc fits" true (Result.is_ok first);
+  Alcotest.(check bool) "second malloc fails cleanly" true
+    (Result.is_error (Api.malloc api ~bytes:16))
+
+let test_api_strided_views () =
+  (* operate on a 4x4 sub-block of an 8x8 device matrix *)
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:78 in
+  let a = Mat.random g ~rows:8 ~cols:8 ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:8 ~cols:8 ~lo:(-1.0) ~hi:1.0 in
+  let alloc () = Result.get_ok (Api.malloc api ~bytes:(4 * 8 * 8)) in
+  let buf_a = alloc () and buf_b = alloc () and buf_c = alloc () in
+  Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:8 buf_a);
+  Api.host_to_dev api ~src:b ~dst:(Api.view ~ld:8 buf_b);
+  (* sub-blocks starting at (2, 3) and (1, 0), output at (4, 4) *)
+  let va = Api.view ~offset_elems:((2 * 8) + 3) ~ld:8 buf_a in
+  let vb = Api.view ~offset_elems:((1 * 8) + 0) ~ld:8 buf_b in
+  let vc = Api.view ~offset_elems:((4 * 8) + 4) ~ld:8 buf_c in
+  (match Api.sgemm api ~m:4 ~n:4 ~k:4 ~alpha:1.0 ~a:va ~b:vb ~beta:0.0 ~c:vc () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "strided sgemm: %s" e);
+  let sub m r c = Mat.init ~rows:4 ~cols:4 ~f:(fun i j -> Mat.get m (r + i) (c + j)) in
+  let expected = Mat.create ~rows:4 ~cols:4 in
+  Blas_ref.gemm ~alpha:1.0 ~beta:0.0 ~a:(sub a 2 3) ~b:(sub b 1 0) ~c:expected ();
+  let actual = Api.dev_to_host api ~src:vc ~rows:4 ~cols:4 in
+  Alcotest.(check bool) "sub-block gemm correct" true (Mat.max_abs_diff expected actual < 0.2)
+
+let runtime_details_suite =
+  ( "runtime.details",
+    [
+      Alcotest.test_case "launch programs every register" `Quick
+        test_driver_launch_register_writes;
+      Alcotest.test_case "flush charges instructions" `Quick
+        test_driver_flush_charges_instructions;
+      Alcotest.test_case "spin vs event waiting" `Quick test_wait_policy_energy;
+      Alcotest.test_case "view validation" `Quick test_api_view_validation;
+      Alcotest.test_case "malloc exhaustion" `Quick test_api_malloc_exhaustion;
+      Alcotest.test_case "strided sub-block views" `Quick test_api_strided_views;
+    ] )
+
+let suites = suites @ [ runtime_details_suite ]
+
+let test_api_strided_transposed () =
+  (* op(A) = A^T on a sub-block with non-trivial leading dimension *)
+  let p = make_platform () in
+  let api = Api.init p in
+  let g = Prng.create ~seed:79 in
+  let a = Mat.random g ~rows:8 ~cols:8 ~lo:(-1.0) ~hi:1.0 in
+  let b = Mat.random g ~rows:8 ~cols:8 ~lo:(-1.0) ~hi:1.0 in
+  let alloc () = Result.get_ok (Api.malloc api ~bytes:(4 * 8 * 8)) in
+  let buf_a = alloc () and buf_b = alloc () and buf_c = alloc () in
+  Api.host_to_dev api ~src:a ~dst:(Api.view ~ld:8 buf_a);
+  Api.host_to_dev api ~src:b ~dst:(Api.view ~ld:8 buf_b);
+  (* C(4x4) = A[0..4,0..4]^T * B[0..4,0..4] *)
+  (match
+     Api.sgemm api ~trans_a:true ~m:4 ~n:4 ~k:4 ~alpha:1.0 ~a:(Api.view ~ld:8 buf_a)
+       ~b:(Api.view ~ld:8 buf_b) ~beta:0.0 ~c:(Api.view ~ld:8 buf_c) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "transposed strided sgemm: %s" e);
+  let sub m r c rows cols = Mat.init ~rows ~cols ~f:(fun i j -> Mat.get m (r + i) (c + j)) in
+  let expected = Mat.create ~rows:4 ~cols:4 in
+  Blas_ref.gemm ~trans_a:Blas_ref.Transpose ~alpha:1.0 ~beta:0.0 ~a:(sub a 0 0 4 4)
+    ~b:(sub b 0 0 4 4) ~c:expected ();
+  let actual = Api.dev_to_host api ~src:(Api.view ~ld:8 buf_c) ~rows:4 ~cols:4 in
+  Alcotest.(check bool) "A^T sub-block gemm correct" true
+    (Mat.max_abs_diff expected actual < 0.2)
+
+let strided_suite =
+  ( "runtime.strided",
+    [ Alcotest.test_case "transposed strided views" `Quick test_api_strided_transposed ] )
+
+let suites = suites @ [ strided_suite ]

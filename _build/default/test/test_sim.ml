@@ -1,0 +1,436 @@
+open Tdo_sim
+
+(* ---------- Time ---------- *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "1 GHz period" 1000 (Time_base.period_ps ~freq_hz:1e9);
+  Alcotest.(check int) "1.2 GHz period" 833 (Time_base.period_ps ~freq_hz:1.2e9);
+  Alcotest.(check int) "cycles to ps" 10_000 (Time_base.cycles_to_ps ~freq_hz:1e9 10);
+  Alcotest.(check int) "partial period rounds up" 2 (Time_base.ps_to_cycles ~freq_hz:1e9 1001);
+  Alcotest.(check (float 1e-15)) "seconds" 1e-6 (Time_base.seconds_of_ps Time_base.ps_per_us)
+
+(* ---------- Event queue ---------- *)
+
+let test_event_order () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~delay:30 ~name:"c" (fun () -> log := "c" :: !log);
+  Event_queue.schedule q ~delay:10 ~name:"a" (fun () -> log := "a" :: !log);
+  Event_queue.schedule q ~delay:20 ~name:"b" (fun () -> log := "b" :: !log);
+  Event_queue.run_all q;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Event_queue.now q)
+
+let test_event_same_time_fifo () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Event_queue.schedule q ~delay:7 ~name:"e" (fun () -> log := i :: !log)
+  done;
+  Event_queue.run_all q;
+  Alcotest.(check (list int)) "FIFO at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_event_cascade () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~delay:5 ~name:"outer" (fun () ->
+      log := ("outer", Event_queue.now q) :: !log;
+      Event_queue.schedule q ~delay:5 ~name:"inner" (fun () ->
+          log := ("inner", Event_queue.now q) :: !log));
+  Event_queue.run_all q;
+  Alcotest.(check (list (pair string int)))
+    "events can schedule events"
+    [ ("outer", 5); ("inner", 10) ]
+    (List.rev !log)
+
+let test_event_run_until () =
+  let q = Event_queue.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> Event_queue.schedule q ~delay:d ~name:"e" (fun () -> incr count))
+    [ 10; 20; 30 ];
+  Event_queue.run_until q ~time:20;
+  Alcotest.(check int) "only due events ran" 2 !count;
+  Alcotest.(check int) "clock advanced to target" 20 (Event_queue.now q);
+  Alcotest.(check int) "one pending" 1 (Event_queue.pending q)
+
+let test_event_past_rejected () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~delay:10 ~name:"e" (fun () -> ());
+  Event_queue.run_all q;
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       Event_queue.schedule_at q ~time:5 ~name:"late" (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Memory ---------- *)
+
+let test_memory_rw () =
+  let m = Memory.create () in
+  Memory.write_u8 m 100 0xAB;
+  Alcotest.(check int) "byte roundtrip" 0xAB (Memory.read_u8 m 100);
+  Alcotest.(check int) "untouched memory is zero" 0 (Memory.read_u8 m 101);
+  Memory.write_i32 m 200 0xDEADBEEFl;
+  Alcotest.(check int32) "i32 roundtrip" 0xDEADBEEFl (Memory.read_i32 m 200)
+
+let test_memory_f32 () =
+  let m = Memory.create () in
+  Memory.write_f32 m 0 3.14159265358979;
+  let v = Memory.read_f32 m 0 in
+  (* binary32 rounding: exact float64 is not recoverable *)
+  Alcotest.(check bool) "f32 rounding applied" true (Float.abs (v -. 3.14159265358979) > 0.0);
+  Alcotest.(check bool) "f32 close" true (Float.abs (v -. 3.14159265358979) < 1e-6);
+  Memory.write_f32 m 4 1.5;
+  Alcotest.(check (float 0.0)) "dyadic value exact" 1.5 (Memory.read_f32 m 4)
+
+let test_memory_chunk_boundary () =
+  let m = Memory.create () in
+  (* 64 KB chunks: write across the boundary *)
+  let addr = (64 * 1024) - 2 in
+  Memory.write_bytes m addr (Bytes.of_string "wxyz");
+  Alcotest.(check string) "crosses chunk boundary" "wxyz"
+    (Bytes.to_string (Memory.read_bytes m addr 4))
+
+let test_memory_bounds () =
+  let m = Memory.create ~config:{ Memory.default_config with Memory.size_bytes = 1024 } () in
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Memory.read_u8 m 1024);
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_burst_latency () =
+  let m = Memory.create () in
+  let l0 = Memory.burst_latency m ~bytes:0 in
+  Alcotest.(check int) "fixed cost" (50 * Time_base.ps_per_ns) l0;
+  let l64 = Memory.burst_latency m ~bytes:64 in
+  Alcotest.(check bool) "bandwidth term" true (l64 > l0)
+
+(* ---------- Cache ---------- *)
+
+let flat_next latency = fun _ ~addr:_ ~bytes:_ -> latency
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~next:(flat_next 100_000) () in
+  let lat_miss = Cache.access c Cache.Read ~addr:0 in
+  let lat_hit = Cache.access c Cache.Read ~addr:4 in
+  Alcotest.(check bool) "miss slower than hit" true (lat_miss > lat_hit);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "hit latency" (Cache.config c).Cache.hit_latency_ps lat_hit
+
+let test_cache_line_granularity () =
+  let c = Cache.create ~next:(flat_next 100_000) () in
+  ignore (Cache.access c Cache.Read ~addr:128);
+  (* all bytes of the same 64-byte line hit *)
+  for offset = 0 to 63 do
+    ignore (Cache.access c Cache.Read ~addr:(128 + offset))
+  done;
+  Alcotest.(check int) "line-granular hits" 64 (Cache.stats c).Cache.hits
+
+let test_cache_lru_eviction () =
+  (* Tiny cache: 2 sets x 2 ways x 16-byte lines = 64 bytes. *)
+  let config =
+    { Cache.name = "tiny"; size_bytes = 64; line_bytes = 16; ways = 2; hit_latency_ps = 1 }
+  in
+  let c = Cache.create ~config ~next:(flat_next 100) () in
+  (* Three lines mapping to set 0 (line addresses 0, 2, 4 mod 2 = 0). *)
+  ignore (Cache.access c Cache.Read ~addr:0);
+  ignore (Cache.access c Cache.Read ~addr:32);
+  ignore (Cache.access c Cache.Read ~addr:0);
+  (* touch 0 so 32 is LRU *)
+  ignore (Cache.access c Cache.Read ~addr:64);
+  (* evicts 32 *)
+  ignore (Cache.access c Cache.Read ~addr:0);
+  Alcotest.(check int) "0 still resident" 2 (Cache.stats c).Cache.hits;
+  ignore (Cache.access c Cache.Read ~addr:32);
+  Alcotest.(check int) "32 was evicted" 4 (Cache.stats c).Cache.misses
+
+let test_cache_writeback_on_eviction () =
+  let writes_below = ref 0 in
+  let next op ~addr:_ ~bytes:_ =
+    if op = Cache.Write then incr writes_below;
+    100
+  in
+  let config =
+    { Cache.name = "tiny"; size_bytes = 32; line_bytes = 16; ways = 2; hit_latency_ps = 1 }
+  in
+  let c = Cache.create ~config ~next () in
+  ignore (Cache.access c Cache.Write ~addr:0);
+  Alcotest.(check int) "no writeback yet (write-back policy)" 0 !writes_below;
+  ignore (Cache.access c Cache.Read ~addr:16);
+  ignore (Cache.access c Cache.Read ~addr:32);
+  (* evicts dirty line 0 *)
+  Alcotest.(check int) "dirty eviction wrote back" 1 !writes_below
+
+let test_cache_flush () =
+  let writes_below = ref 0 in
+  let next op ~addr:_ ~bytes:_ =
+    if op = Cache.Write then incr writes_below;
+    100
+  in
+  let c = Cache.create ~next () in
+  ignore (Cache.access c Cache.Write ~addr:0);
+  ignore (Cache.access c Cache.Write ~addr:64);
+  ignore (Cache.access c Cache.Read ~addr:128);
+  Alcotest.(check int) "two dirty lines" 2 (Cache.dirty_lines c);
+  let lat = Cache.flush c in
+  Alcotest.(check int) "flushed both" 2 !writes_below;
+  Alcotest.(check bool) "flush has cost" true (lat > 0);
+  Alcotest.(check int) "cache empty" 0 (Cache.dirty_lines c);
+  ignore (Cache.access c Cache.Read ~addr:0);
+  Alcotest.(check int) "everything invalidated" 4 (Cache.stats c).Cache.misses;
+  Alcotest.(check int) "flushed bytes tracked" 128 (Cache.stats c).Cache.flushed_bytes
+
+let qcheck_cache_latency_positive =
+  QCheck.Test.make ~name:"cache access latency is always positive" ~count:200
+    QCheck.(pair (int_bound 100_000) bool)
+    (fun (addr, write) ->
+      let c = Cache.create ~next:(flat_next 1000) () in
+      let op = if write then Cache.Write else Cache.Read in
+      Cache.access c op ~addr > 0)
+
+(* ---------- Bus / DMA / MMIO ---------- *)
+
+let test_bus_latency_and_traffic () =
+  let b = Bus.create () in
+  let l1 = Bus.transfer b ~master:"cpu" ~bytes:64 in
+  let l2 = Bus.transfer b ~master:"cim-dma" ~bytes:4096 in
+  Alcotest.(check bool) "bigger transfer slower" true (l2 > l1);
+  Alcotest.(check (list (pair string int)))
+    "per-master traffic"
+    [ ("cim-dma", 4096); ("cpu", 64) ]
+    (Bus.traffic b);
+  Alcotest.(check int) "total" 4160 (Bus.total_bytes b)
+
+let test_dma_roundtrip () =
+  let bus = Bus.create () in
+  let memory = Memory.create () in
+  let dma = Dma.create ~bus ~memory () in
+  let lat_w = Dma.write dma ~addr:4096 (Bytes.of_string "hello-cim") in
+  let data, lat_r = Dma.read dma ~addr:4096 ~bytes:9 in
+  Alcotest.(check string) "data through DMA" "hello-cim" (Bytes.to_string data);
+  Alcotest.(check bool) "latencies positive" true (lat_w > 0 && lat_r > 0);
+  Alcotest.(check int) "bytes read" 9 (Dma.bytes_read dma);
+  Alcotest.(check int) "bytes written" 9 (Dma.bytes_written dma);
+  Alcotest.(check int) "dma traffic visible on bus" 18 (Bus.total_bytes bus)
+
+let test_mmio_dispatch () =
+  let io = Mmio.create () in
+  let reg = ref 0l in
+  let handler =
+    {
+      Mmio.read = (fun ~offset -> if offset = 0 then !reg else Int32.of_int offset);
+      write = (fun ~offset v -> if offset = 0 then reg := v);
+    }
+  in
+  Mmio.map io ~base:0x4000 ~size:64 handler;
+  Mmio.write io ~addr:0x4000 42l;
+  Alcotest.(check int32) "register write visible" 42l (Mmio.read io ~addr:0x4000);
+  Alcotest.(check int32) "offset dispatch" 8l (Mmio.read io ~addr:0x4008);
+  Alcotest.(check int) "read count" 2 (Mmio.reads io)
+
+let test_mmio_overlap_rejected () =
+  let io = Mmio.create () in
+  let handler = { Mmio.read = (fun ~offset:_ -> 0l); write = (fun ~offset:_ _ -> ()) } in
+  Mmio.map io ~base:0x1000 ~size:0x100 handler;
+  Alcotest.(check bool) "overlap raises" true
+    (try
+       Mmio.map io ~base:0x10F0 ~size:0x20 handler;
+       false
+     with Invalid_argument _ -> true)
+
+let test_mmio_unmapped () =
+  let io = Mmio.create () in
+  Alcotest.check_raises "unmapped read" (Failure "Mmio: unmapped address 0x99") (fun () ->
+      ignore (Mmio.read io ~addr:0x99))
+
+(* ---------- CPU ---------- *)
+
+let make_hierarchy () =
+  let memory = Memory.create () in
+  let next_mem op ~addr:_ ~bytes =
+    ignore op;
+    Memory.burst_latency memory ~bytes
+  in
+  let l2 = Cache.create ~config:Cache.l2_arm_a7 ~next:next_mem () in
+  let l1d = Cache.create ~config:Cache.l1d_arm_a7 ~next:(fun op ~addr ~bytes:_ -> Cache.access l2 op ~addr) () in
+  (memory, l1d, l2)
+
+let test_cpu_counts_and_cycles () =
+  let _, l1d, _ = make_hierarchy () in
+  let cpu = Cpu.create ~l1d () in
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.issue cpu Cpu.Fp_mac;
+  Cpu.issue cpu ~addr:64 Cpu.Load;
+  Alcotest.(check int) "instructions" 3 (Cpu.instructions cpu);
+  Alcotest.(check int) "class count" 1 (Cpu.class_count cpu Cpu.Fp_mac);
+  Alcotest.(check bool) "cycles include memory latency" true (Cpu.cycles cpu > 1 + 8 + 1)
+
+let test_cpu_load_requires_addr () =
+  let _, l1d, _ = make_hierarchy () in
+  let cpu = Cpu.create ~l1d () in
+  Alcotest.(check bool) "load without addr raises" true
+    (try
+       Cpu.issue cpu Cpu.Load;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cpu_locality_speedup () =
+  (* Streaming the same line must be much faster than striding lines. *)
+  let _, l1d_a, _ = make_hierarchy () in
+  let cpu_hit = Cpu.create ~l1d:l1d_a () in
+  for _ = 1 to 1000 do
+    Cpu.issue cpu_hit ~addr:0 Cpu.Load
+  done;
+  let _, l1d_b, _ = make_hierarchy () in
+  let cpu_miss = Cpu.create ~l1d:l1d_b () in
+  for i = 0 to 999 do
+    Cpu.issue cpu_miss ~addr:(i * 4096 * 64) Cpu.Load
+  done;
+  Alcotest.(check bool) "cache locality visible in cycles" true
+    (Cpu.cycles cpu_miss > 10 * Cpu.cycles cpu_hit)
+
+let test_cpu_roi () =
+  let _, l1d, _ = make_hierarchy () in
+  let cpu = Cpu.create ~l1d () in
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.roi_begin cpu;
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.roi_end cpu;
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.roi_begin cpu;
+  Cpu.issue cpu Cpu.Int_alu;
+  Cpu.roi_end cpu;
+  let r = Cpu.roi cpu in
+  Alcotest.(check int) "roi instructions accumulate" 3 r.Cpu.roi_instructions;
+  Alcotest.(check int) "roi cycles" 3 r.Cpu.roi_cycles
+
+let test_cpu_roi_misuse () =
+  let _, l1d, _ = make_hierarchy () in
+  let cpu = Cpu.create ~l1d () in
+  Alcotest.check_raises "end without begin" (Failure "Cpu.roi_end: no ROI window open")
+    (fun () -> Cpu.roi_end cpu);
+  Cpu.roi_begin cpu;
+  Alcotest.check_raises "double begin" (Failure "Cpu.roi_begin: ROI window already open")
+    (fun () -> Cpu.roi_begin cpu)
+
+let test_cpu_stall () =
+  let _, l1d, _ = make_hierarchy () in
+  let cpu = Cpu.create ~l1d () in
+  let t0 = Cpu.time_ps cpu in
+  Cpu.stall_ps cpu 5000;
+  Alcotest.(check int) "stall advances time" (t0 + 5000) (Cpu.time_ps cpu);
+  Alcotest.(check int) "stall retires nothing" 0 (Cpu.instructions cpu)
+
+let suites =
+  [
+    ( "sim.time",
+      [ Alcotest.test_case "conversions" `Quick test_time_conversions ] );
+    ( "sim.events",
+      [
+        Alcotest.test_case "time order" `Quick test_event_order;
+        Alcotest.test_case "FIFO ties" `Quick test_event_same_time_fifo;
+        Alcotest.test_case "cascade" `Quick test_event_cascade;
+        Alcotest.test_case "run_until" `Quick test_event_run_until;
+        Alcotest.test_case "no past scheduling" `Quick test_event_past_rejected;
+      ] );
+    ( "sim.memory",
+      [
+        Alcotest.test_case "byte/i32 roundtrip" `Quick test_memory_rw;
+        Alcotest.test_case "f32 semantics" `Quick test_memory_f32;
+        Alcotest.test_case "chunk boundary" `Quick test_memory_chunk_boundary;
+        Alcotest.test_case "bounds" `Quick test_memory_bounds;
+        Alcotest.test_case "burst latency" `Quick test_memory_burst_latency;
+      ] );
+    ( "sim.cache",
+      [
+        Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+        Alcotest.test_case "line granularity" `Quick test_cache_line_granularity;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "writeback on eviction" `Quick test_cache_writeback_on_eviction;
+        Alcotest.test_case "flush (coherence)" `Quick test_cache_flush;
+        QCheck_alcotest.to_alcotest qcheck_cache_latency_positive;
+      ] );
+    ( "sim.interconnect",
+      [
+        Alcotest.test_case "bus latency/traffic" `Quick test_bus_latency_and_traffic;
+        Alcotest.test_case "dma roundtrip" `Quick test_dma_roundtrip;
+        Alcotest.test_case "mmio dispatch" `Quick test_mmio_dispatch;
+        Alcotest.test_case "mmio overlap" `Quick test_mmio_overlap_rejected;
+        Alcotest.test_case "mmio unmapped" `Quick test_mmio_unmapped;
+      ] );
+    ( "sim.cpu",
+      [
+        Alcotest.test_case "counts/cycles" `Quick test_cpu_counts_and_cycles;
+        Alcotest.test_case "load needs addr" `Quick test_cpu_load_requires_addr;
+        Alcotest.test_case "locality speedup" `Quick test_cpu_locality_speedup;
+        Alcotest.test_case "roi windows" `Quick test_cpu_roi;
+        Alcotest.test_case "roi misuse" `Quick test_cpu_roi_misuse;
+        Alcotest.test_case "stall" `Quick test_cpu_stall;
+      ] );
+  ]
+
+(* ---------- additional edge cases ---------- *)
+
+let test_event_advance_to () =
+  let q = Event_queue.create () in
+  Event_queue.advance_to q ~time:500;
+  Alcotest.(check int) "clock moved" 500 (Event_queue.now q);
+  Event_queue.advance_to q ~time:100;
+  Alcotest.(check int) "never backwards" 500 (Event_queue.now q);
+  Alcotest.(check int) "nothing executed" 0 (Event_queue.executed q)
+
+let test_event_executed_count () =
+  let q = Event_queue.create () in
+  for i = 1 to 5 do
+    Event_queue.schedule q ~delay:i ~name:"e" (fun () -> ())
+  done;
+  Event_queue.run_all q;
+  Alcotest.(check int) "five executed" 5 (Event_queue.executed q);
+  Alcotest.(check bool) "empty queue run_next" false (Event_queue.run_next q)
+
+let test_memory_access_counters () =
+  let m = Memory.create () in
+  Memory.write_f32 m 0 1.0;
+  ignore (Memory.read_f32 m 0);
+  ignore (Memory.read_bytes m 0 16);
+  Alcotest.(check int) "write bytes counted" 4 (Memory.writes m);
+  Alcotest.(check int) "read bytes counted" 20 (Memory.reads m)
+
+let test_bus_transfer_count () =
+  let b = Bus.create () in
+  ignore (Bus.transfer b ~master:"cpu" ~bytes:64);
+  ignore (Bus.transfer b ~master:"cpu" ~bytes:0);
+  Alcotest.(check int) "transfers counted" 2 (Bus.transfers b);
+  Alcotest.(check bool) "zero-byte transfer still arbitrates" true
+    (Bus.transfer b ~master:"cpu" ~bytes:0 > 0)
+
+let test_cache_dirty_then_reset () =
+  let c = Cache.create ~next:(fun _ ~addr:_ ~bytes:_ -> 10) () in
+  ignore (Cache.access c Cache.Write ~addr:0);
+  ignore (Cache.access c Cache.Write ~addr:4);
+  Alcotest.(check int) "same line stays one dirty line" 1 (Cache.dirty_lines c);
+  Cache.reset_stats c;
+  Alcotest.(check int) "stats cleared" 0 (Cache.stats c).Cache.hits;
+  Alcotest.(check int) "state survives stats reset" 1 (Cache.dirty_lines c)
+
+let test_time_roundtrip () =
+  Alcotest.(check int) "ps_of_seconds inverse" 1_500_000
+    (Time_base.ps_of_seconds (Time_base.seconds_of_ps 1_500_000))
+
+let edge_suite =
+  ( "sim.edges",
+    [
+      Alcotest.test_case "advance_to" `Quick test_event_advance_to;
+      Alcotest.test_case "executed count" `Quick test_event_executed_count;
+      Alcotest.test_case "memory counters" `Quick test_memory_access_counters;
+      Alcotest.test_case "bus transfer count" `Quick test_bus_transfer_count;
+      Alcotest.test_case "cache dirty/reset" `Quick test_cache_dirty_then_reset;
+      Alcotest.test_case "time roundtrip" `Quick test_time_roundtrip;
+    ] )
+
+let suites = suites @ [ edge_suite ]

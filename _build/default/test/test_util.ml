@@ -1,0 +1,168 @@
+open Tdo_util
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Prng.next_int64 a) (Prng.next_int64 b);
+  let _ = Prng.next_int64 a in
+  (* advancing a must not advance b *)
+  let va = Prng.next_int64 a and vb = Prng.next_int64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (va <> vb)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g ~bound:17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g ~bound:3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_float_range () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.float_range g ~lo:(-2.0) ~hi:5.0 in
+    Alcotest.(check bool) "in range" true (v >= -2.0 && v < 5.0)
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:4 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_gaussian_moments () =
+  let g = Prng.create ~seed:5 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Prng.gaussian g ~mu:3.0 ~sigma:2.0) in
+  Alcotest.(check bool) "mean near mu" true (Float.abs (Stats.mean xs -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near sigma" true (Float.abs (Stats.stddev xs -. 2.0) < 0.1)
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+let test_mean () = check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+let test_geomean () = check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ])
+
+let test_geomean_positive_only () =
+  Alcotest.check_raises "rejects zero" (Invalid_argument "Stats.geomean: non-positive sample")
+    (fun () -> ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_mean_empty () =
+  Alcotest.check_raises "rejects empty" (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stddev () = check_float "stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+let test_minmax () =
+  check_float "min" (-1.0) (Stats.minimum [ 3.0; -1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; -1.0; 2.0 ])
+
+let test_percentile () =
+  check_float "median" 2.5 (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:50.0);
+  check_float "p0" 1.0 (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:0.0);
+  check_float "p100" 4.0 (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:100.0)
+
+let test_ratio_zero () =
+  Alcotest.check_raises "rejects zero denominator"
+    (Invalid_argument "Stats.ratio: zero denominator") (fun () -> ignore (Stats.ratio 1.0 0.0))
+
+let test_table_render () =
+  let columns = [ Pretty.column "kernel"; Pretty.column ~align:Pretty.Right "energy" ] in
+  let rows = [ [ "gemm"; "1.00" ]; [ "mvt"; "12.50" ] ] in
+  let s = Pretty.render ~columns ~rows in
+  Alcotest.(check bool) "contains header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + rule + 2 rows (+ trailing)" 5 (List.length lines)
+
+let test_table_arity () =
+  Alcotest.check_raises "rejects ragged rows"
+    (Invalid_argument "Pretty.render: row arity mismatch") (fun () ->
+      ignore (Pretty.render ~columns:[ Pretty.column "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let test_si_float () =
+  Alcotest.(check string) "nano" "3.20n" (Pretty.si_float 3.2e-9);
+  Alcotest.(check string) "mega" "42.00M" (Pretty.si_float 42e6);
+  Alcotest.(check string) "unit" "1.50" (Pretty.si_float 1.5);
+  Alcotest.(check string) "pico" "200.00p" (Pretty.si_float 200e-12)
+
+let qcheck_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.001 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let g = Tdo_util.Stats.geomean xs in
+      g >= Tdo_util.Stats.minimum xs -. 1e-9 && g <= Tdo_util.Stats.maximum xs +. 1e-9)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Tdo_util.Stats.percentile xs ~p:lo <= Tdo_util.Stats.percentile xs ~p:hi +. 1e-9)
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+        Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "geomean rejects non-positive" `Quick test_geomean_positive_only;
+        Alcotest.test_case "mean rejects empty" `Quick test_mean_empty;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "min/max" `Quick test_minmax;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "ratio zero" `Quick test_ratio_zero;
+        QCheck_alcotest.to_alcotest qcheck_geomean_between_min_max;
+        QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+      ] );
+    ( "util.pretty",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "arity check" `Quick test_table_arity;
+        Alcotest.test_case "si formatting" `Quick test_si_float;
+      ] );
+  ]
+
+let test_pretty_alignment () =
+  let s =
+    Tdo_util.Pretty.render
+      ~columns:
+        [ Tdo_util.Pretty.column "name"; Tdo_util.Pretty.column ~align:Tdo_util.Pretty.Right "v" ]
+      ~rows:[ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  let row1 = List.nth lines 2 and row2 = List.nth lines 3 in
+  Alcotest.(check bool) "left column padded right" true (String.length row1 = String.length row2);
+  Alcotest.(check bool) "right column right-aligned" true
+    (String.get row1 (String.length row1 - 1) = '1'
+    && String.get row2 (String.length row2 - 1) = '2')
+
+let alignment_suite =
+  ("util.alignment", [ Alcotest.test_case "column alignment" `Quick test_pretty_alignment ])
+
+let suites = suites @ [ alignment_suite ]
