@@ -8,6 +8,9 @@
 open Cmdliner
 module Flow = Tdo_cim.Flow
 module Offload = Tdo_tactics.Offload
+module Pipeline = Tdo_tactics.Pipeline
+module Diag = Tdo_analysis.Diag
+module Lint = Tdo_analysis.Lint
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file.")
@@ -51,6 +54,34 @@ let run_flag =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for --run data.")
 
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the offload lint rules over the input IR: profitability (W001), crossbar overflow \
+           (W002), endurance budget (W003), dead stores and unused arrays (W004/W005).")
+
+let wall_flag =
+  Arg.(
+    value & flag
+    & info [ "Wall" ] ~doc:"With $(b,--lint): also print the informational notes (N0xx).")
+
+let verify_flag =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ]
+        ~doc:
+          "Verify the IR and schedule tree before the pipeline, validate every rewrite the \
+           tactics pipeline commits to, and re-verify the generated IR. On a verification error \
+           the host path is kept and tdoc exits non-zero.")
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain-no-offload" ]
+        ~doc:"When nothing was offloaded, explain why (SCoP obstruction or kernel shape).")
+
 (* Synthesised arguments: deterministic random arrays, conventional
    scalar values for the usual BLAS parameter names. *)
 let synthesise_args ~seed (f : Tdo_ir.Ir.func) =
@@ -89,17 +120,13 @@ let execute ~seed f =
       m.Flow.launches m.Flow.cim_macs m.Flow.cim_write_bytes m.Flow.macs_per_cim_write
   else print_endline "CIM: not used (host only)"
 
-let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed =
+let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint wall verify explain
+    =
   ignore o3;
   let source = In_channel.with_open_text file In_channel.input_all in
-  let options =
-    {
-      Flow.enable_loop_tactics = tactics;
-      tactics =
-        { Offload.default_config with Offload.naive_pin; min_intensity };
-    }
-  in
-  match Flow.compile ~options source with
+  let tcfg = { Offload.default_config with Offload.naive_pin; min_intensity } in
+  let options = { Flow.enable_loop_tactics = tactics; tactics = tcfg } in
+  match Flow.compile_checked ~options ~verify source with
   | exception Tdo_lang.Lexer.Lex_error { line; message } ->
       Printf.eprintf "%s:%d: lexical error: %s\n" file line message;
       exit 1
@@ -109,11 +136,54 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed =
   | exception Tdo_lang.Typecheck.Type_error message ->
       Printf.eprintf "%s: type error: %s\n" file message;
       exit 1
-  | f, tactics_report ->
+  | compiled ->
+      let f = compiled.Flow.func in
+      let rejected =
+        match compiled.Flow.outcome with Some (Pipeline.Rejected _) -> true | _ -> false
+      in
+      if verify && compiled.Flow.diagnostics <> [] then
+        Format.printf "%a@." Diag.pp_list (Diag.by_severity compiled.Flow.diagnostics);
+      if rejected then
+        Printf.eprintf "%s: verification rejected the rewrite; keeping the host path\n" file;
+      let tactics_report =
+        match compiled.Flow.outcome with Some (Pipeline.Offloaded r) -> Some r | _ -> None
+      in
+      let offloaded =
+        match tactics_report with Some r -> r.Offload.kernels_offloaded > 0 | None -> false
+      in
+      if lint || wall || (explain && not offloaded) then begin
+        let f0 = Tdo_ir.Lower.func (Tdo_lang.Parser.parse_func source) in
+        let lcfg =
+          {
+            Lint.default_config with
+            Lint.xbar_rows = tcfg.Offload.xbar_rows;
+            xbar_cols = tcfg.Offload.xbar_cols;
+            enable_tiling = tcfg.Offload.enable_tiling;
+            min_intensity =
+              (match tcfg.Offload.min_intensity with
+              | Some t -> t
+              | None -> Lint.default_config.Lint.min_intensity);
+          }
+        in
+        let ds = Lint.run ~config:lcfg f0 in
+        let shown =
+          List.filter
+            (fun (d : Diag.t) ->
+              match d.Diag.severity with
+              | Diag.Error | Diag.Warning -> lint || wall || explain
+              | Diag.Note -> wall || explain)
+            ds
+        in
+        if shown <> [] then Format.printf "%a@." Diag.pp_list (Diag.by_severity shown)
+        else if lint || wall then Printf.printf "lint: clean\n"
+      end;
+      if explain && offloaded then print_endline "loop-tactics: kernels were offloaded";
       if report then begin
         match tactics_report with
         | None ->
-            if tactics then print_endline "loop-tactics: function body is not a SCoP; host path"
+            if rejected then print_endline "loop-tactics: rewrite rejected by verification"
+            else if tactics then
+              print_endline "loop-tactics: function body is not a SCoP; host path"
             else print_endline "loop-tactics: disabled"
         | Some r ->
             Printf.printf
@@ -123,15 +193,18 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed =
       end;
       if emit_ir then Format.printf "%a@." Tdo_ir.Ir.pp_func f;
       if do_run then execute ~seed f;
-      if (not emit_ir) && (not report) && not do_run then
+      if (not emit_ir) && (not report) && (not do_run) && not (lint || wall || verify || explain)
+      then
         Printf.printf "compiled %s (%s)\n" file
-          (if Tdo_ir.Ir.contains_cim_calls f then "with CIM offload" else "host only")
+          (if Tdo_ir.Ir.contains_cim_calls f then "with CIM offload" else "host only");
+      if rejected || (verify && Diag.errors compiled.Flow.diagnostics <> []) then exit 1
 
 let cmd =
   let info = Cmd.info "tdoc" ~doc:"TDO-CIM compiler driver." in
   Cmd.v info
     Term.(
       const run $ file_arg $ o3_flag $ tactics_flag $ emit_ir_flag $ report_flag
-      $ naive_pin_flag $ selective_arg $ run_flag $ seed_arg)
+      $ naive_pin_flag $ selective_arg $ run_flag $ seed_arg $ lint_flag $ wall_flag
+      $ verify_flag $ explain_flag)
 
 let () = exit (Cmd.eval cmd)

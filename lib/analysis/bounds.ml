@@ -1,0 +1,178 @@
+module St = Tdo_poly.Schedule_tree
+module Affine = Tdo_poly.Affine
+module Access = Tdo_poly.Access
+module Ir = Tdo_ir.Ir
+module Ast = Tdo_lang.Ast
+
+let const_of_expr e =
+  match Affine.of_expr e with Some a -> Affine.is_constant a | None -> None
+
+(* Extreme value of an affine form when each variable ranges over its
+   (inclusive) extent; [None] when some variable has no extent. *)
+let corner ~extents ~maximise idx =
+  let pick v c =
+    match List.assoc_opt v extents with
+    | None -> None
+    | Some (lo, hi) -> Some (v, if (c > 0) = maximise then hi else lo)
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match pick v (Affine.coeff idx v) with
+        | None -> None
+        | Some binding -> go (binding :: acc) rest)
+  in
+  match go [] (Affine.vars idx) with
+  | None -> None
+  | Some assignment ->
+      let value =
+        List.fold_left
+          (fun acc (v, x) -> acc + (Affine.coeff idx v * x))
+          (Affine.constant idx) assignment
+      in
+      Some (value, assignment)
+
+let witness_string = function
+  | [] -> "the empty iteration point"
+  | assignment ->
+      String.concat ", " (List.map (fun (v, x) -> Printf.sprintf "%s = %d" v x) assignment)
+
+let pp_affine a = Format.asprintf "%a" Affine.pp a
+
+(* One subscript against one declared extent. *)
+let check_axis ~extents ~array ~axis ~extent idx =
+  match (corner ~extents ~maximise:true idx, corner ~extents ~maximise:false idx) with
+  | Some (hi, hi_at), Some (lo, lo_at) ->
+      (if hi >= extent then
+         [
+           Diag.errorf "E201"
+             ~hint:"shrink the loop range or the subscript offset"
+             "out-of-bounds access: '%s' dimension %d has extent %d but subscript %s reaches %d at %s"
+             array axis extent (pp_affine idx) hi (witness_string hi_at);
+         ]
+       else [])
+      @
+      if lo < 0 then
+        [
+          Diag.errorf "E202"
+            ~hint:"negative subscripts fall before the array"
+            "out-of-bounds access: '%s' dimension %d subscript %s reaches %d at %s" array axis
+            (pp_affine idx) lo (witness_string lo_at);
+        ]
+      else []
+  | _ ->
+      [
+        Diag.notef "N203"
+          "access to '%s' dimension %d not provable: subscript %s ranges over a non-constant \
+           loop bound"
+          array axis (pp_affine idx);
+      ]
+
+let check_access ~extents ~dims (a : Access.t) =
+  match List.assoc_opt a.Access.array dims with
+  | None -> []
+  | Some ds when List.length ds <> List.length a.Access.indices -> []
+  | Some ds ->
+      List.concat
+        (List.mapi
+           (fun axis (extent, idx) -> check_axis ~extents ~array:a.Access.array ~axis ~extent idx)
+           (List.combine ds a.Access.indices))
+
+(* Operand window of a runtime call: rows x cols starting at the
+   (affine) element offsets. A 1-D array is an n x 1 column. *)
+let check_mat_ref ~extents ~dims (r : Ir.mat_ref) =
+  match List.assoc_opt r.Ir.array dims with
+  | None -> []
+  | Some ds -> (
+      let d0, d1 = match ds with [ n ] -> (n, 1) | [ a; b ] -> (a, b) | _ -> (0, 0) in
+      if d0 = 0 then []
+      else
+        match (Affine.of_expr r.Ir.row_off, Affine.of_expr r.Ir.col_off) with
+        | Some ro, Some co ->
+            let span phys_rows = Affine.add ro (Affine.const (phys_rows - 1)) in
+            (* op(M) = M^T swaps which extent runs down the rows *)
+            let rows, cols = if r.Ir.trans then (r.Ir.cols, r.Ir.rows) else (r.Ir.rows, r.Ir.cols) in
+            check_axis ~extents ~array:r.Ir.array ~axis:0 ~extent:d0 (span rows)
+            @ check_axis ~extents ~array:r.Ir.array ~axis:1 ~extent:d1
+                (Affine.add co (Affine.const (cols - 1)))
+        | _ -> [])
+
+let call_mat_refs = function
+  | Ir.Cim_gemm { a; b; c; _ } -> [ a; b; c ]
+  | Ir.Cim_gemm_batched { batch; _ } -> List.concat_map (fun (a, b, c) -> [ a; b; c ]) batch
+  | Ir.Cim_init | Ir.Cim_alloc _ | Ir.Cim_h2d _ | Ir.Cim_d2h _ | Ir.Cim_free _ | Ir.Cim_im2col _
+    -> []
+
+let accesses_of_assign (lhs : Ast.lvalue) rhs =
+  let w = match Access.of_lvalue lhs with Some a when a.Access.indices <> [] -> [ a ] | _ -> [] in
+  let r = match Access.reads_of_expr rhs with Some rs -> rs | None -> [] in
+  w @ r
+
+let func (f : Ir.func) =
+  let diags = ref [] in
+  let emit ds = diags := !diags @ ds in
+  let dims =
+    ref
+      (List.filter_map
+         (fun (p : Ast.param) -> if p.Ast.dims = [] then None else Some (p.Ast.pname, p.Ast.dims))
+         f.Ir.params)
+  in
+  let rec walk extents (stmt : Ir.stmt) =
+    match stmt with
+    | Ir.For { var; lo; hi; step; body } ->
+        let extents' =
+          match (const_of_expr lo, const_of_expr hi) with
+          | Some l, Some h when step > 0 && h > l ->
+              let last = l + (step * ((h - 1 - l) / step)) in
+              (var, (l, last)) :: extents
+          | _ -> extents
+        in
+        List.iter (walk extents') body
+    | Ir.Assign { lhs; rhs; _ } ->
+        List.iter (fun a -> emit (check_access ~extents ~dims:!dims a)) (accesses_of_assign lhs rhs)
+    | Ir.Decl_array { name; dims = ds } -> dims := (name, ds) :: !dims
+    | Ir.Decl_scalar { init = Some e; _ } ->
+        List.iter
+          (fun a -> emit (check_access ~extents ~dims:!dims a))
+          (match Access.reads_of_expr e with Some rs -> rs | None -> [])
+    | Ir.Decl_scalar _ -> ()
+    | Ir.Call call -> List.iter (fun r -> emit (check_mat_ref ~extents ~dims:!dims r)) (call_mat_refs call)
+    | Ir.Roi_begin | Ir.Roi_end -> ()
+  in
+  List.iter (walk []) f.Ir.body;
+  !diags
+
+let tree ?(dims = []) t =
+  let extents_of bands =
+    List.filter_map
+      (fun (b : St.band) ->
+        match (Affine.is_constant b.St.lo, Affine.is_constant b.St.hi) with
+        | Some l, Some h when b.St.step > 0 && h > l ->
+            Some (b.St.iter, (l, l + (b.St.step * ((h - 1 - l) / b.St.step))))
+        | _ -> None)
+      bands
+  in
+  let of_stmt (bands, (s : St.stmt_info)) =
+    let extents = extents_of bands in
+    List.concat_map (check_access ~extents ~dims) (s.St.write :: s.St.reads)
+  in
+  let rec code_stmts = function
+    | St.Code stmts -> stmts
+    | St.Band (_, c) | St.Mark (_, c) -> code_stmts c
+    | St.Seq cs -> List.concat_map code_stmts cs
+    | St.Stmt _ -> []
+  in
+  let rec calls extents (s : Ir.stmt) =
+    match s with
+    | Ir.Call c -> List.concat_map (check_mat_ref ~extents ~dims) (call_mat_refs c)
+    | Ir.For { var; lo; hi; step; body } ->
+        let extents' =
+          match (const_of_expr lo, const_of_expr hi) with
+          | Some l, Some h when step > 0 && h > l ->
+              (var, (l, l + (step * ((h - 1 - l) / step)))) :: extents
+          | _ -> extents
+        in
+        List.concat_map (calls extents') body
+    | _ -> []
+  in
+  List.concat_map of_stmt (St.stmts_with_context t) @ List.concat_map (calls []) (code_stmts t)

@@ -1,0 +1,246 @@
+module St = Tdo_poly.Schedule_tree
+module Affine = Tdo_poly.Affine
+module Access = Tdo_poly.Access
+module Deps = Tdo_poly.Deps
+module Scop_detect = Tdo_poly.Scop_detect
+module Endurance = Tdo_pcm.Endurance
+module Ir = Tdo_ir.Ir
+module Ast = Tdo_lang.Ast
+module Strings = Deps.Strings
+
+type config = {
+  xbar_rows : int;
+  xbar_cols : int;
+  enable_tiling : bool;
+  min_intensity : float;
+  cell_endurance : float;
+  invocations_per_second : float;
+  min_lifetime_years : float;
+}
+
+let default_config =
+  {
+    xbar_rows = 256;
+    xbar_cols = 256;
+    enable_tiling = true;
+    min_intensity = 4.0;
+    cell_endurance = 1e7;
+    invocations_per_second = 1.0;
+    min_lifetime_years = 1.0;
+  }
+
+(* ---------- W004 / W005: dead stores and unused arrays ---------- *)
+
+let func ?(config = default_config) (f : Ir.func) =
+  ignore config;
+  let reads, writes =
+    List.fold_left
+      (fun (r, w) stmt ->
+        let r', w' = Deps.ir_arrays stmt in
+        (Strings.union r r', Strings.union w w'))
+      (Strings.empty, Strings.empty) f.Ir.body
+  in
+  let rec locals (stmt : Ir.stmt) =
+    match stmt with
+    | Ir.Decl_array { name; _ } -> [ name ]
+    | Ir.For { body; _ } -> List.concat_map locals body
+    | _ -> []
+  in
+  let local_arrays = List.concat_map locals f.Ir.body in
+  let param_arrays =
+    List.filter_map (fun (p : Ast.param) -> if p.Ast.dims = [] then None else Some p.Ast.pname) f.Ir.params
+  in
+  let unused name kind =
+    if (not (Strings.mem name reads)) && not (Strings.mem name writes) then
+      [ Diag.warningf "W005" "unused %s '%s'" kind name ]
+    else []
+  in
+  List.concat_map
+    (fun name ->
+      if Strings.mem name writes && not (Strings.mem name reads) then
+        [
+          Diag.warningf "W004"
+            ~hint:"a local array's final values are unobservable; delete the stores or return them"
+            "dead stores: local array '%s' is written but never read" name;
+        ]
+      else unused name "local array")
+    local_arrays
+  @ List.concat_map (fun name -> unused name "array parameter") param_arrays
+
+(* ---------- W001 / W002 / W003: offload profitability ---------- *)
+
+type candidate = {
+  sid : int;
+  target : string;  (** written array *)
+  pinned : string;  (** operand a crossbar mapping would pin *)
+  macs : int;  (** statement instances = multiply-accumulates *)
+  footprint : int;  (** cells of the pinned operand's region *)
+  pinned_rows : int;
+  pinned_cols : int;
+}
+
+let box_cells box =
+  List.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1 (Tdo_poly.Domain.box_bounds box)
+
+let box_shape box =
+  match Tdo_poly.Domain.box_bounds box with
+  | [ (l0, h0) ] -> (h0 - l0 + 1, 1)
+  | [ (l0, h0); (l1, h1) ] -> (h0 - l0 + 1, h1 - l1 + 1)
+  | bounds ->
+      (List.fold_left (fun acc (lo, hi) -> acc * (hi - lo + 1)) 1 bounds, 1)
+
+(* An offload candidate: an accumulation statement under a constant
+   nest with at least one reduction iterator, reading at least one
+   "matrix-like" operand (subscripts using both a reduction and an
+   output iterator — the operand a crossbar mapping would pin). The
+   profitability estimate pins the smallest such operand: the
+   best-case MACs-per-crossbar-write. *)
+let candidate_of (bands, (s : St.stmt_info)) =
+  if s.St.op <> Ast.Add_assign then None
+  else
+    let extents =
+      List.filter_map
+        (fun (b : St.band) ->
+          match (Affine.is_constant b.St.lo, Affine.is_constant b.St.hi) with
+          | Some l, Some h when b.St.step > 0 && h > l ->
+              Some (b.St.iter, (l, l + (b.St.step * ((h - 1 - l) / b.St.step))))
+          | _ -> None)
+        bands
+    in
+    if List.length extents <> List.length bands || bands = [] then None
+    else
+      let iters = List.map (fun (b : St.band) -> b.St.iter) bands in
+      let write_vars = List.concat_map Affine.vars s.St.write.Access.indices in
+      let out_iters = List.filter (fun v -> List.mem v write_vars) iters in
+      let red_iters = List.filter (fun v -> not (List.mem v write_vars)) iters in
+      if red_iters = [] then None
+      else
+        let matrix_like (a : Access.t) =
+          let vs = List.concat_map Affine.vars a.Access.indices in
+          List.exists (fun v -> List.mem v red_iters) vs
+          && List.exists (fun v -> List.mem v out_iters) vs
+        in
+        let pinnable =
+          List.filter_map
+            (fun a ->
+              if matrix_like a then
+                match Access.region a ~extents with
+                | Some box -> Some (a.Access.array, box)
+                | None -> None
+              else None)
+            s.St.reads
+        in
+        match
+          List.sort (fun (_, b1) (_, b2) -> compare (box_cells b1) (box_cells b2)) pinnable
+        with
+        | [] -> None
+        | (pinned, box) :: _ ->
+            let macs =
+              List.fold_left
+                (fun acc b ->
+                  match St.band_extent b with Some n -> acc * n | None -> acc)
+                1 bands
+            in
+            let rows, cols = box_shape box in
+            Some
+              {
+                sid = s.St.sid;
+                target = s.St.write.Access.array;
+                pinned;
+                macs;
+                footprint = box_cells box;
+                pinned_rows = rows;
+                pinned_cols = cols;
+              }
+
+let candidates t = List.filter_map candidate_of (St.stmts_with_context t)
+
+let tree ?(config = default_config) t =
+  let cands = candidates t in
+  let diags = ref [] in
+  let emit d = diags := !diags @ [ d ] in
+  let programmed = ref 0 in
+  List.iter
+    (fun c ->
+      let intensity = float_of_int c.macs /. float_of_int (max 1 c.footprint) in
+      if intensity < config.min_intensity then
+        emit
+          (Diag.warningf "W001"
+             ~hint:
+               "GEMV-class kernels re-program the crossbar as often as they use it; keep them on \
+                the CPU (selective offload)"
+             "kernel S%d writing '%s': compute intensity %.1f MACs per pinned cell of '%s' is \
+              below the offload threshold %.1f"
+             c.sid c.target intensity c.pinned config.min_intensity)
+      else begin
+        programmed := !programmed + c.footprint;
+        if
+          (c.pinned_rows > config.xbar_rows || c.pinned_cols > config.xbar_cols)
+          && not config.enable_tiling
+        then
+          emit
+            (Diag.warningf "W002"
+               ~hint:"enable tiling (Listing 3) to decompose the operand into crossbar-sized tiles"
+               "kernel S%d writing '%s': pinned operand '%s' (%dx%d) exceeds the %dx%d crossbar \
+                and tiling is disabled"
+               c.sid c.target c.pinned c.pinned_rows c.pinned_cols config.xbar_rows config.xbar_cols)
+      end)
+    cands;
+  (if !programmed > 0 then
+     let traffic = float_of_int !programmed *. config.invocations_per_second in
+     let years =
+       Endurance.lifetime_years ~cell_endurance:config.cell_endurance
+         ~crossbar_bytes:(config.xbar_rows * config.xbar_cols)
+         ~write_bytes_per_second:traffic
+     in
+     if years < config.min_lifetime_years then
+       emit
+         (Diag.warningf "W003"
+            ~hint:
+              "reduce crossbar re-programming: fuse kernels sharing an operand, or pin the \
+               operand that is written least"
+            "endurance budget: %d crossbar cells programmed per region execution projects a \
+             system lifetime of %.2f years (Eq. 1, floor %.1f)"
+            !programmed years config.min_lifetime_years));
+  !diags
+
+(* ---------- N001: why SCoP detection failed ---------- *)
+
+let explain_scop_failure msg =
+  let has sub =
+    let n = String.length sub and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+    go 0
+  in
+  let hint =
+    if has "non-affine bound" then
+      Some "loop bounds must be affine in outer iterators and parameters (Section III-A)"
+    else if has "non-affine subscript" then
+      Some "array subscripts must be affine for the polyhedral model to apply"
+    else if has "scalar write" then
+      Some
+        "scalar assignments block SCoP modelling; accumulate into an array cell instead of a \
+         scalar temporary"
+    else if has "declaration" then Some "hoist declarations out of the region of interest"
+    else if has "runtime call" then Some "the region already contains offloaded code"
+    else if has "ROI marker" then Some "region-of-interest markers must not nest"
+    else None
+  in
+  [ Diag.notef "N001" ?hint "no offload: SCoP detection failed: %s" msg ]
+
+let run ?(config = default_config) (f : Ir.func) =
+  func ~config f
+  @
+  match Scop_detect.detect_func f with
+  | Error msg -> explain_scop_failure msg
+  | Ok t ->
+      let ds = tree ~config t in
+      if candidates t = [] then
+        ds
+        @ [
+            Diag.notef "N002"
+              ~hint:"offloadable kernels are accumulation loops with a matrix-shaped operand"
+              "no offload: the region is a SCoP but contains no GEMM/GEMV/conv-shaped \
+               accumulation";
+          ]
+      else ds

@@ -1,0 +1,48 @@
+(** Offload-oriented lint rules — the advisory layer of the analysis
+    library. Nothing here rejects a program; every rule encodes a
+    performance or endurance argument from the paper:
+
+    - {b W001} low compute intensity: a matched accumulation kernel
+      whose MACs-per-pinned-cell ratio falls below the selective-offload
+      threshold (GEMV-class kernels such as gesummv/bicg/mvt, which the
+      paper's evaluation keeps on the CPU).
+    - {b W002} crossbar overflow with tiling disabled: the operand that
+      would be pinned does not fit the crossbar, so the kernel cannot be
+      offloaded at all.
+    - {b W003} endurance-budget exhaustion: projected system lifetime
+      under Eq. 1 for the region's crossbar programming traffic falls
+      below the configured minimum.
+    - {b W004}/{b W005} dead stores / unused arrays: local arrays
+      written but never read, and arrays never referenced.
+    - {b N001} why SCoP detection failed, translating the detector's
+      obstruction into an actionable note ([--explain-no-offload]).
+    - {b N002} SCoP detected but nothing looked offloadable. *)
+
+type config = {
+  xbar_rows : int;
+  xbar_cols : int;
+  enable_tiling : bool;
+  min_intensity : float;  (** W001 threshold, MACs per pinned cell *)
+  cell_endurance : float;  (** Eq. 1 parameters for W003 *)
+  invocations_per_second : float;
+  min_lifetime_years : float;
+}
+
+val default_config : config
+(** 256x256 crossbar, tiling on, intensity threshold 4.0, endurance
+    1e7 writes at one region execution per second, one-year lifetime
+    floor. *)
+
+val func : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
+(** Dead-store / unused-array rules (W004, W005). *)
+
+val tree : ?config:config -> Tdo_poly.Schedule_tree.t -> Diag.t list
+(** Profitability, overflow and endurance rules (W001-W003) over the
+    accumulation kernels of a detected SCoP. *)
+
+val explain_scop_failure : string -> Diag.t list
+(** Translate a {!Tdo_poly.Scop_detect} error message into N001 notes. *)
+
+val run : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
+(** The whole lint pass: [func] rules, then SCoP detection feeding
+    either [tree] rules or [explain_scop_failure]. *)

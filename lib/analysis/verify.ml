@@ -1,0 +1,331 @@
+module Ir = Tdo_ir.Ir
+module Ast = Tdo_lang.Ast
+module Affine = Tdo_poly.Affine
+module St = Tdo_poly.Schedule_tree
+module Access = Tdo_poly.Access
+
+let signature_table =
+  [
+    ("polly_cimInit", "polly_cimInit(int device)");
+    ("polly_cimMalloc", "polly_cimMalloc(void **dev_ptr, size_t bytes)");
+    ("polly_cimHostToDev", "polly_cimHostToDev(void *dev, const void *host, size_t bytes)");
+    ("polly_cimDevToHost", "polly_cimDevToHost(void *host, const void *dev, size_t bytes)");
+    ("polly_cimFree", "polly_cimFree(void *dev)");
+    ( "polly_cimBlasSGemm",
+      "polly_cimBlasSGemm(int m, int n, int k, float alpha, const float *A, int lda, const \
+       float *B, int ldb, float beta, float *C, int ldc)" );
+    ( "polly_cimBlasGemmBatched",
+      "polly_cimBlasGemmBatched(int m, int n, int k, float alpha, float beta, int batch, \
+       const float **A, const float **B, float **C)" );
+    ("polly_cimIm2col", "polly_cimIm2col(float *dst, const float *src, int kh, int kw, int oh, int ow)");
+  ]
+
+let signature_of name =
+  match List.assoc_opt name signature_table with Some s -> s | None -> name
+
+(* ---------- IR verifier ---------- *)
+
+type kind = Scalar | Array of int list | Iter
+
+type dev_state = Live | Freed
+
+let func (f : Ir.func) : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let find env name = List.assoc_opt name env in
+  let rec check_expr env (e : Ast.expr) =
+    match e with
+    | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+    | Ast.Var v -> (
+        match find env v with
+        | None ->
+            emit
+              (Diag.errorf "E001" ~hint:"declare it or pass it as a parameter"
+                 "use of undefined variable '%s'" v)
+        | Some (Array _) -> emit (Diag.errorf "E004" "array '%s' used as a scalar" v)
+        | Some (Scalar | Iter) -> ())
+    | Ast.Index (a, idx) ->
+        (match find env a with
+        | None ->
+            emit
+              (Diag.errorf "E002" ~hint:"declare it or pass it as a parameter"
+                 "use of undefined array '%s'" a)
+        | Some (Scalar | Iter) -> emit (Diag.errorf "E004" "scalar '%s' subscripted like an array" a)
+        | Some (Array dims) ->
+            if List.length idx <> List.length dims then
+              emit
+                (Diag.errorf "E003" "array '%s' has %d dimension(s) but is subscripted with %d"
+                   a (List.length dims) (List.length idx)));
+        List.iter (check_expr env) idx
+    | Ast.Binop (_, a, b) ->
+        check_expr env a;
+        check_expr env b
+    | Ast.Neg e -> check_expr env e
+  in
+  (* device-state machine shared by all runtime calls *)
+  let init_seen = ref false in
+  let dev : (string, dev_state) Hashtbl.t = Hashtbl.create 8 in
+  let require_init name =
+    if not !init_seen then
+      emit
+        (Diag.errorf "E010" ~hint:"emit polly_cimInit(0) before any other runtime call"
+           "%s called before polly_cimInit" name)
+  in
+  let require_live name array =
+    match Hashtbl.find_opt dev array with
+    | Some Live -> ()
+    | Some Freed ->
+        emit (Diag.errorf "E010" "%s uses device buffer of '%s' after polly_cimFree" name array)
+    | None ->
+        emit
+          (Diag.errorf "E010" ~hint:"allocate the device buffer with polly_cimMalloc first"
+             "%s uses '%s' without a preceding polly_cimMalloc" name array)
+  in
+  let check_mat_ref env ~call ~operand ~rows ~cols (r : Ir.mat_ref) =
+    check_expr env r.Ir.row_off;
+    check_expr env r.Ir.col_off;
+    let affine e = Affine.of_expr e <> None in
+    if not (affine r.Ir.row_off && affine r.Ir.col_off) then
+      emit (Diag.errorf "E009" "%s: non-affine tile offset for operand %s ('%s')" call operand r.Ir.array);
+    if r.Ir.rows <> rows || r.Ir.cols <> cols then
+      emit
+        (Diag.errorf "E009"
+           ~hint:(signature_of call)
+           "%s: operand %s ('%s') has shape %dx%d, expected %dx%d" call operand r.Ir.array
+           r.Ir.rows r.Ir.cols rows cols);
+    (match find env r.Ir.array with
+    | None -> emit (Diag.errorf "E002" "%s: unknown array '%s'" call r.Ir.array)
+    | Some (Scalar | Iter) -> emit (Diag.errorf "E004" "%s: scalar '%s' used as a matrix" call r.Ir.array)
+    | Some (Array dims) ->
+        if List.length dims > 2 then
+          emit (Diag.errorf "E009" "%s: operand '%s' has rank %d, expected 1 or 2" call r.Ir.array (List.length dims)));
+    require_live call r.Ir.array
+  in
+  let check_gemm_dims ~call ~m ~n ~k =
+    if m < 1 || n < 1 || k < 1 then
+      emit
+        (Diag.errorf "E009" ~hint:(signature_of call) "%s: non-positive problem size m=%d n=%d k=%d"
+           call m n k)
+  in
+  let check_call env (call : Ir.call) =
+    match call with
+    | Ir.Cim_init ->
+        if !init_seen then emit (Diag.warningf "W011" "repeated polly_cimInit");
+        init_seen := true
+    | Ir.Cim_alloc { array } -> (
+        require_init "polly_cimMalloc";
+        (match find env array with
+        | None -> emit (Diag.errorf "E002" "polly_cimMalloc: unknown array '%s'" array)
+        | Some (Scalar | Iter) ->
+            emit (Diag.errorf "E004" "polly_cimMalloc: scalar '%s' allocated as an array" array)
+        | Some (Array _) -> ());
+        match Hashtbl.find_opt dev array with
+        | Some Live -> emit (Diag.errorf "E010" "double polly_cimMalloc of '%s'" array)
+        | Some Freed | None -> Hashtbl.replace dev array Live)
+    | Ir.Cim_h2d { array } ->
+        require_init "polly_cimHostToDev";
+        require_live "polly_cimHostToDev" array
+    | Ir.Cim_d2h { array } ->
+        require_init "polly_cimDevToHost";
+        require_live "polly_cimDevToHost" array
+    | Ir.Cim_free { array } -> (
+        require_init "polly_cimFree";
+        match Hashtbl.find_opt dev array with
+        | Some Live -> Hashtbl.replace dev array Freed
+        | Some Freed -> emit (Diag.errorf "E010" "double polly_cimFree of '%s'" array)
+        | None -> emit (Diag.errorf "E010" "polly_cimFree of never-allocated '%s'" array))
+    | Ir.Cim_gemm { m; n; k; alpha; beta; a; b; c; pin = _ } ->
+        let call = "polly_cimBlasSGemm" in
+        require_init call;
+        check_gemm_dims ~call ~m ~n ~k;
+        check_expr env alpha;
+        check_expr env beta;
+        check_mat_ref env ~call ~operand:"A" ~rows:m ~cols:k a;
+        check_mat_ref env ~call ~operand:"B" ~rows:k ~cols:n b;
+        check_mat_ref env ~call ~operand:"C" ~rows:m ~cols:n c;
+        if c.Ir.trans then emit (Diag.errorf "E009" "%s: output operand C cannot be transposed" call)
+    | Ir.Cim_gemm_batched { m; n; k; alpha; beta; batch; pin = _ } ->
+        let call = "polly_cimBlasGemmBatched" in
+        require_init call;
+        check_gemm_dims ~call ~m ~n ~k;
+        check_expr env alpha;
+        check_expr env beta;
+        if batch = [] then
+          emit (Diag.errorf "E009" ~hint:(signature_of call) "%s: empty batch" call);
+        List.iter
+          (fun (a, b, c) ->
+            check_mat_ref env ~call ~operand:"A" ~rows:m ~cols:k a;
+            check_mat_ref env ~call ~operand:"B" ~rows:k ~cols:n b;
+            check_mat_ref env ~call ~operand:"C" ~rows:m ~cols:n c)
+          batch
+    | Ir.Cim_im2col { src; dst; kh; kw; oh; ow } ->
+        let call = "polly_cimIm2col" in
+        require_init call;
+        if kh < 1 || kw < 1 || oh < 1 || ow < 1 then
+          emit
+            (Diag.errorf "E009" ~hint:(signature_of call)
+               "%s: non-positive geometry kh=%d kw=%d oh=%d ow=%d" call kh kw oh ow);
+        require_live call src;
+        require_live call dst;
+        (match find env dst with
+        | Some (Array [ rows; cols ]) ->
+            if rows <> oh * ow || cols <> kh * kw then
+              emit
+                (Diag.errorf "E009" "%s: patch matrix '%s' is %dx%d, expected %dx%d" call dst
+                   rows cols (oh * ow) (kh * kw))
+        | Some (Array _) | Some Scalar | Some Iter | None -> ());
+        match find env src with
+        | Some (Array [ rows; cols ]) ->
+            if rows < oh + kh - 1 || cols < ow + kw - 1 then
+              emit
+                (Diag.errorf "E009" "%s: source image '%s' (%dx%d) smaller than %dx%d window sweep"
+                   call src rows cols (oh + kh - 1) (ow + kw - 1))
+        | Some (Array _) | Some Scalar | Some Iter | None -> ()
+  in
+  let roi_depth = ref 0 in
+  let declare env ~what name kind =
+    (match find env name with
+    | Some _ -> emit (Diag.errorf "E005" "redeclaration of '%s' (%s)" name what)
+    | None -> ());
+    (name, kind) :: env
+  in
+  let rec check_stmt env ~in_loop (stmt : Ir.stmt) : (string * kind) list =
+    match stmt with
+    | Ir.For { var; lo; hi; step; body } ->
+        if step < 1 then
+          emit (Diag.errorf "E006" "loop '%s' has non-positive step %d" var step);
+        check_expr env lo;
+        check_expr env hi;
+        if Affine.of_expr lo = None || Affine.of_expr hi = None then
+          emit
+            (Diag.errorf "E007"
+               ~hint:"bounds must be linear in parameters and enclosing iterators"
+               "non-affine bound of loop '%s'" var);
+        if find env var <> None then
+          emit (Diag.warningf "W012" "loop iterator '%s' shadows an outer definition" var);
+        ignore
+          (List.fold_left
+             (fun env s -> check_stmt env ~in_loop:true s)
+             ((var, Iter) :: env) body);
+        env
+    | Ir.Assign { lhs; op = _; rhs } ->
+        (match (lhs.Ast.indices, find env lhs.Ast.base) with
+        | _, None ->
+            emit
+              (Diag.errorf "E001" ~hint:"declare it or pass it as a parameter"
+                 "assignment to undefined '%s'" lhs.Ast.base)
+        | [], Some Iter -> emit (Diag.errorf "E012" "assignment to loop iterator '%s'" lhs.Ast.base)
+        | [], Some (Array _) ->
+            emit (Diag.errorf "E004" "array '%s' assigned without a subscript" lhs.Ast.base)
+        | [], Some Scalar -> ()
+        | _ :: _, Some (Scalar | Iter) ->
+            emit (Diag.errorf "E004" "scalar '%s' subscripted like an array" lhs.Ast.base)
+        | idx, Some (Array dims) ->
+            if List.length idx <> List.length dims then
+              emit
+                (Diag.errorf "E003" "array '%s' has %d dimension(s) but is subscripted with %d"
+                   lhs.Ast.base (List.length dims) (List.length idx)));
+        List.iter (check_expr env) lhs.Ast.indices;
+        check_expr env rhs;
+        env
+    | Ir.Decl_scalar { name; typ = _; init } ->
+        Option.iter (check_expr env) init;
+        declare env ~what:"scalar" name Scalar
+    | Ir.Decl_array { name; dims } ->
+        if List.exists (fun d -> d < 1) dims then
+          emit (Diag.errorf "E013" "array '%s' declared with a non-positive dimension" name);
+        declare env ~what:"array" name (Array dims)
+    | Ir.Call call ->
+        check_call env call;
+        env
+    | Ir.Roi_begin ->
+        if in_loop then emit (Diag.errorf "E008" "__roi_begin inside a loop")
+        else if !roi_depth > 0 then emit (Diag.errorf "E008" "nested __roi_begin")
+        else incr roi_depth;
+        env
+    | Ir.Roi_end ->
+        if in_loop then emit (Diag.errorf "E008" "__roi_end inside a loop")
+        else if !roi_depth = 0 then emit (Diag.errorf "E008" "__roi_end without __roi_begin")
+        else decr roi_depth;
+        env
+  in
+  let env0 =
+    List.fold_left
+      (fun env (p : Ast.param) ->
+        if List.exists (fun d -> d < 1) p.Ast.dims then
+          emit (Diag.errorf "E013" "parameter '%s' declared with a non-positive dimension" p.Ast.pname);
+        declare env ~what:"parameter" p.Ast.pname
+          (if p.Ast.dims = [] then Scalar else Array p.Ast.dims))
+      [] f.Ir.params
+  in
+  ignore (List.fold_left (fun env s -> check_stmt env ~in_loop:false s) env0 f.Ir.body);
+  if !roi_depth <> 0 then
+    emit (Diag.errorf "E008" "__roi_begin without matching __roi_end");
+  List.rev !diags
+
+(* ---------- schedule-tree verifier ---------- *)
+
+let expr_vars e =
+  let acc = ref [] in
+  let rec visit = function
+    | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+    | Ast.Var v -> acc := v :: !acc
+    | Ast.Index (_, idx) -> List.iter visit idx
+    | Ast.Binop (_, a, b) ->
+        visit a;
+        visit b
+    | Ast.Neg e -> visit e
+  in
+  visit e;
+  !acc
+
+let tree ?(free = []) t : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let seen_sids = Hashtbl.create 16 in
+  let bound iters v = List.mem v iters || List.mem v free in
+  let check_access iters ~what sid (a : Access.t) =
+    List.iter
+      (fun idx ->
+        List.iter
+          (fun v ->
+            if not (bound iters v) then
+              emit
+                (Diag.errorf "E055"
+                   ~hint:"every subscript variable must be an enclosing band iterator or a parameter"
+                   "S%d: %s access %s uses unbound variable '%s'" sid what a.Access.array v))
+          (Affine.vars idx))
+      a.Access.indices
+  in
+  let rec walk iters t =
+    match t with
+    | St.Band (b, child) ->
+        if b.St.step < 1 then
+          emit (Diag.errorf "E051" "band '%s' has non-positive step %d" b.St.iter b.St.step);
+        if List.mem b.St.iter iters then
+          emit (Diag.errorf "E054" "band '%s' shadows an enclosing band iterator" b.St.iter);
+        (match (Affine.is_constant b.St.lo, Affine.is_constant b.St.hi) with
+        | Some lo, Some hi when hi <= lo ->
+            emit (Diag.warningf "W057" "band '%s' has empty domain [%d, %d)" b.St.iter lo hi)
+        | _ -> ());
+        walk (b.St.iter :: iters) child
+    | St.Seq [] -> emit (Diag.errorf "E052" "empty sequence node")
+    | St.Seq children -> List.iter (walk iters) children
+    | St.Mark (_, child) -> walk iters child
+    | St.Code _ -> () (* opaque escape hatch: re-verified at the IR level after codegen *)
+    | St.Stmt s ->
+        let sid = s.St.sid in
+        if Hashtbl.mem seen_sids sid then
+          emit (Diag.errorf "E053" "duplicate statement id S%d" sid)
+        else Hashtbl.add seen_sids sid ();
+        check_access iters ~what:"write" sid s.St.write;
+        List.iter (check_access iters ~what:"read" sid) s.St.reads;
+        List.iter
+          (fun v ->
+            if not (bound iters v) then
+              emit
+                (Diag.errorf "E056" "S%d: right-hand side uses unbound variable '%s'" sid v))
+          (expr_vars s.St.rhs)
+  in
+  walk [] t;
+  List.rev !diags

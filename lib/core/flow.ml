@@ -4,16 +4,44 @@ module Platform = Tdo_runtime.Platform
 module Offload = Tdo_tactics.Offload
 module Ledger = Tdo_energy.Ledger
 
+module Pipeline = Tdo_tactics.Pipeline
+module Diag = Tdo_analysis.Diag
+
 type options = { enable_loop_tactics : bool; tactics : Offload.config }
 
 let o3 = { enable_loop_tactics = false; tactics = Offload.default_config }
 let o3_loop_tactics = { enable_loop_tactics = true; tactics = Offload.default_config }
 
-let compile ?(options = o3_loop_tactics) source =
+exception Verification_failure of Diag.t list
+
+type compiled = {
+  func : Ir.func;
+  outcome : Pipeline.outcome option;
+  diagnostics : Diag.t list;
+}
+
+let compile_checked ?(options = o3_loop_tactics) ?(verify = false) source =
   let ast = Tdo_lang.Parser.parse_func source in
   let f = Tdo_ir.Lower.func ast in
-  if options.enable_loop_tactics then Tdo_tactics.Pipeline.run ~config:options.tactics f
-  else (f, None)
+  if options.enable_loop_tactics then
+    let checked = Pipeline.run_checked ~config:options.tactics ~verify f in
+    {
+      func = checked.Pipeline.func;
+      outcome = Some checked.Pipeline.outcome;
+      diagnostics = checked.Pipeline.diagnostics;
+    }
+  else
+    let diagnostics = if verify then Tdo_analysis.Verify.func f @ Tdo_analysis.Bounds.func f else [] in
+    { func = f; outcome = None; diagnostics }
+
+let compile ?options ?(verify = false) source =
+  let c = compile_checked ?options ~verify source in
+  if verify && Diag.has_errors c.diagnostics then
+    raise (Verification_failure (Diag.errors c.diagnostics));
+  let report =
+    match c.outcome with Some (Pipeline.Offloaded r) -> Some r | Some _ | None -> None
+  in
+  (c.func, report)
 
 type measurement = {
   roi_instructions : int;

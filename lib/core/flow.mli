@@ -13,15 +13,35 @@ module Platform = Tdo_runtime.Platform
 module Offload = Tdo_tactics.Offload
 module Ledger = Tdo_energy.Ledger
 
+module Pipeline = Tdo_tactics.Pipeline
+module Diag = Tdo_analysis.Diag
+
 type options = { enable_loop_tactics : bool; tactics : Offload.config }
 
 val o3 : options
 val o3_loop_tactics : options
 
-val compile : ?options:options -> string -> Ir.func * Offload.report option
+exception Verification_failure of Diag.t list
+(** Raised by {!compile} with [~verify:true] when the analysis layer
+    found errors. *)
+
+type compiled = {
+  func : Ir.func;
+  outcome : Pipeline.outcome option;  (** [None] when loop tactics were disabled *)
+  diagnostics : Diag.t list;
+}
+
+val compile_checked : ?options:options -> ?verify:bool -> string -> compiled
+(** Like {!compile} but surfacing the pipeline outcome and every
+    diagnostic instead of raising. With tactics disabled and
+    [~verify:true] the input IR is still verified. *)
+
+val compile : ?options:options -> ?verify:bool -> string -> Ir.func * Offload.report option
 (** Parse, type-check, lower and (optionally) run the tactics
     pipeline on a single-function translation unit. Raises the
-    front-end exceptions on malformed source. *)
+    front-end exceptions on malformed source, and
+    {!Verification_failure} when [~verify:true] (default off) and
+    verification rejects the compile. *)
 
 type measurement = {
   roi_instructions : int;

@@ -8,6 +8,10 @@
 
 module Strings : Set.S with type elt = string
 
+val ir_arrays : Tdo_ir.Ir.stmt -> Strings.t * Strings.t
+(** [(reads, writes)] of one IR statement, loops and runtime calls
+    included (the transfer summary used for [Code] subtrees). *)
+
 val arrays_written : Schedule_tree.t -> Strings.t
 val arrays_read : Schedule_tree.t -> Strings.t
 (** Reads include the old value of [+=]/[-=]/[*=] targets. [Code]

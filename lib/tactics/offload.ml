@@ -80,11 +80,18 @@ type seg =
   | Sgemm of gemm_like * St.t
   | Sconv of Patterns.conv * St.t
 
-let classify_segment tree =
+let classify_segment ?(on_rewrite = fun _ ~before:_ ~after:_ -> ()) tree =
   (* match the tree as written, then — Loop Tactics style — modulo
      legal loop interchange of a perfect nest *)
   let kernel =
-    List.find_map Patterns.classify (Transform.interchange_candidates tree)
+    List.find_map
+      (fun cand ->
+        match Patterns.classify cand with
+        | Some k ->
+            if cand != tree then on_rewrite "interchange" ~before:tree ~after:cand;
+            Some k
+        | None -> None)
+      (Transform.interchange_candidates tree)
   in
   match kernel with
   | None -> Shost tree
@@ -417,10 +424,10 @@ let state arr =
       Hashtbl.add residency_table arr s;
       s
 
-let apply config tree =
+let apply ?on_rewrite config tree =
   Hashtbl.reset residency_table;
   let children = match tree with St.Seq children -> children | t -> [ t ] in
-  let segments = List.map classify_segment children in
+  let segments = List.map (classify_segment ?on_rewrite) children in
   let detected =
     List.length (List.filter (function Shost _ -> false | Sgemm _ | Sconv _ -> true) segments)
   in

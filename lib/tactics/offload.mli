@@ -48,6 +48,11 @@ type report = {
   skipped_low_intensity : int;
 }
 
-val apply : config -> St.t -> St.t * report
+val apply :
+  ?on_rewrite:(string -> before:St.t -> after:St.t -> unit) -> config -> St.t -> St.t * report
 (** Rewrite the tree. When nothing matches (or everything is skipped)
-    the tree is returned unchanged up to structure. *)
+    the tree is returned unchanged up to structure. [on_rewrite] is
+    invoked once per intermediate schedule-tree rewrite the pass
+    commits to (currently: the loop interchange that made a kernel
+    match), with a pass name and the subtree before/after — the hook
+    translation validation hangs off ([--verify-each]). *)

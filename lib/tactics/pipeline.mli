@@ -1,9 +1,36 @@
 (** The Loop Tactics pass pipeline, as it sits inside Polly in Fig. 4:
     SCoP detection -> schedule-tree matching and rewriting -> AST/IR
-    regeneration. *)
+    regeneration — with an optional LLVM-style verify-after-each-pass
+    mode backed by {!Tdo_analysis}. *)
+
+module Diag = Tdo_analysis.Diag
+
+type outcome =
+  | Offloaded of Offload.report  (** the pipeline ran (it may still have offloaded nothing) *)
+  | Not_scop of string  (** detection obstruction; the host path is used *)
+  | Rejected of Diag.t list
+      (** verification found errors; the {e original} function is
+          returned — a miscompiled region never reaches execution *)
+
+type checked = {
+  func : Tdo_ir.Ir.func;
+  outcome : outcome;
+  diagnostics : Diag.t list;
+      (** every diagnostic the checkers produced, warnings and notes
+          included; empty when [verify] was off *)
+}
+
+val run_checked : ?config:Offload.config -> ?verify:bool -> Tdo_ir.Ir.func -> checked
+(** [verify] (default off) checks the input IR and the detected
+    schedule tree with {!Tdo_analysis.Verify}, validates every
+    intermediate rewrite and the final offload rewrite with
+    {!Tdo_analysis.Legality}, proves accesses in bounds with
+    {!Tdo_analysis.Bounds}, and re-verifies the regenerated IR. Each
+    diagnostic is prefixed with the pipeline stage that produced it. *)
 
 val run :
   ?config:Offload.config -> Tdo_ir.Ir.func -> Tdo_ir.Ir.func * Offload.report option
 (** [run f] returns the CIM-optimised function. When the function body
     is not a SCoP the input is returned unchanged with [None] (the
-    flow silently falls back to the host path, as Polly does). *)
+    flow silently falls back to the host path, as Polly does).
+    Equivalent to [run_checked] with verification off. *)

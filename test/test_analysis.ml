@@ -1,0 +1,599 @@
+open Tdo_analysis
+module St = Tdo_poly.Schedule_tree
+module Scop_detect = Tdo_poly.Scop_detect
+module Affine = Tdo_poly.Affine
+module Ast = Tdo_lang.Ast
+module Parser = Tdo_lang.Parser
+module Builder = Tdo_lang.Builder
+module Lower = Tdo_ir.Lower
+module Ir = Tdo_ir.Ir
+module Pipeline = Tdo_tactics.Pipeline
+module Offload = Tdo_tactics.Offload
+module Flow = Tdo_cim.Flow
+module Workloads = Tdo_cim.Workloads
+module Kernels = Tdo_polybench.Kernels
+
+let lower src = Lower.func (Parser.parse_func src)
+
+let tree_of src =
+  match Scop_detect.detect_func (lower src) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "detect: %s" e
+
+let codes ds = List.sort_uniq compare (List.map (fun (d : Diag.t) -> d.Diag.code) ds)
+
+let has_code c ds = List.exists (fun (d : Diag.t) -> String.equal d.Diag.code c) ds
+
+let message_with c ds =
+  match List.find_opt (fun (d : Diag.t) -> String.equal d.Diag.code c) ds with
+  | Some d -> d.Diag.message
+  | None -> Alcotest.failf "no %s diagnostic in [%s]" c (String.concat "; " (codes ds))
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let check_mentions what msg needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (what ^ " mentions " ^ needle) true (contains msg needle))
+    needles
+
+let gemm_src n =
+  Printf.sprintf
+    {|
+void gemm(float alpha, float beta, float C[%d][%d], float A[%d][%d], float B[%d][%d]) {
+  for (int i = 0; i < %d; i++)
+    for (int j = 0; j < %d; j++) {
+      C[i][j] *= beta;
+      for (int k = 0; k < %d; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}
+|}
+    n n n n n n n n n
+
+(* ---------- Verify: IR well-formedness ---------- *)
+
+let test_verify_clean_gemm () =
+  Alcotest.(check (list string)) "no diagnostics" [] (codes (Verify.func (lower (gemm_src 8))))
+
+let test_verify_undefined_names () =
+  let f =
+    {
+      Ir.name = "bad";
+      params = [];
+      body =
+        [
+          Ir.Assign
+            {
+              lhs = { Ast.base = "A"; indices = [ Ast.Var "i" ] };
+              op = Ast.Set;
+              rhs = Ast.Binop (Ast.Add, Ast.Var "x", Ast.Index ("B", [ Ast.Int_lit 0 ]));
+            };
+        ];
+    }
+  in
+  let ds = Verify.func f in
+  Alcotest.(check bool) "undefined lhs array" true (has_code "E001" ds);
+  Alcotest.(check bool) "undefined rhs array" true (has_code "E002" ds)
+
+let test_verify_structure () =
+  let f =
+    {
+      Ir.name = "bad";
+      params = [ { Ast.pname = "A"; ptyp = Ast.Tfloat; dims = [ 4 ] } ];
+      body =
+        [
+          Ir.For
+            {
+              var = "i";
+              lo = Ast.Int_lit 0;
+              hi = Ast.Int_lit 4;
+              step = 0;
+              body =
+                [
+                  Ir.Roi_begin;
+                  Ir.Assign
+                    {
+                      lhs = { Ast.base = "A"; indices = [ Ast.Var "i"; Ast.Var "i" ] };
+                      op = Ast.Set;
+                      rhs = Ast.Float_lit 0.0;
+                    };
+                ];
+            };
+        ];
+    }
+  in
+  let ds = Verify.func f in
+  Alcotest.(check bool) "non-positive step" true (has_code "E006" ds);
+  Alcotest.(check bool) "roi in loop" true (has_code "E008" ds);
+  Alcotest.(check bool) "rank mismatch" true (has_code "E003" ds)
+
+let dummy_ref array rows cols =
+  { Ir.array; row_off = Ast.Int_lit 0; col_off = Ast.Int_lit 0; rows; cols; trans = false }
+
+let test_verify_call_signature () =
+  let params =
+    List.map
+      (fun name -> { Ast.pname = name; ptyp = Ast.Tfloat; dims = [ 4; 4 ] })
+      [ "A"; "B"; "C" ]
+  in
+  let gemm ~m ~n ~k a b c =
+    Ir.Call
+      (Ir.Cim_gemm
+         { m; n; k; alpha = Ast.Float_lit 1.0; beta = Ast.Float_lit 0.0; a; b; c; pin = Ir.Pin_a })
+  in
+  let alloc arr = Ir.Call (Ir.Cim_alloc { array = arr }) in
+  (* shape of B inconsistent with k x n *)
+  let bad_shape =
+    {
+      Ir.name = "bad";
+      params;
+      body =
+        [
+          Ir.Call Ir.Cim_init;
+          alloc "A";
+          alloc "B";
+          alloc "C";
+          gemm ~m:4 ~n:4 ~k:4 (dummy_ref "A" 4 4) (dummy_ref "B" 2 4) (dummy_ref "C" 4 4);
+        ];
+    }
+  in
+  let ds = Verify.func bad_shape in
+  Alcotest.(check bool) "operand shape" true (has_code "E009" ds);
+  check_mentions "E009" (message_with "E009" ds) [ "polly_cimBlasSGemm"; "'B'"; "2x4"; "4x4" ]
+
+let test_verify_device_state () =
+  let params = [ { Ast.pname = "A"; ptyp = Ast.Tfloat; dims = [ 4; 4 ] } ] in
+  let use_before_init =
+    { Ir.name = "f"; params; body = [ Ir.Call (Ir.Cim_alloc { array = "A" }) ] }
+  in
+  Alcotest.(check bool) "alloc before init" true (has_code "E010" (Verify.func use_before_init));
+  let use_after_free =
+    {
+      Ir.name = "f";
+      params;
+      body =
+        [
+          Ir.Call Ir.Cim_init;
+          Ir.Call (Ir.Cim_alloc { array = "A" });
+          Ir.Call (Ir.Cim_free { array = "A" });
+          Ir.Call (Ir.Cim_h2d { array = "A" });
+        ];
+    }
+  in
+  let ds = Verify.func use_after_free in
+  Alcotest.(check bool) "use after free" true (has_code "E010" ds);
+  check_mentions "E010" (message_with "E010" ds) [ "'A'"; "polly_cimFree" ];
+  let no_malloc =
+    { Ir.name = "f"; params; body = [ Ir.Call Ir.Cim_init; Ir.Call (Ir.Cim_h2d { array = "A" }) ] }
+  in
+  Alcotest.(check bool) "transfer without malloc" true (has_code "E010" (Verify.func no_malloc))
+
+let test_verify_tree_invariants () =
+  let tree = tree_of (gemm_src 6) in
+  Alcotest.(check (list string)) "gemm tree clean" []
+    (codes (Verify.tree ~free:[ "alpha"; "beta" ] tree));
+  (* duplicate a statement id by self-appending the top sequence *)
+  let dup = match tree with St.Seq _ -> St.Seq [ tree; tree ] | t -> St.Seq [ t; t ] in
+  Alcotest.(check bool) "duplicate sids" true
+    (has_code "E053" (Verify.tree ~free:[ "alpha"; "beta" ] dup));
+  (* alpha/beta unbound when not declared free *)
+  Alcotest.(check bool) "unbound rhs var" true (has_code "E056" (Verify.tree tree))
+
+(* ---------- Legality: statement level ---------- *)
+
+let swap_outer_two = function
+  | St.Band (b1, St.Band (b2, child)) -> St.Band (b2, St.Band (b1, child))
+  | t -> Alcotest.failf "not a 2-deep nest: %a" St.pp t
+
+let test_legality_accumulation_interchange_ok () =
+  (* pure accumulation tolerates instance reordering *)
+  let src =
+    {|
+void acc(float C[6][6], float A[6][6], float B[6][6]) {
+  for (int i = 0; i < 6; i++)
+    for (int k = 0; k < 6; k++)
+      C[i][0] += A[i][k] * B[k][0];
+}
+|}
+  in
+  let before = tree_of src in
+  let after = swap_outer_two before in
+  Alcotest.(check (list string)) "no errors" []
+    (codes (Legality.check_stmt_level ~before ~after))
+
+let test_legality_illegal_interchange () =
+  (* distance vector (1, -1): legal as written, reversed by the swap *)
+  let src =
+    {|
+void wave(float A[8][8]) {
+  for (int i = 1; i < 8; i++)
+    for (int j = 0; j < 7; j++)
+      A[i][j] = A[i-1][j+1];
+}
+|}
+  in
+  let before = tree_of src in
+  let after = swap_outer_two before in
+  let ds = Legality.check_stmt_level ~before ~after in
+  Alcotest.(check bool) "E101 raised" true (has_code "E101" ds);
+  check_mentions "E101" (message_with "E101" ds) [ "'A'" ]
+
+let test_legality_dropped_and_reordered () =
+  let src =
+    {|
+void two(float A[6], float B[6]) {
+  for (int i = 0; i < 6; i++)
+    A[i] = 1.0;
+  for (int i = 0; i < 6; i++)
+    B[i] = A[i] + 1.0;
+}
+|}
+  in
+  let before = tree_of src in
+  match before with
+  | St.Seq ([ producer; _consumer ] as children) ->
+      let ds = Legality.check_stmt_level ~before ~after:producer in
+      Alcotest.(check bool) "dropped statement" true (has_code "E103" ds);
+      (* the second loop reads what the first writes: swapping them
+         breaks the flow dependence on A *)
+      let ds = Legality.check_stmt_level ~before ~after:(St.Seq (List.rev children)) in
+      Alcotest.(check bool) "reordered dependents" true (has_code "E101" ds);
+      check_mentions "E101" (message_with "E101" ds) [ "'A'" ]
+  | t -> Alcotest.failf "expected a two-segment sequence: %a" St.pp t
+
+(* ---------- Legality: dataflow level ---------- *)
+
+let test_legality_offload_rewrite_ok () =
+  let before = tree_of (gemm_src 8) in
+  let after, _report = Offload.apply Offload.default_config before in
+  Alcotest.(check bool) "code emitted" true (St.contains_code after);
+  Alcotest.(check (list string)) "dataflow preserved" []
+    (codes (Diag.errors (Legality.check ~before ~after)))
+
+let test_legality_lost_write () =
+  let before = tree_of (gemm_src 8) in
+  let ds = Legality.check ~before ~after:(St.Code [ Ir.Call Ir.Cim_init ]) in
+  Alcotest.(check bool) "lost write to C" true (has_code "E106" ds);
+  check_mentions "E106" (message_with "E106" ds) [ "'C'" ]
+
+let test_legality_illegal_fusion () =
+  (* D = C * E depends on C = A * B: batching both into one parallel
+     launch is the paper's illegal-fusion case *)
+  let src =
+    {|
+void chain(float C[8][8], float D[8][8], float A[8][8], float B[8][8], float E[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++) {
+      C[i][j] = 0.0;
+      for (int k = 0; k < 8; k++)
+        C[i][j] += A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++) {
+      D[i][j] = 0.0;
+      for (int k = 0; k < 8; k++)
+        D[i][j] += C[i][k] * E[k][j];
+    }
+}
+|}
+  in
+  let before = tree_of src in
+  let whole a = Ir.mat_ref_whole ~array:a ~rows:8 ~cols:8 () in
+  let after =
+    St.Code
+      [
+        Ir.Call Ir.Cim_init;
+        Ir.Call
+          (Ir.Cim_gemm_batched
+             {
+               m = 8;
+               n = 8;
+               k = 8;
+               alpha = Ast.Float_lit 1.0;
+               beta = Ast.Float_lit 0.0;
+               batch = [ (whole "A", whole "B", whole "C"); (whole "C", whole "E", whole "D") ];
+               pin = Ir.Pin_a;
+             });
+      ]
+  in
+  let ds = Legality.check ~before ~after in
+  Alcotest.(check bool) "E102 raised" true (has_code "E102" ds);
+  check_mentions "E102" (message_with "E102" ds) [ "'C'" ];
+  (* and the real pipeline never emits that batch: the two kernels are
+     dependent, so fusion must keep them as separate launches *)
+  let legal, _ = Offload.apply Offload.default_config before in
+  Alcotest.(check (list string)) "pipeline stays legal" []
+    (codes (Diag.errors (Legality.check ~before ~after:legal)))
+
+(* ---------- Bounds ---------- *)
+
+let test_bounds_overflow_witness () =
+  let src =
+    {|
+void oob(float B[8][8], float A[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      B[i][j] = A[i+1][j];
+}
+|}
+  in
+  let ds = Bounds.func (lower src) in
+  Alcotest.(check bool) "E201 raised" true (has_code "E201" ds);
+  check_mentions "E201" (message_with "E201" ds) [ "'A'"; "i = 7"; "reaches 8" ]
+
+let test_bounds_underflow_witness () =
+  let src =
+    {|
+void oob(float B[8], float A[8]) {
+  for (int i = 0; i < 8; i++)
+    B[i] = A[i-2];
+}
+|}
+  in
+  let ds = Bounds.func (lower src) in
+  Alcotest.(check bool) "E202 raised" true (has_code "E202" ds);
+  check_mentions "E202" (message_with "E202" ds) [ "'A'"; "i = 0"; "-2" ]
+
+let test_bounds_clean_kernels () =
+  Alcotest.(check (list string)) "gemm in bounds" [] (codes (Bounds.func (lower (gemm_src 8))));
+  let f, _ = Flow.compile ~options:Flow.o3_loop_tactics (gemm_src 8) in
+  Alcotest.(check (list string)) "offloaded gemm in bounds" [] (codes (Bounds.func f))
+
+(* ---------- Lint ---------- *)
+
+let gemv_src =
+  {|
+void gemv(float alpha, float y[40], float A[40][40], float x[40]) {
+  for (int i = 0; i < 40; i++) {
+    y[i] = 0.0;
+    for (int j = 0; j < 40; j++)
+      y[i] += alpha * A[i][j] * x[j];
+  }
+}
+|}
+
+let test_lint_low_intensity () =
+  let ds = Lint.run (lower gemv_src) in
+  Alcotest.(check bool) "W001 raised" true (has_code "W001" ds);
+  check_mentions "W001" (message_with "W001" ds) [ "'y'"; "'A'" ];
+  Alcotest.(check bool) "gemm not flagged" false (has_code "W001" (Lint.run (lower (gemm_src 24))))
+
+let test_lint_dead_and_unused () =
+  let src =
+    {|
+void f(float A[4], float unused_param[4]) {
+  float dead[4];
+  float never[4];
+  for (int i = 0; i < 4; i++) {
+    A[i] = 1.0;
+    dead[i] = 2.0;
+  }
+}
+|}
+  in
+  let ds = Lint.func (lower src) in
+  Alcotest.(check bool) "dead store" true (has_code "W004" ds);
+  check_mentions "W004" (message_with "W004" ds) [ "'dead'" ];
+  Alcotest.(check bool) "unused arrays" true (has_code "W005" ds);
+  (* the output parameter A is written: neither dead (observable) nor unused *)
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool) ("no diagnostic names A: " ^ d.Diag.message) false
+        (contains d.Diag.message "'A'"))
+    ds
+
+let test_lint_explains_scop_failure () =
+  let src =
+    {|
+void f(float A[4][4], float s) {
+  for (int i = 0; i < 4; i++)
+    for (int j = 0; j < 4; j++)
+      s = A[i][j];
+}
+|}
+  in
+  let ds = Lint.run (lower src) in
+  Alcotest.(check bool) "N001 raised" true (has_code "N001" ds);
+  check_mentions "N001" (message_with "N001" ds) [ "scalar write" ]
+
+let test_lint_endurance_budget () =
+  (* a crossbar-sized pinned operand re-programmed once per execution
+     at 1 Hz exhausts a 1e7-write endurance budget within a year *)
+  let ds = Lint.run (lower (Workloads.gemm_source ~n:512)) in
+  Alcotest.(check bool) "W003 raised" true (has_code "W003" ds);
+  check_mentions "W003" (message_with "W003" ds) [ "Eq. 1" ]
+
+(* ---------- pipeline integration: verify-each ---------- *)
+
+let compile_checked ?(config = Offload.default_config) src =
+  Pipeline.run_checked ~config ~verify:true (lower src)
+
+let test_pipeline_verify_clean () =
+  let checked = compile_checked (gemm_src 8) in
+  (match checked.Pipeline.outcome with
+  | Pipeline.Offloaded r -> Alcotest.(check int) "offloaded" 1 r.Offload.kernels_offloaded
+  | Pipeline.Not_scop m -> Alcotest.failf "not a scop: %s" m
+  | Pipeline.Rejected ds -> Alcotest.failf "rejected: %s" (String.concat "; " (codes ds)));
+  Alcotest.(check (list string)) "no errors" []
+    (codes (Diag.errors checked.Pipeline.diagnostics))
+
+let test_pipeline_rejects_oob () =
+  let src =
+    {|
+void oob(float B[8][8], float A[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      B[i][j] = A[i+1][j];
+}
+|}
+  in
+  let checked = compile_checked src in
+  match checked.Pipeline.outcome with
+  | Pipeline.Rejected ds ->
+      Alcotest.(check bool) "bounds error surfaced" true (has_code "E201" ds);
+      (* fail-safe: the returned function is the unmodified host path *)
+      Alcotest.(check bool) "no cim calls" false (Ir.contains_cim_calls checked.Pipeline.func)
+  | Pipeline.Offloaded _ | Pipeline.Not_scop _ -> Alcotest.fail "expected rejection"
+
+let test_pipeline_verify_all_polybench () =
+  List.iter
+    (fun (b : Kernels.benchmark) ->
+      let checked = compile_checked (b.Kernels.source ~n:16) in
+      match checked.Pipeline.outcome with
+      | Pipeline.Offloaded _ ->
+          Alcotest.(check (list string))
+            (b.Kernels.name ^ ": no verification errors")
+            []
+            (codes (Diag.errors checked.Pipeline.diagnostics))
+      | Pipeline.Not_scop m -> Alcotest.failf "%s: not a scop: %s" b.Kernels.name m
+      | Pipeline.Rejected ds ->
+          Alcotest.failf "%s rejected: %s" b.Kernels.name (String.concat "; " (codes ds)))
+    Kernels.all
+
+let test_pipeline_verify_examples () =
+  List.iter
+    (fun (name, src) ->
+      let checked = compile_checked src in
+      match checked.Pipeline.outcome with
+      | Pipeline.Offloaded _ ->
+          Alcotest.(check (list string))
+            (name ^ ": no verification errors")
+            []
+            (codes (Diag.errors checked.Pipeline.diagnostics))
+      | Pipeline.Not_scop m -> Alcotest.failf "%s: not a scop: %s" name m
+      | Pipeline.Rejected ds -> Alcotest.failf "%s rejected: %s" name (String.concat "; " (codes ds)))
+    [
+      ("gemm-listing1", Workloads.gemm_source ~n:24);
+      ("fusion-listing2", Workloads.listing2_source ~n:24);
+      ("tiling-listing3", Workloads.gemm_source ~n:512);
+    ]
+
+(* ---------- lint CI over the whole corpus ---------- *)
+
+let test_lint_corpus_clean_and_selective () =
+  let corpus =
+    List.map (fun (b : Kernels.benchmark) -> (b.Kernels.name, b.Kernels.source ~n:16)) Kernels.all
+    @ [
+        ("gemm-listing1", Workloads.gemm_source ~n:24);
+        ("fusion-listing2", Workloads.listing2_source ~n:24);
+        ("tiling-listing3", Workloads.gemm_source ~n:512);
+      ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let f = lower src in
+      let ds = Lint.run f @ Verify.func f @ Bounds.func f in
+      Alcotest.(check (list string)) (name ^ ": no errors") [] (codes (Diag.errors ds)))
+    corpus;
+  (* the paper's selective-offload split: GEMV-class kernels are
+     unprofitable, GEMM-class ones are not *)
+  List.iter
+    (fun (b : Kernels.benchmark) ->
+      let flagged = has_code "W001" (Lint.run (lower (b.Kernels.source ~n:16))) in
+      match b.Kernels.kind with
+      | Kernels.Gemv_like ->
+          Alcotest.(check bool) (b.Kernels.name ^ " flagged unprofitable") true flagged
+      | Kernels.Gemm_like ->
+          Alcotest.(check bool) (b.Kernels.name ^ " not flagged") false flagged)
+    Kernels.all
+
+(* ---------- properties ---------- *)
+
+let random_gemm_func seed =
+  let m = 2 + (seed mod 7) and n = 2 + (seed / 7 mod 7) and k = 2 + (seed / 49 mod 7) in
+  let open Builder in
+  func "gen"
+    [
+      scalar Ast.Tfloat "alpha";
+      array "C" [ m; n ];
+      array "A" [ m; k ];
+      array "B" [ k; n ];
+    ]
+    [
+      for_ "i" (int m)
+        [
+          for_ "j" (int n)
+            [
+              assign "C" [ var "i"; var "j" ] (float 0.0);
+              for_ "k" (int k)
+                [
+                  add_assign "C" [ var "i"; var "j" ]
+                    (var "alpha" * idx "A" [ var "i"; var "k" ] * idx "B" [ var "k"; var "j" ]);
+                ];
+            ];
+        ];
+    ]
+
+let qcheck_builder_programs_verify =
+  QCheck.Test.make ~name:"random builder kernels verify and validate end to end" ~count:30
+    QCheck.small_int (fun seed ->
+      let f = Lower.func (random_gemm_func seed) in
+      let checked = Pipeline.run_checked ~verify:true f in
+      Verify.func f = []
+      && Bounds.func f = []
+      && (match checked.Pipeline.outcome with Pipeline.Offloaded _ -> true | _ -> false)
+      && not (Diag.has_errors checked.Pipeline.diagnostics))
+
+let qcheck_mutated_trees_rejected =
+  QCheck.Test.make ~name:"dropping any statement from a tree is caught by legality" ~count:20
+    QCheck.small_int (fun seed ->
+      let before = tree_of (gemm_src (4 + (seed mod 5))) in
+      match before with
+      | St.Seq children when List.length children > 1 ->
+          let victim = seed mod List.length children in
+          let after = St.Seq (List.filteri (fun i _ -> i <> victim) children) in
+          has_code "E103" (Legality.check_stmt_level ~before ~after)
+      | t ->
+          (* single-segment tree: drop it entirely *)
+          has_code "E103"
+            (Legality.check_stmt_level ~before:t ~after:(St.Code [])))
+
+let suites =
+  [
+    ( "analysis.verify",
+      [
+        Alcotest.test_case "clean gemm" `Quick test_verify_clean_gemm;
+        Alcotest.test_case "undefined names" `Quick test_verify_undefined_names;
+        Alcotest.test_case "structure" `Quick test_verify_structure;
+        Alcotest.test_case "call signatures" `Quick test_verify_call_signature;
+        Alcotest.test_case "device state" `Quick test_verify_device_state;
+        Alcotest.test_case "tree invariants" `Quick test_verify_tree_invariants;
+      ] );
+    ( "analysis.legality",
+      [
+        Alcotest.test_case "accumulation interchange" `Quick
+          test_legality_accumulation_interchange_ok;
+        Alcotest.test_case "illegal interchange" `Quick test_legality_illegal_interchange;
+        Alcotest.test_case "dropped / reordered" `Quick test_legality_dropped_and_reordered;
+        Alcotest.test_case "offload rewrite ok" `Quick test_legality_offload_rewrite_ok;
+        Alcotest.test_case "lost write" `Quick test_legality_lost_write;
+        Alcotest.test_case "illegal fusion" `Quick test_legality_illegal_fusion;
+        QCheck_alcotest.to_alcotest qcheck_mutated_trees_rejected;
+      ] );
+    ( "analysis.bounds",
+      [
+        Alcotest.test_case "overflow witness" `Quick test_bounds_overflow_witness;
+        Alcotest.test_case "underflow witness" `Quick test_bounds_underflow_witness;
+        Alcotest.test_case "clean kernels" `Quick test_bounds_clean_kernels;
+      ] );
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "low intensity" `Quick test_lint_low_intensity;
+        Alcotest.test_case "dead / unused arrays" `Quick test_lint_dead_and_unused;
+        Alcotest.test_case "explain scop failure" `Quick test_lint_explains_scop_failure;
+        Alcotest.test_case "endurance budget" `Quick test_lint_endurance_budget;
+      ] );
+    ( "analysis.pipeline",
+      [
+        Alcotest.test_case "verify clean gemm" `Quick test_pipeline_verify_clean;
+        Alcotest.test_case "rejects out-of-bounds" `Quick test_pipeline_rejects_oob;
+        Alcotest.test_case "polybench corpus" `Quick test_pipeline_verify_all_polybench;
+        Alcotest.test_case "paper examples" `Quick test_pipeline_verify_examples;
+        Alcotest.test_case "lint CI corpus" `Quick test_lint_corpus_clean_and_selective;
+        QCheck_alcotest.to_alcotest qcheck_builder_programs_verify;
+      ] );
+  ]
