@@ -1,0 +1,22 @@
+.PHONY: all build test bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- bench
+
+# Regenerate BENCH_sim.json at the repo root: Fig. 5 / Fig. 6 / ablation
+# sections timed with the domain pool and forced-sequential, plus the
+# speedup against the recorded pre-rework baseline.
+bench-json:
+	dune build bin/experiments.exe
+	./_build/default/bin/experiments.exe bench-json --out BENCH_sim.json
+
+clean:
+	dune clean

@@ -3,7 +3,11 @@
 
      dune exec bench/main.exe              (benchmarks + all tables)
      dune exec bench/main.exe -- tables    (tables only)
-     dune exec bench/main.exe -- bench     (benchmarks only) *)
+     dune exec bench/main.exe -- bench     (benchmarks only)
+     dune exec bench/main.exe -- json [P]  (micro-benchmarks + timed Fig. 6
+                                            section as JSON, default
+                                            BENCH_sim.json)
+     dune exec bench/main.exe -- smoke     (fast JSON smoke for `dune runtest`) *)
 
 open Bechamel
 open Toolkit
@@ -137,23 +141,24 @@ let tests =
   Test.make_grouped ~name:"tdo-cim"
     [ test_table1; test_fig1; test_fig2d; test_fig5; test_fig6_host; test_fig6_cim ]
 
-let run_benchmarks () =
-  print_endline "=== micro-benchmarks (Bechamel, one per paper artefact) ===";
+let bench_rows () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
-  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let run_benchmarks () =
+  print_endline "=== micro-benchmarks (Bechamel, one per paper artefact) ===";
+  let rows = bench_rows () in
   Tdo_util.Pretty.print
     ~columns:
       [
@@ -179,14 +184,54 @@ let print_tables () =
   print_newline ();
   Experiments.print_fig6 ~dataset:Tdo_polybench.Dataset.Medium ()
 
+(* ---------- JSON report (BENCH_sim.json) ---------- *)
+
+module Pool = Tdo_util.Pool
+module Report = Tdo_util.Bench_report
+
+(* one timed section: the Pool fan-out, then the same work forced
+   sequential for the speedup figure *)
+let timed_section name f =
+  Pool.set_sequential (Some false);
+  let _, wall_s, minor_words = Report.timed f in
+  Pool.set_sequential (Some true);
+  let _, seq_wall_s, _ = Report.timed f in
+  Pool.set_sequential None;
+  { Report.name; wall_s; minor_words; seq_wall_s = Some seq_wall_s }
+
+let fig6_section dataset =
+  timed_section
+    (Printf.sprintf "fig6-%s" (Tdo_polybench.Dataset.to_string dataset))
+    (fun () -> ignore (Experiments.fig6 ~dataset ()))
+
+let write_json ?micro ~dataset path =
+  Report.write ~path ?micro ~sections:[ fig6_section dataset ] ();
+  Printf.printf "wrote %s\n" path
+
+let smoke () =
+  (* exercised by `dune runtest`: the smallest dataset, no Bechamel
+     warm-up, and a sanity check that the report landed on disk *)
+  let path = "BENCH_smoke.json" in
+  write_json ~dataset:Tdo_polybench.Dataset.Mini path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let head = really_input_string ic (min len 1) in
+  close_in ic;
+  if len = 0 || head <> "{" then failwith "bench smoke: malformed JSON report";
+  Printf.printf "bench smoke ok (%d bytes)\n" len
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match mode with
   | "bench" -> run_benchmarks ()
   | "tables" -> print_tables ()
+  | "json" ->
+      let path = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_sim.json" in
+      write_json ~micro:(bench_rows ()) ~dataset:Tdo_polybench.Dataset.Small path
+  | "smoke" -> smoke ()
   | "all" ->
       run_benchmarks ();
       print_tables ()
   | other ->
-      Printf.eprintf "unknown mode %S (bench|tables|all)\n" other;
+      Printf.eprintf "unknown mode %S (bench|tables|all|json|smoke)\n" other;
       exit 1

@@ -52,6 +52,74 @@ let ablations_cmd =
           offload, crossbar geometry, analog noise.")
     Term.(const Tdo_cim.Ablations.print_all $ const ())
 
+(* ---------- machine-readable benchmark report ---------- *)
+
+let bench_json dataset out baseline =
+  let module Pool = Tdo_util.Pool in
+  let module Report = Tdo_util.Bench_report in
+  let section name f =
+    (* the fan-out first, then the same work forced sequential *)
+    Pool.set_sequential (Some false);
+    let _, wall_s, minor_words = Report.timed f in
+    Pool.set_sequential (Some true);
+    let _, seq_wall_s, _ = Report.timed f in
+    Pool.set_sequential None;
+    Printf.printf "%-18s %8.3f s parallel, %8.3f s sequential\n%!" name wall_s seq_wall_s;
+    { Report.name; wall_s; minor_words; seq_wall_s = Some seq_wall_s }
+  in
+  let fig6_name = Printf.sprintf "fig6-%s" (Dataset.to_string dataset) in
+  let fig6 = section fig6_name (fun () -> ignore (E.fig6 ~dataset ())) in
+  let fig5 = section "fig5" (fun () -> ignore (E.fig5 ())) in
+  let ablations =
+    let module A = Tdo_cim.Ablations in
+    section "ablations" (fun () ->
+        ignore (A.pinning ());
+        ignore (A.fusion ());
+        ignore (A.double_buffering ());
+        ignore (A.selective ());
+        ignore (A.geometry ());
+        ignore (A.noise ());
+        ignore (A.wear_leveling ());
+        ignore (A.tiles ()))
+  in
+  let extra =
+    if baseline > 0.0 then
+      [
+        (fig6_name ^ "_seed_baseline_wall_s", baseline);
+        (fig6_name ^ "_speedup_vs_seed_baseline", baseline /. fig6.Report.wall_s);
+      ]
+    else []
+  in
+  Report.write ~path:out
+    ~notes:
+      "seed_baseline is the wall-clock of the same Fig. 6 sweep before the fast-engine \
+       rework (functional Map event queue, assoc-list interpreter, sequential runner), \
+       measured on the same machine; speedup_vs_sequential compares against this build \
+       with the domain pool forced sequential."
+    ~extra ~sections:[ fig6; fig5; ablations ] ();
+  Printf.printf "wrote %s\n" out
+
+let bench_json_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_sim.json"
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output path for the JSON report.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt float 3.1
+      & info [ "seed-baseline" ] ~docv:"SECONDS"
+          ~doc:
+            "Recorded wall-clock of the Fig. 6 sweep before the fast-engine rework, used \
+             for the speedup-vs-seed figure; pass 0 to omit.")
+  in
+  Cmd.v
+    (Cmd.info "bench-json"
+       ~doc:
+         "Time the Fig. 5 / Fig. 6 / ablation sections (parallel and forced-sequential) \
+          and write BENCH_sim.json.")
+    Term.(const bench_json $ dataset_arg $ out_arg $ baseline_arg)
+
 let all_cmd =
   let run dataset =
     E.print_table1 ();
@@ -74,4 +142,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ table1_cmd; fig1_cmd; fig2d_cmd; fig5_cmd; fig6_cmd; ablations_cmd; all_cmd ]))
+          [
+            table1_cmd;
+            fig1_cmd;
+            fig2d_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            ablations_cmd;
+            bench_json_cmd;
+            all_cmd;
+          ]))

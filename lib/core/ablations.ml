@@ -3,6 +3,7 @@ module Kernels = Tdo_polybench.Kernels
 module Offload = Tdo_tactics.Offload
 module Platform = Tdo_runtime.Platform
 module Endurance = Tdo_pcm.Endurance
+module Pool = Tdo_util.Pool
 module Pretty = Tdo_util.Pretty
 module Stats = Tdo_util.Stats
 module Mat = Tdo_linalg.Mat
@@ -41,7 +42,9 @@ let pinning ?(n = 64) ?(seed = 13) () =
                ~elapsed_seconds:m.Flow.time_s);
     }
   in
-  [ row "smart (pin shared A)" (measure false); row "naive (stream A)" (measure true) ]
+  match Pool.parallel_map measure [ false; true ] with
+  | [ smart; naive ] -> [ row "smart (pin shared A)" smart; row "naive (stream A)" naive ]
+  | _ -> assert false
 
 let print_pinning ?(n = 64) () =
   Printf.printf "Ablation: operand pinning (Listing-2 workload, %dx%d)\n" n n;
@@ -90,7 +93,7 @@ let fusion ?(n = 32) ?(seed = 13) () =
       time_s = m.Flow.time_s;
     }
   in
-  [ measure true; measure false ]
+  Pool.parallel_map measure [ true; false ]
 
 let print_fusion ?(n = 32) () =
   Printf.printf "Ablation: kernel fusion to batched calls (Listing-2 workload, %dx%d)\n" n n;
@@ -137,7 +140,7 @@ let double_buffering ?(n = 64) ?(seed = 13) () =
     in
     { double_buffering = enabled; device_time_s = Sim.Time_base.seconds_of_ps busy }
   in
-  [ measure true; measure false ]
+  Pool.parallel_map measure [ true; false ]
 
 let print_double_buffering ?(n = 64) () =
   Printf.printf "Ablation: micro-engine double buffering (%dx%dx%d GEMM)\n" n n n;
@@ -173,12 +176,10 @@ let selective ?(dataset = Dataset.Small) ?(seed = 17) () =
     let m, _ = Flow.run f ~args in
     (m, report)
   in
-  let hosts =
-    List.map (fun b -> fst (run_kernel Flow.o3 b)) Kernels.all
-  in
+  let hosts = Pool.parallel_map (fun b -> fst (run_kernel Flow.o3 b)) Kernels.all in
   let threshold min_intensity =
     let options = options_with { Offload.default_config with Offload.min_intensity } in
-    let results = List.map (run_kernel options) Kernels.all in
+    let results = Pool.parallel_map (run_kernel options) Kernels.all in
     let offloaded =
       List.fold_left
         (fun acc (_, report) ->
@@ -208,7 +209,9 @@ let selective ?(dataset = Dataset.Small) ?(seed = 17) () =
       geomean_energy_improvement = Stats.geomean improvements;
     }
   in
-  List.map threshold [ None; Some 2.0; Some 16.0; Some 256.0; Some 1e6 ]
+  (* thresholds fan out in parallel; the per-kernel maps inside each
+     threshold then run sequentially on their worker *)
+  Pool.parallel_map threshold [ None; Some 2.0; Some 16.0; Some 256.0; Some 1e6 ]
 
 let print_selective ?(dataset = Dataset.Small) () =
   Printf.printf "Ablation: selective offload threshold (PolyBench, n=%d)\n" (Dataset.n dataset);
@@ -269,7 +272,7 @@ let geometry ?(n = 128) ?(seed = 13) () =
       energy_improvement = host.Flow.energy_j /. m.Flow.energy_j;
     }
   in
-  List.map measure [ 32; 64; 128; 256 ]
+  Pool.parallel_map measure [ 32; 64; 128; 256 ]
 
 let print_geometry ?(n = 128) () =
   Printf.printf "Ablation: crossbar geometry (%dx%dx%d GEMM)\n" n n n;
@@ -316,7 +319,7 @@ let noise ?(n = 32) ?(seed = 13) () =
     let _ = Flow.run ~platform_config f ~args in
     { noise_sigma; max_abs_error = Mat.max_abs_diff host (readback ()) }
   in
-  List.map measure [ None; Some 0.5; Some 2.0; Some 8.0; Some 32.0 ]
+  Pool.parallel_map measure [ None; Some 0.5; Some 2.0; Some 8.0; Some 32.0 ]
 
 let print_noise ?(n = 32) () =
   Printf.printf "Ablation: analog noise vs accuracy (%dx%dx%d GEMM)\n" n n n;
@@ -427,7 +430,7 @@ let tiles ?(n = 64) ?(seed = 17) () =
     let m, _ = Flow.run ~platform_config f ~args in
     { tiles = count; time_s = m.Flow.time_s; energy_j = m.Flow.energy_j; edp_js = m.Flow.edp_js }
   in
-  List.map measure [ 1; 2; 4 ]
+  Pool.parallel_map measure [ 1; 2; 4 ]
 
 let print_tiles ?(n = 64) () =
   Printf.printf "Ablation: CIM tile count (3mm at n=%d; independent products run in parallel)\n"

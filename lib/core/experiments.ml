@@ -1,6 +1,7 @@
 module Dataset = Tdo_polybench.Dataset
 module Kernels = Tdo_polybench.Kernels
 module Timeline = Tdo_cimacc.Timeline
+module Pool = Tdo_util.Pool
 module Pretty = Tdo_util.Pretty
 module Stats = Tdo_util.Stats
 module Mat = Tdo_linalg.Mat
@@ -92,7 +93,12 @@ let fig5 ?(endurances_millions = default_endurances) ?(n = 64) ?(seed = 13) () =
     let m, _platform = Flow.run_source ~options (Workloads.listing2_source ~n) ~args in
     m
   in
-  let smart = measure false and naive = measure true in
+  (* the two configurations are independent full runs *)
+  let smart, naive =
+    match Pool.parallel_map measure [ false; true ] with
+    | [ smart; naive ] -> (smart, naive)
+    | _ -> assert false
+  in
   let crossbar_bytes = 512 * 1024 in
   let traffic (m : Flow.measurement) =
     Endurance.write_traffic_bytes_per_second ~bytes_written:m.Flow.cim_write_bytes
@@ -196,7 +202,9 @@ let fig6_kernel ~n ~seed (b : Kernels.benchmark) =
 
 let fig6 ?(dataset = Dataset.Medium) ?(seed = 17) () =
   let n = Dataset.n dataset in
-  let rows = List.map (fig6_kernel ~n ~seed) Kernels.all in
+  (* one task per kernel; each builds its own platforms and takes its
+     PRNG seed explicitly, so the fan-out is bit-deterministic *)
+  let rows = Pool.parallel_map (fig6_kernel ~n ~seed) Kernels.all in
   let energies = List.map (fun r -> r.energy_improvement) rows in
   let selective =
     List.map
@@ -248,9 +256,7 @@ let print_fig6_breakdown rows =
            ])
          rows)
 
-let print_fig6 ?(dataset = Dataset.Medium) ?(breakdown = false) () =
-  let n = Dataset.n dataset in
-  let rows, summary = fig6 ~dataset () in
+let print_fig6_results ~n ?(breakdown = false) (rows, summary) =
   Printf.printf "Fig. 6: energy and EDP, host (Arm-A7) vs host+CIM, PolyBench at n=%d\n" n;
   let columns =
     [
@@ -293,3 +299,6 @@ let print_fig6 ?(dataset = Dataset.Medium) ?(breakdown = false) () =
     print_newline ();
     print_fig6_breakdown rows
   end
+
+let print_fig6 ?(dataset = Dataset.Medium) ?breakdown () =
+  print_fig6_results ~n:(Dataset.n dataset) ?breakdown (fig6 ~dataset ())

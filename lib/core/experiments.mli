@@ -83,3 +83,7 @@ val print_fig6 : ?dataset:Dataset.t -> ?breakdown:bool -> unit -> unit
 (** [breakdown] additionally prints each host+CIM run's energy split
     into the Table-I components (host side, crossbar compute/write,
     mixed signal, buffers, digital, DMA/engine). *)
+
+val print_fig6_results : n:int -> ?breakdown:bool -> fig6_row list * fig6_summary -> unit
+(** Render already-computed {!fig6} results — lets a sweep compute
+    several datasets in parallel and print them in order. *)

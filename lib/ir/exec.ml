@@ -19,17 +19,309 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
 type array_info = { base : int; dims : int list }
 
-type slot = Sint of int ref | Sfloat of float ref | Sarray of array_info
+(* ---------- resolved (slot-table) program ----------
+
+   [run] first resolves every identifier to a typed slot index in one
+   binding pass over the IR, then executes the resolved program against
+   flat unboxed arrays. The interpreter previously paid a [List.assoc]
+   string search plus a boxed [Vi]/[Vf] allocation for every operand of
+   every dynamic instruction; on the PolyBench nests that was the
+   hottest path of the whole evaluation. Instruction charging is
+   unchanged: the same classes are issued for the same source
+   constructs, with the same addresses. *)
+
+type rexpr =
+  | Ci of int  (** int literal *)
+  | Cf of float  (** float literal *)
+  | Vi of int  (** int scalar slot *)
+  | Vf of int  (** float scalar slot *)
+  | Load of { arr : int; dims : int array; idxs : rexpr array }
+  | Ibin of Ast.binop * rexpr * rexpr  (** both operands int-typed *)
+  | Fbin of Ast.binop * rexpr * rexpr  (** float result, operands coerced *)
+  | Ineg of rexpr
+  | Fneg of rexpr
+
+let is_int = function
+  | Ci _ | Vi _ | Ibin _ | Ineg _ -> true
+  | Cf _ | Vf _ | Load _ | Fbin _ | Fneg _ -> false
+
+(* right-hand side of [lhs op= rhs]: a top-level multiply under [+=]
+   retires as one fused multiply-accumulate on the A7's VFP *)
+type rrhs =
+  | Rmac of rexpr * rexpr * bool  (** factors; [true] = integer multiply *)
+  | Rplain of rexpr
+
+type rmat = {
+  mslot : int;
+  mname : string;
+  mrow_off : rexpr;
+  mcol_off : rexpr;
+  mtrans : bool;
+}
+
+type rcall =
+  | Rinit
+  | Ralloc of int * string
+  | Rh2d of int * string
+  | Rd2h of int * string
+  | Rfree of int * string
+  | Rgemm of {
+      gm : int;
+      gn : int;
+      gk : int;
+      galpha : rexpr;
+      gbeta : rexpr;
+      ga : rmat;
+      gb : rmat;
+      gc : rmat;
+      gpin : Ir.pin;
+    }
+  | Rgemm_batched of {
+      bm : int;
+      bn : int;
+      bk : int;
+      balpha : rexpr;
+      bbeta : rexpr;
+      bbatch : (rmat * rmat * rmat) list;
+      bpin : Ir.pin;
+    }
+  | Rim2col of {
+      isrc : int;
+      isrc_name : string;
+      idst : int;
+      idst_name : string;
+      ikh : int;
+      ikw : int;
+      ioh : int;
+      iow : int;
+    }
+
+type rstmt =
+  | Rfor of { slot : int; lo : rexpr; hi : rexpr; step : int; body : rstmt array }
+  | Rstore of { arr : int; dims : int array; idxs : rexpr array; op : Ast.assign_op; rhs : rrhs }
+  | Rset_f of { slot : int; op : Ast.assign_op; rhs : rexpr }
+  | Rset_i of { slot : int; op : Ast.assign_op; rhs : rexpr }
+  | Rdecl_i of { slot : int; init : rexpr option }
+  | Rdecl_f of { slot : int; init : rexpr option }
+  | Rdecl_arr of { slot : int; adims : int list }
+  | Rcall of rcall
+  | Rroi_begin
+  | Rroi_end
+
+(* ---------- binding pass ---------- *)
+
+type bind = Bint of int | Bfloat of int | Barr of int * int list
+
+type counters = { mutable n_int : int; mutable n_float : int; mutable n_arr : int }
+
+let new_int c =
+  let s = c.n_int in
+  c.n_int <- s + 1;
+  s
+
+let new_float c =
+  let s = c.n_float in
+  c.n_float <- s + 1;
+  s
+
+let new_arr c =
+  let s = c.n_arr in
+  c.n_arr <- s + 1;
+  s
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some b -> b
+  | None -> fail "unbound identifier '%s'" name
+
+let rec compile_expr env c (e : Ast.expr) : rexpr =
+  match e with
+  | Ast.Int_lit n -> Ci n
+  | Ast.Float_lit f -> Cf f
+  | Ast.Var name -> (
+      match lookup env name with
+      | Bint s -> Vi s
+      | Bfloat s -> Vf s
+      | Barr _ -> fail "array '%s' used as a scalar" name)
+  | Ast.Index (name, indices) -> (
+      match lookup env name with
+      | Barr (slot, dims) ->
+          if List.length indices <> List.length dims then
+            fail "array '%s': rank mismatch" name;
+          let idxs =
+            List.map
+              (fun e ->
+                let r = compile_expr env c e in
+                if not (is_int r) then fail "non-integer subscript";
+                r)
+              indices
+          in
+          Load { arr = slot; dims = Array.of_list dims; idxs = Array.of_list idxs }
+      | Bint _ | Bfloat _ -> fail "scalar '%s' indexed" name)
+  | Ast.Binop (op, a, b) ->
+      let ra = compile_expr env c a in
+      let rb = compile_expr env c b in
+      if is_int ra && is_int rb then Ibin (op, ra, rb) else Fbin (op, ra, rb)
+  | Ast.Neg e ->
+      let r = compile_expr env c e in
+      if is_int r then Ineg r else Fneg r
+
+let compile_int_expr env c what e =
+  let r = compile_expr env c e in
+  if not (is_int r) then fail "%s: expected an integer value" what;
+  r
+
+let compile_mat_ref env c (r : Ir.mat_ref) =
+  match lookup env r.Ir.array with
+  | Barr (slot, _) ->
+      {
+        mslot = slot;
+        mname = r.Ir.array;
+        mrow_off = compile_int_expr env c "mat_ref row offset" r.Ir.row_off;
+        mcol_off = compile_int_expr env c "mat_ref col offset" r.Ir.col_off;
+        mtrans = r.Ir.trans;
+      }
+  | Bint _ | Bfloat _ -> fail "'%s' is not an array" r.Ir.array
+
+let array_slot env name =
+  match lookup env name with
+  | Barr (slot, _) -> (slot, name)
+  | Bint _ | Bfloat _ -> fail "'%s' is not an array" name
+
+let compile_call env c (call : Ir.call) : rcall =
+  match call with
+  | Ir.Cim_init -> Rinit
+  | Ir.Cim_alloc { array } ->
+      let s, n = array_slot env array in
+      Ralloc (s, n)
+  | Ir.Cim_h2d { array } ->
+      let s, n = array_slot env array in
+      Rh2d (s, n)
+  | Ir.Cim_d2h { array } ->
+      let s, n = array_slot env array in
+      Rd2h (s, n)
+  | Ir.Cim_free { array } ->
+      let s, n = array_slot env array in
+      Rfree (s, n)
+  | Ir.Cim_gemm { m; n; k; alpha; beta; a; b; c = cm; pin } ->
+      if cm.Ir.trans then fail "polly_cimBlasSGemm: transposed C is not supported";
+      Rgemm
+        {
+          gm = m;
+          gn = n;
+          gk = k;
+          galpha = compile_expr env c alpha;
+          gbeta = compile_expr env c beta;
+          ga = compile_mat_ref env c a;
+          gb = compile_mat_ref env c b;
+          gc = compile_mat_ref env c cm;
+          gpin = pin;
+        }
+  | Ir.Cim_gemm_batched { m; n; k; alpha; beta; batch; pin } ->
+      Rgemm_batched
+        {
+          bm = m;
+          bn = n;
+          bk = k;
+          balpha = compile_expr env c alpha;
+          bbeta = compile_expr env c beta;
+          bbatch =
+            List.map
+              (fun (a, b, cm) ->
+                ( compile_mat_ref env c a,
+                  compile_mat_ref env c b,
+                  compile_mat_ref env c cm ))
+              batch;
+          bpin = pin;
+        }
+  | Ir.Cim_im2col { src; dst; kh; kw; oh; ow } ->
+      let isrc, isrc_name = array_slot env src in
+      let idst, idst_name = array_slot env dst in
+      Rim2col { isrc; isrc_name; idst; idst_name; ikh = kh; ikw = kw; ioh = oh; iow = ow }
+
+let rec compile_body env c (body : Ir.stmt list) : rstmt list =
+  match body with
+  | [] -> []
+  | Ir.Decl_scalar { name; typ; init } :: rest -> (
+      match typ with
+      | Ast.Tint ->
+          let init =
+            Option.map (fun e -> compile_int_expr env c "initialiser" e) init
+          in
+          let slot = new_int c in
+          Rdecl_i { slot; init } :: compile_body ((name, Bint slot) :: env) c rest
+      | Ast.Tfloat ->
+          let init = Option.map (compile_expr env c) init in
+          let slot = new_float c in
+          Rdecl_f { slot; init } :: compile_body ((name, Bfloat slot) :: env) c rest
+      | Ast.Tvoid -> fail "void declaration")
+  | Ir.Decl_array { name; dims } :: rest ->
+      let slot = new_arr c in
+      Rdecl_arr { slot; adims = dims }
+      :: compile_body ((name, Barr (slot, dims)) :: env) c rest
+  | stmt :: rest -> compile_stmt env c stmt :: compile_body env c rest
+
+and compile_stmt env c (stmt : Ir.stmt) : rstmt =
+  match stmt with
+  | Ir.For { var; lo; hi; step; body } ->
+      let lo = compile_int_expr env c "loop bound" lo in
+      let hi = compile_int_expr env c "loop bound" hi in
+      let slot = new_int c in
+      let body = compile_body ((var, Bint slot) :: env) c body in
+      Rfor { slot; lo; hi; step; body = Array.of_list body }
+  | Ir.Assign { lhs; op; rhs } -> (
+      match (lookup env lhs.Ast.base, lhs.Ast.indices) with
+      | Barr (slot, dims), indices ->
+          if List.length indices <> List.length dims then
+            fail "array '%s': rank mismatch" lhs.Ast.base;
+          let idxs =
+            List.map
+              (fun e ->
+                let r = compile_expr env c e in
+                if not (is_int r) then fail "non-integer subscript";
+                r)
+              indices
+          in
+          let rhs =
+            match (op, rhs) with
+            | Ast.Add_assign, Ast.Binop (Ast.Mul, a, b) ->
+                let ra = compile_expr env c a in
+                let rb = compile_expr env c b in
+                Rmac (ra, rb, is_int ra && is_int rb)
+            | _ -> Rplain (compile_expr env c rhs)
+          in
+          Rstore
+            { arr = slot; dims = Array.of_list dims; idxs = Array.of_list idxs; op; rhs }
+      | Bfloat slot, [] -> Rset_f { slot; op; rhs = compile_expr env c rhs }
+      | Bint slot, [] ->
+          let r = compile_expr env c rhs in
+          if not (is_int r) then fail "integer assignment: expected an integer value";
+          Rset_i { slot; op; rhs = r }
+      | (Bint _ | Bfloat _), _ :: _ -> fail "scalar '%s' indexed" lhs.Ast.base)
+  | Ir.Decl_scalar _ | Ir.Decl_array _ ->
+      (* handled by compile_body so the binding covers the rest of the body *)
+      assert false
+  | Ir.Call call -> Rcall (compile_call env c call)
+  | Ir.Roi_begin -> Rroi_begin
+  | Ir.Roi_end -> Rroi_end
+
+(* ---------- runtime state ---------- *)
 
 type state = {
   platform : Platform.t;
   cpu : Sim.Cpu.t;
+  memory : Sim.Memory.t;
+  ints : int array;
+  floats : float array;
+  arrays : array_info array;
   mutable heap : int;
   mutable api : Api.t option;
-  dev : (string, Api.buffer) Hashtbl.t;
+  dev : (int, Api.buffer) Hashtbl.t;  (** keyed by array slot *)
 }
 
 let heap_base = 0x0100_0000
+
+let no_array = { base = -1; dims = [] }
 
 let alloc_array st dims =
   let bytes = 4 * List.fold_left ( * ) 1 dims in
@@ -41,107 +333,70 @@ let issue st ?addr cls = Sim.Cpu.issue st.cpu ?addr cls
 
 (* ---------- expression evaluation with instruction charging ---------- *)
 
-type value = Vi of int | Vf of float
+let rec element_address st base (dims : int array) (idxs : rexpr array) =
+  let flat = ref 0 in
+  for i = 0 to Array.length dims - 1 do
+    let idx = eval_i st (Array.unsafe_get idxs i) in
+    let dim = Array.unsafe_get dims i in
+    if idx < 0 || idx >= dim then fail "index %d out of bound %d" idx dim;
+    (* mul + add of the row-major address computation *)
+    issue st Sim.Cpu.Int_alu;
+    flat := (!flat * dim) + idx
+  done;
+  base + (4 * !flat)
 
-let as_f = function Vi n -> float_of_int n | Vf f -> f
-
-let as_i what = function
-  | Vi n -> n
-  | Vf _ -> fail "%s: expected an integer value" what
-
-let lookup env name =
-  match List.assoc_opt name env with
-  | Some s -> s
-  | None -> fail "unbound identifier '%s'" name
-
-let element_address st env info indices =
-  let idxs =
-    List.map
-      (fun e ->
-        match e with
-        | Vi n -> n
-        | Vf _ -> fail "non-integer subscript")
-      indices
-  in
-  let flat =
-    List.fold_left2
-      (fun acc idx dim ->
-        if idx < 0 || idx >= dim then fail "index %d out of bound %d" idx dim;
-        issue st Sim.Cpu.Int_alu;
-        (* mul + add of the row-major address computation *)
-        (acc * dim) + idx)
-      0 idxs info.dims
-  in
-  ignore env;
-  info.base + (4 * flat)
-
-let rec eval st env (e : Ast.expr) : value =
+and eval_i st (e : rexpr) : int =
   match e with
-  | Ast.Int_lit n -> Vi n
-  | Ast.Float_lit f -> Vf f
-  | Ast.Var name -> (
-      match lookup env name with
-      | Sint r -> Vi !r
-      | Sfloat r -> Vf !r
-      | Sarray _ -> fail "array '%s' used as a scalar" name)
-  | Ast.Index (name, indices) -> (
-      match lookup env name with
-      | Sarray info ->
-          let idx_values = List.map (eval st env) indices in
-          let addr = element_address st env info idx_values in
-          issue st ~addr Sim.Cpu.Load;
-          Vf (Sim.Memory.read_f32 st.platform.Platform.memory addr)
-      | Sint _ | Sfloat _ -> fail "scalar '%s' indexed" name)
-  | Ast.Binop (op, a, b) -> (
-      let va = eval st env a and vb = eval st env b in
-      match (va, vb) with
-      | Vi x, Vi y ->
-          issue st Sim.Cpu.Int_alu;
-          Vi
-            (match op with
-            | Ast.Add -> x + y
-            | Ast.Sub -> x - y
-            | Ast.Mul -> x * y
-            | Ast.Div ->
-                if y = 0 then fail "integer division by zero";
-                x / y)
-      | _ ->
-          let x = as_f va and y = as_f vb in
-          let cls =
-            match op with
-            | Ast.Add | Ast.Sub -> Sim.Cpu.Fp_add
-            | Ast.Mul -> Sim.Cpu.Fp_mul
-            | Ast.Div -> Sim.Cpu.Fp_div
-          in
-          issue st cls;
-          Vf
-            (match op with
-            | Ast.Add -> x +. y
-            | Ast.Sub -> x -. y
-            | Ast.Mul -> x *. y
-            | Ast.Div -> x /. y))
-  | Ast.Neg e -> (
-      match eval st env e with
-      | Vi n ->
-          issue st Sim.Cpu.Int_alu;
-          Vi (-n)
-      | Vf f ->
-          issue st Sim.Cpu.Fp_add;
-          Vf (-.f))
+  | Ci n -> n
+  | Vi s -> Array.unsafe_get st.ints s
+  | Ibin (op, a, b) ->
+      let x = eval_i st a in
+      let y = eval_i st b in
+      issue st Sim.Cpu.Int_alu;
+      (match op with
+      | Ast.Add -> x + y
+      | Ast.Sub -> x - y
+      | Ast.Mul -> x * y
+      | Ast.Div ->
+          if y = 0 then fail "integer division by zero";
+          x / y)
+  | Ineg e ->
+      let v = eval_i st e in
+      issue st Sim.Cpu.Int_alu;
+      -v
+  | Cf _ | Vf _ | Load _ | Fbin _ | Fneg _ -> assert false
 
-let eval_int st env what e = as_i what (eval st env e)
-
-(* The += x*y idiom retires as one fused multiply-accumulate on the A7's
-   VFP, so charge Fp_mac instead of Fp_mul-then-Fp_add. *)
-let eval_rhs_for_accumulate st env (rhs : Ast.expr) =
-  match rhs with
-  | Ast.Binop (Ast.Mul, a, b) ->
-      let va = eval st env a and vb = eval st env b in
-      (match (va, vb) with
-      | Vi _, Vi _ -> issue st Sim.Cpu.Int_alu
-      | _ -> issue st Sim.Cpu.Fp_mac);
-      (va, vb, true)
-  | _ -> (eval st env rhs, Vi 0, false)
+and eval_f st (e : rexpr) : float =
+  match e with
+  | Cf f -> f
+  | Vf s -> Array.unsafe_get st.floats s
+  | Load { arr; dims; idxs } ->
+      let info = Array.unsafe_get st.arrays arr in
+      let addr = element_address st info.base dims idxs in
+      issue st ~addr Sim.Cpu.Load;
+      Sim.Memory.read_f32 st.memory addr
+  | Fbin (op, a, b) ->
+      let x = eval_f st a in
+      let y = eval_f st b in
+      let cls =
+        match op with
+        | Ast.Add | Ast.Sub -> Sim.Cpu.Fp_add
+        | Ast.Mul -> Sim.Cpu.Fp_mul
+        | Ast.Div -> Sim.Cpu.Fp_div
+      in
+      issue st cls;
+      (match op with
+      | Ast.Add -> x +. y
+      | Ast.Sub -> x -. y
+      | Ast.Mul -> x *. y
+      | Ast.Div -> x /. y)
+  | Fneg e ->
+      let v = eval_f st e in
+      issue st Sim.Cpu.Fp_add;
+      -.v
+  | Ci n -> float_of_int n
+  | Vi s -> float_of_int (Array.unsafe_get st.ints s)
+  | (Ibin _ | Ineg _) as e -> float_of_int (eval_i st e)
 
 (* ---------- runtime-call support ---------- *)
 
@@ -150,10 +405,10 @@ let require_api st =
   | Some api -> api
   | None -> fail "CIM runtime used before polly_cimInit"
 
-let array_info env name =
-  match lookup env name with
-  | Sarray info -> info
-  | Sint _ | Sfloat _ -> fail "'%s' is not an array" name
+let array_info st slot name =
+  let info = st.arrays.(slot) in
+  if info.base < 0 then fail "array '%s' used before its declaration" name;
+  info
 
 let array_shape_2d info =
   match info.dims with
@@ -161,23 +416,21 @@ let array_shape_2d info =
   | [ n ] -> (n, 1)
   | _ -> fail "device arrays must have rank 1 or 2"
 
-let dev_buffer st name =
-  match Hashtbl.find_opt st.dev name with
+let dev_buffer st slot name =
+  match Hashtbl.find_opt st.dev slot with
   | Some buf -> buf
   | None -> fail "array '%s' is not on the device (missing polly_cimMalloc)" name
 
-let host_matrix st env name =
+let host_matrix st info =
   (* charged element loads: the copy loop runs on the host *)
-  let info = array_info env name in
   let rows, cols = array_shape_2d info in
   Tdo_linalg.Mat.init ~rows ~cols ~f:(fun i j ->
       let addr = info.base + (4 * ((i * cols) + j)) in
       issue st Sim.Cpu.Int_alu;
       issue st ~addr Sim.Cpu.Load;
-      Sim.Memory.read_f32 st.platform.Platform.memory addr)
+      Sim.Memory.read_f32 st.memory addr)
 
-let store_host_matrix st env name m =
-  let info = array_info env name in
+let store_host_matrix st info name m =
   let rows, cols = array_shape_2d info in
   if Tdo_linalg.Mat.rows m <> rows || Tdo_linalg.Mat.cols m <> cols then
     fail "polly_cimDevToHost: shape mismatch for '%s'" name;
@@ -186,92 +439,94 @@ let store_host_matrix st env name m =
       let addr = info.base + (4 * ((i * cols) + j)) in
       issue st Sim.Cpu.Int_alu;
       issue st ~addr Sim.Cpu.Store;
-      Sim.Memory.write_f32 st.platform.Platform.memory addr v)
+      Sim.Memory.write_f32 st.memory addr v)
     m
 
-let view_of_ref st env (r : Ir.mat_ref) =
-  let info = array_info env r.Ir.array in
+let view_of_ref st (r : rmat) =
+  let info = array_info st r.mslot r.mname in
   let _, ld = array_shape_2d info in
-  let buf = dev_buffer st r.Ir.array in
-  let row_off = eval_int st env "mat_ref row offset" r.Ir.row_off in
-  let col_off = eval_int st env "mat_ref col offset" r.Ir.col_off in
+  let buf = dev_buffer st r.mslot r.mname in
+  let row_off = eval_i st r.mrow_off in
+  let col_off = eval_i st r.mcol_off in
   issue st Sim.Cpu.Int_alu;
   Api.view ~offset_elems:((row_off * ld) + col_off) ~ld buf
 
 let pin_of = function Ir.Pin_a -> Regs.Pin_a | Ir.Pin_b -> Regs.Pin_b
 
-let exec_call st env (call : Ir.call) =
+let exec_call st (call : rcall) =
   match call with
-  | Ir.Cim_init -> if st.api = None then st.api <- Some (Api.init st.platform)
-  | Ir.Cim_alloc { array } ->
+  | Rinit -> if st.api = None then st.api <- Some (Api.init st.platform)
+  | Ralloc (slot, name) ->
       let api = require_api st in
-      let info = array_info env array in
+      let info = array_info st slot name in
       let rows, cols = array_shape_2d info in
-      if Hashtbl.mem st.dev array then fail "polly_cimMalloc: '%s' already allocated" array;
+      if Hashtbl.mem st.dev slot then fail "polly_cimMalloc: '%s' already allocated" name;
       (match Api.malloc api ~bytes:(4 * rows * cols) with
-      | Error reason -> fail "polly_cimMalloc(%s): %s" array reason
-      | Ok buf -> Hashtbl.add st.dev array buf)
-  | Ir.Cim_h2d { array } ->
+      | Error reason -> fail "polly_cimMalloc(%s): %s" name reason
+      | Ok buf -> Hashtbl.add st.dev slot buf)
+  | Rh2d (slot, name) ->
       let api = require_api st in
-      let info = array_info env array in
+      let info = array_info st slot name in
       let _, ld = array_shape_2d info in
-      let buf = dev_buffer st array in
-      Api.host_to_dev api ~src:(host_matrix st env array) ~dst:(Api.view ~ld buf)
-  | Ir.Cim_d2h { array } ->
+      let buf = dev_buffer st slot name in
+      Api.host_to_dev api ~src:(host_matrix st info) ~dst:(Api.view ~ld buf)
+  | Rd2h (slot, name) ->
       let api = require_api st in
-      let info = array_info env array in
+      let info = array_info st slot name in
       let rows, cols = array_shape_2d info in
-      let buf = dev_buffer st array in
+      let buf = dev_buffer st slot name in
       let m = Api.dev_to_host api ~src:(Api.view ~ld:cols buf) ~rows ~cols in
-      store_host_matrix st env array m
-  | Ir.Cim_free { array } ->
+      store_host_matrix st info name m
+  | Rfree (slot, name) ->
       let api = require_api st in
-      Api.free api (dev_buffer st array);
-      Hashtbl.remove st.dev array
-  | Ir.Cim_gemm { m; n; k; alpha; beta; a; b; c; pin } ->
+      Api.free api (dev_buffer st slot name);
+      Hashtbl.remove st.dev slot
+  | Rgemm { gm; gn; gk; galpha; gbeta; ga; gb; gc; gpin } ->
       let api = require_api st in
-      if c.Ir.trans then fail "polly_cimBlasSGemm: transposed C is not supported";
-      let alpha = as_f (eval st env alpha) and beta = as_f (eval st env beta) in
-      let va = view_of_ref st env a in
-      let vb = view_of_ref st env b in
-      let vc = view_of_ref st env c in
+      let alpha = eval_f st galpha in
+      let beta = eval_f st gbeta in
+      let va = view_of_ref st ga in
+      let vb = view_of_ref st gb in
+      let vc = view_of_ref st gc in
       (match
-         Api.sgemm api ~trans_a:a.Ir.trans ~trans_b:b.Ir.trans ~pin:(pin_of pin) ~m ~n ~k ~alpha
-           ~a:va ~b:vb ~beta ~c:vc ()
+         Api.sgemm api ~trans_a:ga.mtrans ~trans_b:gb.mtrans ~pin:(pin_of gpin) ~m:gm ~n:gn
+           ~k:gk ~alpha ~a:va ~b:vb ~beta ~c:vc ()
        with
       | Ok () -> ()
       | Error reason -> fail "polly_cimBlasSGemm: %s" reason)
-  | Ir.Cim_gemm_batched { m; n; k; alpha; beta; batch; pin } ->
+  | Rgemm_batched { bm; bn; bk; balpha; bbeta; bbatch; bpin } ->
       let api = require_api st in
-      let alpha = as_f (eval st env alpha) and beta = as_f (eval st env beta) in
+      let alpha = eval_f st balpha in
+      let beta = eval_f st bbeta in
       let trans_a, trans_b =
-        match batch with
-        | (a, b, _) :: _ -> (a.Ir.trans, b.Ir.trans)
+        match bbatch with
+        | (a, b, _) :: _ -> (a.mtrans, b.mtrans)
         | [] -> fail "polly_cimBlasGemmBatched: empty batch"
       in
       let batch =
         List.map
-          (fun (a, b, c) -> (view_of_ref st env a, view_of_ref st env b, view_of_ref st env c))
-          batch
+          (fun (a, b, c) -> (view_of_ref st a, view_of_ref st b, view_of_ref st c))
+          bbatch
       in
       (match
-         Api.gemm_batched api ~trans_a ~trans_b ~pin:(pin_of pin) ~m ~n ~k ~alpha ~beta ~batch
-           ()
+         Api.gemm_batched api ~trans_a ~trans_b ~pin:(pin_of bpin) ~m:bm ~n:bn ~k:bk ~alpha
+           ~beta ~batch ()
        with
       | Ok () -> ()
       | Error reason -> fail "polly_cimBlasGemmBatched: %s" reason)
-  | Ir.Cim_im2col { src; dst; kh; kw; oh; ow } ->
+  | Rim2col { isrc; isrc_name; idst; idst_name; ikh; ikw; ioh; iow } ->
       let api = require_api st in
-      let src_info = array_info env src in
+      let src_info = array_info st isrc isrc_name in
       let src_rows, src_cols = array_shape_2d src_info in
-      let dst_info = array_info env dst in
+      let dst_info = array_info st idst idst_name in
       let _, dst_ld = array_shape_2d dst_info in
-      let src_buf = dev_buffer st src and dst_buf = dev_buffer st dst in
+      let src_buf = dev_buffer st isrc isrc_name in
+      let dst_buf = dev_buffer st idst idst_name in
       Api.dev_im2col api
         ~src:(Api.view ~ld:src_cols src_buf)
         ~src_rows ~src_cols
         ~dst:(Api.view ~ld:dst_ld dst_buf)
-        ~kh ~kw ~oh ~ow
+        ~kh:ikh ~kw:ikw ~oh:ioh ~ow:iow
 
 (* ---------- statements ---------- *)
 
@@ -282,129 +537,132 @@ let apply_op op old rhs =
   | Ast.Sub_assign -> old -. rhs
   | Ast.Mul_assign -> old *. rhs
 
-let rec exec_stmt st env (stmt : Ir.stmt) =
+let rec exec_stmt st (stmt : rstmt) =
   match stmt with
-  | Ir.For { var; lo; hi; step; body } ->
-      let lo = eval_int st env "loop bound" lo and hi = eval_int st env "loop bound" hi in
-      let counter = ref lo in
-      let env = (var, Sint counter) :: env in
-      while !counter < hi do
-        exec_body st env body;
+  | Rfor { slot; lo; hi; step; body } ->
+      let lo = eval_i st lo in
+      let hi = eval_i st hi in
+      let ints = st.ints in
+      ints.(slot) <- lo;
+      while ints.(slot) < hi do
+        exec_body st body;
         (* increment + back-edge test *)
         issue st Sim.Cpu.Int_alu;
         issue st Sim.Cpu.Branch;
-        counter := !counter + step
+        ints.(slot) <- ints.(slot) + step
       done
-  | Ir.Assign { lhs; op; rhs } -> (
-      match (lookup env lhs.Ast.base, lhs.Ast.indices) with
-      | Sarray info, indices ->
-          let idx_values = List.map (eval st env) indices in
-          let addr = element_address st env info idx_values in
-          let rhs_value =
-            match op with
-            | Ast.Add_assign -> (
-                match eval_rhs_for_accumulate st env rhs with
-                | va, vb, true -> as_f va *. as_f vb
-                | v, _, false -> as_f v)
-            | Ast.Set | Ast.Sub_assign | Ast.Mul_assign -> as_f (eval st env rhs)
-          in
-          let old =
-            match op with
-            | Ast.Set -> 0.0
-            | Ast.Add_assign | Ast.Sub_assign | Ast.Mul_assign ->
-                issue st ~addr Sim.Cpu.Load;
-                Sim.Memory.read_f32 st.platform.Platform.memory addr
-          in
-          (match op with
-          | Ast.Set | Ast.Add_assign -> () (* Add_assign folded into the MAC *)
-          | Ast.Sub_assign | Ast.Mul_assign -> issue st Sim.Cpu.Fp_add);
-          issue st ~addr Sim.Cpu.Store;
-          Sim.Memory.write_f32 st.platform.Platform.memory addr (apply_op op old rhs_value)
-      | Sfloat r, [] ->
-          let rhs = as_f (eval st env rhs) in
-          if op <> Ast.Set then issue st Sim.Cpu.Fp_add;
-          r := apply_op op !r rhs
-      | Sint r, [] ->
-          let rhs = as_i "integer assignment" (eval st env rhs) in
-          issue st Sim.Cpu.Int_alu;
-          (match op with
-          | Ast.Set -> r := rhs
-          | Ast.Add_assign -> r := !r + rhs
-          | Ast.Sub_assign -> r := !r - rhs
-          | Ast.Mul_assign -> r := !r * rhs)
-      | (Sint _ | Sfloat _), _ :: _ -> fail "scalar '%s' indexed" lhs.Ast.base)
-  | Ir.Decl_scalar _ | Ir.Decl_array _ ->
-      (* bound by exec_body so the binding covers the remaining body *)
-      assert false
-  | Ir.Call call -> exec_call st env call
-  | Ir.Roi_begin -> Sim.Cpu.roi_begin st.cpu
-  | Ir.Roi_end -> Sim.Cpu.roi_end st.cpu
-
-and exec_body st env = function
-  | [] -> ()
-  | Ir.Decl_scalar { name; typ; init } :: rest ->
-      let slot =
-        match typ with
-        | Ast.Tint ->
-            Sint (ref (match init with Some e -> eval_int st env "initialiser" e | None -> 0))
-        | Ast.Tfloat ->
-            Sfloat (ref (match init with Some e -> as_f (eval st env e) | None -> 0.0))
-        | Ast.Tvoid -> fail "void declaration"
+  | Rstore { arr; dims; idxs; op; rhs } ->
+      let info = Array.unsafe_get st.arrays arr in
+      let addr = element_address st info.base dims idxs in
+      let rhs_value =
+        match rhs with
+        | Rmac (a, b, int_mul) ->
+            let x = eval_f st a in
+            let y = eval_f st b in
+            issue st (if int_mul then Sim.Cpu.Int_alu else Sim.Cpu.Fp_mac);
+            x *. y
+        | Rplain e -> eval_f st e
       in
-      exec_body st ((name, slot) :: env) rest
-  | Ir.Decl_array { name; dims } :: rest ->
-      exec_body st ((name, Sarray (alloc_array st dims)) :: env) rest
-  | stmt :: rest ->
-      exec_stmt st env stmt;
-      exec_body st env rest
+      let old =
+        match op with
+        | Ast.Set -> 0.0
+        | Ast.Add_assign | Ast.Sub_assign | Ast.Mul_assign ->
+            issue st ~addr Sim.Cpu.Load;
+            Sim.Memory.read_f32 st.memory addr
+      in
+      (match op with
+      | Ast.Set | Ast.Add_assign -> () (* Add_assign folded into the MAC *)
+      | Ast.Sub_assign | Ast.Mul_assign -> issue st Sim.Cpu.Fp_add);
+      issue st ~addr Sim.Cpu.Store;
+      Sim.Memory.write_f32 st.memory addr (apply_op op old rhs_value)
+  | Rset_f { slot; op; rhs } ->
+      let rhs = eval_f st rhs in
+      if op <> Ast.Set then issue st Sim.Cpu.Fp_add;
+      st.floats.(slot) <- apply_op op st.floats.(slot) rhs
+  | Rset_i { slot; op; rhs } ->
+      let rhs = eval_i st rhs in
+      issue st Sim.Cpu.Int_alu;
+      (match op with
+      | Ast.Set -> st.ints.(slot) <- rhs
+      | Ast.Add_assign -> st.ints.(slot) <- st.ints.(slot) + rhs
+      | Ast.Sub_assign -> st.ints.(slot) <- st.ints.(slot) - rhs
+      | Ast.Mul_assign -> st.ints.(slot) <- st.ints.(slot) * rhs)
+  | Rdecl_i { slot; init } ->
+      st.ints.(slot) <- (match init with Some e -> eval_i st e | None -> 0)
+  | Rdecl_f { slot; init } ->
+      st.floats.(slot) <- (match init with Some e -> eval_f st e | None -> 0.0)
+  | Rdecl_arr { slot; adims } -> st.arrays.(slot) <- alloc_array st adims
+  | Rcall call -> exec_call st call
+  | Rroi_begin -> Sim.Cpu.roi_begin st.cpu
+  | Rroi_end -> Sim.Cpu.roi_end st.cpu
+
+and exec_body st (body : rstmt array) =
+  for i = 0 to Array.length body - 1 do
+    exec_stmt st (Array.unsafe_get body i)
+  done
 
 (* ---------- staging arguments in and out of simulated memory ---------- *)
 
-let stage_in st (arr : Interp.arr) =
-  let info = alloc_array st arr.Interp.dims in
+let stage_in st (arr : Interp.arr) info =
   Array.iteri
-    (fun i v -> Sim.Memory.write_f32 st.platform.Platform.memory (info.base + (4 * i)) v)
-    arr.Interp.data;
-  info
-
-let stage_out st info (arr : Interp.arr) =
-  Array.iteri
-    (fun i _ ->
-      arr.Interp.data.(i) <- Sim.Memory.read_f32 st.platform.Platform.memory (info.base + (4 * i)))
+    (fun i v -> Sim.Memory.write_f32 st.memory (info.base + (4 * i)) v)
     arr.Interp.data
 
+let stage_out st info (arr : Interp.arr) =
+  let data = arr.Interp.data in
+  for i = 0 to Array.length data - 1 do
+    data.(i) <- Sim.Memory.read_f32 st.memory (info.base + (4 * i))
+  done
+
 let run (f : Ir.func) ~platform ~args =
+  (* Slot types follow the argument values (as before): scalar params
+     take the kind of the value passed for them. *)
+  let c = { n_int = 0; n_float = 0; n_arr = 0 } in
+  let bind_param (p : Ast.param) =
+    match List.assoc_opt p.Ast.pname args with
+    | None -> fail "missing argument '%s'" p.Ast.pname
+    | Some (Interp.Vint n) ->
+        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
+        ((p.Ast.pname, Bint (new_int c)), `Int n)
+    | Some (Interp.Vfloat v) ->
+        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
+        ((p.Ast.pname, Bfloat (new_float c)), `Float v)
+    | Some (Interp.Varray arr) ->
+        if arr.Interp.dims <> p.Ast.dims then
+          fail "argument '%s' has mismatched dimensions" p.Ast.pname;
+        ((p.Ast.pname, Barr (new_arr c, p.Ast.dims)), `Array arr)
+  in
+  let bound = List.map bind_param f.Ir.params in
+  let env = List.map fst bound in
+  let program = compile_body env c f.Ir.body in
   let st =
     {
       platform;
       cpu = Platform.cpu platform;
+      memory = platform.Platform.memory;
+      ints = Array.make (max 1 c.n_int) 0;
+      floats = Array.make (max 1 c.n_float) 0.0;
+      arrays = Array.make (max 1 c.n_arr) no_array;
       heap = heap_base;
       api = None;
       dev = Hashtbl.create 8;
     }
   in
   let staged = ref [] in
-  let bind_param (p : Ast.param) =
-    match List.assoc_opt p.Ast.pname args with
-    | None -> fail "missing argument '%s'" p.Ast.pname
-    | Some (Interp.Vint n) ->
-        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
-        (p.Ast.pname, Sint (ref n))
-    | Some (Interp.Vfloat v) ->
-        if p.Ast.dims <> [] then fail "argument '%s' should be an array" p.Ast.pname;
-        (p.Ast.pname, Sfloat (ref v))
-    | Some (Interp.Varray arr) ->
-        if arr.Interp.dims <> p.Ast.dims then
-          fail "argument '%s' has mismatched dimensions" p.Ast.pname;
-        let info = stage_in st arr in
-        staged := (info, arr) :: !staged;
-        (p.Ast.pname, Sarray info)
-  in
-  let env = List.map bind_param f.Ir.params in
-  let instructions_before = Sim.Cpu.instructions st.cpu in
-  exec_body st env f.Ir.body;
+  List.iter
+    (fun ((_, bind), value) ->
+      match (bind, value) with
+      | Bint slot, `Int n -> st.ints.(slot) <- n
+      | Bfloat slot, `Float v -> st.floats.(slot) <- v
+      | Barr (slot, dims), `Array arr ->
+          let info = alloc_array st dims in
+          st.arrays.(slot) <- info;
+          stage_in st arr info;
+          staged := (info, arr) :: !staged
+      | _ -> assert false)
+    bound;
+  exec_body st (Array.of_list program);
   List.iter (fun (info, arr) -> stage_out st info arr) !staged;
-  ignore instructions_before;
   let roi = Sim.Cpu.roi st.cpu in
   let launches =
     match st.api with None -> 0 | Some api -> (Api.counters api).Api.launches

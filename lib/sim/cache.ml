@@ -40,12 +40,21 @@ let zero_stats =
 
 type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
 
+(* Counters are plain mutable ints: [access] sits under every simulated
+   load and store, and rebuilding a 6-field stats record per access was
+   the dominant allocation of the whole simulator. The immutable [stats]
+   snapshot is built only when asked for. *)
 type t = {
   config : config;
   sets : line array array;
   next : op -> addr:int -> bytes:int -> Time_base.ps;
   mutable clock : int;  (** logical timestamp for LRU ordering *)
-  mutable stats : stats;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable flushes : int;
+  mutable flushed_bytes : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -62,7 +71,18 @@ let create ?(config = l1d_arm_a7) ~next () =
     Array.init nsets (fun _ ->
         Array.init config.ways (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }))
   in
-  { config; sets; next; clock = 0; stats = zero_stats }
+  {
+    config;
+    sets;
+    next;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    flushes = 0;
+    flushed_bytes = 0;
+  }
 
 let config t = t.config
 
@@ -81,43 +101,52 @@ let access t op ~addr =
   let set_idx = line_addr mod nsets in
   let tag = line_addr / nsets in
   let set = t.sets.(set_idx) in
-  let found = ref None in
-  Array.iter (fun l -> if l.valid && l.tag = tag then found := Some l) set;
-  match !found with
-  | Some l ->
-      l.lru <- tick t;
-      if op = Write then l.dirty <- true;
-      t.stats <- { t.stats with hits = t.stats.hits + 1 };
-      t.config.hit_latency_ps
-  | None ->
-      t.stats <- { t.stats with misses = t.stats.misses + 1 };
-      (* Victim selection: an invalid way if any, otherwise LRU. *)
-      let victim = ref set.(0) in
-      Array.iter
-        (fun l ->
-          if not l.valid then (if !victim.valid then victim := l)
-          else if !victim.valid && l.lru < !victim.lru then victim := l)
-        set;
-      let victim = !victim in
-      let writeback_latency =
-        if victim.valid && victim.dirty then begin
-          t.stats <-
-            { t.stats with evictions = t.stats.evictions + 1; writebacks = t.stats.writebacks + 1 };
-          t.next Write ~addr:(line_base t set_idx victim.tag) ~bytes:t.config.line_bytes
-        end
-        else begin
-          if victim.valid then t.stats <- { t.stats with evictions = t.stats.evictions + 1 };
-          0
-        end
-      in
-      let fill_latency =
-        t.next Read ~addr:(line_addr * t.config.line_bytes) ~bytes:t.config.line_bytes
-      in
-      victim.tag <- tag;
-      victim.valid <- true;
-      victim.dirty <- op = Write;
-      victim.lru <- tick t;
-      t.config.hit_latency_ps + writeback_latency + fill_latency
+  (* One scan finds the hit and, failing that, the victim: the first
+     invalid way if any, otherwise the least recently used valid way. *)
+  let ways = Array.length set in
+  let hit = ref (-1) in
+  let invalid = ref (-1) in
+  let lru = ref 0 in
+  let i = ref 0 in
+  while !hit < 0 && !i < ways do
+    let l = Array.unsafe_get set !i in
+    if l.valid then begin
+      if l.tag = tag then hit := !i
+      else if !invalid < 0 && l.lru < set.(!lru).lru then lru := !i
+    end
+    else if !invalid < 0 then invalid := !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    let l = set.(!hit) in
+    l.lru <- tick t;
+    if op = Write then l.dirty <- true;
+    t.hits <- t.hits + 1;
+    t.config.hit_latency_ps
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim = if !invalid >= 0 then set.(!invalid) else set.(!lru) in
+    let writeback_latency =
+      if victim.valid && victim.dirty then begin
+        t.evictions <- t.evictions + 1;
+        t.writebacks <- t.writebacks + 1;
+        t.next Write ~addr:(line_base t set_idx victim.tag) ~bytes:t.config.line_bytes
+      end
+      else begin
+        if victim.valid then t.evictions <- t.evictions + 1;
+        0
+      end
+    in
+    let fill_latency =
+      t.next Read ~addr:(line_addr * t.config.line_bytes) ~bytes:t.config.line_bytes
+    in
+    victim.tag <- tag;
+    victim.valid <- true;
+    victim.dirty <- op = Write;
+    victim.lru <- tick t;
+    t.config.hit_latency_ps + writeback_latency + fill_latency
+  end
 
 let flush t =
   let total = ref 0 in
@@ -134,17 +163,28 @@ let flush t =
           l.dirty <- false)
         set)
     t.sets;
-  t.stats <-
-    {
-      t.stats with
-      flushes = t.stats.flushes + 1;
-      writebacks = t.stats.writebacks + (!flushed / t.config.line_bytes);
-      flushed_bytes = t.stats.flushed_bytes + !flushed;
-    };
+  t.flushes <- t.flushes + 1;
+  t.writebacks <- t.writebacks + (!flushed / t.config.line_bytes);
+  t.flushed_bytes <- t.flushed_bytes + !flushed;
   !total
 
-let stats t = t.stats
-let reset_stats t = t.stats <- zero_stats
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+    flushes = t.flushes;
+    flushed_bytes = t.flushed_bytes;
+  }
+
+let reset_stats t =
+  t.hits <- zero_stats.hits;
+  t.misses <- zero_stats.misses;
+  t.evictions <- zero_stats.evictions;
+  t.writebacks <- zero_stats.writebacks;
+  t.flushes <- zero_stats.flushes;
+  t.flushed_bytes <- zero_stats.flushed_bytes
 
 let dirty_lines t =
   Array.fold_left

@@ -1,58 +1,123 @@
-module Key = struct
-  type t = Time_base.ps * int
-
-  let compare (t1, s1) (t2, s2) =
-    match compare t1 t2 with 0 -> compare s1 s2 | c -> c
-end
-
-module Pending = Map.Make (Key)
+(* The pending set is an array-backed binary min-heap ordered by
+   (time, seq): the sequence number makes the order total, so events
+   scheduled for the same tick run in scheduling order and the heap's
+   internal sift order can never leak into execution order. Compared to
+   the previous Map.Make-based implementation this allocates nothing on
+   the push/pop path beyond occasional capacity doubling, which matters
+   because the CPU model schedules and drains events inside the
+   simulation's innermost loops. *)
 
 type event = { name : string; callback : unit -> unit }
+
+type entry = { time : Time_base.ps; seq : int; event : event }
 
 type t = {
   mutable now : Time_base.ps;
   mutable seq : int;
-  mutable pending : event Pending.t;
+  mutable heap : entry array;  (** slots [0, size) are live *)
+  mutable size : int;
   mutable executed : int;
 }
 
-let create () = { now = 0; seq = 0; pending = Pending.empty; executed = 0 }
+let dummy_entry = { time = 0; seq = 0; event = { name = ""; callback = ignore } }
+
+let create () = { now = 0; seq = 0; heap = Array.make 16 dummy_entry; size = 0; executed = 0 }
+
 let now t = t.now
+
+(* (time, seq) lexicographic order; seq values are unique *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy_entry in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let sift_up t i =
+  let entry = t.heap.(i) in
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before entry t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    t.heap.(!i) <- t.heap.(parent);
+    i := parent
+  done;
+  t.heap.(!i) <- entry
+
+let sift_down t i =
+  let entry = t.heap.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= t.size then continue := false
+    else begin
+      let r = l + 1 in
+      let child = if r < t.size && before t.heap.(r) t.heap.(l) then r else l in
+      if before t.heap.(child) entry then begin
+        t.heap.(!i) <- t.heap.(child);
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  t.heap.(!i) <- entry
+
+let push t entry =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy_entry;
+    sift_down t 0
+  end
+  else t.heap.(0) <- dummy_entry;
+  top
 
 let schedule_at t ~time ~name callback =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Event_queue.schedule_at: %s scheduled at %d before now=%d" name time t.now);
   t.seq <- t.seq + 1;
-  t.pending <- Pending.add (time, t.seq) { name; callback } t.pending
+  push t { time; seq = t.seq; event = { name; callback } }
 
 let schedule t ~delay ~name callback =
   if delay < 0 then invalid_arg "Event_queue.schedule: negative delay";
   schedule_at t ~time:(t.now + delay) ~name callback
 
 let run_next t =
-  match Pending.min_binding_opt t.pending with
-  | None -> false
-  | Some (((time, _) as key), event) ->
-      t.pending <- Pending.remove key t.pending;
-      t.now <- time;
-      t.executed <- t.executed + 1;
-      event.callback ();
-      true
+  if t.size = 0 then false
+  else begin
+    let { time; event; _ } = pop t in
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    event.callback ();
+    true
+  end
 
 let run_until t ~time =
-  let rec loop () =
-    match Pending.min_binding_opt t.pending with
-    | Some ((event_time, _), _) when event_time <= time ->
-        ignore (run_next t);
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Event_queue.run_until: target %d before now=%d" time t.now);
+  while t.size > 0 && t.heap.(0).time <= time do
+    ignore (run_next t)
+  done;
+  (* the clock lands on [time] even when the queue drains early *)
   if time > t.now then t.now <- time
 
 let run_all t = while run_next t do () done
 
 let advance_to t ~time = if time > t.now then t.now <- time
-let pending t = Pending.cardinal t.pending
+
+let pending t = t.size
 let executed t = t.executed

@@ -2,7 +2,15 @@
 
     Events are callbacks scheduled at absolute simulated times; events
     scheduled for the same tick run in scheduling order, which keeps
-    whole-system runs deterministic. *)
+    whole-system runs deterministic.
+
+    The pending set is an array-backed binary min-heap keyed by
+    [(time, seq)], so scheduling and dispatch are O(log n) and
+    allocation-free on the hot path. Time never moves backwards:
+    [schedule_at] and [run_until] reject targets before [now];
+    [advance_to] is the one deliberately forgiving entry point (a
+    synchronous component publishing progress may already be behind the
+    event clock) and ignores past times instead. *)
 
 type t
 
@@ -24,7 +32,9 @@ val run_next : t -> bool
 
 val run_until : t -> time:Time_base.ps -> unit
 (** Run every event scheduled at or before [time], then advance [now]
-    to exactly [time]. *)
+    to exactly [time] — also when the queue drains early (or was empty
+    to begin with). Raises [Invalid_argument] when [time] is before
+    [now]. *)
 
 val run_all : t -> unit
 (** Drain the queue. *)

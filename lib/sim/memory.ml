@@ -19,11 +19,17 @@ type t = {
   chunks : (int, Bytes.t) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
+  (* one-entry chunk cache: the executor streams through arrays, so
+     consecutive accesses almost always land in the same 64 KB chunk *)
+  mutable last_idx : int;
+  mutable last_chunk : Bytes.t;
 }
+
+let no_chunk = Bytes.create 0
 
 let create ?(config = default_config) () =
   if config.size_bytes <= 0 then invalid_arg "Memory.create: size must be positive";
-  { config; chunks = Hashtbl.create 64; reads = 0; writes = 0 }
+  { config; chunks = Hashtbl.create 64; reads = 0; writes = 0; last_idx = -1; last_chunk = no_chunk }
 
 let config t = t.config
 
@@ -32,12 +38,19 @@ let check_range t addr len =
     invalid_arg (Printf.sprintf "Memory: access [%d, %d) out of range" addr (addr + len))
 
 let chunk t idx =
-  match Hashtbl.find_opt t.chunks idx with
-  | Some c -> c
-  | None ->
-      let c = Bytes.make chunk_size '\000' in
-      Hashtbl.add t.chunks idx c;
-      c
+  if t.last_idx = idx then t.last_chunk
+  else
+    let c =
+      match Hashtbl.find_opt t.chunks idx with
+      | Some c -> c
+      | None ->
+          let c = Bytes.make chunk_size '\000' in
+          Hashtbl.add t.chunks idx c;
+          c
+    in
+    t.last_idx <- idx;
+    t.last_chunk <- c;
+    c
 
 let read_u8 t addr =
   check_range t addr 1;
@@ -69,14 +82,35 @@ let write_bytes t addr data =
     Bytes.set (chunk t (a lsr chunk_bits)) (a land (chunk_size - 1)) (Bytes.get data i)
   done
 
+(* 32-bit accesses that stay inside one chunk (every 4-aligned address,
+   i.e. all array elements) go straight to the chunk without building an
+   intermediate [Bytes.t]. *)
+
+let offset_mask = chunk_size - 1
+
 let read_i32 t addr =
-  let b = read_bytes t addr 4 in
-  Bytes.get_int32_le b 0
+  let off = addr land offset_mask in
+  if off <= chunk_size - 4 then begin
+    check_range t addr 4;
+    t.reads <- t.reads + 4;
+    Bytes.get_int32_le (chunk t (addr lsr chunk_bits)) off
+  end
+  else
+    let b = read_bytes t addr 4 in
+    Bytes.get_int32_le b 0
 
 let write_i32 t addr v =
-  let b = Bytes.create 4 in
-  Bytes.set_int32_le b 0 v;
-  write_bytes t addr b
+  let off = addr land offset_mask in
+  if off <= chunk_size - 4 then begin
+    check_range t addr 4;
+    t.writes <- t.writes + 4;
+    Bytes.set_int32_le (chunk t (addr lsr chunk_bits)) off v
+  end
+  else begin
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 v;
+    write_bytes t addr b
+  end
 
 let read_f32 t addr = Int32.float_of_bits (read_i32 t addr)
 let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)

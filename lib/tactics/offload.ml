@@ -193,7 +193,10 @@ let group_segments config segments =
 
 (* ---------- call emission ---------- *)
 
-let gensym =
+(* Fresh-name supply, created per [apply] so generated names depend
+   only on the tree being compiled — never on how many compilations ran
+   earlier in the process (or concurrently on other domains). *)
+let make_gensym () =
   let counter = ref 0 in
   fun prefix ->
     incr counter;
@@ -245,7 +248,7 @@ let batched_call pin kernels =
 (* Revisited tiling (paper Listing 3): tile the pinned dimension and
    the reduction, peel the first k-tile so beta applies exactly once,
    and rely on the engine's streaming for the remaining dimension. *)
-let tiled_calls config pin (g : gemm_like) =
+let tiled_calls gensym config pin (g : gemm_like) =
   let outer_total = match pin with Pa -> g.m | Pb -> g.n in
   let tile_outer = min outer_total config.xbar_cols in
   let tile_k = min g.k config.xbar_rows in
@@ -306,7 +309,7 @@ let tiled_calls config pin (g : gemm_like) =
 
 (* ---------- conv lowering: im2col + GEMM with pinned weights ---------- *)
 
-let conv_code (c : Patterns.conv) =
+let conv_code gensym (c : Patterns.conv) =
   let patches = gensym "conv_patches"
   and wflat = gensym "conv_w"
   and outflat = gensym "conv_out" in
@@ -414,18 +417,17 @@ let conv_code (c : Patterns.conv) =
 
 type residency = { mutable dev_alloc : bool; mutable host_fresh : bool; mutable dev_fresh : bool }
 
-let residency_table = Hashtbl.create 16
-
-let state arr =
-  match Hashtbl.find_opt residency_table arr with
-  | Some s -> s
-  | None ->
-      let s = { dev_alloc = false; host_fresh = true; dev_fresh = false } in
-      Hashtbl.add residency_table arr s;
-      s
-
 let apply ?on_rewrite config tree =
-  Hashtbl.reset residency_table;
+  let gensym = make_gensym () in
+  let residency_table = Hashtbl.create 16 in
+  let state arr =
+    match Hashtbl.find_opt residency_table arr with
+    | Some s -> s
+    | None ->
+        let s = { dev_alloc = false; host_fresh = true; dev_fresh = false } in
+        Hashtbl.add residency_table arr s;
+        s
+  in
   let children = match tree with St.Seq children -> children | t -> [ t ] in
   let segments = List.map (classify_segment ?on_rewrite) children in
   let detected =
@@ -507,7 +509,7 @@ let apply ?on_rewrite config tree =
         ensure_host host_reads;
         ensure_device ~inputs:[ c.Patterns.input ] ~outputs:[];
         host_writes [ c.Patterns.output ];
-        emit_code (conv_code c)
+        emit_code (conv_code gensym c)
     | Ugroup (kernels, trees) -> (
         let pin = group_pin config kernels in
         let intensity = estimated_intensity config pin kernels in
@@ -542,7 +544,7 @@ let apply ?on_rewrite config tree =
               incr offloaded;
               emit_code [ plain_call pin g ]
           | [ g ] -> (
-              match (config.enable_tiling, tiled_calls config pin g) with
+              match (config.enable_tiling, tiled_calls gensym config pin g) with
               | true, Some stmts ->
                   ensure_device ~inputs ~outputs;
                   incr offloaded;

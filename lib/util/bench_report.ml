@@ -1,0 +1,93 @@
+type section = {
+  name : string;
+  wall_s : float;
+  minor_words : float;
+  seq_wall_s : float option;
+}
+
+let timed f =
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  (result, wall, Gc.minor_words () -. words0)
+
+let section ~name ?seq_wall_s f =
+  let result, wall_s, minor_words = timed f in
+  (result, { name; wall_s; minor_words; seq_wall_s })
+
+let speedup_vs_sequential s =
+  match s.seq_wall_s with
+  | Some seq when s.wall_s > 0.0 -> Some (seq /. s.wall_s)
+  | _ -> None
+
+(* ---------- JSON emission ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let field b ~last name value =
+  Buffer.add_string b (Printf.sprintf "    \"%s\": %s%s\n" (escape name) value
+                         (if last then "" else ","))
+
+let write ~path ?(micro = []) ?(extra = []) ?notes ~sections () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"tdo-cim-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" (Pool.size ()));
+  Buffer.add_string b
+    (Printf.sprintf "  \"sequential\": %b,\n" (Pool.sequential ()));
+  Option.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "  \"notes\": \"%s\",\n" (escape n)))
+    notes;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "  \"%s\": %s,\n" (escape name) (number v)))
+    extra;
+  Buffer.add_string b "  \"sections\": [";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b "  {\n";
+      field b ~last:false "name" (Printf.sprintf "\"%s\"" (escape s.name));
+      field b ~last:false "wall_s" (number s.wall_s);
+      (match s.seq_wall_s with
+      | Some seq -> field b ~last:false "seq_wall_s" (number seq)
+      | None -> ());
+      (match speedup_vs_sequential s with
+      | Some sp -> field b ~last:false "speedup_vs_sequential" (number sp)
+      | None -> ());
+      field b ~last:true "minor_words" (number s.minor_words);
+      Buffer.add_string b "  }")
+    sections;
+  Buffer.add_string b "\n  ]";
+  if micro <> [] then begin
+    Buffer.add_string b ",\n  \"microbenchmarks\": [";
+    List.iteri
+      (fun i (name, ns) ->
+        Buffer.add_string b (if i = 0 then "\n" else ",\n");
+        Buffer.add_string b
+          (Printf.sprintf "  { \"name\": \"%s\", \"ns_per_run\": %s }" (escape name)
+             (number ns)))
+      micro;
+    Buffer.add_string b "\n  ]"
+  end;
+  Buffer.add_string b "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc

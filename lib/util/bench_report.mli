@@ -1,0 +1,36 @@
+(** Machine-readable benchmark reports (BENCH_sim.json).
+
+    The driver binaries time their experiment sections — once with the
+    {!Pool} fan-out and once forced sequential — and serialise
+    wall-clock, allocation and speedup numbers as JSON. The writer is
+    hand-rolled: the schema is flat and the repo takes no JSON
+    dependency for it. *)
+
+type section = {
+  name : string;
+  wall_s : float;  (** wall-clock of the (possibly parallel) run *)
+  minor_words : float;  (** minor-heap words allocated during the run *)
+  seq_wall_s : float option;  (** same work with {!Pool} forced sequential *)
+}
+
+val timed : (unit -> 'a) -> 'a * float * float
+(** [timed f] runs [f] and returns [(result, wall seconds,
+    minor words allocated)]. *)
+
+val section : name:string -> ?seq_wall_s:float -> (unit -> 'a) -> 'a * section
+
+val speedup_vs_sequential : section -> float option
+(** [seq_wall_s / wall_s] when the sequential timing is present. *)
+
+val write :
+  path:string ->
+  ?micro:(string * float) list ->
+  ?extra:(string * float) list ->
+  ?notes:string ->
+  sections:section list ->
+  unit ->
+  unit
+(** Write the report. [micro] holds micro-benchmark estimates as
+    [(name, ns per run)]; [extra] holds free-form numeric facts (e.g. a
+    recorded baseline). Always records the domain count ({!Pool.size})
+    and whether the pool was forced sequential. *)

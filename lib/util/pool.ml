@@ -1,0 +1,58 @@
+(* Per-call fan-out rather than a resident worker pool: experiment
+   tasks are coarse (tens of milliseconds to seconds), so the ~50 us it
+   costs to spawn a domain is noise, and joining the domains before
+   returning keeps the failure and shutdown story trivial — no at_exit
+   teardown, no orphaned workers, exceptions surface at the call
+   site. *)
+
+let size () = max 1 (Domain.recommended_domain_count ())
+
+let sequential_override = ref None
+
+let set_sequential o = sequential_override := o
+
+let env_sequential = lazy (Sys.getenv_opt "TDO_SEQUENTIAL" = Some "1")
+
+let sequential () =
+  match !sequential_override with
+  | Some b -> b
+  | None -> Lazy.force env_sequential
+
+(* set on worker domains so nested maps degrade to List.map instead of
+   spawning domains recursively *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let parallel_map ?workers f xs =
+  let n = List.length xs in
+  let w = min n (match workers with Some w -> max 1 w | None -> size ()) in
+  if w <= 1 || n <= 1 || sequential () || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    (* the work queue: tasks are claimed by index, one atomic increment
+       per task, no locks *)
+    let next = Atomic.make 0 in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f (Array.unsafe_get input i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+      done
+    in
+    let domains =
+      List.init (w - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              work ()))
+    in
+    (* the caller is a worker too *)
+    work ();
+    List.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end

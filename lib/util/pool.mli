@@ -1,0 +1,36 @@
+(** Multicore work pool for embarrassingly parallel experiment sweeps.
+
+    [parallel_map] fans a list of independent tasks out over OCaml 5
+    domains and returns the results in input order, so a caller that
+    seeds each task deterministically (explicit PRNG seeds, no shared
+    mutable state) gets bit-identical output regardless of how many
+    domains run or how the scheduler interleaves them.
+
+    Escape hatches: setting [TDO_SEQUENTIAL=1] in the environment (or
+    calling {!set_sequential}[ (Some true)]) forces every map to run on
+    the calling domain — useful for debugging, timing baselines and
+    the determinism tests that compare both modes. *)
+
+val size : unit -> int
+(** Number of domains a map may use, from
+    [Domain.recommended_domain_count]. At least 1. *)
+
+val sequential : unit -> bool
+(** [true] when maps are forced sequential — by {!set_sequential} or,
+    absent an override, by [TDO_SEQUENTIAL=1] in the environment. *)
+
+val set_sequential : bool option -> unit
+(** [Some true] forces sequential execution, [Some false] forces
+    parallel, [None] restores the [TDO_SEQUENTIAL] environment
+    default. *)
+
+val parallel_map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] is [List.map f xs] computed by up to
+    [?workers] (default {!size}[ ()]) domains, the calling domain
+    included. Results keep input order. If any [f x] raises, the whole
+    map raises the exception of the earliest failing element — after
+    every task has finished, so no task is abandoned mid-flight.
+
+    Nested calls from inside a worker run sequentially instead of
+    spawning further domains, so the pool cannot explode or deadlock
+    under composition. *)

@@ -1,0 +1,269 @@
+(* Performance-engineering suites: the event-queue heap, the
+   single-scan cache victim selection, the domain pool, and the golden
+   determinism guarantee (parallel experiment fan-out bit-identical to
+   a sequential run). *)
+
+open Tdo_sim
+module Pool = Tdo_util.Pool
+module E = Tdo_cim.Experiments
+module Dataset = Tdo_polybench.Dataset
+
+(* ---------- event-queue heap ---------- *)
+
+let test_run_until_drained_early () =
+  let q = Event_queue.create () in
+  let ran = ref 0 in
+  Event_queue.schedule q ~delay:10 ~name:"only" (fun () -> incr ran);
+  Event_queue.run_until q ~time:100;
+  Alcotest.(check int) "event ran" 1 !ran;
+  Alcotest.(check int) "clock lands on the target, not the last event" 100 (Event_queue.now q);
+  (* an empty queue still advances *)
+  Event_queue.run_until q ~time:250;
+  Alcotest.(check int) "empty queue advances too" 250 (Event_queue.now q)
+
+let test_run_until_past_rejected () =
+  let q = Event_queue.create () in
+  Event_queue.advance_to q ~time:100;
+  Alcotest.(check bool) "past target raises" true
+    (try
+       Event_queue.run_until q ~time:50;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "clock untouched on failure" 100 (Event_queue.now q)
+
+let test_schedule_past_names_event () =
+  let q = Event_queue.create () in
+  Event_queue.advance_to q ~time:100;
+  let msg =
+    try
+      Event_queue.schedule_at q ~time:5 ~name:"tardy-dma" (fun () -> ());
+      ""
+    with Invalid_argument m -> m
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "error names the event" true (contains msg "tardy-dma")
+
+(* Heap order: execution order is exactly the (time, seq) sort — a
+   stable sort of the schedule order by time. *)
+let qcheck_heap_pop_order =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 40) (int_bound 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      let order = ref [] in
+      List.iteri
+        (fun i t ->
+          Event_queue.schedule_at q ~time:t ~name:(string_of_int i) (fun () ->
+              order := (t, i) :: !order))
+        times;
+      Event_queue.run_all q;
+      let got = List.rev !order in
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      got = expected)
+
+let qcheck_heap_invariants =
+  QCheck.Test.make ~name:"pending + executed invariants" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 40) (int_bound 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i t -> Event_queue.schedule_at q ~time:t ~name:(string_of_int i) ignore)
+        times;
+      let n = List.length times in
+      let ok_before = Event_queue.pending q = n && Event_queue.executed q = 0 in
+      (* drain halfway, then fully *)
+      Event_queue.run_until q ~time:25;
+      let ok_mid = Event_queue.pending q + Event_queue.executed q = n in
+      Event_queue.run_all q;
+      ok_before && ok_mid
+      && Event_queue.pending q = 0
+      && Event_queue.executed q = n
+      && not (Event_queue.run_next q))
+
+(* ---------- cache victim selection ---------- *)
+
+let flat_next latency = fun _ ~addr:_ ~bytes:_ -> latency
+
+(* 1 set x 4 ways x 16-byte lines: victim choice is fully observable *)
+let quad_way_config =
+  { Cache.name = "quad"; size_bytes = 64; line_bytes = 16; ways = 4; hit_latency_ps = 1 }
+
+let test_cache_fills_invalid_ways_first () =
+  let c = Cache.create ~config:quad_way_config ~next:(flat_next 100) () in
+  (* four distinct lines: all misses, but no eviction — each miss must
+     claim a still-invalid way instead of evicting a resident line *)
+  List.iter (fun a -> ignore (Cache.access c Cache.Read ~addr:a)) [ 0; 16; 32; 48 ];
+  Alcotest.(check int) "cold misses" 4 (Cache.stats c).Cache.misses;
+  Alcotest.(check int) "no eviction while ways are free" 0 (Cache.stats c).Cache.evictions;
+  (* all four still resident *)
+  List.iter (fun a -> ignore (Cache.access c Cache.Read ~addr:a)) [ 0; 16; 32; 48 ];
+  Alcotest.(check int) "all resident" 4 (Cache.stats c).Cache.hits
+
+let test_cache_eviction_order_is_lru () =
+  (* dirty victims write back on eviction, so the sequence of writeback
+     addresses below the cache pins the eviction order exactly *)
+  let victims = ref [] in
+  let next op ~addr ~bytes:_ =
+    if op = Cache.Write then victims := addr :: !victims;
+    100
+  in
+  let c = Cache.create ~config:quad_way_config ~next () in
+  List.iter (fun a -> ignore (Cache.access c Cache.Write ~addr:a)) [ 0; 16; 32; 48 ];
+  (* touch 0 and 32 so the LRU order is 16, 48, 0, 32 *)
+  ignore (Cache.access c Cache.Read ~addr:0);
+  ignore (Cache.access c Cache.Read ~addr:32);
+  (* four fresh lines must evict the residents in exactly LRU order *)
+  List.iter (fun a -> ignore (Cache.access c Cache.Read ~addr:a)) [ 64; 80; 96; 112 ];
+  Alcotest.(check (list int)) "victims in LRU order" [ 16; 48; 0; 32 ] (List.rev !victims);
+  Alcotest.(check int) "four evictions" 4 (Cache.stats c).Cache.evictions;
+  Alcotest.(check int) "four writebacks" 4 (Cache.stats c).Cache.writebacks
+
+(* ---------- domain pool ---------- *)
+
+let qcheck_pool_order_preserved =
+  QCheck.Test.make ~name:"parallel_map preserves order" ~count:100
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(0 -- 50) small_int))
+    (fun (workers, xs) ->
+      Pool.parallel_map ~workers (fun x -> (2 * x) + 1) xs
+      = List.map (fun x -> (2 * x) + 1) xs)
+
+let qcheck_pool_deterministic_across_sizes =
+  QCheck.Test.make ~name:"same results for pool sizes 1/2/N" ~count:50
+    QCheck.(list_of_size Gen.(0 -- 30) small_int)
+    (fun xs ->
+      let f x = Printf.sprintf "%d->%d" x (x * x) in
+      let r1 = Pool.parallel_map ~workers:1 f xs in
+      let r2 = Pool.parallel_map ~workers:2 f xs in
+      let rn = Pool.parallel_map f xs in
+      r1 = r2 && r2 = rn)
+
+exception Boom of int
+
+let qcheck_pool_first_exception_wins =
+  QCheck.Test.make ~name:"earliest failing element's exception propagates" ~count:50
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 30) (int_bound 20)))
+    (fun (workers, xs) ->
+      let f x = if x mod 3 = 0 then raise (Boom x) else x in
+      let expected = List.find_opt (fun x -> x mod 3 = 0) xs in
+      match (Pool.parallel_map ~workers f xs, expected) with
+      | _, None -> true (* no element raises; the map must succeed *)
+      | _, Some _ -> false (* an element raises; success is wrong *)
+      | exception Boom b -> Some b = expected)
+
+let test_pool_nested_runs_sequentially () =
+  (* inner maps run on worker domains without spawning more domains —
+     and without deadlock *)
+  let result =
+    Pool.parallel_map ~workers:2
+      (fun i -> Pool.parallel_map ~workers:2 (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int))) "nested maps" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] result
+
+let test_pool_sequential_override () =
+  Pool.set_sequential (Some true);
+  Alcotest.(check bool) "override on" true (Pool.sequential ());
+  let r = Pool.parallel_map (fun x -> x + 1) [ 1; 2; 3 ] in
+  Pool.set_sequential None;
+  Alcotest.(check (list int)) "sequential map still correct" [ 2; 3; 4 ] r
+
+(* ---------- golden determinism: parallel == sequential ---------- *)
+
+let with_pool_mode seq f =
+  Pool.set_sequential (Some seq);
+  Fun.protect ~finally:(fun () -> Pool.set_sequential None) f
+
+let check_measurement name (a : Tdo_cim.Flow.measurement) (b : Tdo_cim.Flow.measurement) =
+  Alcotest.(check int) (name ^ " roi_instructions") a.roi_instructions b.roi_instructions;
+  Alcotest.(check int) (name ^ " roi_cycles") a.roi_cycles b.roi_cycles;
+  Alcotest.(check (float 0.0)) (name ^ " time_s") a.time_s b.time_s;
+  Alcotest.(check (float 0.0)) (name ^ " energy_j") a.energy_j b.energy_j;
+  Alcotest.(check (float 0.0)) (name ^ " edp_js") a.edp_js b.edp_js;
+  Alcotest.(check int) (name ^ " launches") a.launches b.launches;
+  Alcotest.(check int) (name ^ " cim_macs") a.cim_macs b.cim_macs;
+  Alcotest.(check int) (name ^ " cim_write_bytes") a.cim_write_bytes b.cim_write_bytes;
+  Alcotest.(check bool) (name ^ " full record") true (a = b)
+
+let test_fig6_parallel_matches_sequential () =
+  let dataset = Dataset.Small in
+  let seq_rows, seq_summary = with_pool_mode true (fun () -> E.fig6 ~dataset ()) in
+  let par_rows, par_summary = with_pool_mode false (fun () -> E.fig6 ~dataset ()) in
+  Alcotest.(check int) "row count" (List.length seq_rows) (List.length par_rows);
+  List.iter2
+    (fun (s : E.fig6_row) (p : E.fig6_row) ->
+      Alcotest.(check string) "kernel" s.kernel p.kernel;
+      check_measurement (s.kernel ^ " host") s.host p.host;
+      check_measurement (s.kernel ^ " cim") s.cim p.cim;
+      Alcotest.(check (float 0.0)) (s.kernel ^ " energy gain") s.energy_improvement
+        p.energy_improvement;
+      Alcotest.(check (float 0.0)) (s.kernel ^ " edp gain") s.edp_improvement p.edp_improvement;
+      Alcotest.(check (float 0.0)) (s.kernel ^ " perf gain") s.perf_improvement
+        p.perf_improvement;
+      Alcotest.(check (float 0.0)) (s.kernel ^ " max err") s.max_abs_error p.max_abs_error)
+    seq_rows par_rows;
+  Alcotest.(check (float 0.0)) "geomean energy" seq_summary.geomean_energy_improvement
+    par_summary.geomean_energy_improvement;
+  Alcotest.(check (float 0.0)) "selective geomean"
+    seq_summary.selective_geomean_energy_improvement
+    par_summary.selective_geomean_energy_improvement;
+  Alcotest.(check (float 0.0)) "geomean edp" seq_summary.geomean_edp_improvement
+    par_summary.geomean_edp_improvement;
+  Alcotest.(check (float 0.0)) "max edp" seq_summary.max_edp_improvement
+    par_summary.max_edp_improvement
+
+let test_fig5_parallel_matches_sequential () =
+  let n = 32 in
+  let seq_rows, seq_meta = with_pool_mode true (fun () -> E.fig5 ~n ()) in
+  let par_rows, par_meta = with_pool_mode false (fun () -> E.fig5 ~n ()) in
+  List.iter2
+    (fun (s : E.fig5_row) (p : E.fig5_row) ->
+      Alcotest.(check (float 0.0)) "endurance" s.endurance_millions p.endurance_millions;
+      Alcotest.(check (float 0.0)) "naive years" s.naive_years p.naive_years;
+      Alcotest.(check (float 0.0)) "smart years" s.smart_years p.smart_years)
+    seq_rows par_rows;
+  Alcotest.(check int) "naive writes" seq_meta.naive_write_bytes par_meta.naive_write_bytes;
+  Alcotest.(check int) "smart writes" seq_meta.smart_write_bytes par_meta.smart_write_bytes;
+  Alcotest.(check (float 0.0)) "naive traffic" seq_meta.naive_traffic_bytes_per_s
+    par_meta.naive_traffic_bytes_per_s;
+  Alcotest.(check (float 0.0)) "smart traffic" seq_meta.smart_traffic_bytes_per_s
+    par_meta.smart_traffic_bytes_per_s
+
+let suites =
+  [
+    ( "perf.event_heap",
+      [
+        Alcotest.test_case "run_until drains early" `Quick test_run_until_drained_early;
+        Alcotest.test_case "run_until rejects past" `Quick test_run_until_past_rejected;
+        Alcotest.test_case "schedule error names event" `Quick test_schedule_past_names_event;
+        QCheck_alcotest.to_alcotest qcheck_heap_pop_order;
+        QCheck_alcotest.to_alcotest qcheck_heap_invariants;
+      ] );
+    ( "perf.cache_victim",
+      [
+        Alcotest.test_case "invalid ways first" `Quick test_cache_fills_invalid_ways_first;
+        Alcotest.test_case "LRU eviction order" `Quick test_cache_eviction_order_is_lru;
+      ] );
+    ( "perf.pool",
+      [
+        QCheck_alcotest.to_alcotest qcheck_pool_order_preserved;
+        QCheck_alcotest.to_alcotest qcheck_pool_deterministic_across_sizes;
+        QCheck_alcotest.to_alcotest qcheck_pool_first_exception_wins;
+        Alcotest.test_case "nested maps" `Quick test_pool_nested_runs_sequentially;
+        Alcotest.test_case "sequential override" `Quick test_pool_sequential_override;
+      ] );
+    ( "perf.golden_determinism",
+      [
+        Alcotest.test_case "fig6 parallel == sequential" `Slow
+          test_fig6_parallel_matches_sequential;
+        Alcotest.test_case "fig5 parallel == sequential" `Quick
+          test_fig5_parallel_matches_sequential;
+      ] );
+  ]
