@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json clean
+.PHONY: all build test bench bench-json serve-bench clean
 
 all: build
 
@@ -17,6 +17,13 @@ bench:
 bench-json:
 	dune build bin/experiments.exe
 	./_build/default/bin/experiments.exe bench-json --out BENCH_sim.json
+
+# Regenerate BENCH_serve.json at the repo root: a 1k-request replay of
+# the synthetic-medium trace on a 4-device pool, golden-checked against
+# the sequential single-device oracle.
+serve-bench:
+	dune build bin/serve.exe
+	./_build/default/bin/serve.exe --trace synthetic-medium --devices 4 --out BENCH_serve.json
 
 clean:
 	dune clean

@@ -1,0 +1,251 @@
+(* tdo-serve: replay a synthetic workload trace against the multi-tenant
+   CIM offload service (kernel cache + device pool + batching scheduler)
+   and report request telemetry as BENCH_serve.json.
+
+   By default every replay is followed by its golden run — the same
+   trace on one device, unbatched, forced sequential — and the
+   per-request output checksums are compared; any divergence is a bug
+   in the serving layer and fails the invocation. *)
+
+open Cmdliner
+module Serve = Tdo_serve
+module Scheduler = Tdo_serve.Scheduler
+module Telemetry = Tdo_serve.Telemetry
+module Trace = Tdo_serve.Trace
+module Device = Tdo_serve.Device
+module Platform = Tdo_runtime.Platform
+module Micro_engine = Tdo_cimacc.Micro_engine
+module Report = Tdo_util.Bench_report
+module Time_base = Tdo_sim.Time_base
+
+let us_of_ps ps = float_of_int ps /. float_of_int Time_base.ps_per_us
+
+let summarise label (r : Scheduler.report) =
+  let t = r.Scheduler.telemetry in
+  let pct p = match Telemetry.latency_percentile t ~p with Some v -> v | None -> 0.0 in
+  Printf.printf "%s: %d requests over %s\n" label
+    (List.length r.Scheduler.trace.Trace.requests)
+    r.Scheduler.trace.Trace.name;
+  Printf.printf
+    "  completed %d, cpu-fallback %d, rejected %d, failed %d | cache hit rate %.1f%% (%d \
+     compiles)\n"
+    (Scheduler.completed r) (Scheduler.fallbacks r) (Scheduler.rejections r)
+    (Scheduler.failures r)
+    (100.0 *. Scheduler.cache_hit_rate r)
+    r.Scheduler.cache.Serve.Kernel_cache.misses;
+  Printf.printf "  latency us: p50 %.1f  p99 %.1f  mean %.1f | max queue depth %d\n"
+    (pct 50.0) (pct 99.0)
+    (match Telemetry.mean_latency_us t with Some v -> v | None -> 0.0)
+    (Telemetry.max_queue_depth t);
+  Printf.printf "  makespan %.2f ms (simulated), replay wall %.2f s\n"
+    (us_of_ps r.Scheduler.makespan_ps /. 1000.0)
+    r.Scheduler.wall_s;
+  List.iter
+    (fun (id, (w : Device.wear), served) ->
+      Printf.printf
+        "  device %d: %d reqs, %d cell writes (max/cell %d), levelled max/line %d, %d \
+         remaps, budget %.2e\n"
+        id served w.Device.total_cell_writes w.Device.max_per_cell
+        w.Device.leveling.Tdo_pcm.Wear_leveling.max_per_cell
+        w.Device.leveling.Tdo_pcm.Wear_leveling.remaps w.Device.budget_consumed)
+    r.Scheduler.devices
+
+let extras (r : Scheduler.report) ~golden_divergence =
+  let t = r.Scheduler.telemetry in
+  let pct p = match Telemetry.latency_percentile t ~p with Some v -> v | None -> 0.0 in
+  let base =
+    [
+      ("requests", float_of_int (List.length r.Scheduler.trace.Trace.requests));
+      ("completed", float_of_int (Scheduler.completed r));
+      ("cpu_fallbacks", float_of_int (Scheduler.fallbacks r));
+      ("rejected_overloaded", float_of_int (Scheduler.rejections r));
+      ("failed", float_of_int (Scheduler.failures r));
+      ("devices", float_of_int r.Scheduler.config.Scheduler.devices);
+      ("cache_hits", float_of_int r.Scheduler.cache.Serve.Kernel_cache.hits);
+      ("cache_misses", float_of_int r.Scheduler.cache.Serve.Kernel_cache.misses);
+      ("cache_hit_rate", Scheduler.cache_hit_rate r);
+      ( "distinct_kernels",
+        float_of_int (List.length (Trace.distinct_kernels r.Scheduler.trace)) );
+      ("latency_p50_us", pct 50.0);
+      ("latency_p99_us", pct 99.0);
+      ( "latency_mean_us",
+        match Telemetry.mean_latency_us t with Some v -> v | None -> 0.0 );
+      ("max_queue_depth", float_of_int (Telemetry.max_queue_depth t));
+      ("makespan_ms", us_of_ps r.Scheduler.makespan_ps /. 1000.0);
+    ]
+  in
+  let per_device =
+    List.concat_map
+      (fun (id, (w : Device.wear), served) ->
+        let dev fmt = Printf.sprintf ("dev%d_" ^^ fmt) id in
+        [
+          (dev "requests", float_of_int served);
+          (dev "cell_writes", float_of_int w.Device.total_cell_writes);
+          (dev "max_per_cell", float_of_int w.Device.max_per_cell);
+          ( dev "levelled_max_per_line",
+            float_of_int w.Device.leveling.Tdo_pcm.Wear_leveling.max_per_cell );
+          (dev "remaps", float_of_int w.Device.leveling.Tdo_pcm.Wear_leveling.remaps);
+          (dev "budget_consumed", w.Device.budget_consumed);
+        ]
+        @ List.concat
+            (Array.to_list
+               (Array.mapi
+                  (fun tile cw ->
+                    [
+                      (Printf.sprintf "dev%d_tile%d_cell_writes" id tile, float_of_int cw);
+                      ( Printf.sprintf "dev%d_tile%d_write_bytes" id tile,
+                        float_of_int w.Device.per_tile_write_bytes.(tile) );
+                    ])
+                  w.Device.per_tile_cell_writes)))
+      r.Scheduler.devices
+  in
+  let golden =
+    match golden_divergence with
+    | Some d -> [ ("golden_divergence", float_of_int d) ]
+    | None -> []
+  in
+  base @ per_device @ golden
+
+let run trace_name devices seed queue_capacity max_batch no_batching sequential deadline_us
+    tiles cache_capacity chrome_trace out no_golden strict =
+  match Trace.synthetic ?deadline_us ~seed trace_name with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok trace ->
+      let platform_config =
+        let d = Platform.default_config in
+        {
+          d with
+          Platform.engine = { d.Platform.engine with Micro_engine.tiles = max 1 tiles };
+        }
+      in
+      let config =
+        {
+          Scheduler.default_config with
+          Scheduler.devices;
+          platform_config;
+          queue_capacity;
+          max_batch;
+          batching = not no_batching;
+          parallel = not sequential;
+          cache_capacity;
+        }
+      in
+      let report, main_section =
+        Report.section ~name:("replay-" ^ trace_name) (fun () ->
+            Scheduler.replay ~config trace)
+      in
+      summarise "replay" report;
+      (match chrome_trace with
+      | Some path ->
+          Telemetry.write_chrome_trace report.Scheduler.telemetry ~path;
+          Printf.printf "chrome trace written to %s\n" path
+      | None -> ());
+      let golden_divergence, sections =
+        if no_golden then (None, [ main_section ])
+        else begin
+          let golden, golden_section =
+            Report.section ~name:"golden-sequential" (fun () ->
+                Tdo_util.Pool.set_sequential (Some true);
+                Fun.protect
+                  ~finally:(fun () -> Tdo_util.Pool.set_sequential None)
+                  (fun () ->
+                    Scheduler.replay ~config:(Scheduler.golden_config config) trace))
+          in
+          let d = Scheduler.divergence report golden in
+          Printf.printf "golden check: %d divergent of %d comparable requests\n" d
+            (min (Scheduler.completed report) (Scheduler.completed golden));
+          (Some d, [ main_section; golden_section ])
+        end
+      in
+      Report.write ~path:out
+        ~extra:(extras report ~golden_divergence)
+        ~notes:
+          (Printf.sprintf
+             "tdo-serve replay of %s: %d devices, %d tiles/device, batching %b, queue \
+              capacity %d"
+             trace_name devices tiles (not no_batching) queue_capacity)
+        ~sections ();
+      Printf.printf "report written to %s\n" out;
+      let divergent = match golden_divergence with Some d when d > 0 -> true | _ -> false in
+      let strict_failure = strict && Scheduler.failures report > 0 in
+      if divergent then prerr_endline "FAIL: golden divergence detected";
+      if strict_failure then prerr_endline "FAIL: request failures under --strict";
+      if divergent || strict_failure then 1 else 0
+
+let cmd =
+  let trace_arg =
+    Arg.(
+      value & opt string "synthetic-medium"
+      & info [ "t"; "trace" ] ~docv:"NAME"
+          ~doc:
+            "Workload trace to replay: synthetic-smoke, synthetic-small, synthetic-medium, \
+             synthetic-large or synthetic-tight.")
+  in
+  let devices_arg =
+    Arg.(value & opt int 4 & info [ "devices" ] ~docv:"N" ~doc:"Devices in the pool.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace generator seed.") in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Submission-queue bound; overflow is rejected. 0 means unbounded.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Requests coalesced per dispatch.")
+  in
+  let no_batching_arg =
+    Arg.(value & flag & info [ "no-batching" ] ~doc:"Dispatch one request at a time.")
+  in
+  let sequential_arg =
+    Arg.(
+      value & flag
+      & info [ "sequential" ] ~doc:"Execute dispatch waves on the calling domain only.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-us" ] ~docv:"US"
+          ~doc:"Per-request deadline; late requests degrade to the CPU interpreter.")
+  in
+  let tiles_arg =
+    Arg.(value & opt int 1 & info [ "tiles" ] ~docv:"N" ~doc:"CIM tiles per device.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"Compiled-kernel cache entries.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:"Dump the replay as Chrome trace events (chrome://tracing, Perfetto).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Benchmark report path.")
+  in
+  let no_golden_arg =
+    Arg.(
+      value & flag
+      & info [ "no-golden" ] ~doc:"Skip the sequential single-device golden check.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Also fail on any per-request failure.")
+  in
+  Cmd.v
+    (Cmd.info "tdo-serve" ~doc:"Multi-tenant CIM offload service: trace replay driver.")
+    Term.(
+      const run $ trace_arg $ devices_arg $ seed_arg $ queue_arg $ max_batch_arg
+      $ no_batching_arg $ sequential_arg $ deadline_arg $ tiles_arg $ cache_arg
+      $ chrome_arg $ out_arg $ no_golden_arg $ strict_arg)
+
+let () = exit (Cmd.eval' cmd)

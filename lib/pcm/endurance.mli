@@ -18,3 +18,34 @@ val write_traffic_bytes_per_second : bytes_written:int -> elapsed_seconds:float 
     [elapsed_seconds <= 0]. *)
 
 val seconds_per_year : float
+
+(** Running write-traffic accumulator for one crossbar (or one pool
+    device): feeds measured traffic into the Eq. 1 lifetime model
+    without the caller keeping its own counters. Used by the serving
+    layer's endurance-aware dispatch and observable read-only through
+    the accessors below. *)
+module Tracker : sig
+  type t
+
+  val create : cell_endurance:float -> crossbar_bytes:int -> t
+  (** Raises [Invalid_argument] on a non-positive endurance or
+      capacity. *)
+
+  val record : t -> bytes:int -> unit
+  (** Account [bytes] of matrix data written to the array. Raises
+      [Invalid_argument] on a negative count. *)
+
+  val bytes_written : t -> int
+  val events : t -> int
+
+  val budget_consumed : t -> float
+  (** Fraction of the total write budget
+      [cell_endurance * crossbar_bytes] already spent; 0 when nothing
+      was written, 1.0 at end of life under the uniform-wear
+      assumption. *)
+
+  val lifetime_years : t -> elapsed_seconds:float -> float option
+  (** Eq. 1 lifetime extrapolated from the traffic recorded so far over
+      [elapsed_seconds]; [None] before the first write. Raises
+      [Invalid_argument] when [elapsed_seconds <= 0]. *)
+end

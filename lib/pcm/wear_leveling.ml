@@ -63,6 +63,10 @@ let max_wear t = Array.fold_left max 0 t.wear
 let total_writes t = t.total_writes
 let gap_movements t = t.gap_movements
 
+type stats = { writes : int; max_per_cell : int; remaps : int }
+
+let stats t = { writes = t.total_writes; max_per_cell = max_wear t; remaps = t.gap_movements }
+
 let ideal_max_wear t =
   let physical = t.lines + 1 in
   (t.total_writes + t.gap_movements + physical - 1) / physical

@@ -37,6 +37,17 @@ val max_wear : t -> int
 val total_writes : t -> int
 val gap_movements : t -> int
 
+type stats = {
+  writes : int;  (** logical writes recorded, = {!total_writes} *)
+  max_per_cell : int;  (** hottest physical line, = {!max_wear} *)
+  remaps : int;  (** gap movements performed, = {!gap_movements} *)
+}
+
+val stats : t -> stats
+(** One read-only snapshot of the wear counters, so observers (the
+    serving layer's device pool, tests) need not reach for the
+    individual accessors or the raw wear array. *)
+
 val ideal_max_wear : t -> int
 (** [ceil (total line writes / physical lines)] — the perfectly
     levelled bound, for normalisation. *)

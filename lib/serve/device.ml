@@ -1,0 +1,121 @@
+module Platform = Tdo_runtime.Platform
+module Flow = Tdo_cim.Flow
+module Interp = Tdo_lang.Interp
+module Sim = Tdo_sim
+module Cimacc = Tdo_cimacc
+module Crossbar = Tdo_pcm.Crossbar
+module Wear_leveling = Tdo_pcm.Wear_leveling
+module Endurance = Tdo_pcm.Endurance
+
+type exec_stats = {
+  service_ps : int;
+  roi_instructions : int;
+  used_cim : bool;
+  launches : int;
+  write_bytes : int;
+  cell_writes : int;
+  macs : int;
+}
+
+type wear = {
+  total_cell_writes : int;
+  max_per_cell : int;
+  per_tile_cell_writes : int array;
+  per_tile_write_bytes : int array;
+  worn_out_fraction : float;
+  leveling : Wear_leveling.stats;
+  budget_consumed : float;
+}
+
+type t = {
+  dev_id : int;
+  platform : Platform.t;
+  leveler : Wear_leveling.t;
+  tracker : Endurance.Tracker.t;
+  mutable available_ps : int;
+  mutable served : int;
+}
+
+let engine t = Cimacc.Accel.engine t.platform.Platform.accel
+
+let create ?(platform_config = Platform.default_config) ?(cell_endurance = 1e7) ~id () =
+  let platform = Platform.create ~config:platform_config () in
+  let xbar = platform_config.Platform.engine.Cimacc.Micro_engine.xbar in
+  let tiles = platform_config.Platform.engine.Cimacc.Micro_engine.tiles in
+  {
+    dev_id = id;
+    platform;
+    (* Start-Gap over the crossbar's wordlines: the row-write stream of
+       every programmed operand is pushed through the remapper, so the
+       pool can report levelled wear next to the raw per-cell counters. *)
+    leveler =
+      Wear_leveling.create ~lines:xbar.Crossbar.rows
+        ~gap_interval:(max 1 (xbar.Crossbar.rows / 2));
+    tracker =
+      Endurance.Tracker.create ~cell_endurance
+        ~crossbar_bytes:(xbar.Crossbar.size_bytes * max 1 tiles);
+    available_ps = 0;
+    served = 0;
+  }
+
+let id t = t.dev_id
+let platform t = t.platform
+let available_ps t = t.available_ps
+let set_available_ps t ps = t.available_ps <- ps
+let requests_served t = t.served
+let write_pressure t = Endurance.Tracker.bytes_written t.tracker
+
+let run t (compiled : Flow.compiled) ~args =
+  (* A fresh user-space runtime is created inside [Exec.run], so its
+     generation counter restarts; the previous tenant's pinned operand
+     must not survive into this run. *)
+  Cimacc.Micro_engine.invalidate_pinned (engine t);
+  let cpu = Platform.cpu t.platform in
+  let roi0 = Sim.Cpu.roi cpu in
+  let xc0 = Cimacc.Micro_engine.total_crossbar_counters (engine t) in
+  let metrics = Tdo_ir.Exec.run compiled.Flow.func ~platform:t.platform ~args in
+  let roi1 = Sim.Cpu.roi cpu in
+  let xc1 = Cimacc.Micro_engine.total_crossbar_counters (engine t) in
+  let write_bytes = xc1.Crossbar.write_bytes - xc0.Crossbar.write_bytes in
+  let cell_writes = xc1.Crossbar.cell_writes - xc0.Crossbar.cell_writes in
+  let logical_writes = xc1.Crossbar.logical_writes - xc0.Crossbar.logical_writes in
+  Endurance.Tracker.record t.tracker ~bytes:write_bytes;
+  (* Approximate the operand row-write stream for the Start-Gap view:
+     programming is row-parallel, so [logical_writes / cols] wordlines
+     took a pulse. *)
+  let cols =
+    (Crossbar.config (Cimacc.Micro_engine.crossbar (engine t))).Crossbar.cols
+  in
+  let rows_written = logical_writes / max 1 cols in
+  let lines = Wear_leveling.lines t.leveler in
+  for i = 0 to rows_written - 1 do
+    Wear_leveling.write t.leveler (i mod lines)
+  done;
+  t.served <- t.served + 1;
+  {
+    service_ps = roi1.Sim.Cpu.roi_time_ps - roi0.Sim.Cpu.roi_time_ps;
+    roi_instructions = roi1.Sim.Cpu.roi_instructions - roi0.Sim.Cpu.roi_instructions;
+    used_cim = metrics.Tdo_ir.Exec.used_cim;
+    launches = metrics.Tdo_ir.Exec.cim_launches;
+    write_bytes;
+    cell_writes;
+    macs = xc1.Crossbar.macs - xc0.Crossbar.macs;
+  }
+
+let wear t =
+  let xbars = Cimacc.Micro_engine.crossbars (engine t) in
+  {
+    total_cell_writes = Array.fold_left (fun acc xb -> acc + Crossbar.wear_total xb) 0 xbars;
+    max_per_cell = Array.fold_left (fun acc xb -> max acc (Crossbar.wear_max xb)) 0 xbars;
+    per_tile_cell_writes = Array.map Crossbar.wear_total xbars;
+    per_tile_write_bytes =
+      Array.map (fun xb -> (Crossbar.counters xb).Crossbar.write_bytes) xbars;
+    worn_out_fraction =
+      Array.fold_left (fun acc xb -> Float.max acc (Crossbar.worn_out_fraction xb)) 0.0 xbars;
+    leveling = Wear_leveling.stats t.leveler;
+    budget_consumed = Endurance.Tracker.budget_consumed t.tracker;
+  }
+
+let lifetime_years t ~elapsed_s =
+  if elapsed_s <= 0.0 then None
+  else Endurance.Tracker.lifetime_years t.tracker ~elapsed_seconds:elapsed_s

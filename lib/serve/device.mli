@@ -1,0 +1,74 @@
+(** One pooled accelerator: a full emulated platform (its own event
+    queue, memory, bus, caches and CIM accelerator) that is {e reused}
+    across requests instead of being rebuilt per run.
+
+    Reuse is what makes a device a device: crossbar wear accumulates
+    over its lifetime exactly as it would in a physical tile, which is
+    the signal the pool's endurance-aware dispatch spreads writes with.
+    Two pieces of state must not leak between tenants, and [run] clears
+    or compensates for both: the engine's pinned-operand latch is
+    invalidated (a fresh runtime instance restarts its generation
+    counter, so a stale latch could alias a new tenant's buffer at a
+    recycled CMA address), and ROI/crossbar counters are read as deltas
+    around each run. *)
+
+module Platform = Tdo_runtime.Platform
+module Flow = Tdo_cim.Flow
+module Interp = Tdo_lang.Interp
+
+type exec_stats = {
+  service_ps : int;  (** simulated ROI time of this request *)
+  roi_instructions : int;
+  used_cim : bool;
+  launches : int;
+  write_bytes : int;  (** matrix bytes programmed into this device's crossbars *)
+  cell_writes : int;  (** physical write pulses, summed over tiles *)
+  macs : int;
+}
+
+type wear = {
+  total_cell_writes : int;  (** lifetime write pulses, summed over tiles *)
+  max_per_cell : int;  (** hottest cell across tiles *)
+  per_tile_cell_writes : int array;
+  per_tile_write_bytes : int array;
+  worn_out_fraction : float;
+  leveling : Tdo_pcm.Wear_leveling.stats;
+      (** the device's Start-Gap remap view of its row-write stream *)
+  budget_consumed : float;  (** Eq. 1 write-budget fraction, uniform-wear assumption *)
+}
+
+type t
+
+val create : ?platform_config:Platform.config -> ?cell_endurance:float -> id:int -> unit -> t
+(** Fresh device. [cell_endurance] (default [1e7], the paper's
+    baseline PCM endurance) parameterises the Eq. 1 budget model. *)
+
+val id : t -> int
+val platform : t -> Platform.t
+
+val available_ps : t -> int
+(** Virtual time at which the device is free; maintained by the
+    scheduler via {!set_available_ps}. *)
+
+val set_available_ps : t -> int -> unit
+
+val requests_served : t -> int
+
+val write_pressure : t -> int
+(** Matrix bytes written to this device's crossbars so far — the O(1)
+    {!Tdo_pcm.Endurance.Tracker} counter the scheduler sorts free
+    devices by. (The full {!wear} snapshot walks every cell and is for
+    end-of-run reporting, not the dispatch hot path.) *)
+
+val run : t -> Flow.compiled -> args:(string * Interp.value) list -> exec_stats
+(** Execute one compiled request on this device, mutating [Varray]
+    arguments with the results. Raises {!Tdo_ir.Exec.Exec_error} on a
+    device rejection; the device stays usable. *)
+
+val wear : t -> wear
+(** Read-only wear snapshot, the dispatch key of the endurance-aware
+    scheduler. *)
+
+val lifetime_years : t -> elapsed_s:float -> float option
+(** Eq. 1 lifetime extrapolated from this device's accumulated write
+    traffic over [elapsed_s] of simulated serving time. *)

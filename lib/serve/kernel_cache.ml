@@ -1,0 +1,98 @@
+module Flow = Tdo_cim.Flow
+module Ast = Tdo_lang.Ast
+
+type entry = {
+  key : string;
+  ast : Ast.func;
+  compiled : Flow.compiled;
+  compile_s : float;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  compile_s_total : float;
+}
+
+type slot = { entry : entry; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  opts : Flow.options;
+  table : (string, slot) Hashtbl.t;
+  mutable tick : int;  (** LRU clock: bumped on every lookup *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable compile_s_total : float;
+}
+
+let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) () =
+  {
+    capacity = max 1 capacity;
+    opts = options;
+    table = Hashtbl.create 32;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    compile_s_total = 0.0;
+  }
+
+let options t = t.opts
+
+(* The AST and the config are both plain data, so marshalling them
+   yields a canonical byte string of the structure alone — identifiers,
+   bounds, operators — with the concrete syntax already erased by the
+   parser. *)
+let structural_key ~(options : Flow.options) (ast : Ast.func) =
+  let repr =
+    Marshal.to_string (ast, options.Flow.enable_loop_tactics, options.Flow.tactics) []
+  in
+  Digest.to_hex (Digest.string repr)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !victim with
+      | Some (_, age) when slot.last_use >= age -> ()
+      | _ -> victim := Some (key, slot.last_use))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_compile t source =
+  let ast = Tdo_lang.Parser.parse_func source in
+  let key = structural_key ~options:t.opts ast in
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      slot.last_use <- t.tick;
+      slot.entry
+  | None ->
+      t.misses <- t.misses + 1;
+      Tdo_lang.Typecheck.check_func ast;
+      let t0 = Unix.gettimeofday () in
+      let compiled = Flow.compile_checked ~options:t.opts source in
+      let dt = Unix.gettimeofday () -. t0 in
+      t.compile_s_total <- t.compile_s_total +. dt;
+      let entry = { key; ast; compiled; compile_s = dt } in
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table key { entry; last_use = t.tick };
+      entry
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+    compile_s_total = t.compile_s_total;
+  }

@@ -1,0 +1,53 @@
+(** Compiled-kernel cache of the serving layer.
+
+    The offload compiler ({!Tdo_cim.Flow}) is deterministic, so two
+    requests carrying the same mini-C program under the same tactics
+    configuration compile to the same IR — the cache makes the second
+    request free. Entries are keyed by a {e structural} hash: the
+    source is parsed and the AST digested together with the offload
+    configuration, so whitespace, comments and formatting differences
+    hit the same entry while any semantic change (a bound, a loop body,
+    a config knob) misses.
+
+    The cache is an LRU bounded by [capacity] entries. It is {b not}
+    thread-safe: the scheduler performs all lookups on the dispatcher
+    domain before fanning execution out to workers, which only read the
+    immutable compiled IR. *)
+
+module Flow = Tdo_cim.Flow
+module Ast = Tdo_lang.Ast
+
+type entry = {
+  key : string;  (** structural digest, hex *)
+  ast : Ast.func;  (** parsed and type-checked — ready for the CPU-fallback interpreter *)
+  compiled : Flow.compiled;
+  compile_s : float;  (** wall-clock spent compiling this entry *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+  compile_s_total : float;  (** wall-clock spent on all misses *)
+}
+
+type t
+
+val create : ?capacity:int -> ?options:Flow.options -> unit -> t
+(** LRU cache holding at most [capacity] (default 64, clamped to >= 1)
+    compiled programs, compiled under [options] (default
+    {!Flow.o3_loop_tactics}). *)
+
+val options : t -> Flow.options
+
+val structural_key : options:Flow.options -> Ast.func -> string
+(** Digest of the AST structure plus the tactics configuration — the
+    cache key, exposed for tests and cache-aware clients. *)
+
+val find_or_compile : t -> string -> entry
+(** Parse [source], look its structural key up, and compile on a miss.
+    Front-end errors (parse, type-check) propagate to the caller;
+    failed compiles are not cached. *)
+
+val stats : t -> stats

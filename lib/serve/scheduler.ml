@@ -1,0 +1,397 @@
+module Platform = Tdo_runtime.Platform
+module Flow = Tdo_cim.Flow
+module Interp = Tdo_lang.Interp
+module Kernels = Tdo_polybench.Kernels
+module Mat = Tdo_linalg.Mat
+module Pool = Tdo_util.Pool
+module Time_base = Tdo_sim.Time_base
+
+type config = {
+  devices : int;
+  platform_config : Platform.config;
+  options : Flow.options;
+  cache_capacity : int;
+  queue_capacity : int;
+  batching : bool;
+  max_batch : int;
+  parallel : bool;
+  dispatch_overhead_ps : int;
+  cpu_ps_per_mac : int;
+  ignore_deadlines : bool;
+}
+
+let default_config =
+  {
+    devices = 4;
+    platform_config = Platform.default_config;
+    options = Flow.o3_loop_tactics;
+    cache_capacity = 64;
+    queue_capacity = 256;
+    batching = true;
+    max_batch = 8;
+    parallel = true;
+    dispatch_overhead_ps = 5 * Time_base.ps_per_us;
+    (* ~3 VFP cycles per MAC at the A7's 1.2 GHz *)
+    cpu_ps_per_mac = 2500;
+    ignore_deadlines = false;
+  }
+
+let golden_config c =
+  {
+    c with
+    devices = 1;
+    batching = false;
+    parallel = false;
+    queue_capacity = 0;
+    ignore_deadlines = true;
+  }
+
+type report = {
+  trace : Trace.t;
+  config : config;
+  telemetry : Telemetry.t;
+  cache : Kernel_cache.stats;
+  devices : (int * Device.wear * int) list;
+  makespan_ps : int;
+  wall_s : float;
+}
+
+(* ---------- output checksums ---------- *)
+
+let checksum_of_mats mats =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      Buffer.add_string b (Printf.sprintf "%dx%d;" (Mat.rows m) (Mat.cols m));
+      Mat.iteri ~f:(fun _ _ v -> Buffer.add_int64_le b (Int64.bits_of_float v)) m)
+    mats;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ---------- replay ---------- *)
+
+type queued = Trace.request * int  (** request, queue depth seen at admission *)
+
+type batch = {
+  dev : Device.t;
+  batch_id : int;
+  start_ps : int;  (** dispatch time + launch overhead *)
+  cache_hit : bool;
+  bench : Kernels.benchmark;
+  entry : Kernel_cache.entry;
+  items : queued list;
+}
+
+(* Runs on a worker domain: touches only its own device, the immutable
+   compiled entry, and per-request data derived from the seed. *)
+let execute_batch (b : batch) =
+  let cursor = ref b.start_ps in
+  let records =
+    List.map
+      (fun ((r : Trace.request), depth) ->
+        let args, readback = b.bench.Kernels.make_args ~n:r.Trace.n ~seed:r.Trace.seed in
+        match Device.run b.dev b.entry.Kernel_cache.compiled ~args with
+        | stats ->
+            let start = !cursor in
+            cursor := !cursor + stats.Device.service_ps;
+            {
+              Telemetry.request = r;
+              outcome = Telemetry.Completed;
+              device = Some (Device.id b.dev);
+              batch = Some b.batch_id;
+              cache_hit = b.cache_hit;
+              queue_depth = depth;
+              start_ps = start;
+              finish_ps = !cursor;
+              service_ps = stats.Device.service_ps;
+              checksum = Some (checksum_of_mats (readback ()));
+            }
+        | exception Tdo_ir.Exec.Exec_error msg ->
+            {
+              Telemetry.request = r;
+              outcome = Telemetry.Failed msg;
+              device = Some (Device.id b.dev);
+              batch = Some b.batch_id;
+              cache_hit = b.cache_hit;
+              queue_depth = depth;
+              start_ps = !cursor;
+              finish_ps = !cursor;
+              service_ps = 0;
+              checksum = None;
+            })
+      b.items
+  in
+  Device.set_available_ps b.dev !cursor;
+  records
+
+let replay ?(config = default_config) (trace : Trace.t) =
+  if config.devices < 1 then invalid_arg "Scheduler.replay: need at least one device";
+  if config.max_batch < 1 then invalid_arg "Scheduler.replay: max_batch must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let cache = Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options () in
+  let devices =
+    Array.init config.devices (fun id ->
+        Device.create ~platform_config:config.platform_config ~id ())
+  in
+  let telemetry = Telemetry.create () in
+  let arrivals = ref trace.Trace.requests in
+  let queue : queued list ref = ref [] in
+  let queue_len = ref 0 in
+  let now = ref 0 in
+  let batch_counter = ref 0 in
+  let record = Telemetry.record telemetry in
+  let record_failed (r : Trace.request) depth msg =
+    record
+      {
+        Telemetry.request = r;
+        outcome = Telemetry.Failed msg;
+        device = None;
+        batch = None;
+        cache_hit = false;
+        queue_depth = depth;
+        start_ps = !now;
+        finish_ps = !now;
+        service_ps = 0;
+        checksum = None;
+      }
+  in
+
+  let admit_due () =
+    let rec go () =
+      match !arrivals with
+      | (r : Trace.request) :: rest when r.Trace.arrival_ps <= !now ->
+          arrivals := rest;
+          if config.queue_capacity > 0 && !queue_len >= config.queue_capacity then
+            record
+              {
+                Telemetry.request = r;
+                outcome = Telemetry.Rejected_overloaded;
+                device = None;
+                batch = None;
+                cache_hit = false;
+                queue_depth = !queue_len;
+                start_ps = r.Trace.arrival_ps;
+                finish_ps = r.Trace.arrival_ps;
+                service_ps = 0;
+                checksum = None;
+              }
+          else begin
+            queue := !queue @ [ (r, !queue_len) ];
+            incr queue_len
+          end;
+          Telemetry.sample_queue_depth telemetry ~at_ps:r.Trace.arrival_ps ~depth:!queue_len;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+
+  (* Deadline degradation: a request whose budget is already spent at
+     scheduling time never reaches a device — it runs on the host
+     interpreter (exact results, modelled latency). *)
+  let run_fallback ((r : Trace.request), depth) =
+    match Kernels.find r.Trace.kernel with
+    | Error msg -> record_failed r depth msg
+    | Ok bench -> (
+        match
+          let ast = Tdo_lang.Parser.parse_func (bench.Kernels.source ~n:r.Trace.n) in
+          Tdo_lang.Typecheck.check_func ast;
+          let args, readback = bench.Kernels.make_args ~n:r.Trace.n ~seed:r.Trace.seed in
+          Interp.run ast ~args;
+          (readback (), bench.Kernels.macs ~n:r.Trace.n)
+        with
+        | mats, macs ->
+            let service_ps = config.cpu_ps_per_mac * macs in
+            record
+              {
+                Telemetry.request = r;
+                outcome = Telemetry.Cpu_fallback;
+                device = None;
+                batch = None;
+                cache_hit = false;
+                queue_depth = depth;
+                start_ps = !now;
+                finish_ps = !now + service_ps;
+                service_ps;
+                checksum = Some (checksum_of_mats mats);
+              }
+        | exception e -> record_failed r depth (Printexc.to_string e))
+  in
+
+  let cull_expired () =
+    if not config.ignore_deadlines then begin
+      let expired, live =
+        List.partition
+          (fun ((r : Trace.request), _) ->
+            match r.Trace.deadline_ps with
+            | Some d -> !now > r.Trace.arrival_ps + d
+            | None -> false)
+          !queue
+      in
+      if expired <> [] then begin
+        queue := live;
+        queue_len := List.length live;
+        List.iter run_fallback expired
+      end
+    end
+  in
+
+  let pop_batch () =
+    match !queue with
+    | [] -> None
+    | ((r0 : Trace.request), d0) :: rest ->
+        if (not config.batching) || config.max_batch <= 1 then begin
+          queue := rest;
+          decr queue_len;
+          Some [ (r0, d0) ]
+        end
+        else begin
+          (* coalesce queued requests sharing (kernel, n): one compile,
+             one launch, back-to-back execution on one device *)
+          let taken = ref [ (r0, d0) ] in
+          let kept = ref [] in
+          let count = ref 1 in
+          List.iter
+            (fun (((r : Trace.request), _) as item) ->
+              if
+                !count < config.max_batch
+                && r.Trace.kernel = r0.Trace.kernel
+                && r.Trace.n = r0.Trace.n
+              then begin
+                taken := item :: !taken;
+                incr count
+              end
+              else kept := item :: !kept)
+            rest;
+          queue := List.rev !kept;
+          queue_len := List.length !queue;
+          Some (List.rev !taken)
+        end
+  in
+
+  let free_devices () =
+    Array.to_list devices
+    |> List.filter (fun d -> Device.available_ps d <= !now)
+    |> List.sort (fun a b ->
+           compare (Device.write_pressure a, Device.id a) (Device.write_pressure b, Device.id b))
+  in
+
+  (* Form one batch per free device (least-worn device first), then
+     execute the whole wave — in parallel on the domain pool when
+     configured. Every decision (membership, placement, start times) is
+     fixed before execution starts, so the wave's results do not depend
+     on how it is run. *)
+  let dispatch () =
+    let prepared =
+      List.filter_map
+        (fun dev ->
+          match pop_batch () with
+          | None -> None
+          | Some items -> (
+              let (r0 : Trace.request), _ = List.hd items in
+              match Kernels.find r0.Trace.kernel with
+              | Error msg ->
+                  List.iter (fun (r, d) -> record_failed r d msg) items;
+                  None
+              | Ok bench -> (
+                  let misses0 = (Kernel_cache.stats cache).Kernel_cache.misses in
+                  match Kernel_cache.find_or_compile cache (bench.Kernels.source ~n:r0.Trace.n) with
+                  | entry ->
+                      let cache_hit =
+                        (Kernel_cache.stats cache).Kernel_cache.misses = misses0
+                      in
+                      let batch_id = !batch_counter in
+                      incr batch_counter;
+                      Some
+                        {
+                          dev;
+                          batch_id;
+                          start_ps = !now + config.dispatch_overhead_ps;
+                          cache_hit;
+                          bench;
+                          entry;
+                          items;
+                        }
+                  | exception e ->
+                      List.iter (fun (r, d) -> record_failed r d (Printexc.to_string e)) items;
+                      None)))
+        (free_devices ())
+    in
+    match prepared with
+    | [] -> false
+    | waves ->
+        let results =
+          if config.parallel && List.length waves > 1 then
+            Pool.parallel_map execute_batch waves
+          else List.map execute_batch waves
+        in
+        List.iter (List.iter record) results;
+        true
+  in
+
+  while !arrivals <> [] || !queue <> [] do
+    admit_due ();
+    cull_expired ();
+    if not (dispatch ()) then begin
+      let next_arrival =
+        match !arrivals with [] -> max_int | r :: _ -> r.Trace.arrival_ps
+      in
+      let next_free =
+        Array.fold_left
+          (fun acc d ->
+            let a = Device.available_ps d in
+            if a > !now then min acc a else acc)
+          max_int devices
+      in
+      let next = if !queue = [] then next_arrival else min next_arrival next_free in
+      (* [next = max_int] can only follow a dispatch step that consumed
+         the queue through failure records; nudge the clock so the loop
+         re-checks termination. *)
+      now := if next = max_int then !now + 1 else max next (!now + 1)
+    end
+  done;
+
+  let makespan_ps =
+    List.fold_left (fun acc r -> max acc r.Telemetry.finish_ps) 0 (Telemetry.records telemetry)
+  in
+  {
+    trace;
+    config;
+    telemetry;
+    cache = Kernel_cache.stats cache;
+    devices =
+      Array.to_list devices
+      |> List.map (fun d -> (Device.id d, Device.wear d, Device.requests_served d));
+    makespan_ps;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* ---------- report accessors ---------- *)
+
+let completed r = Telemetry.count r.telemetry Telemetry.Completed
+let fallbacks r = Telemetry.count r.telemetry Telemetry.Cpu_fallback
+let rejections r = Telemetry.count r.telemetry Telemetry.Rejected_overloaded
+let failures r = Telemetry.count r.telemetry (Telemetry.Failed "")
+
+let cache_hit_rate r =
+  let c = r.cache in
+  let lookups = c.Kernel_cache.hits + c.Kernel_cache.misses in
+  if lookups = 0 then 0.0 else float_of_int c.Kernel_cache.hits /. float_of_int lookups
+
+let divergence a b =
+  let of_b = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Telemetry.record) ->
+      match (r.Telemetry.outcome, r.Telemetry.checksum) with
+      | Telemetry.Completed, Some cs -> Hashtbl.replace of_b r.Telemetry.request.Trace.id cs
+      | _ -> ())
+    (Telemetry.records b.telemetry);
+  List.fold_left
+    (fun acc (r : Telemetry.record) ->
+      match (r.Telemetry.outcome, r.Telemetry.checksum) with
+      | Telemetry.Completed, Some cs -> (
+          match Hashtbl.find_opt of_b r.Telemetry.request.Trace.id with
+          | Some cs' when cs' <> cs -> acc + 1
+          | Some _ | None -> acc)
+      | _ -> acc)
+    0
+    (Telemetry.records a.telemetry)

@@ -1,0 +1,76 @@
+(** The multi-tenant offload scheduler: bounded admission, batch
+    coalescing, endurance-aware placement, deadlines with
+    CPU-interpreter degradation.
+
+    [replay] drives a {!Trace.t} through a virtual-time event loop.
+    Requests are admitted into a bounded submission queue (overflow is
+    {e backpressure}: the request is rejected with
+    {!Telemetry.Rejected_overloaded}, never silently dropped). When
+    devices are free, the dispatcher forms one batch per free device by
+    coalescing queued requests that share a (kernel, size) — they reuse
+    one compiled-cache entry and pay the launch overhead once — and
+    places each batch on the free device with the least accumulated
+    crossbar wear, which is what spreads write traffic across the pool.
+    A request whose deadline has already passed when it reaches the
+    head of the queue is not sent to a device at all: it degrades to
+    the host reference interpreter (functionally exact, charged with a
+    calibrated MAC-rate latency model).
+
+    All scheduling decisions for a dispatch wave are taken {e before}
+    the wave executes, so executing the wave's batches on worker
+    domains ({!Tdo_util.Pool}) or sequentially produces bit-identical
+    results and telemetry — the property the golden check and the
+    qcheck determinism suite pin down. *)
+
+module Platform = Tdo_runtime.Platform
+module Flow = Tdo_cim.Flow
+
+type config = {
+  devices : int;  (** pool size; >= 1 *)
+  platform_config : Platform.config;  (** per-device platform *)
+  options : Flow.options;  (** compile options for the kernel cache *)
+  cache_capacity : int;
+  queue_capacity : int;  (** submission-queue bound; [<= 0] = unbounded *)
+  batching : bool;
+  max_batch : int;  (** requests coalesced per dispatch; >= 1 *)
+  parallel : bool;  (** execute dispatch waves on the domain pool *)
+  dispatch_overhead_ps : int;  (** per-batch launch cost (driver + syscall path) *)
+  cpu_ps_per_mac : int;  (** latency model of the interpreter fallback *)
+  ignore_deadlines : bool;  (** golden mode: never degrade *)
+}
+
+val default_config : config
+(** 4 devices, default platform, 64-entry cache, 256-deep queue,
+    batching up to 8, parallel waves, 5 us launch overhead, 2.5 ns per
+    MAC fallback rate. *)
+
+val golden_config : config -> config
+(** The sequential oracle for a given serving configuration: one
+    device, no batching, no parallelism, unbounded queue, deadlines
+    ignored — same compile options and platform. *)
+
+type report = {
+  trace : Trace.t;
+  config : config;
+  telemetry : Telemetry.t;
+  cache : Kernel_cache.stats;
+  devices : (int * Device.wear * int) list;
+      (** per device: id, final wear snapshot, requests served *)
+  makespan_ps : int;  (** finish time of the last request *)
+  wall_s : float;  (** host wall-clock spent replaying *)
+}
+
+val replay : ?config:config -> Trace.t -> report
+
+val completed : report -> int
+val fallbacks : report -> int
+val rejections : report -> int
+val failures : report -> int
+
+val cache_hit_rate : report -> float
+(** Hits over (hits + misses); 0 on an empty run. *)
+
+val divergence : report -> report -> int
+(** Number of requests that ran on CIM devices in {e both} reports and
+    produced different output checksums — the cross-device golden
+    check. 0 means every comparable request is bit-identical. *)

@@ -1,0 +1,127 @@
+module Time_base = Tdo_sim.Time_base
+module Stats = Tdo_util.Stats
+
+type outcome = Completed | Cpu_fallback | Rejected_overloaded | Failed of string
+
+type record = {
+  request : Trace.request;
+  outcome : outcome;
+  device : int option;
+  batch : int option;
+  cache_hit : bool;
+  queue_depth : int;
+  start_ps : int;
+  finish_ps : int;
+  service_ps : int;
+  checksum : string option;
+}
+
+let latency_ps r = r.finish_ps - r.request.Trace.arrival_ps
+
+type t = {
+  mutable records : record list;  (** reverse order of recording *)
+  mutable depth_samples : (int * int) list;  (** (at_ps, depth), reverse *)
+}
+
+let create () = { records = []; depth_samples = [] }
+let record t r = t.records <- r :: t.records
+
+let sample_queue_depth t ~at_ps ~depth =
+  t.depth_samples <- (at_ps, depth) :: t.depth_samples
+
+let records t =
+  List.sort (fun a b -> compare a.request.Trace.id b.request.Trace.id) t.records
+
+let count t outcome =
+  List.length
+    (List.filter
+       (fun r ->
+         match (r.outcome, outcome) with
+         | Completed, Completed | Cpu_fallback, Cpu_fallback -> true
+         | Rejected_overloaded, Rejected_overloaded -> true
+         | Failed _, Failed _ -> true
+         | _ -> false)
+       t.records)
+
+let served_latencies_us t =
+  List.filter_map
+    (fun r ->
+      match r.outcome with
+      | Completed | Cpu_fallback ->
+          Some (float_of_int (latency_ps r) /. float_of_int Time_base.ps_per_us)
+      | Rejected_overloaded | Failed _ -> None)
+    t.records
+
+let latency_percentile t ~p =
+  match served_latencies_us t with [] -> None | xs -> Some (Stats.percentile xs ~p)
+
+let mean_latency_us t =
+  match served_latencies_us t with [] -> None | xs -> Some (Stats.mean xs)
+
+let max_queue_depth t = List.fold_left (fun acc (_, d) -> max acc d) 0 t.depth_samples
+
+(* ---------- Chrome trace events ---------- *)
+
+let us_of_ps ps = float_of_int ps /. float_of_int Time_base.ps_per_us
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_trace t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not !first then Buffer.add_string b ",\n";
+        first := false;
+        Buffer.add_string b s)
+      fmt
+  in
+  List.iter
+    (fun r ->
+      let name =
+        escape (Printf.sprintf "%s/%d#%d" r.request.Trace.kernel r.request.Trace.n r.request.Trace.id)
+      in
+      match r.outcome with
+      | Completed ->
+          event
+            {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"cache_hit":%b,"queue_depth":%d}}|}
+            name (us_of_ps r.start_ps)
+            (us_of_ps (r.finish_ps - r.start_ps))
+            (match r.device with Some d -> d | None -> -1)
+            r.cache_hit r.queue_depth
+      | Cpu_fallback ->
+          event {|{"name":"%s (cpu)","ph":"X","ts":%.3f,"dur":%.3f,"pid":2,"tid":0}|} name
+            (us_of_ps r.start_ps)
+            (us_of_ps (r.finish_ps - r.start_ps))
+      | Rejected_overloaded ->
+          event {|{"name":"%s rejected","ph":"i","ts":%.3f,"pid":2,"tid":1,"s":"g"}|} name
+            (us_of_ps r.finish_ps)
+      | Failed msg ->
+          event {|{"name":"%s failed: %s","ph":"i","ts":%.3f,"pid":2,"tid":1,"s":"g"}|} name
+            (escape msg) (us_of_ps r.finish_ps))
+    (records t);
+  List.iter
+    (fun (at_ps, depth) ->
+      event {|{"name":"queue","ph":"C","ts":%.3f,"pid":1,"tid":0,"args":{"depth":%d}}|}
+        (us_of_ps at_ps) depth)
+    (List.rev t.depth_samples);
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+let write_chrome_trace t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace t))

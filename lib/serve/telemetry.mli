@@ -1,0 +1,59 @@
+(** Per-request telemetry of the serving layer.
+
+    The scheduler records one {!record} per request — outcome, timing,
+    placement, cache behaviour and a checksum of the produced outputs —
+    plus a queue-depth sample per scheduling step. Aggregations
+    (latency percentiles, hit rates) are computed on demand from the
+    raw records, and the whole run can be dumped as a Chrome
+    trace-event JSON file ([chrome://tracing], Perfetto) with one
+    track per device. *)
+
+type outcome =
+  | Completed  (** served on a CIM device *)
+  | Cpu_fallback  (** deadline missed; degraded to the host interpreter *)
+  | Rejected_overloaded  (** bounced at admission: submission queue full *)
+  | Failed of string  (** device or front-end error *)
+
+type record = {
+  request : Trace.request;
+  outcome : outcome;
+  device : int option;  (** [None] unless [Completed] *)
+  batch : int option;  (** dispatch batch id, [None] for unbatched outcomes *)
+  cache_hit : bool;
+  queue_depth : int;  (** submission-queue depth seen at admission *)
+  start_ps : int;  (** when service began (= finish for rejections) *)
+  finish_ps : int;
+  service_ps : int;
+  checksum : string option;  (** digest of the output arrays, comparison key of the golden check *)
+}
+
+val latency_ps : record -> int
+(** [finish - arrival]: what the client observed. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> record -> unit
+val sample_queue_depth : t -> at_ps:int -> depth:int -> unit
+
+val records : t -> record list
+(** In request-id order. *)
+
+val count : t -> outcome -> int
+
+val latency_percentile : t -> p:float -> float option
+(** Percentile (in simulated microseconds) over requests that were
+    actually served ([Completed] or [Cpu_fallback]); [None] when none
+    were. *)
+
+val mean_latency_us : t -> float option
+val max_queue_depth : t -> int
+
+val chrome_trace : t -> string
+(** The run as a JSON array of Chrome trace events: one complete
+    ("ph":"X") event per served request on its device's track, one
+    instant event per rejection, and a queue-depth counter track.
+    Timestamps are simulated microseconds. *)
+
+val write_chrome_trace : t -> path:string -> unit

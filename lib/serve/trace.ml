@@ -1,0 +1,90 @@
+module Prng = Tdo_util.Prng
+module Time_base = Tdo_sim.Time_base
+
+type request = {
+  id : int;
+  kernel : string;
+  n : int;
+  seed : int;
+  arrival_ps : int;
+  deadline_ps : int option;
+}
+
+type t = { name : string; seed : int; requests : request list }
+
+(* (kernel, n, popularity weight): a skewed mix over few combinations,
+   GEMM-heavy like the paper's Fig. 6 winners. *)
+let standard_mix =
+  [
+    ("gemm", 16, 30);
+    ("gemm", 24, 15);
+    ("2mm", 16, 12);
+    ("3mm", 12, 8);
+    ("gesummv", 24, 12);
+    ("bicg", 24, 8);
+    ("mvt", 24, 8);
+    ("conv", 12, 7);
+  ]
+
+let smoke_mix = [ ("gemm", 12, 3); ("gesummv", 16, 1) ]
+
+type profile = {
+  count : int;
+  mix : (string * int * int) list;
+  mean_gap_us : float;
+  deadline_us : int option;
+}
+
+let profile_table =
+  [
+    ("synthetic-smoke", { count = 40; mix = smoke_mix; mean_gap_us = 40.0; deadline_us = None });
+    ("synthetic-small", { count = 200; mix = standard_mix; mean_gap_us = 30.0; deadline_us = None });
+    ("synthetic-medium", { count = 1000; mix = standard_mix; mean_gap_us = 75.0; deadline_us = None });
+    ("synthetic-large", { count = 4000; mix = standard_mix; mean_gap_us = 50.0; deadline_us = None });
+    (* arrivals faster than one device drains: the backlog blows the
+       deadline and exercises the CPU-fallback path *)
+    ("synthetic-tight", { count = 200; mix = standard_mix; mean_gap_us = 8.0; deadline_us = Some 150 });
+  ]
+
+let profiles = List.map fst profile_table
+
+let pick_weighted g mix =
+  let total = List.fold_left (fun acc (_, _, w) -> acc + w) 0 mix in
+  let r = Prng.int g ~bound:total in
+  let rec go acc = function
+    | [] -> assert false
+    | (k, n, w) :: rest -> if r < acc + w then (k, n) else go (acc + w) rest
+  in
+  go 0 mix
+
+let synthetic ?(seed = 42) ?deadline_us name =
+  match List.assoc_opt name profile_table with
+  | None ->
+      Error
+        (Printf.sprintf "unknown trace '%s' (expected one of: %s)" name
+           (String.concat ", " profiles))
+  | Some p ->
+      let g = Prng.create ~seed in
+      let deadline_us = match deadline_us with Some _ as d -> d | None -> p.deadline_us in
+      let deadline_ps = Option.map (fun us -> us * Time_base.ps_per_us) deadline_us in
+      let clock = ref 0 in
+      let requests =
+        List.init p.count (fun id ->
+            let kernel, n = pick_weighted g p.mix in
+            (* exponential inter-arrival: a memoryless open-loop client *)
+            let u = Prng.float g ~bound:1.0 in
+            let gap_us = p.mean_gap_us *. -.Float.log (1.0 -. u) in
+            clock := !clock + int_of_float (gap_us *. float_of_int Time_base.ps_per_us);
+            {
+              id;
+              kernel;
+              n;
+              seed = (seed * 1_000_003) + id;
+              arrival_ps = !clock;
+              deadline_ps;
+            })
+      in
+      Ok { name; seed; requests }
+
+let distinct_kernels t =
+  List.sort_uniq compare (List.map (fun r -> (r.kernel, r.n)) t.requests)

@@ -1,0 +1,44 @@
+(** Synthetic request traces for the serving layer.
+
+    A trace is a list of timed kernel invocations over the PolyBench
+    suite: each request names a kernel, a problem size and a data seed,
+    and arrives at a virtual timestamp (picoseconds, the simulator's
+    tick). Generation is fully deterministic in the trace seed, so a
+    replay — and its golden single-device counterpart — can be
+    reproduced bit-for-bit.
+
+    The built-in profiles draw kernels from a skewed popularity mix
+    over a small set of (kernel, size) combinations, which is what
+    production inference traffic looks like and what gives the kernel
+    cache its hit rate. *)
+
+type request = {
+  id : int;
+  kernel : string;  (** PolyBench kernel name, see {!Tdo_polybench.Kernels} *)
+  n : int;  (** problem size *)
+  seed : int;  (** data seed; unique per request *)
+  arrival_ps : int;
+  deadline_ps : int option;  (** relative to arrival; [None] = no deadline *)
+}
+
+type t = {
+  name : string;
+  seed : int;
+  requests : request list;  (** sorted by [arrival_ps], ids dense from 0 *)
+}
+
+val profiles : string list
+(** Names accepted by {!synthetic}: ["synthetic-smoke"] (40 requests,
+    2 kernels), ["synthetic-small"] (200), ["synthetic-medium"] (1000),
+    ["synthetic-large"] (4000), ["synthetic-tight"] (200, with
+    deadlines tight enough to force CPU fallback under load). *)
+
+val synthetic :
+  ?seed:int -> ?deadline_us:int -> string -> (t, string) result
+(** Build a named profile. [deadline_us] overrides the profile's
+    deadline (applied to every request); [seed] defaults to 42.
+    [Error] names the unknown profile and lists the valid ones. *)
+
+val distinct_kernels : t -> (string * int) list
+(** The (kernel, n) combinations present, deduplicated — the number of
+    compiles a cold cache will perform. *)

@@ -5,7 +5,18 @@
    teardown, no orphaned workers, exceptions surface at the call
    site. *)
 
-let size () = max 1 (Domain.recommended_domain_count ())
+(* [Domain.recommended_domain_count] is allowed to report anything the
+   OS hands it, including 0 on containers with broken cgroup limits —
+   clamp so a degenerate report never disables the pool outright. An
+   explicit [TDO_DOMAINS=<n>] wins over the runtime's guess; it is read
+   on every call so tests can flip it with [Unix.putenv]. *)
+let size () =
+  match Sys.getenv_opt "TDO_DOMAINS" with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some n -> max 1 n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
 
 let sequential_override = ref None
 

@@ -9,11 +9,15 @@
     Escape hatches: setting [TDO_SEQUENTIAL=1] in the environment (or
     calling {!set_sequential}[ (Some true)]) forces every map to run on
     the calling domain — useful for debugging, timing baselines and
-    the determinism tests that compare both modes. *)
+    the determinism tests that compare both modes — and
+    [TDO_DOMAINS=<n>] pins the domain count regardless of what the
+    runtime recommends. *)
 
 val size : unit -> int
-(** Number of domains a map may use, from
-    [Domain.recommended_domain_count]. At least 1. *)
+(** Number of domains a map may use: [TDO_DOMAINS] when set to an
+    integer, otherwise [Domain.recommended_domain_count]. Always at
+    least 1, even when either source is degenerate (0, negative, or
+    unparsable). Re-read on every call. *)
 
 val sequential : unit -> bool
 (** [true] when maps are forced sequential — by {!set_sequential} or,

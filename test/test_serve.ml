@@ -1,0 +1,364 @@
+open Tdo_serve
+module Pool = Tdo_util.Pool
+module Wear_leveling = Tdo_pcm.Wear_leveling
+module Endurance = Tdo_pcm.Endurance
+module Kernels = Tdo_polybench.Kernels
+module Flow = Tdo_cim.Flow
+module Parser = Tdo_lang.Parser
+module Mat = Tdo_linalg.Mat
+
+(* ---------- Pool sizing: TDO_DOMAINS override ---------- *)
+
+(* The pool re-reads the environment on every [size] call, so these
+   tests can flip the variable in-process. There is no unsetenv in the
+   stdlib; the final state ("") parses as no override, which is the
+   same behaviour as an absent variable. *)
+let test_pool_domains_override () =
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "TDO_DOMAINS" "")
+    (fun () ->
+      Unix.putenv "TDO_DOMAINS" "3";
+      Alcotest.(check int) "explicit override honoured" 3 (Pool.size ());
+      Unix.putenv "TDO_DOMAINS" "1";
+      Alcotest.(check int) "minimum accepted" 1 (Pool.size ());
+      Unix.putenv "TDO_DOMAINS" "0";
+      Alcotest.(check int) "zero clamps to 1" 1 (Pool.size ());
+      Unix.putenv "TDO_DOMAINS" "-7";
+      Alcotest.(check int) "negative clamps to 1" 1 (Pool.size ());
+      Unix.putenv "TDO_DOMAINS" "not-a-number";
+      Alcotest.(check bool) "garbage falls back to >= 1" true (Pool.size () >= 1);
+      Unix.putenv "TDO_DOMAINS" "";
+      Alcotest.(check bool) "empty falls back to >= 1" true (Pool.size () >= 1))
+
+let test_pool_domains_map () =
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "TDO_DOMAINS" "")
+    (fun () ->
+      Unix.putenv "TDO_DOMAINS" "2";
+      let xs = List.init 17 Fun.id in
+      Alcotest.(check (list int))
+        "map under pinned domain count preserves order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.parallel_map (fun x -> x * x) xs))
+
+(* ---------- Wear-leveling / endurance read-only stats ---------- *)
+
+let test_wear_leveling_stats () =
+  let wl = Wear_leveling.create ~lines:8 ~gap_interval:4 in
+  for i = 0 to 99 do
+    Wear_leveling.write wl (i mod 8)
+  done;
+  let s = Wear_leveling.stats wl in
+  Alcotest.(check int) "writes mirrors total_writes" (Wear_leveling.total_writes wl) s.Wear_leveling.writes;
+  Alcotest.(check int) "all writes recorded" 100 s.Wear_leveling.writes;
+  Alcotest.(check int) "max mirrors max_wear" (Wear_leveling.max_wear wl) s.Wear_leveling.max_per_cell;
+  Alcotest.(check int) "remaps mirrors gap_movements" (Wear_leveling.gap_movements wl) s.Wear_leveling.remaps;
+  Alcotest.(check int) "gap moved every interval" 25 s.Wear_leveling.remaps
+
+let test_endurance_tracker () =
+  let tr = Endurance.Tracker.create ~cell_endurance:10.0 ~crossbar_bytes:100 in
+  Alcotest.(check int) "starts empty" 0 (Endurance.Tracker.bytes_written tr);
+  Alcotest.(check (float 1e-9)) "zero budget before writes" 0.0 (Endurance.Tracker.budget_consumed tr);
+  Alcotest.(check bool) "no lifetime before first write" true
+    (Endurance.Tracker.lifetime_years tr ~elapsed_seconds:1.0 = None);
+  Endurance.Tracker.record tr ~bytes:300;
+  Endurance.Tracker.record tr ~bytes:200;
+  Alcotest.(check int) "bytes accumulate" 500 (Endurance.Tracker.bytes_written tr);
+  Alcotest.(check int) "events counted" 2 (Endurance.Tracker.events tr);
+  (* budget = bytes / (endurance * capacity) = 500 / 1000 *)
+  Alcotest.(check (float 1e-9)) "budget fraction" 0.5 (Endurance.Tracker.budget_consumed tr);
+  (match Endurance.Tracker.lifetime_years tr ~elapsed_seconds:2.0 with
+  | None -> Alcotest.fail "lifetime expected after writes"
+  | Some y ->
+      let expected =
+        Endurance.lifetime_years ~cell_endurance:10.0 ~crossbar_bytes:100
+          ~write_bytes_per_second:(500.0 /. 2.0)
+      in
+      Alcotest.(check (float 1e-9)) "matches Eq. 1 directly" expected y);
+  Alcotest.(check bool) "negative record rejected" true
+    (try
+       Endurance.Tracker.record tr ~bytes:(-1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "degenerate tracker rejected" true
+    (try
+       ignore (Endurance.Tracker.create ~cell_endurance:0.0 ~crossbar_bytes:100);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Kernel cache ---------- *)
+
+let gemm_source ~n =
+  match Kernels.find "gemm" with
+  | Ok b -> b.Kernels.source ~n
+  | Error e -> Alcotest.fail e
+
+(* Same program, different formatting: extra blank lines, leading
+   indentation, doubled interior spaces. The structural key digests the
+   parsed AST, so these must collide. *)
+let mangle_whitespace src =
+  let doubled =
+    String.concat "  " (String.split_on_char ' ' src)
+  in
+  "\n\n   " ^ String.concat "\n\n" (String.split_on_char '\n' doubled) ^ "\n\n"
+
+let test_cache_structural_hits () =
+  let cache = Kernel_cache.create ~capacity:8 () in
+  let src = gemm_source ~n:8 in
+  let e1 = Kernel_cache.find_or_compile cache src in
+  let e2 = Kernel_cache.find_or_compile cache src in
+  let e3 = Kernel_cache.find_or_compile cache (mangle_whitespace src) in
+  Alcotest.(check string) "identical source, same key" e1.Kernel_cache.key e2.Kernel_cache.key;
+  Alcotest.(check string) "reformatted source, same key" e1.Kernel_cache.key e3.Kernel_cache.key;
+  let s = Kernel_cache.stats cache in
+  Alcotest.(check int) "one compile" 1 s.Kernel_cache.misses;
+  Alcotest.(check int) "two hits" 2 s.Kernel_cache.hits;
+  Alcotest.(check int) "one resident entry" 1 s.Kernel_cache.entries;
+  (* a semantic change (different problem size) must miss *)
+  let e4 = Kernel_cache.find_or_compile cache (gemm_source ~n:12) in
+  Alcotest.(check bool) "different size, different key" true
+    (e4.Kernel_cache.key <> e1.Kernel_cache.key);
+  Alcotest.(check int) "second compile" 2 (Kernel_cache.stats cache).Kernel_cache.misses
+
+let test_cache_key_depends_on_options () =
+  let ast = Parser.parse_func (gemm_source ~n:8) in
+  let opts = Flow.o3_loop_tactics in
+  let k1 = Kernel_cache.structural_key ~options:opts ast in
+  let k2 =
+    Kernel_cache.structural_key ~options:{ opts with Flow.enable_loop_tactics = false } ast
+  in
+  Alcotest.(check bool) "tactics config is part of the key" true (k1 <> k2);
+  Alcotest.(check string) "key is stable" k1 (Kernel_cache.structural_key ~options:opts ast)
+
+let test_cache_lru_eviction () =
+  let cache = Kernel_cache.create ~capacity:1 () in
+  ignore (Kernel_cache.find_or_compile cache (gemm_source ~n:8));
+  ignore (Kernel_cache.find_or_compile cache (gemm_source ~n:12));
+  let s = Kernel_cache.stats cache in
+  Alcotest.(check int) "capacity enforced" 1 s.Kernel_cache.entries;
+  Alcotest.(check int) "first entry evicted" 1 s.Kernel_cache.evictions;
+  ignore (Kernel_cache.find_or_compile cache (gemm_source ~n:8));
+  Alcotest.(check int) "evicted entry recompiles" 3
+    (Kernel_cache.stats cache).Kernel_cache.misses
+
+(* ---------- Device reuse ---------- *)
+
+let run_on_device dev cache ~kernel ~n ~seed =
+  let bench = match Kernels.find kernel with Ok b -> b | Error e -> Alcotest.fail e in
+  let entry = Kernel_cache.find_or_compile cache (bench.Kernels.source ~n) in
+  let args, readback = bench.Kernels.make_args ~n ~seed in
+  let stats = Device.run dev entry.Kernel_cache.compiled ~args in
+  (stats, readback ())
+
+let check_mats_equal what expected actual =
+  List.iteri
+    (fun i (e, a) ->
+      if Mat.max_abs_diff e a > 0.0 then
+        Alcotest.failf "%s: output %d differs between devices" what i)
+    (List.combine expected actual)
+
+(* The property platform reuse rests on: running tenant B after tenant
+   A on a warm device gives bit-for-bit the same outputs as running B
+   alone on a fresh device. *)
+let test_device_reuse_no_state_leak () =
+  let cache = Kernel_cache.create () in
+  let warm = Device.create ~id:0 () in
+  let fresh = Device.create ~id:1 () in
+  let s1, _ = run_on_device warm cache ~kernel:"gemm" ~n:12 ~seed:11 in
+  let p1 = Device.write_pressure warm in
+  let s2, warm_out = run_on_device warm cache ~kernel:"gesummv" ~n:16 ~seed:22 in
+  let _, fresh_out = run_on_device fresh cache ~kernel:"gesummv" ~n:16 ~seed:22 in
+  check_mats_equal "warm vs fresh" fresh_out warm_out;
+  Alcotest.(check bool) "first run offloaded" true s1.Device.used_cim;
+  Alcotest.(check bool) "service time positive" true (s2.Device.service_ps > 0);
+  Alcotest.(check bool) "write pressure accumulates" true (Device.write_pressure warm > p1);
+  Alcotest.(check int) "requests counted" 2 (Device.requests_served warm);
+  let w = Device.wear warm in
+  Alcotest.(check bool) "cell wear recorded" true (w.Device.total_cell_writes > 0);
+  Alcotest.(check bool) "budget consumed" true (w.Device.budget_consumed > 0.0)
+
+(* ---------- Scheduler ---------- *)
+
+let smoke_trace ?(seed = 7) () =
+  match Trace.synthetic ~seed "synthetic-smoke" with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+(* A hand-built trace: [count] identical requests arriving [gap_ps]
+   apart, optionally with a per-request deadline. *)
+let burst_trace ?deadline_ps ?(kernel = "gemm") ?(n = 8) ~count ~gap_ps () =
+  {
+    Trace.name = "burst";
+    seed = 0;
+    requests =
+      List.init count (fun id ->
+          {
+            Trace.id;
+            kernel;
+            n;
+            seed = 1000 + id;
+            arrival_ps = (id + 1) * gap_ps;
+            deadline_ps;
+          });
+  }
+
+let test_replay_smoke_and_golden () =
+  let trace = smoke_trace () in
+  let config = { Scheduler.default_config with Scheduler.devices = 2 } in
+  let report = Scheduler.replay ~config trace in
+  let golden = Scheduler.replay ~config:(Scheduler.golden_config config) trace in
+  let total = List.length trace.Trace.requests in
+  Alcotest.(check int) "all requests completed on CIM" total (Scheduler.completed report);
+  Alcotest.(check int) "no rejections at this load" 0 (Scheduler.rejections report);
+  Alcotest.(check int) "no failures" 0 (Scheduler.failures report);
+  Alcotest.(check int) "golden serves everything" total (Scheduler.completed golden);
+  Alcotest.(check int) "no cross-device divergence" 0 (Scheduler.divergence report golden);
+  Alcotest.(check int) "one compile per distinct kernel"
+    (List.length (Trace.distinct_kernels trace))
+    report.Scheduler.cache.Kernel_cache.misses;
+  Alcotest.(check bool) "skewed mix keeps the cache hot" true
+    (Scheduler.cache_hit_rate report > 0.8);
+  Alcotest.(check int) "two devices reported" 2 (List.length report.Scheduler.devices);
+  Alcotest.(check bool) "makespan covers the trace" true
+    (report.Scheduler.makespan_ps
+    >= List.fold_left (fun acc r -> max acc r.Trace.arrival_ps) 0 trace.Trace.requests)
+
+let test_backpressure_rejects_overload () =
+  (* arrivals far faster than one device drains, bounded queue: the
+     overflow must surface as Rejected_overloaded, never disappear *)
+  let trace = burst_trace ~count:12 ~gap_ps:1000 () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.devices = 1;
+      queue_capacity = 2;
+      batching = false;
+      max_batch = 1;
+      parallel = false;
+    }
+  in
+  let report = Scheduler.replay ~config trace in
+  Alcotest.(check bool) "queue bound produces rejections" true
+    (Scheduler.rejections report > 0);
+  Alcotest.(check bool) "some requests still served" true (Scheduler.completed report > 0);
+  Alcotest.(check int) "every request accounted for" 12
+    (Scheduler.completed report + Scheduler.fallbacks report + Scheduler.rejections report
+    + Scheduler.failures report);
+  List.iter
+    (fun r ->
+      if r.Telemetry.outcome = Telemetry.Rejected_overloaded then (
+        Alcotest.(check bool) "rejection has no device" true (r.Telemetry.device = None);
+        Alcotest.(check bool) "rejection has no checksum" true (r.Telemetry.checksum = None)))
+    (Telemetry.records report.Scheduler.telemetry)
+
+let test_deadline_degrades_to_cpu () =
+  let deadline_ps = 2 * Tdo_sim.Time_base.ps_per_us in
+  let trace = burst_trace ~deadline_ps ~count:6 ~gap_ps:1000 () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.devices = 1;
+      batching = false;
+      max_batch = 1;
+      parallel = false;
+    }
+  in
+  let report = Scheduler.replay ~config trace in
+  Alcotest.(check bool) "expired requests degrade" true (Scheduler.fallbacks report > 0);
+  Alcotest.(check int) "nothing is dropped" 6
+    (Scheduler.completed report + Scheduler.fallbacks report + Scheduler.rejections report
+    + Scheduler.failures report);
+  List.iter
+    (fun r ->
+      if r.Telemetry.outcome = Telemetry.Cpu_fallback then (
+        Alcotest.(check bool) "fallback ran on the host" true (r.Telemetry.device = None);
+        Alcotest.(check bool) "fallback produced a result" true (r.Telemetry.checksum <> None);
+        Alcotest.(check bool) "fallback latency charged" true (r.Telemetry.service_ps > 0)))
+    (Telemetry.records report.Scheduler.telemetry);
+  (* golden mode ignores deadlines entirely *)
+  let golden = Scheduler.replay ~config:(Scheduler.golden_config config) trace in
+  Alcotest.(check int) "golden never degrades" 0 (Scheduler.fallbacks golden)
+
+let test_chrome_trace_shape () =
+  let trace = smoke_trace () in
+  let report = Scheduler.replay ~config:{ Scheduler.default_config with Scheduler.devices = 2 } trace in
+  let json = String.trim (Telemetry.chrome_trace report.Scheduler.telemetry) in
+  Alcotest.(check bool) "JSON array" true
+    (String.length json > 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has duration events" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "has queue-depth counter track" true (contains "\"ph\":\"C\"")
+
+(* ---------- qcheck: batched multi-device == sequential single-device ---------- *)
+
+let trace_gen =
+  QCheck.Gen.(
+    let mix = [ ("gemm", 8); ("gemm", 12); ("gesummv", 12); ("mvt", 12) ] in
+    let* count = 3 -- 10 in
+    let* picks = list_size (return count) (oneofl mix) in
+    let* gaps = list_size (return count) (5_000 -- 2_000_000) in
+    let* seed = 0 -- 10_000 in
+    let clock = ref 0 in
+    let requests =
+      List.mapi
+        (fun id ((kernel, n), gap) ->
+          clock := !clock + gap;
+          { Trace.id; kernel; n; seed = seed + (id * 7919); arrival_ps = !clock; deadline_ps = None })
+        (List.combine picks gaps)
+    in
+    return { Trace.name = "qcheck"; seed; requests })
+
+let qcheck_batched_matches_sequential =
+  QCheck.Test.make ~name:"batched multi-device replay == sequential golden" ~count:6
+    (QCheck.make ~print:(fun t -> Printf.sprintf "%d requests, seed %d" (List.length t.Trace.requests) t.Trace.seed)
+       trace_gen)
+    (fun trace ->
+      let config =
+        {
+          Scheduler.default_config with
+          Scheduler.devices = 3;
+          max_batch = 4;
+          queue_capacity = 0;
+        }
+      in
+      let report = Scheduler.replay ~config trace in
+      let golden = Scheduler.replay ~config:(Scheduler.golden_config config) trace in
+      let total = List.length trace.Trace.requests in
+      Scheduler.completed report = total
+      && Scheduler.completed golden = total
+      && Scheduler.divergence report golden = 0)
+
+let suites =
+  [
+    ( "serve.pool",
+      [
+        Alcotest.test_case "TDO_DOMAINS override and clamping" `Quick test_pool_domains_override;
+        Alcotest.test_case "parallel_map under TDO_DOMAINS" `Quick test_pool_domains_map;
+      ] );
+    ( "serve.wear_stats",
+      [
+        Alcotest.test_case "wear-leveling stats snapshot" `Quick test_wear_leveling_stats;
+        Alcotest.test_case "endurance tracker accounting" `Quick test_endurance_tracker;
+      ] );
+    ( "serve.kernel_cache",
+      [
+        Alcotest.test_case "structural key ignores formatting" `Quick test_cache_structural_hits;
+        Alcotest.test_case "key covers compile options" `Quick test_cache_key_depends_on_options;
+        Alcotest.test_case "LRU eviction at capacity" `Quick test_cache_lru_eviction;
+      ] );
+    ( "serve.device",
+      [ Alcotest.test_case "platform reuse leaks no state" `Quick test_device_reuse_no_state_leak ] );
+    ( "serve.scheduler",
+      [
+        Alcotest.test_case "smoke replay matches golden" `Quick test_replay_smoke_and_golden;
+        Alcotest.test_case "bounded queue backpressure" `Quick test_backpressure_rejects_overload;
+        Alcotest.test_case "deadline miss degrades to CPU" `Quick test_deadline_degrades_to_cpu;
+        Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+      ] );
+    ( "serve.determinism",
+      [ QCheck_alcotest.to_alcotest ~long:false qcheck_batched_matches_sequential ] );
+  ]

@@ -217,6 +217,54 @@ let test_dma_roundtrip () =
   Alcotest.(check int) "bytes written" 9 (Dma.bytes_written dma);
   Alcotest.(check int) "dma traffic visible on bus" 18 (Bus.total_bytes bus)
 
+(* One descriptor moving [bytes], on a fresh system — the unit the
+   engine's transfer accounting is built from. *)
+let dma_read_latency ~bytes =
+  let bus = Bus.create () in
+  let memory = Memory.create () in
+  let dma = Dma.create ~bus ~memory () in
+  snd (Dma.read dma ~addr:0 ~bytes)
+
+let test_dma_strided_full_charge () =
+  let bus = Bus.create () in
+  let memory = Memory.create () in
+  let dma = Dma.create ~bus ~memory () in
+  for i = 0 to 255 do
+    Memory.write_bytes memory (4096 + i) (Bytes.make 1 (Char.chr (i land 0xff)))
+  done;
+  let data, lat = Dma.read_strided dma ~addr:4096 ~row_bytes:16 ~rows:4 ~stride_bytes:64 in
+  Alcotest.(check int) "packed result" 64 (Bytes.length data);
+  (* a strided gather is one descriptor over the total payload: it must
+     be charged exactly like a contiguous burst of the same size *)
+  Alcotest.(check int) "charged as one full-size burst" (dma_read_latency ~bytes:64) lat;
+  Alcotest.(check int) "all gathered bytes counted" 64 (Dma.bytes_read dma);
+  Alcotest.(check int) "one descriptor" 1 (Dma.transfers dma)
+
+let test_dma_charge_matches_read () =
+  let bus = Bus.create () in
+  let memory = Memory.create () in
+  let dma = Dma.create ~bus ~memory () in
+  let lat = Dma.charge dma ~bytes:256 in
+  Alcotest.(check int) "charge = real transfer cost" (dma_read_latency ~bytes:256) lat;
+  Alcotest.(check int) "charged bytes counted" 256 (Dma.bytes_read dma);
+  Alcotest.(check int) "charge counts a descriptor" 1 (Dma.transfers dma);
+  Alcotest.(check bool) "negative charge rejected" true
+    (try
+       ignore (Dma.charge dma ~bytes:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* The law that keeps double buffering honest: splitting a transfer
+   into more descriptors can never cost less than one descriptor over
+   the whole payload, so overlapping split transfers with compute never
+   undercharges total DMA cycles. *)
+let qcheck_dma_split_never_undercharges =
+  QCheck.Test.make ~name:"split transfers cost at least the merged burst" ~count:100
+    QCheck.(pair (int_range 1 4096) (int_range 1 4096))
+    (fun (b1, b2) ->
+      dma_read_latency ~bytes:b1 + dma_read_latency ~bytes:b2
+      >= dma_read_latency ~bytes:(b1 + b2))
+
 let test_mmio_dispatch () =
   let io = Mmio.create () in
   let reg = ref 0l in
@@ -359,6 +407,9 @@ let suites =
       [
         Alcotest.test_case "bus latency/traffic" `Quick test_bus_latency_and_traffic;
         Alcotest.test_case "dma roundtrip" `Quick test_dma_roundtrip;
+        Alcotest.test_case "dma strided full charge" `Quick test_dma_strided_full_charge;
+        Alcotest.test_case "dma charge matches read" `Quick test_dma_charge_matches_read;
+        QCheck_alcotest.to_alcotest qcheck_dma_split_never_undercharges;
         Alcotest.test_case "mmio dispatch" `Quick test_mmio_dispatch;
         Alcotest.test_case "mmio overlap" `Quick test_mmio_overlap_rejected;
         Alcotest.test_case "mmio unmapped" `Quick test_mmio_unmapped;
