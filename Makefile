@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json serve-bench clean
+.PHONY: all build test bench bench-json serve-bench reliab-bench clean
 
 all: build
 
@@ -24,6 +24,15 @@ bench-json:
 serve-bench:
 	dune build bin/serve.exe
 	./_build/default/bin/serve.exe --trace synthetic-medium --devices 4 --out BENCH_serve.json
+
+# Regenerate BENCH_reliab.json at the repo root: stuck-cell fault
+# campaigns over the gemm/gesummv/mvt mix with the ABFT guard armed,
+# scored for detection rate, SDC rate and recovery overhead against a
+# fault-free replay of the same trace. --strict fails on any silent
+# corruption.
+reliab-bench:
+	dune build bin/reliab.exe
+	./_build/default/bin/reliab.exe --sweep 0,1,2,4 --requests 80 --devices 3 --strict --out BENCH_reliab.json
 
 clean:
 	dune clean

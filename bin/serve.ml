@@ -26,13 +26,18 @@ let summarise label (r : Scheduler.report) =
   Printf.printf "%s: %d requests over %s\n" label
     (List.length r.Scheduler.trace.Trace.requests)
     r.Scheduler.trace.Trace.name;
+  let s = Telemetry.summary t in
   Printf.printf
-    "  completed %d, cpu-fallback %d, rejected %d, failed %d | cache hit rate %.1f%% (%d \
-     compiles)\n"
-    (Scheduler.completed r) (Scheduler.fallbacks r) (Scheduler.rejections r)
-    (Scheduler.failures r)
+    "  completed %d (%d after retry), recovered-host %d, cpu-fallback %d, rejected %d, \
+     failed %d | cache hit rate %.1f%% (%d compiles)\n"
+    (Scheduler.completed r) s.Telemetry.completed_after_retry s.Telemetry.recovered_host
+    (Scheduler.fallbacks r) (Scheduler.rejections r) (Scheduler.failures r)
     (100.0 *. Scheduler.cache_hit_rate r)
     r.Scheduler.cache.Serve.Kernel_cache.misses;
+  if s.Telemetry.detected_corruptions > 0 then
+    Printf.printf "  abft: %d corrupt offloads detected, %d devices quarantined\n"
+      s.Telemetry.detected_corruptions
+      (List.length r.Scheduler.quarantined);
   Printf.printf "  latency us: p50 %.1f  p99 %.1f  mean %.1f | max queue depth %d\n"
     (pct 50.0) (pct 99.0)
     (match Telemetry.mean_latency_us t with Some v -> v | None -> 0.0)
@@ -60,6 +65,11 @@ let extras (r : Scheduler.report) ~golden_divergence =
       ("cpu_fallbacks", float_of_int (Scheduler.fallbacks r));
       ("rejected_overloaded", float_of_int (Scheduler.rejections r));
       ("failed", float_of_int (Scheduler.failures r));
+      ( "completed_after_retry",
+        float_of_int (Telemetry.summary t).Telemetry.completed_after_retry );
+      ("recovered_host", float_of_int (Scheduler.recovered r));
+      ("detected_corruptions", float_of_int (Scheduler.detected_corruptions r));
+      ("quarantined_devices", float_of_int (List.length r.Scheduler.quarantined));
       ("devices", float_of_int r.Scheduler.config.Scheduler.devices);
       ("cache_hits", float_of_int r.Scheduler.cache.Serve.Kernel_cache.hits);
       ("cache_misses", float_of_int r.Scheduler.cache.Serve.Kernel_cache.misses);

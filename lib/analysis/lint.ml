@@ -16,6 +16,8 @@ type config = {
   cell_endurance : float;
   invocations_per_second : float;
   min_lifetime_years : float;
+  fault_rate : float;
+  abft_guard : bool;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     cell_endurance = 1e7;
     invocations_per_second = 1.0;
     min_lifetime_years = 1.0;
+    fault_rate = 0.0;
+    abft_guard = false;
   }
 
 (* ---------- W004 / W005: dead stores and unused arrays ---------- *)
@@ -202,6 +206,15 @@ let tree ?(config = default_config) t =
             "endurance budget: %d crossbar cells programmed per region execution projects a \
              system lifetime of %.2f years (Eq. 1, floor %.1f)"
             !programmed years config.min_lifetime_years));
+  if cands <> [] && config.fault_rate > 0.0 && not config.abft_guard then
+    emit
+      (Diag.warningf "W006"
+         ~hint:
+           "enable the ABFT checksum guard (Micro_engine.config.abft) so corrupted offloads are \
+            detected instead of silently served"
+         "offload configured without an ABFT guard on a device with fault rate %g: a stuck cell \
+          corrupts results silently"
+         config.fault_rate);
   !diags
 
 (* ---------- N001: why SCoP detection failed ---------- *)

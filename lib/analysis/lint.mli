@@ -14,6 +14,9 @@
       below the configured minimum.
     - {b W004}/{b W005} dead stores / unused arrays: local arrays
       written but never read, and arrays never referenced.
+    - {b W006} unguarded offload on a faulty device: the target device
+      has a nonzero fault rate but the ABFT checksum guard is off, so a
+      stuck cell corrupts results silently.
     - {b N001} why SCoP detection failed, translating the detector's
       obstruction into an actionable note ([--explain-no-offload]).
     - {b N002} SCoP detected but nothing looked offloadable. *)
@@ -26,12 +29,14 @@ type config = {
   cell_endurance : float;  (** Eq. 1 parameters for W003 *)
   invocations_per_second : float;
   min_lifetime_years : float;
+  fault_rate : float;  (** W006: expected device fault rate, 0 = pristine *)
+  abft_guard : bool;  (** W006: is the checksum guard enabled? *)
 }
 
 val default_config : config
 (** 256x256 crossbar, tiling on, intensity threshold 4.0, endurance
     1e7 writes at one region execution per second, one-year lifetime
-    floor. *)
+    floor, fault rate 0 with the ABFT guard off. *)
 
 val func : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
 (** Dead-store / unused-array rules (W004, W005). *)

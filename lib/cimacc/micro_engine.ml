@@ -1,5 +1,6 @@
 module Sim = Tdo_sim
 module Quant = Tdo_linalg.Quant
+module Abft = Tdo_linalg.Abft
 module Crossbar = Tdo_pcm.Crossbar
 
 type config = {
@@ -11,6 +12,7 @@ type config = {
   write_latency_per_row_ps : Sim.Time_base.ps;
   alu_latency_ps : Sim.Time_base.ps;
   double_buffering : bool;
+  abft : bool;
 }
 
 let default_config =
@@ -23,6 +25,7 @@ let default_config =
     write_latency_per_row_ps = 25 * Sim.Time_base.ps_per_us / 10;
     alu_latency_ps = 2 * Sim.Time_base.ps_per_ns;
     double_buffering = true;
+    abft = false;
   }
 
 type counters = {
@@ -33,6 +36,8 @@ type counters = {
   streamed_vectors : int;
   programming_skipped : int;
   busy_ps : Sim.Time_base.ps;
+  abft_checks : int;
+  abft_mismatches : int;
 }
 
 let zero_counters =
@@ -44,6 +49,8 @@ let zero_counters =
     streamed_vectors = 0;
     programming_skipped = 0;
     busy_ps = 0;
+    abft_checks = 0;
+    abft_mismatches = 0;
   }
 
 type pinned = {
@@ -53,6 +60,7 @@ type pinned = {
   pin_trans : bool;  (** orientation of the programmed operand *)
   pin_generation : int;
   pin_scale : float;
+  pin_check : int array;  (** ABFT per-row checksums of the programmed codes *)
 }
 
 type t = {
@@ -64,19 +72,26 @@ type t = {
   pinned : pinned option array;  (** per tile *)
   busy_until : Sim.Time_base.ps array;  (** per tile *)
   mutable counters : counters;
+  mutable last_abft_fault : (int * (int * int * int * int)) option;
+      (** (tile, active region) of the most recent checksum mismatch *)
 }
 
-let create ?(config = default_config) ~dma () =
+let create ?(config = default_config) ?(seed = 0) ~dma () =
   if config.tiles <= 0 then invalid_arg "Micro_engine.create: need at least one tile";
   {
     config;
     dma;
-    xbars = Array.init config.tiles (fun _ -> Crossbar.create ~config:config.xbar ());
+    xbars =
+      (* distinct, reproducible noise stream per tile, derived from the
+         engine seed *)
+      Array.init config.tiles (fun tile ->
+          Crossbar.create ~config:config.xbar ~seed:((seed * 1_000_003) + tile) ());
     digital = Digital_logic.create ();
     timeline = Timeline.create ();
     pinned = Array.make config.tiles None;
     busy_until = Array.make config.tiles 0;
     counters = zero_counters;
+    last_abft_fault = None;
   }
 
 let crossbars t = t.xbars
@@ -105,6 +120,8 @@ let digital t = t.digital
 let timeline t = t.timeline
 let counters t = t.counters
 let reset_counters t = t.counters <- zero_counters
+let last_abft_fault t = t.last_abft_fault
+let clear_abft_fault t = t.last_abft_fault <- None
 
 let pinned t =
   Option.map
@@ -189,10 +206,11 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
           && p.pin_generation = generation
       | None -> false
     in
-    let scale_w =
+    let scale_w, pin_check =
       if reusable then begin
         t.counters <- { t.counters with programming_skipped = t.counters.programming_skipped + 1 };
-        (Option.get t.pinned.(tile)).pin_scale
+        let p = Option.get t.pinned.(tile) in
+        (p.pin_scale, p.pin_check)
       end
       else begin
         let w, fill_lat =
@@ -210,6 +228,10 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
           (Printf.sprintf "tile %d, %d rows" tile w_rows);
         Crossbar.program_codes xbar codes;
         cursor := !cursor + (w_rows * cfg.write_latency_per_row_ps);
+        (* The checksums describe what the host {e asked} the crossbar to
+           store; a stuck cell diverges from them, which is exactly what
+           the per-GEMV verify catches. *)
+        let pin_check = if cfg.abft then Abft.row_sums codes else [||] in
         t.pinned.(tile) <-
           Some
             {
@@ -219,8 +241,9 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
               pin_trans;
               pin_generation = generation;
               pin_scale = scheme.Quant.scale;
+              pin_check;
             };
-        scheme.Quant.scale
+        (scheme.Quant.scale, pin_check)
       end
     in
     (* -- streamed phase -------------------------------------------- *)
@@ -297,6 +320,23 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
       let x_codes = Array.map (Quant.quantize scheme_x) x in
       let raw = Crossbar.gemv_codes xbar x_codes in
       compute_channel := !compute_channel + gemv_latency;
+      if cfg.abft then begin
+        (* one extra dot product (k MACs) plus the output sum (out_len
+           adds), on the digital ALU *)
+        record !compute_channel Timeline.Accumulate (Printf.sprintf "abft verify %d" idx);
+        compute_channel := !compute_channel + ((k + out_len) * cfg.alu_latency_ps);
+        t.counters <- { t.counters with abft_checks = t.counters.abft_checks + 1 };
+        match Abft.verify ~row_sums:pin_check ~input:x_codes ~output:raw with
+        | Abft.Pass -> ()
+        | Abft.Fail _ ->
+            t.counters <- { t.counters with abft_mismatches = t.counters.abft_mismatches + 1 };
+            let region =
+              match Crossbar.active_region xbar with
+              | Some r -> r
+              | None -> (0, 0, 0, 0)
+            in
+            t.last_abft_fault <- Some (tile, region)
+      end;
       record !compute_channel Timeline.Accumulate (Printf.sprintf "epilogue %d" idx);
       let result =
         Digital_logic.postprocess t.digital ~alpha ~beta

@@ -30,13 +30,20 @@ type config = {
       (** crossbar programming, row-parallel; Table I: 2.5 us per row *)
   alu_latency_ps : Sim.Time_base.ps;  (** per digital epilogue element *)
   double_buffering : bool;
+  abft : bool;
+      (** verify every GEMV pass against Huang–Abraham row checksums
+          retained from programming time ({!Tdo_linalg.Abft}); costs
+          [(k + out_len) * alu_latency_ps] per pass and feeds the
+          [abft_checks] / [abft_mismatches] counters *)
 }
 
 val default_config : config
 
 type t
 
-val create : ?config:config -> dma:Sim.Dma.t -> unit -> t
+val create : ?config:config -> ?seed:int -> dma:Sim.Dma.t -> unit -> t
+(** [seed] derives a distinct, reproducible PRNG stream per crossbar
+    tile (defaults to 0, matching the previous behaviour). *)
 
 val run_job : t -> Context_regs.job -> start:Sim.Time_base.ps -> (Sim.Time_base.ps, string) result
 (** Execute the job. Functional effects (result stores) happen
@@ -52,10 +59,19 @@ type counters = {
   streamed_vectors : int;
   programming_skipped : int;  (** jobs that reused the pinned operand *)
   busy_ps : Sim.Time_base.ps;  (** total engine-occupied time *)
+  abft_checks : int;  (** GEMV passes verified (when [config.abft]) *)
+  abft_mismatches : int;  (** checksum failures detected *)
 }
 
 val counters : t -> counters
 val reset_counters : t -> unit
+
+val last_abft_fault : t -> (int * (int * int * int * int)) option
+(** [(tile, (row_off, col_off, rows, cols))] of the most recent
+    checksum mismatch — the localisation handed to recovery policies.
+    Not cleared by {!reset_counters}; use {!clear_abft_fault}. *)
+
+val clear_abft_fault : t -> unit
 
 val crossbar : t -> Tdo_pcm.Crossbar.t
 (** Tile 0 (the only tile in the default configuration). *)

@@ -43,6 +43,23 @@ val writes : t -> int
 
 val is_worn_out : t -> bool
 
+val is_stuck : t -> bool
+(** True when the cell no longer switches: either worn out (endurance
+    budget exhausted) or carrying an injected manufacture defect. *)
+
+val force_stuck_at : t -> level:int -> unit
+(** Fault-injection hook: plant a manufacture-time stuck-at defect.
+    The cell reads back [level] forever and silently ignores all
+    further programming. Raises [Invalid_argument] on an out-of-range
+    level. Does not count as a write (the defect is there from the
+    fab, not from traffic). *)
+
+val exhaust : t -> unit
+(** Fault-injection hook: consume the remaining endurance budget, so
+    the cell is worn out and stuck at its current level — the
+    wear-induced variant of the same failure mode. Already-recorded
+    writes are kept. *)
+
 type pulse = Set | Reset | Read
 
 val pulse_profile : pulse -> (float * float) list

@@ -41,6 +41,14 @@ let zero_counters =
     output_buffer_bytes = 0;
   }
 
+type plane = Msb | Lsb
+
+type flip = {
+  fcol : int;  (** physical column the disturbance is latched on *)
+  fbit : int;
+  mutable remaining : int;  (** gemv passes still affected *)
+}
+
 type t = {
   config : config;
   msb : Cell.t array array;  (** plane holding the signed high nibble, offset by +8 *)
@@ -49,6 +57,8 @@ type t = {
   prng : Prng.t;
   mutable active : (int * int * int * int) option;
   mutable counters : counters;
+  mutable flips : flip list;  (** armed transient column disturbances *)
+  mutable drift : int;  (** additive conductance-drift offset per column output *)
 }
 
 let create ?(config = default_config) ?(seed = 0) () =
@@ -68,6 +78,8 @@ let create ?(config = default_config) ?(seed = 0) () =
     prng = Prng.create ~seed;
     active = None;
     counters = zero_counters;
+    flips = [];
+    drift = 0;
   }
 
 let config t = t.config
@@ -151,7 +163,19 @@ let gemv_codes t input =
         let lo = perturb !sum_lo in
         ignore (Adc.convert t.adc ~full_scale (float_of_int hi));
         ignore (Adc.convert t.adc ~full_scale (float_of_int lo));
-        (16 * hi) + lo)
+        (* Injected analog disturbances on the combined column output:
+           conductance drift shifts every column; an armed transient
+           flips one bit of one physical column for a bounded number of
+           passes. *)
+        let v = (16 * hi) + lo + t.drift in
+        List.fold_left
+          (fun v f ->
+            if f.fcol = col_off + j && f.remaining > 0 then begin
+              f.remaining <- f.remaining - 1;
+              v lxor (1 lsl f.fbit)
+            end
+            else v)
+          v t.flips)
   in
   t.counters <-
     {
@@ -162,6 +186,34 @@ let gemv_codes t input =
       output_buffer_bytes = t.counters.output_buffer_bytes + (4 * n);
     };
   out
+
+(* ---------- fault-injection hooks ---------- *)
+
+let cell_of t ~plane ~row ~col =
+  if row < 0 || col < 0 || row >= t.config.rows || col >= t.config.cols then
+    invalid_arg
+      (Printf.sprintf "Crossbar: cell (%d,%d) outside the %dx%d array" row col t.config.rows
+         t.config.cols);
+  match plane with Msb -> t.msb.(row).(col) | Lsb -> t.lsb.(row).(col)
+
+let inject_stuck_at t ~plane ~row ~col ~level =
+  Cell.force_stuck_at (cell_of t ~plane ~row ~col) ~level
+
+let inject_wear_out t ~plane ~row ~col ~level =
+  let c = cell_of t ~plane ~row ~col in
+  Cell.program c ~level;
+  Cell.exhaust c
+
+let arm_column_flip t ~col ~bit ~ops =
+  if col < 0 || col >= t.config.cols then
+    invalid_arg (Printf.sprintf "Crossbar.arm_column_flip: column %d out of %d" col t.config.cols);
+  if bit < 0 || bit > 40 then invalid_arg "Crossbar.arm_column_flip: bit out of range";
+  if ops <= 0 then invalid_arg "Crossbar.arm_column_flip: ops must be positive";
+  t.flips <- { fcol = col; fbit = bit; remaining = ops } :: t.flips
+
+let set_drift t ~offset = t.drift <- offset
+let drift t = t.drift
+let flips_remaining t = List.fold_left (fun acc f -> acc + f.remaining) 0 t.flips
 
 let fold_cells t f init =
   let acc = ref init in
@@ -177,3 +229,8 @@ let worn_out_fraction t =
   let worn = fold_cells t (fun acc c -> if Cell.is_worn_out c then acc + 1 else acc) 0 in
   let total = 2 * t.config.rows * t.config.cols in
   float_of_int worn /. float_of_int total
+
+let stuck_fraction t =
+  let stuck = fold_cells t (fun acc c -> if Cell.is_stuck c then acc + 1 else acc) 0 in
+  let total = 2 * t.config.rows * t.config.cols in
+  float_of_int stuck /. float_of_int total

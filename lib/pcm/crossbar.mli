@@ -79,3 +79,39 @@ val wear_max : t -> int
 
 val worn_out_fraction : t -> float
 (** Fraction of physical cells past their endurance budget. *)
+
+val stuck_fraction : t -> float
+(** Fraction of physical cells that no longer switch (worn out or
+    carrying an injected stuck-at defect). *)
+
+(** {2 Fault-injection hooks}
+
+    Deterministic handles for reliability campaigns ({!Tdo_reliab}):
+    each hook plants one concrete device-level fault. The functional
+    GEMV model then propagates the fault into column sums exactly, so
+    campaigns are replayable bit-for-bit from a seed. *)
+
+type plane = Msb | Lsb  (** which physical 4-bit plane of an operand *)
+
+val inject_stuck_at : t -> plane:plane -> row:int -> col:int -> level:int -> unit
+(** Plant a manufacture-time defect: the cell reads back [level]
+    forever and ignores all future programming. Raises
+    [Invalid_argument] outside the array or level range. *)
+
+val inject_wear_out : t -> plane:plane -> row:int -> col:int -> level:int -> unit
+(** Wear-induced variant: program the cell to [level], then exhaust its
+    endurance budget so it is stuck there. *)
+
+val arm_column_flip : t -> col:int -> bit:int -> ops:int -> unit
+(** Arm a transient disturbance: the next [ops] GEMV passes that sense
+    physical column [col] have bit [bit] of the combined column output
+    flipped. Models read-disturb / sense-amp glitches. *)
+
+val set_drift : t -> offset:int -> unit
+(** Additive conductance-drift offset applied to every column output of
+    every subsequent GEMV (in LSB units of the integer result). *)
+
+val drift : t -> int
+
+val flips_remaining : t -> int
+(** Total armed-but-unconsumed column-flip events. *)

@@ -37,10 +37,20 @@ val max_wear : t -> int
 val total_writes : t -> int
 val gap_movements : t -> int
 
+val quarantine : t -> int -> unit
+(** Mark a {e physical} line as dead: {!physical_of_logical} probes past
+    it, {!write} never lands on it, and gap copies into it are elided.
+    Raises [Invalid_argument] if the line is out of range or if
+    quarantining it would leave no healthy line. Idempotent. *)
+
+val is_quarantined : t -> int -> bool
+val quarantined_count : t -> int
+
 type stats = {
   writes : int;  (** logical writes recorded, = {!total_writes} *)
   max_per_cell : int;  (** hottest physical line, = {!max_wear} *)
   remaps : int;  (** gap movements performed, = {!gap_movements} *)
+  quarantined : int;  (** physical lines marked dead, = {!quarantined_count} *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,1 @@
+include Tdo_linalg.Abft

@@ -1,0 +1,9 @@
+(** Re-export of {!Tdo_linalg.Abft}, the Huang–Abraham checksum math,
+    so the reliability subsystem is self-contained for callers. (The
+    implementation lives in [tdo_linalg] because the accelerator model
+    [tdo_cimacc] — a lower layer than this library — verifies with it
+    inside the micro-engine.) *)
+
+include module type of struct
+  include Tdo_linalg.Abft
+end

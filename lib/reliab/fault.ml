@@ -1,0 +1,24 @@
+module Crossbar = Tdo_pcm.Crossbar
+
+type t =
+  | Stuck_at of { plane : Crossbar.plane; row : int; col : int; level : int }
+  | Worn_out of { plane : Crossbar.plane; row : int; col : int; level : int }
+  | Column_flip of { col : int; bit : int; ops : int }
+  | Drift of { offset : int }
+
+let plane_name = function Crossbar.Msb -> "msb" | Crossbar.Lsb -> "lsb"
+
+let describe = function
+  | Stuck_at { plane; row; col; level } ->
+      Printf.sprintf "stuck-at %s(%d,%d)=%d" (plane_name plane) row col level
+  | Worn_out { plane; row; col; level } ->
+      Printf.sprintf "worn-out %s(%d,%d)=%d" (plane_name plane) row col level
+  | Column_flip { col; bit; ops } ->
+      Printf.sprintf "column-flip col=%d bit=%d ops=%d" col bit ops
+  | Drift { offset } -> Printf.sprintf "drift %+d" offset
+
+let apply xbar = function
+  | Stuck_at { plane; row; col; level } -> Crossbar.inject_stuck_at xbar ~plane ~row ~col ~level
+  | Worn_out { plane; row; col; level } -> Crossbar.inject_wear_out xbar ~plane ~row ~col ~level
+  | Column_flip { col; bit; ops } -> Crossbar.arm_column_flip xbar ~col ~bit ~ops
+  | Drift { offset } -> Crossbar.set_drift xbar ~offset

@@ -1,0 +1,30 @@
+(** The fault taxonomy of the reliability subsystem.
+
+    Three device-level failure modes of a PCM crossbar, all planted
+    through the deterministic {!Tdo_pcm.Crossbar} injection hooks:
+
+    - {b stuck cells}: a cell that no longer switches, either a
+      manufacture-time defect ([Stuck_at]) or the wear-induced variant
+      the endurance model produces organically ([Worn_out] — the cell
+      is programmed once, then its budget is exhausted). Permanent,
+      data-dependent corruption: the GEMV is wrong whenever the stuck
+      level differs from what the kernel programmed.
+    - {b transient column flips}: a sense/convert glitch flipping one
+      bit of one column output for a bounded number of GEMV passes.
+    - {b conductance drift}: an additive offset on every column output,
+      modelling uniform drift of the programmed conductances. *)
+
+module Crossbar = Tdo_pcm.Crossbar
+
+type t =
+  | Stuck_at of { plane : Crossbar.plane; row : int; col : int; level : int }
+  | Worn_out of { plane : Crossbar.plane; row : int; col : int; level : int }
+  | Column_flip of { col : int; bit : int; ops : int }
+  | Drift of { offset : int }
+
+val describe : t -> string
+(** One-line human-readable form, e.g. ["stuck-at msb(3,7)=12"]. *)
+
+val apply : Crossbar.t -> t -> unit
+(** Plant the fault. Raises [Invalid_argument] if it does not fit the
+    array. *)

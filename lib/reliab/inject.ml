@@ -1,0 +1,81 @@
+module Prng = Tdo_util.Prng
+module Crossbar = Tdo_pcm.Crossbar
+module Platform = Tdo_runtime.Platform
+module Cimacc = Tdo_cimacc
+module Device = Tdo_serve.Device
+
+type spec = {
+  seed : int;
+  faulty_fraction : float;
+  region_rows : int;
+  region_cols : int;
+  stuck_cells : int;
+  worn_cells : int;
+  column_flips : int;
+  flip_ops : int;
+  drift_offset : int;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    faulty_fraction = 0.5;
+    region_rows = 16;
+    region_cols = 16;
+    stuck_cells = 1;
+    worn_cells = 0;
+    column_flips = 0;
+    flip_ops = 4;
+    drift_offset = 0;
+  }
+
+(* One generator per (campaign seed, device): the fault set of a device
+   never depends on pool size or iteration order. *)
+let device_rng spec ~device_id = Prng.create ~seed:((spec.seed * 1_000_003) + device_id)
+
+let sample spec ~device_id =
+  if spec.region_rows <= 0 || spec.region_cols <= 0 then
+    invalid_arg "Inject.sample: region must be positive";
+  let g = device_rng spec ~device_id in
+  if Prng.float g ~bound:1.0 >= spec.faulty_fraction then []
+  else begin
+    let faults = ref [] in
+    let add f = faults := f :: !faults in
+    let plane () = if Prng.bool g then Crossbar.Msb else Crossbar.Lsb in
+    let cell () =
+      (Prng.int g ~bound:spec.region_rows, Prng.int g ~bound:spec.region_cols,
+       Prng.int g ~bound:16)
+    in
+    for _ = 1 to spec.stuck_cells do
+      let plane = plane () in
+      let row, col, level = cell () in
+      add (Fault.Stuck_at { plane; row; col; level })
+    done;
+    for _ = 1 to spec.worn_cells do
+      let plane = plane () in
+      let row, col, level = cell () in
+      add (Fault.Worn_out { plane; row; col; level })
+    done;
+    for _ = 1 to spec.column_flips do
+      add
+        (Fault.Column_flip
+           {
+             col = Prng.int g ~bound:spec.region_cols;
+             bit = Prng.int g ~bound:20;
+             ops = max 1 spec.flip_ops;
+           })
+    done;
+    if spec.drift_offset <> 0 then add (Fault.Drift { offset = spec.drift_offset });
+    List.rev !faults
+  end
+
+let is_faulty spec ~device_id = sample spec ~device_id <> []
+
+let apply_to_device spec dev =
+  let faults = sample spec ~device_id:(Device.id dev) in
+  let engine = Cimacc.Accel.engine (Device.platform dev).Platform.accel in
+  let xbars = Cimacc.Micro_engine.crossbars engine in
+  List.iter (fun f -> Array.iter (fun xb -> Fault.apply xb f) xbars) faults;
+  faults
+
+let hook spec dev = ignore (apply_to_device spec dev)

@@ -1,0 +1,39 @@
+(** Seed-driven fault campaigns.
+
+    A {!spec} describes the fault population statistically; {!sample}
+    expands it into the concrete {!Fault.t} list of one device,
+    deterministically in [(spec.seed, device_id)] — independent of pool
+    size or injection order, so every campaign is replayable
+    bit-for-bit and the same device always fails the same way. *)
+
+type spec = {
+  seed : int;  (** campaign seed; the replay key *)
+  faulty_fraction : float;  (** probability a device carries faults at all *)
+  region_rows : int;  (** faults land in the [region_rows x region_cols] window
+                          at the array origin — keep it within the kernels'
+                          active region or the faults are benign *)
+  region_cols : int;
+  stuck_cells : int;  (** manufacture-time stuck cells per faulty device *)
+  worn_cells : int;  (** wear-induced stuck cells per faulty device *)
+  column_flips : int;  (** armed transient disturbances per faulty device *)
+  flip_ops : int;  (** GEMV passes each disturbance affects *)
+  drift_offset : int;  (** conductance-drift offset; 0 = none *)
+}
+
+val default_spec : spec
+(** Seed 1, half the devices faulty, one stuck cell each inside a
+    16x16 window, no transients, no drift. *)
+
+val sample : spec -> device_id:int -> Fault.t list
+(** The concrete fault list of one device ([[]] for a healthy one).
+    Pure: same spec and id, same list. *)
+
+val is_faulty : spec -> device_id:int -> bool
+
+val apply_to_device : spec -> Tdo_serve.Device.t -> Fault.t list
+(** Sample for the device's id and plant every fault into each of its
+    crossbar tiles. Returns what was planted. *)
+
+val hook : spec -> Tdo_serve.Device.t -> unit
+(** [apply_to_device] with the result dropped — shaped for
+    {!Tdo_serve.Scheduler.config.on_device_create}. *)

@@ -40,7 +40,10 @@ type t = {
   cma : Cma.t;
 }
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?seed:int -> unit -> t
+(** [seed] (default 0) gives the accelerator's crossbar tiles distinct,
+    reproducible PRNG streams — multi-device pools pass a per-device
+    seed so campaigns are replayable. *)
 
 val cpu : t -> Sim.Cpu.t
 (** Core 0, the one running the application. *)

@@ -15,6 +15,9 @@ type exec_stats = {
   write_bytes : int;
   cell_writes : int;
   macs : int;
+  abft_checks : int;
+  abft_mismatches : int;
+  abft_fault : (int * (int * int * int * int)) option;
 }
 
 type wear = {
@@ -34,12 +37,16 @@ type t = {
   tracker : Endurance.Tracker.t;
   mutable available_ps : int;
   mutable served : int;
+  mutable quarantined : bool;
 }
 
 let engine t = Cimacc.Accel.engine t.platform.Platform.accel
 
-let create ?(platform_config = Platform.default_config) ?(cell_endurance = 1e7) ~id () =
-  let platform = Platform.create ~config:platform_config () in
+let create ?(platform_config = Platform.default_config) ?(cell_endurance = 1e7) ?seed ~id () =
+  (* Default each device's PRNG stream to its pool id: distinct and
+     reproducible without any campaign configuration. *)
+  let seed = match seed with Some s -> s | None -> id in
+  let platform = Platform.create ~config:platform_config ~seed () in
   let xbar = platform_config.Platform.engine.Cimacc.Micro_engine.xbar in
   let tiles = platform_config.Platform.engine.Cimacc.Micro_engine.tiles in
   {
@@ -56,6 +63,7 @@ let create ?(platform_config = Platform.default_config) ?(cell_endurance = 1e7) 
         ~crossbar_bytes:(xbar.Crossbar.size_bytes * max 1 tiles);
     available_ps = 0;
     served = 0;
+    quarantined = false;
   }
 
 let id t = t.dev_id
@@ -64,18 +72,34 @@ let available_ps t = t.available_ps
 let set_available_ps t ps = t.available_ps <- ps
 let requests_served t = t.served
 let write_pressure t = Endurance.Tracker.bytes_written t.tracker
+let is_quarantined t = t.quarantined
+
+let quarantine t ~rows:(row_off, nrows) =
+  t.quarantined <- true;
+  (* Feed the localisation into the Start-Gap remap: the faulty rows'
+     current physical lines stop taking traffic. A line that cannot be
+     quarantined (it would kill the device's last healthy line) is left
+     alone — the device-level flag already keeps work away. *)
+  let lines = Wear_leveling.lines t.leveler in
+  for r = row_off to min (row_off + nrows - 1) (lines - 1) do
+    try Wear_leveling.quarantine t.leveler (Wear_leveling.physical_of_logical t.leveler r)
+    with Invalid_argument _ -> ()
+  done
 
 let run t (compiled : Flow.compiled) ~args =
   (* A fresh user-space runtime is created inside [Exec.run], so its
      generation counter restarts; the previous tenant's pinned operand
      must not survive into this run. *)
   Cimacc.Micro_engine.invalidate_pinned (engine t);
+  Cimacc.Micro_engine.clear_abft_fault (engine t);
   let cpu = Platform.cpu t.platform in
   let roi0 = Sim.Cpu.roi cpu in
   let xc0 = Cimacc.Micro_engine.total_crossbar_counters (engine t) in
+  let ec0 = Cimacc.Micro_engine.counters (engine t) in
   let metrics = Tdo_ir.Exec.run compiled.Flow.func ~platform:t.platform ~args in
   let roi1 = Sim.Cpu.roi cpu in
   let xc1 = Cimacc.Micro_engine.total_crossbar_counters (engine t) in
+  let ec1 = Cimacc.Micro_engine.counters (engine t) in
   let write_bytes = xc1.Crossbar.write_bytes - xc0.Crossbar.write_bytes in
   let cell_writes = xc1.Crossbar.cell_writes - xc0.Crossbar.cell_writes in
   let logical_writes = xc1.Crossbar.logical_writes - xc0.Crossbar.logical_writes in
@@ -100,6 +124,10 @@ let run t (compiled : Flow.compiled) ~args =
     write_bytes;
     cell_writes;
     macs = xc1.Crossbar.macs - xc0.Crossbar.macs;
+    abft_checks = ec1.Cimacc.Micro_engine.abft_checks - ec0.Cimacc.Micro_engine.abft_checks;
+    abft_mismatches =
+      ec1.Cimacc.Micro_engine.abft_mismatches - ec0.Cimacc.Micro_engine.abft_mismatches;
+    abft_fault = Cimacc.Micro_engine.last_abft_fault (engine t);
   }
 
 let wear t =

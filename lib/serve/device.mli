@@ -24,6 +24,11 @@ type exec_stats = {
   write_bytes : int;  (** matrix bytes programmed into this device's crossbars *)
   cell_writes : int;  (** physical write pulses, summed over tiles *)
   macs : int;
+  abft_checks : int;  (** GEMV checksum verifications during this run *)
+  abft_mismatches : int;  (** detected corruptions during this run *)
+  abft_fault : (int * (int * int * int * int)) option;
+      (** [(tile, (row_off, col_off, rows, cols))] localisation of the
+          last mismatch, [None] if the run was clean *)
 }
 
 type wear = {
@@ -39,9 +44,12 @@ type wear = {
 
 type t
 
-val create : ?platform_config:Platform.config -> ?cell_endurance:float -> id:int -> unit -> t
+val create :
+  ?platform_config:Platform.config -> ?cell_endurance:float -> ?seed:int -> id:int -> unit -> t
 (** Fresh device. [cell_endurance] (default [1e7], the paper's
-    baseline PCM endurance) parameterises the Eq. 1 budget model. *)
+    baseline PCM endurance) parameterises the Eq. 1 budget model.
+    [seed] (default [id]) selects the device's reproducible PRNG
+    stream — distinct per pooled device out of the box. *)
 
 val id : t -> int
 val platform : t -> Platform.t
@@ -53,6 +61,15 @@ val available_ps : t -> int
 val set_available_ps : t -> int -> unit
 
 val requests_served : t -> int
+
+val is_quarantined : t -> bool
+(** Pulled from dispatch after repeated detected corruptions. *)
+
+val quarantine : t -> rows:int * int -> unit
+(** Take the device out of rotation and mark the
+    [(row_off, nrows)] region's current physical lines dead in its
+    Start-Gap remapper, so any residual traffic is routed away from the
+    faulty rows. *)
 
 val write_pressure : t -> int
 (** Matrix bytes written to this device's crossbars so far — the O(1)

@@ -6,6 +6,10 @@ module Mat = Tdo_linalg.Mat
 module Pool = Tdo_util.Pool
 module Time_base = Tdo_sim.Time_base
 
+type recovery = { max_attempts : int; quarantine_after : int }
+
+let default_recovery = { max_attempts = 3; quarantine_after = 2 }
+
 type config = {
   devices : int;
   platform_config : Platform.config;
@@ -18,6 +22,9 @@ type config = {
   dispatch_overhead_ps : int;
   cpu_ps_per_mac : int;
   ignore_deadlines : bool;
+  recovery : recovery;
+  device_seed : int;
+  on_device_create : (Device.t -> unit) option;
 }
 
 let default_config =
@@ -34,6 +41,9 @@ let default_config =
     (* ~3 VFP cycles per MAC at the A7's 1.2 GHz *)
     cpu_ps_per_mac = 2500;
     ignore_deadlines = false;
+    recovery = default_recovery;
+    device_seed = 0;
+    on_device_create = None;
   }
 
 let golden_config c =
@@ -44,6 +54,8 @@ let golden_config c =
     parallel = false;
     queue_capacity = 0;
     ignore_deadlines = true;
+    (* the oracle device is pristine: no injected faults *)
+    on_device_create = None;
   }
 
 type report = {
@@ -52,6 +64,7 @@ type report = {
   telemetry : Telemetry.t;
   cache : Kernel_cache.stats;
   devices : (int * Device.wear * int) list;
+  quarantined : int list;
   makespan_ps : int;
   wall_s : float;
 }
@@ -67,9 +80,16 @@ let checksum_of_mats mats =
     mats;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+let output_checksum = checksum_of_mats
+
 (* ---------- replay ---------- *)
 
-type queued = Trace.request * int  (** request, queue depth seen at admission *)
+type queued = {
+  req : Trace.request;
+  depth : int;  (** queue depth seen at admission *)
+  attempts : int;  (** device attempts discarded after a detected corruption *)
+  tried : int list;  (** devices that returned a corrupt result for this request *)
+}
 
 type batch = {
   dev : Device.t;
@@ -81,57 +101,92 @@ type batch = {
   items : queued list;
 }
 
+(* What one batch item produced. A corrupt attempt consumed device time
+   but its outputs are discarded; the scheduler (not the worker) decides
+   retry / quarantine / host degradation, because those touch shared
+   pool state. *)
+type exec_result =
+  | Recorded of Telemetry.record
+  | Corrupt of {
+      item : queued;
+      dev_id : int;
+      service_ps : int;
+      fault : (int * (int * int * int * int)) option;
+    }
+
 (* Runs on a worker domain: touches only its own device, the immutable
    compiled entry, and per-request data derived from the seed. *)
 let execute_batch (b : batch) =
   let cursor = ref b.start_ps in
-  let records =
+  let results =
     List.map
-      (fun ((r : Trace.request), depth) ->
+      (fun item ->
+        let r = item.req in
         let args, readback = b.bench.Kernels.make_args ~n:r.Trace.n ~seed:r.Trace.seed in
         match Device.run b.dev b.entry.Kernel_cache.compiled ~args with
         | stats ->
             let start = !cursor in
             cursor := !cursor + stats.Device.service_ps;
-            {
-              Telemetry.request = r;
-              outcome = Telemetry.Completed;
-              device = Some (Device.id b.dev);
-              batch = Some b.batch_id;
-              cache_hit = b.cache_hit;
-              queue_depth = depth;
-              start_ps = start;
-              finish_ps = !cursor;
-              service_ps = stats.Device.service_ps;
-              checksum = Some (checksum_of_mats (readback ()));
-            }
+            if stats.Device.abft_mismatches > 0 then
+              Corrupt
+                {
+                  item;
+                  dev_id = Device.id b.dev;
+                  service_ps = stats.Device.service_ps;
+                  fault = stats.Device.abft_fault;
+                }
+            else
+              Recorded
+                {
+                  Telemetry.request = r;
+                  outcome = Telemetry.Completed;
+                  device = Some (Device.id b.dev);
+                  batch = Some b.batch_id;
+                  cache_hit = b.cache_hit;
+                  queue_depth = item.depth;
+                  start_ps = start;
+                  finish_ps = !cursor;
+                  service_ps = stats.Device.service_ps;
+                  retries = item.attempts;
+                  checksum = Some (checksum_of_mats (readback ()));
+                }
         | exception Tdo_ir.Exec.Exec_error msg ->
-            {
-              Telemetry.request = r;
-              outcome = Telemetry.Failed msg;
-              device = Some (Device.id b.dev);
-              batch = Some b.batch_id;
-              cache_hit = b.cache_hit;
-              queue_depth = depth;
-              start_ps = !cursor;
-              finish_ps = !cursor;
-              service_ps = 0;
-              checksum = None;
-            })
+            Recorded
+              {
+                Telemetry.request = r;
+                outcome = Telemetry.Failed msg;
+                device = Some (Device.id b.dev);
+                batch = Some b.batch_id;
+                cache_hit = b.cache_hit;
+                queue_depth = item.depth;
+                start_ps = !cursor;
+                finish_ps = !cursor;
+                service_ps = 0;
+                retries = item.attempts;
+                checksum = None;
+              })
       b.items
   in
   Device.set_available_ps b.dev !cursor;
-  records
+  results
 
 let replay ?(config = default_config) (trace : Trace.t) =
   if config.devices < 1 then invalid_arg "Scheduler.replay: need at least one device";
   if config.max_batch < 1 then invalid_arg "Scheduler.replay: max_batch must be >= 1";
+  if config.recovery.max_attempts < 1 then
+    invalid_arg "Scheduler.replay: recovery.max_attempts must be >= 1";
   let t0 = Unix.gettimeofday () in
   let cache = Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options () in
   let devices =
     Array.init config.devices (fun id ->
-        Device.create ~platform_config:config.platform_config ~id ())
+        let d =
+          Device.create ~platform_config:config.platform_config ~seed:(config.device_seed + id)
+            ~id ()
+        in
+        (match config.on_device_create with Some f -> f d | None -> ());
+        d)
   in
+  let corruptions = Array.make config.devices 0 in
   let telemetry = Telemetry.create () in
   let arrivals = ref trace.Trace.requests in
   let queue : queued list ref = ref [] in
@@ -151,6 +206,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
         start_ps = !now;
         finish_ps = !now;
         service_ps = 0;
+        retries = 0;
         checksum = None;
       }
   in
@@ -172,10 +228,11 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 start_ps = r.Trace.arrival_ps;
                 finish_ps = r.Trace.arrival_ps;
                 service_ps = 0;
+                retries = 0;
                 checksum = None;
               }
           else begin
-            queue := !queue @ [ (r, !queue_len) ];
+            queue := !queue @ [ { req = r; depth = !queue_len; attempts = 0; tried = [] } ];
             incr queue_len
           end;
           Telemetry.sample_queue_depth telemetry ~at_ps:r.Trace.arrival_ps ~depth:!queue_len;
@@ -185,10 +242,11 @@ let replay ?(config = default_config) (trace : Trace.t) =
     go ()
   in
 
-  (* Deadline degradation: a request whose budget is already spent at
-     scheduling time never reaches a device — it runs on the host
-     interpreter (exact results, modelled latency). *)
-  let run_fallback ((r : Trace.request), depth) =
+  (* Host-interpreter execution: deadline degradation ([Cpu_fallback])
+     and the terminal recovery policy ([Recovered_host]) share this
+     path — exact results, modelled latency. *)
+  let run_fallback ?(outcome = Telemetry.Cpu_fallback) ?(retries = 0) ((r : Trace.request), depth)
+      =
     match Kernels.find r.Trace.kernel with
     | Error msg -> record_failed r depth msg
     | Ok bench -> (
@@ -204,7 +262,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
             record
               {
                 Telemetry.request = r;
-                outcome = Telemetry.Cpu_fallback;
+                outcome;
                 device = None;
                 batch = None;
                 cache_hit = false;
@@ -212,6 +270,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 start_ps = !now;
                 finish_ps = !now + service_ps;
                 service_ps;
+                retries;
                 checksum = Some (checksum_of_mats mats);
               }
         | exception e -> record_failed r depth (Printexc.to_string e))
@@ -221,48 +280,58 @@ let replay ?(config = default_config) (trace : Trace.t) =
     if not config.ignore_deadlines then begin
       let expired, live =
         List.partition
-          (fun ((r : Trace.request), _) ->
-            match r.Trace.deadline_ps with
-            | Some d -> !now > r.Trace.arrival_ps + d
+          (fun it ->
+            match it.req.Trace.deadline_ps with
+            | Some d -> !now > it.req.Trace.arrival_ps + d
             | None -> false)
           !queue
       in
       if expired <> [] then begin
         queue := live;
         queue_len := List.length live;
-        List.iter run_fallback expired
+        List.iter (fun it -> run_fallback ~retries:it.attempts (it.req, it.depth)) expired
       end
     end
   in
 
-  let pop_batch () =
-    match !queue with
-    | [] -> None
-    | ((r0 : Trace.request), d0) :: rest ->
-        if (not config.batching) || config.max_batch <= 1 then begin
-          queue := rest;
-          decr queue_len;
-          Some [ (r0, d0) ]
+  let pop_batch ~dev_id =
+    (* The first queued item this device may take: one it has not
+       already corrupted. Items it must skip stay queued, in order. *)
+    let rec split acc = function
+      | [] -> None
+      | item :: rest when List.mem dev_id item.tried -> split (item :: acc) rest
+      | item :: rest -> Some (List.rev acc, item, rest)
+    in
+    match split [] !queue with
+    | None -> None
+    | Some (before, item, rest) ->
+        if item.attempts > 0 || (not config.batching) || config.max_batch <= 1 then begin
+          (* retried work is dispatched alone: its timing must not be
+             entangled with fresh requests *)
+          queue := before @ rest;
+          queue_len := List.length !queue;
+          Some [ item ]
         end
         else begin
-          (* coalesce queued requests sharing (kernel, n): one compile,
-             one launch, back-to-back execution on one device *)
-          let taken = ref [ (r0, d0) ] in
+          (* coalesce fresh queued requests sharing (kernel, n): one
+             compile, one launch, back-to-back execution on one device *)
+          let taken = ref [ item ] in
           let kept = ref [] in
           let count = ref 1 in
           List.iter
-            (fun (((r : Trace.request), _) as item) ->
+            (fun it ->
               if
                 !count < config.max_batch
-                && r.Trace.kernel = r0.Trace.kernel
-                && r.Trace.n = r0.Trace.n
+                && it.attempts = 0 && it.tried = []
+                && it.req.Trace.kernel = item.req.Trace.kernel
+                && it.req.Trace.n = item.req.Trace.n
               then begin
-                taken := item :: !taken;
+                taken := it :: !taken;
                 incr count
               end
-              else kept := item :: !kept)
+              else kept := it :: !kept)
             rest;
-          queue := List.rev !kept;
+          queue := before @ List.rev !kept;
           queue_len := List.length !queue;
           Some (List.rev !taken)
         end
@@ -270,9 +339,36 @@ let replay ?(config = default_config) (trace : Trace.t) =
 
   let free_devices () =
     Array.to_list devices
-    |> List.filter (fun d -> Device.available_ps d <= !now)
+    |> List.filter (fun d -> (not (Device.is_quarantined d)) && Device.available_ps d <= !now)
     |> List.sort (fun a b ->
            compare (Device.write_pressure a, Device.id a) (Device.write_pressure b, Device.id b))
+  in
+
+  (* Recovery policy for one corrupt attempt (runs on the scheduler,
+     after the wave): count it against the device, quarantine the
+     device once it crosses the threshold, then either requeue the
+     request for another device or degrade it to the host. *)
+  let handle_corrupt ~item ~dev_id ~fault requeue =
+    let dev = devices.(dev_id) in
+    corruptions.(dev_id) <- corruptions.(dev_id) + 1;
+    if corruptions.(dev_id) >= config.recovery.quarantine_after && not (Device.is_quarantined dev)
+    then begin
+      let rows =
+        match fault with Some (_, (row_off, _, nrows, _)) -> (row_off, nrows) | None -> (0, 0)
+      in
+      Device.quarantine dev ~rows
+    end;
+    let item = { item with attempts = item.attempts + 1; tried = dev_id :: item.tried } in
+    let untried_device_exists =
+      Array.exists
+        (fun d -> (not (Device.is_quarantined d)) && not (List.mem (Device.id d) item.tried))
+        devices
+    in
+    if item.attempts >= config.recovery.max_attempts || not untried_device_exists then begin
+      run_fallback ~outcome:Telemetry.Recovered_host ~retries:item.attempts (item.req, item.depth);
+      requeue
+    end
+    else item :: requeue
   in
 
   (* Form one batch per free device (least-worn device first), then
@@ -284,13 +380,13 @@ let replay ?(config = default_config) (trace : Trace.t) =
     let prepared =
       List.filter_map
         (fun dev ->
-          match pop_batch () with
+          match pop_batch ~dev_id:(Device.id dev) with
           | None -> None
           | Some items -> (
-              let (r0 : Trace.request), _ = List.hd items in
+              let r0 = (List.hd items).req in
               match Kernels.find r0.Trace.kernel with
               | Error msg ->
-                  List.iter (fun (r, d) -> record_failed r d msg) items;
+                  List.iter (fun it -> record_failed it.req it.depth msg) items;
                   None
               | Ok bench -> (
                   let misses0 = (Kernel_cache.stats cache).Kernel_cache.misses in
@@ -312,7 +408,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                           items;
                         }
                   | exception e ->
-                      List.iter (fun (r, d) -> record_failed r d (Printexc.to_string e)) items;
+                      List.iter (fun it -> record_failed it.req it.depth (Printexc.to_string e)) items;
                       None)))
         (free_devices ())
     in
@@ -324,7 +420,22 @@ let replay ?(config = default_config) (trace : Trace.t) =
             Pool.parallel_map execute_batch waves
           else List.map execute_batch waves
         in
-        List.iter (List.iter record) results;
+        let requeue =
+          List.fold_left
+            (List.fold_left (fun acc -> function
+               | Recorded r ->
+                   record r;
+                   acc
+               | Corrupt { item; dev_id; service_ps = _; fault } ->
+                   handle_corrupt ~item ~dev_id ~fault acc))
+            [] results
+        in
+        (* retried work goes back to the head of the queue so recovery
+           runs before newer arrivals *)
+        if requeue <> [] then begin
+          queue := List.rev requeue @ !queue;
+          queue_len := List.length !queue
+        end;
         true
   in
 
@@ -343,10 +454,24 @@ let replay ?(config = default_config) (trace : Trace.t) =
           max_int devices
       in
       let next = if !queue = [] then next_arrival else min next_arrival next_free in
-      (* [next = max_int] can only follow a dispatch step that consumed
-         the queue through failure records; nudge the clock so the loop
-         re-checks termination. *)
-      now := if next = max_int then !now + 1 else max next (!now + 1)
+      if next = max_int && !queue <> [] then begin
+        (* dead end: every queued item has exhausted the usable pool
+           (e.g. all devices quarantined) — drain it to the host so the
+           loop terminates *)
+        let stuck = !queue in
+        queue := [];
+        queue_len := 0;
+        List.iter
+          (fun it ->
+            run_fallback ~outcome:Telemetry.Recovered_host ~retries:it.attempts
+              (it.req, it.depth))
+          stuck
+      end
+      else
+        (* [next = max_int] can only follow a dispatch step that consumed
+           the queue through failure records; nudge the clock so the loop
+           re-checks termination. *)
+        now := if next = max_int then !now + 1 else max next (!now + 1)
     end
   done;
 
@@ -361,6 +486,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
     devices =
       Array.to_list devices
       |> List.map (fun d -> (Device.id d, Device.wear d, Device.requests_served d));
+    quarantined =
+      Array.to_list devices
+      |> List.filter (fun d -> Device.is_quarantined d)
+      |> List.map Device.id;
     makespan_ps;
     wall_s = Unix.gettimeofday () -. t0;
   }
@@ -369,8 +498,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
 
 let completed r = Telemetry.count r.telemetry Telemetry.Completed
 let fallbacks r = Telemetry.count r.telemetry Telemetry.Cpu_fallback
+let recovered r = Telemetry.count r.telemetry Telemetry.Recovered_host
 let rejections r = Telemetry.count r.telemetry Telemetry.Rejected_overloaded
 let failures r = Telemetry.count r.telemetry (Telemetry.Failed "")
+let detected_corruptions r = (Telemetry.summary r.telemetry).Telemetry.detected_corruptions
 
 let cache_hit_rate r =
   let c = r.cache in

@@ -16,6 +16,20 @@
     the host reference interpreter (functionally exact, charged with a
     calibrated MAC-rate latency model).
 
+    {b Recovery.} When a device's ABFT guard detects a corrupted
+    offload (see {!Tdo_cimacc.Micro_engine} and {!Tdo_linalg.Abft}),
+    the attempt's outputs are discarded but its virtual time is still
+    charged. The scheduler then applies a three-stage policy: retry the
+    request on a device that has not yet corrupted it (up to
+    [recovery.max_attempts] attempts, each recorded in the request's
+    [retries]); quarantine a device after [recovery.quarantine_after]
+    detected corruptions — it leaves the dispatch rotation and its
+    faulty rows are marked dead in its Start-Gap remapper; and finally
+    degrade the request to the host interpreter
+    ({!Telemetry.Recovered_host}) when attempts or devices run out.
+    All of it happens in virtual time, so the golden oracle and the
+    parallel==sequential determinism property keep holding.
+
     All scheduling decisions for a dispatch wave are taken {e before}
     the wave executes, so executing the wave's batches on worker
     domains ({!Tdo_util.Pool}) or sequentially produces bit-identical
@@ -24,6 +38,14 @@
 
 module Platform = Tdo_runtime.Platform
 module Flow = Tdo_cim.Flow
+
+type recovery = {
+  max_attempts : int;  (** device attempts per request before host degradation; >= 1 *)
+  quarantine_after : int;  (** detected corruptions before a device is pulled *)
+}
+
+val default_recovery : recovery
+(** 3 attempts, quarantine after 2 corruptions. *)
 
 type config = {
   devices : int;  (** pool size; >= 1 *)
@@ -37,17 +59,24 @@ type config = {
   dispatch_overhead_ps : int;  (** per-batch launch cost (driver + syscall path) *)
   cpu_ps_per_mac : int;  (** latency model of the interpreter fallback *)
   ignore_deadlines : bool;  (** golden mode: never degrade *)
+  recovery : recovery;
+  device_seed : int;  (** device [i] gets PRNG seed [device_seed + i] *)
+  on_device_create : (Device.t -> unit) option;
+      (** called once per device at pool construction — the hook
+          reliability campaigns use to plant faults
+          ({!Tdo_reliab.Inject}); [None] = pristine pool *)
 }
 
 val default_config : config
 (** 4 devices, default platform, 64-entry cache, 256-deep queue,
     batching up to 8, parallel waves, 5 us launch overhead, 2.5 ns per
-    MAC fallback rate. *)
+    MAC fallback rate, {!default_recovery}, no fault hook. *)
 
 val golden_config : config -> config
 (** The sequential oracle for a given serving configuration: one
     device, no batching, no parallelism, unbounded queue, deadlines
-    ignored — same compile options and platform. *)
+    ignored, {e no fault-injection hook} — same compile options and
+    platform. *)
 
 type report = {
   trace : Trace.t;
@@ -56,16 +85,27 @@ type report = {
   cache : Kernel_cache.stats;
   devices : (int * Device.wear * int) list;
       (** per device: id, final wear snapshot, requests served *)
+  quarantined : int list;  (** devices pulled from rotation during the run *)
   makespan_ps : int;  (** finish time of the last request *)
   wall_s : float;  (** host wall-clock spent replaying *)
 }
 
 val replay : ?config:config -> Trace.t -> report
 
+val output_checksum : Tdo_linalg.Mat.t list -> string
+(** The digest [replay] stores in {!Telemetry.record.checksum} —
+    exposed so external oracles (the reliability campaign's
+    host-interpreter reference) can compare bit-for-bit. *)
+
 val completed : report -> int
 val fallbacks : report -> int
+val recovered : report -> int
 val rejections : report -> int
 val failures : report -> int
+
+val detected_corruptions : report -> int
+(** Device attempts discarded after an ABFT mismatch (sum of
+    per-request [retries]). *)
 
 val cache_hit_rate : report -> float
 (** Hits over (hits + misses); 0 on an empty run. *)

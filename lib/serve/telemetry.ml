@@ -1,7 +1,12 @@
 module Time_base = Tdo_sim.Time_base
 module Stats = Tdo_util.Stats
 
-type outcome = Completed | Cpu_fallback | Rejected_overloaded | Failed of string
+type outcome =
+  | Completed
+  | Cpu_fallback
+  | Recovered_host
+  | Rejected_overloaded
+  | Failed of string
 
 type record = {
   request : Trace.request;
@@ -13,6 +18,7 @@ type record = {
   start_ps : int;
   finish_ps : int;
   service_ps : int;
+  retries : int;
   checksum : string option;
 }
 
@@ -38,16 +44,55 @@ let count t outcome =
        (fun r ->
          match (r.outcome, outcome) with
          | Completed, Completed | Cpu_fallback, Cpu_fallback -> true
+         | Recovered_host, Recovered_host -> true
          | Rejected_overloaded, Rejected_overloaded -> true
          | Failed _, Failed _ -> true
          | _ -> false)
        t.records)
 
+type summary = {
+  requests : int;
+  completed : int;
+  completed_after_retry : int;
+  cpu_fallbacks : int;
+  recovered_host : int;
+  rejected : int;
+  failed : int;
+  detected_corruptions : int;
+}
+
+let summary t =
+  List.fold_left
+    (fun s r ->
+      let s = { s with requests = s.requests + 1; detected_corruptions = s.detected_corruptions + r.retries } in
+      match r.outcome with
+      | Completed ->
+          {
+            s with
+            completed = s.completed + 1;
+            completed_after_retry = (s.completed_after_retry + if r.retries > 0 then 1 else 0);
+          }
+      | Cpu_fallback -> { s with cpu_fallbacks = s.cpu_fallbacks + 1 }
+      | Recovered_host -> { s with recovered_host = s.recovered_host + 1 }
+      | Rejected_overloaded -> { s with rejected = s.rejected + 1 }
+      | Failed _ -> { s with failed = s.failed + 1 })
+    {
+      requests = 0;
+      completed = 0;
+      completed_after_retry = 0;
+      cpu_fallbacks = 0;
+      recovered_host = 0;
+      rejected = 0;
+      failed = 0;
+      detected_corruptions = 0;
+    }
+    t.records
+
 let served_latencies_us t =
   List.filter_map
     (fun r ->
       match r.outcome with
-      | Completed | Cpu_fallback ->
+      | Completed | Cpu_fallback | Recovered_host ->
           Some (float_of_int (latency_ps r) /. float_of_int Time_base.ps_per_us)
       | Rejected_overloaded | Failed _ -> None)
     t.records
@@ -105,6 +150,11 @@ let chrome_trace t =
           event {|{"name":"%s (cpu)","ph":"X","ts":%.3f,"dur":%.3f,"pid":2,"tid":0}|} name
             (us_of_ps r.start_ps)
             (us_of_ps (r.finish_ps - r.start_ps))
+      | Recovered_host ->
+          event
+            {|{"name":"%s (recovered, %d retries)","ph":"X","ts":%.3f,"dur":%.3f,"pid":2,"tid":0}|}
+            name r.retries (us_of_ps r.start_ps)
+            (us_of_ps (r.finish_ps - r.start_ps))
       | Rejected_overloaded ->
           event {|{"name":"%s rejected","ph":"i","ts":%.3f,"pid":2,"tid":1,"s":"g"}|} name
             (us_of_ps r.finish_ps)
@@ -117,6 +167,14 @@ let chrome_trace t =
       event {|{"name":"queue","ph":"C","ts":%.3f,"pid":1,"tid":0,"args":{"depth":%d}}|}
         (us_of_ps at_ps) depth)
     (List.rev t.depth_samples);
+  (* one closing instant event carrying the per-outcome counters, so a
+     trace viewer shows the run's totals without the JSON report *)
+  let s = summary t in
+  let last_finish = List.fold_left (fun acc r -> max acc r.finish_ps) 0 t.records in
+  event
+    {|{"name":"outcome-summary","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"requests":%d,"completed":%d,"completed_after_retry":%d,"cpu_fallbacks":%d,"recovered_host":%d,"rejected":%d,"failed":%d,"detected_corruptions":%d}}|}
+    (us_of_ps last_finish) s.requests s.completed s.completed_after_retry s.cpu_fallbacks
+    s.recovered_host s.rejected s.failed s.detected_corruptions;
   Buffer.add_string b "]\n";
   Buffer.contents b
 

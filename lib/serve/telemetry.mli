@@ -11,6 +11,9 @@
 type outcome =
   | Completed  (** served on a CIM device *)
   | Cpu_fallback  (** deadline missed; degraded to the host interpreter *)
+  | Recovered_host
+      (** corruption detected on every attempted device; final
+          degradation to the host interpreter produced the result *)
   | Rejected_overloaded  (** bounced at admission: submission queue full *)
   | Failed of string  (** device or front-end error *)
 
@@ -24,6 +27,7 @@ type record = {
   start_ps : int;  (** when service began (= finish for rejections) *)
   finish_ps : int;
   service_ps : int;
+  retries : int;  (** device attempts discarded after a detected corruption *)
   checksum : string option;  (** digest of the output arrays, comparison key of the golden check *)
 }
 
@@ -41,6 +45,21 @@ val records : t -> record list
 (** In request-id order. *)
 
 val count : t -> outcome -> int
+
+type summary = {
+  requests : int;
+  completed : int;
+  completed_after_retry : int;  (** completed on a device after >=1 retry *)
+  cpu_fallbacks : int;
+  recovered_host : int;
+  rejected : int;
+  failed : int;
+  detected_corruptions : int;
+      (** device attempts whose ABFT check failed (sum of [retries]) *)
+}
+
+val summary : t -> summary
+(** Per-outcome counters over all records. *)
 
 val latency_percentile : t -> p:float -> float option
 (** Percentile (in simulated microseconds) over requests that were

@@ -407,6 +407,28 @@ let test_lint_endurance_budget () =
   Alcotest.(check bool) "W003 raised" true (has_code "W003" ds);
   check_mentions "W003" (message_with "W003" ds) [ "Eq. 1" ]
 
+let test_lint_unguarded_faulty_offload () =
+  let faulty = { Lint.default_config with Lint.fault_rate = 1e-3 } in
+  let ds = Lint.run ~config:faulty (lower (gemm_src 24)) in
+  Alcotest.(check bool) "W006 raised" true (has_code "W006" ds);
+  check_mentions "W006" (message_with "W006" ds) [ "ABFT" ];
+  let guarded = { faulty with Lint.abft_guard = true } in
+  Alcotest.(check bool) "guard silences W006" false
+    (has_code "W006" (Lint.run ~config:guarded (lower (gemm_src 24))));
+  Alcotest.(check bool) "pristine device not flagged" false
+    (has_code "W006" (Lint.run (lower (gemm_src 24))));
+  (* no offload candidates -> nothing to guard, even on a faulty device *)
+  let copy_src =
+    {|
+void copy(float A[8], float B[8]) {
+  for (int i = 0; i < 8; i++)
+    A[i] = B[i];
+}
+|}
+  in
+  Alcotest.(check bool) "no candidates, no warning" false
+    (has_code "W006" (Lint.run ~config:faulty (lower copy_src)))
+
 (* ---------- pipeline integration: verify-each ---------- *)
 
 let compile_checked ?(config = Offload.default_config) src =
@@ -586,6 +608,7 @@ let suites =
         Alcotest.test_case "dead / unused arrays" `Quick test_lint_dead_and_unused;
         Alcotest.test_case "explain scop failure" `Quick test_lint_explains_scop_failure;
         Alcotest.test_case "endurance budget" `Quick test_lint_endurance_budget;
+        Alcotest.test_case "unguarded faulty offload" `Quick test_lint_unguarded_faulty_offload;
       ] );
     ( "analysis.pipeline",
       [

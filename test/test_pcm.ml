@@ -228,6 +228,60 @@ let qcheck_program_read_roundtrip =
       Crossbar.program_codes xb codes;
       Crossbar.read_codes xb = codes)
 
+let qcheck_worn_cell_sticks =
+  QCheck.Test.make ~name:"worn-out cell is stuck at its last level for any program sequence"
+    ~count:200
+    QCheck.(pair (int_bound 20) (list_of_size Gen.(1 -- 40) (int_bound 15)))
+    (fun (endurance, levels) ->
+      let endurance = 1 + endurance in
+      let c = Cell.create ~config:{ Cell.default_config with Cell.endurance } () in
+      let last_good = ref 0 in
+      List.iteri
+        (fun i level ->
+          Cell.program c ~level;
+          if i < endurance then last_good := level)
+        levels;
+      let writes_ok = Cell.writes c = List.length levels in
+      if List.length levels >= endurance then
+        (* the budget is spent: the cell froze at the last in-budget level *)
+        writes_ok && Cell.is_worn_out c && Cell.is_stuck c && Cell.level c = !last_good
+      else (not (Cell.is_worn_out c)) && writes_ok && Cell.level c = !last_good)
+
+let test_crossbar_fault_hooks () =
+  let g = Prng.create ~seed:31 in
+  let xb = Crossbar.create ~config:small_config () in
+  let codes = random_codes g ~rows:8 ~cols:8 in
+  Crossbar.program_codes xb codes;
+  let input = Array.init 8 (fun i -> i + 1) in
+  let clean = Crossbar.gemv_codes xb input in
+  Crossbar.set_drift xb ~offset:3;
+  let drifted = Crossbar.gemv_codes xb input in
+  Array.iteri
+    (fun j v -> Alcotest.(check int) "drift offsets every column" (clean.(j) + 3) v)
+    drifted;
+  Crossbar.set_drift xb ~offset:0;
+  Crossbar.arm_column_flip xb ~col:2 ~bit:0 ~ops:1;
+  Alcotest.(check int) "flip armed" 1 (Crossbar.flips_remaining xb);
+  let flipped = Crossbar.gemv_codes xb input in
+  Alcotest.(check int) "armed flip toggles one output bit" (clean.(2) lxor 1) flipped.(2);
+  Alcotest.(check int) "other columns untouched" clean.(5) flipped.(5);
+  Alcotest.(check int) "flip budget spent" 0 (Crossbar.flips_remaining xb);
+  let after = Crossbar.gemv_codes xb input in
+  Alcotest.(check (array int)) "transient expires after its ops budget" clean after
+
+let test_crossbar_inject_stuck () =
+  let xb = Crossbar.create ~config:small_config () in
+  Crossbar.inject_stuck_at xb ~plane:Crossbar.Msb ~row:0 ~col:0 ~level:0;
+  let codes = Array.make_matrix 4 4 127 in
+  Crossbar.program_codes xb codes;
+  let out = Crossbar.read_codes xb in
+  Alcotest.(check bool) "stuck cell corrupts its code" true (out.(0).(0) <> 127);
+  Alcotest.(check int) "neighbours unaffected" 127 out.(0).(1);
+  Alcotest.(check bool) "defective fraction visible" true (Crossbar.stuck_fraction xb > 0.0);
+  Alcotest.check_raises "bounds checked"
+    (Invalid_argument "Crossbar: cell (99,0) outside the 16x16 array") (fun () ->
+      Crossbar.inject_stuck_at xb ~plane:Crossbar.Lsb ~row:99 ~col:0 ~level:0)
+
 (* ---------- Endurance ---------- *)
 
 let test_lifetime_equation () =
@@ -266,6 +320,7 @@ let suites =
         Alcotest.test_case "program/read" `Quick test_cell_program_read;
         Alcotest.test_case "level range" `Quick test_cell_level_range;
         Alcotest.test_case "wear-out sticks" `Quick test_cell_wear_out_sticks;
+        QCheck_alcotest.to_alcotest qcheck_worn_cell_sticks;
         Alcotest.test_case "conductance monotone" `Quick test_cell_conductance_monotone;
         Alcotest.test_case "pulse shapes (Fig 1)" `Quick test_pulse_shapes;
       ] );
@@ -285,6 +340,8 @@ let suites =
         Alcotest.test_case "wear accumulates" `Quick test_crossbar_wear_accumulates;
         Alcotest.test_case "wear-out visible" `Quick test_crossbar_wear_out_visible_in_results;
         Alcotest.test_case "noise bounded" `Quick test_crossbar_noise_bounded;
+        Alcotest.test_case "fault hooks: drift & column flip" `Quick test_crossbar_fault_hooks;
+        Alcotest.test_case "fault hooks: stuck-at" `Quick test_crossbar_inject_stuck;
         QCheck_alcotest.to_alcotest qcheck_gemv_additive;
         QCheck_alcotest.to_alcotest qcheck_program_read_roundtrip;
       ] );
@@ -364,6 +421,41 @@ let test_wl_invalid () =
        false
      with Invalid_argument _ -> true)
 
+let test_wl_quarantine_routes_away () =
+  let lines = 8 in
+  let wl = Wear_leveling.create ~lines ~gap_interval:2 in
+  let phys = Wear_leveling.physical_of_logical wl 3 in
+  Wear_leveling.quarantine wl phys;
+  Alcotest.(check bool) "marked" true (Wear_leveling.is_quarantined wl phys);
+  Alcotest.(check int) "counted once" 1 (Wear_leveling.quarantined_count wl);
+  Wear_leveling.quarantine wl phys;
+  Alcotest.(check int) "idempotent" 1 (Wear_leveling.quarantined_count wl);
+  let wear_before = (Wear_leveling.wear wl).(phys) in
+  for i = 0 to 999 do
+    Wear_leveling.write wl (i mod lines);
+    for logical = 0 to lines - 1 do
+      if Wear_leveling.physical_of_logical wl logical = phys then
+        Alcotest.failf "write %d: logical %d routed to quarantined line %d" i logical phys
+    done
+  done;
+  Alcotest.(check int) "quarantined line takes no further wear" wear_before
+    (Wear_leveling.wear wl).(phys);
+  Alcotest.(check int) "stats expose the dead line" 1 (Wear_leveling.stats wl).Wear_leveling.quarantined
+
+let test_wl_quarantine_keeps_one_line () =
+  let wl = Wear_leveling.create ~lines:2 ~gap_interval:1 in
+  Wear_leveling.quarantine wl 0;
+  Wear_leveling.quarantine wl 1;
+  (* two of three physical lines are dead; killing the last would leave
+     the two logical lines nowhere to live *)
+  Alcotest.(check bool) "refuses to kill the last healthy line" true
+    (try
+       Wear_leveling.quarantine wl 2;
+       false
+     with Invalid_argument _ -> true);
+  let a = Wear_leveling.physical_of_logical wl 0 in
+  Alcotest.(check int) "survivor takes everything" a (Wear_leveling.physical_of_logical wl 1)
+
 let qcheck_wl_bijection =
   QCheck.Test.make ~name:"start-gap mapping stays a bijection under random traffic" ~count:50
     QCheck.small_int (fun seed ->
@@ -390,6 +482,8 @@ let wear_leveling_suite =
       Alcotest.test_case "levels skewed traffic" `Quick test_wl_levels_skewed_traffic;
       Alcotest.test_case "wear conservation" `Quick test_wl_wear_conservation;
       Alcotest.test_case "range checks" `Quick test_wl_invalid;
+      Alcotest.test_case "quarantine routes writes away" `Quick test_wl_quarantine_routes_away;
+      Alcotest.test_case "quarantine keeps one line" `Quick test_wl_quarantine_keeps_one_line;
       QCheck_alcotest.to_alcotest qcheck_wl_bijection;
     ] )
 
