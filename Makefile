@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json serve-bench reliab-bench clean
+.PHONY: all build test bench bench-json serve-bench reliab-bench tune-bench clean
 
 all: build
 
@@ -33,6 +33,15 @@ serve-bench:
 reliab-bench:
 	dune build bin/reliab.exe
 	./_build/default/bin/reliab.exe --sweep 0,1,2,4 --requests 80 --devices 3 --strict --out BENCH_reliab.json
+
+# Regenerate BENCH_tune.json at the repo root: the full autotuning sweep
+# over the PolyBench suite (small dataset) — per-kernel design-space
+# search with cost-model calibration and exact re-ranking, persisted to
+# tune.db.json for tdoc --tune-db and serve --tune-db. --strict fails
+# if any kernel tunes worse than the compiler default.
+tune-bench:
+	dune build bin/tune.exe
+	./_build/default/bin/tune.exe --dataset small --strict --db tune.db.json --out BENCH_tune.json
 
 clean:
 	dune clean

@@ -54,7 +54,7 @@ let ablations_cmd =
 
 (* ---------- machine-readable benchmark report ---------- *)
 
-let bench_json dataset out baseline =
+let bench_json dataset out baseline report_baseline =
   let module Pool = Tdo_util.Pool in
   let module Report = Tdo_util.Bench_report in
   let section name f =
@@ -82,6 +82,7 @@ let bench_json dataset out baseline =
         ignore (A.wear_leveling ());
         ignore (A.tiles ()))
   in
+  let sections = [ fig6; fig5; ablations ] in
   let extra =
     if baseline > 0.0 then
       [
@@ -90,13 +91,31 @@ let bench_json dataset out baseline =
       ]
     else []
   in
+  (* section-by-section comparison against a previously written report *)
+  let extra =
+    match report_baseline with
+    | None -> extra
+    | Some path -> (
+        match Report.compare ~baseline:path sections with
+        | Ok deltas ->
+            List.iter
+              (fun (d : Report.delta) ->
+                Printf.printf "vs baseline %-18s %.3f s -> %.3f s (x%.2f%s)\n" d.Report.name
+                  d.Report.baseline_wall_s d.Report.wall_s d.Report.speedup_vs_baseline
+                  (if d.Report.regression then ", REGRESSION" else ""))
+              deltas;
+            extra @ Report.delta_fields deltas
+        | Error msg ->
+            Printf.eprintf "baseline %s: %s\n%!" path msg;
+            extra)
+  in
   Report.write ~path:out
     ~notes:
       "seed_baseline is the wall-clock of the same Fig. 6 sweep before the fast-engine \
        rework (functional Map event queue, assoc-list interpreter, sequential runner), \
        measured on the same machine; speedup_vs_sequential compares against this build \
        with the domain pool forced sequential."
-    ~extra ~sections:[ fig6; fig5; ablations ] ();
+    ~extra ~sections ();
   Printf.printf "wrote %s\n" out
 
 let bench_json_cmd =
@@ -113,12 +132,21 @@ let bench_json_cmd =
             "Recorded wall-clock of the Fig. 6 sweep before the fast-engine rework, used \
              for the speedup-vs-seed figure; pass 0 to omit.")
   in
+  let report_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Previous BENCH_sim.json to compare against: sections are matched by name and \
+             per-section delta/speedup/regression fields are added to the report.")
+  in
   Cmd.v
     (Cmd.info "bench-json"
        ~doc:
          "Time the Fig. 5 / Fig. 6 / ablation sections (parallel and forced-sequential) \
           and write BENCH_sim.json.")
-    Term.(const bench_json $ dataset_arg $ out_arg $ baseline_arg)
+    Term.(const bench_json $ dataset_arg $ out_arg $ baseline_arg $ report_baseline_arg)
 
 let all_cmd =
   let run dataset =

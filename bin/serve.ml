@@ -28,9 +28,10 @@ let summarise label (r : Scheduler.report) =
     r.Scheduler.trace.Trace.name;
   let s = Telemetry.summary t in
   Printf.printf
-    "  completed %d (%d after retry), recovered-host %d, cpu-fallback %d, rejected %d, \
-     failed %d | cache hit rate %.1f%% (%d compiles)\n"
-    (Scheduler.completed r) s.Telemetry.completed_after_retry s.Telemetry.recovered_host
+    "  completed %d (%d after retry, %d tuned), recovered-host %d, cpu-fallback %d, \
+     rejected %d, failed %d | cache hit rate %.1f%% (%d compiles)\n"
+    (Scheduler.completed r) s.Telemetry.completed_after_retry s.Telemetry.served_tuned
+    s.Telemetry.recovered_host
     (Scheduler.fallbacks r) (Scheduler.rejections r) (Scheduler.failures r)
     (100.0 *. Scheduler.cache_hit_rate r)
     r.Scheduler.cache.Serve.Kernel_cache.misses;
@@ -67,6 +68,7 @@ let extras (r : Scheduler.report) ~golden_divergence =
       ("failed", float_of_int (Scheduler.failures r));
       ( "completed_after_retry",
         float_of_int (Telemetry.summary t).Telemetry.completed_after_retry );
+      ("served_tuned", float_of_int (Telemetry.summary t).Telemetry.served_tuned);
       ("recovered_host", float_of_int (Scheduler.recovered r));
       ("detected_corruptions", float_of_int (Scheduler.detected_corruptions r));
       ("quarantined_devices", float_of_int (List.length r.Scheduler.quarantined));
@@ -117,12 +119,25 @@ let extras (r : Scheduler.report) ~golden_divergence =
   base @ per_device @ golden
 
 let run trace_name devices seed queue_capacity max_batch no_batching sequential deadline_us
-    tiles cache_capacity chrome_trace out no_golden strict =
+    tiles cache_capacity tune_db chrome_trace out no_golden strict =
   match Trace.synthetic ?deadline_us ~seed trace_name with
   | Error msg ->
       prerr_endline msg;
       1
   | Ok trace ->
+      let tuning =
+        match tune_db with
+        | None -> None
+        | Some path -> (
+            match Tdo_tune.Db.load path with
+            | Ok db ->
+                Printf.printf "tuning database: %d entries from %s\n" (Tdo_tune.Db.size db)
+                  path;
+                Some db
+            | Error msg ->
+                prerr_endline msg;
+                exit 1)
+      in
       let platform_config =
         let d = Platform.default_config in
         {
@@ -140,6 +155,7 @@ let run trace_name devices seed queue_capacity max_batch no_batching sequential 
           batching = not no_batching;
           parallel = not sequential;
           cache_capacity;
+          tuning;
         }
       in
       let report, main_section =
@@ -231,6 +247,17 @@ let cmd =
       value & opt int 64
       & info [ "cache-capacity" ] ~docv:"N" ~doc:"Compiled-kernel cache entries.")
   in
+  let tune_db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tune-db" ] ~docv:"FILE"
+          ~doc:
+            "Tuning database (written by tdo-tune): kernels whose structural digest has an \
+             entry are compiled with the tuned configuration, clamped to the pool's crossbar \
+             geometry. The golden check keeps the database, so tuned replays stay \
+             divergence-checked.")
+  in
   let chrome_arg =
     Arg.(
       value
@@ -256,6 +283,6 @@ let cmd =
     Term.(
       const run $ trace_arg $ devices_arg $ seed_arg $ queue_arg $ max_batch_arg
       $ no_batching_arg $ sequential_arg $ deadline_arg $ tiles_arg $ cache_arg
-      $ chrome_arg $ out_arg $ no_golden_arg $ strict_arg)
+      $ tune_db_arg $ chrome_arg $ out_arg $ no_golden_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

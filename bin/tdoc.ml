@@ -11,6 +11,9 @@ module Offload = Tdo_tactics.Offload
 module Pipeline = Tdo_tactics.Pipeline
 module Diag = Tdo_analysis.Diag
 module Lint = Tdo_analysis.Lint
+module Platform = Tdo_runtime.Platform
+module Search = Tdo_tune.Search
+module Tune_db = Tdo_tune.Db
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file.")
@@ -82,9 +85,28 @@ let explain_flag =
     & info [ "explain-no-offload" ]
         ~doc:"When nothing was offloaded, explain why (SCoP obstruction or kernel shape).")
 
+let tune_flag =
+  Arg.(
+    value & flag
+    & info [ "tune" ]
+        ~doc:
+          "Autotune the offload configuration for this kernel before compiling: search the \
+           design space with the cost model, re-rank by exact simulation and compile with the \
+           measured winner. With $(b,--tune-db) the result is also saved to the database.")
+
+let tune_db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tune-db" ] ~docv:"FILE"
+        ~doc:
+          "Tuning database (written by tdo-tune or $(b,--tune)); when this kernel's \
+           structural digest has an entry, compile with its configuration — clamped to the \
+           platform's crossbar geometry.")
+
 (* Synthesised arguments: deterministic random arrays, conventional
    scalar values for the usual BLAS parameter names. *)
-let synthesise_args ~seed (f : Tdo_ir.Ir.func) =
+let synthesise_args ~seed (params : Tdo_lang.Ast.param list) =
   let module Interp = Tdo_lang.Interp in
   let module Ast = Tdo_lang.Ast in
   let g = Tdo_util.Prng.create ~seed in
@@ -106,10 +128,10 @@ let synthesise_args ~seed (f : Tdo_ir.Ir.func) =
             Interp.Varray arr
       in
       (p.Ast.pname, value))
-    f.Tdo_ir.Ir.params
+    params
 
 let execute ~seed f =
-  let m, _platform = Flow.run f ~args:(synthesise_args ~seed f) in
+  let m, _platform = Flow.run f ~args:(synthesise_args ~seed f.Tdo_ir.Ir.params) in
   Printf.printf "ROI: %d instructions, %d cycles, %.3f ms\n" m.Flow.roi_instructions
     m.Flow.roi_cycles (m.Flow.time_s *. 1e3);
   Printf.printf "energy: %s (EDP %sJs)\n"
@@ -121,12 +143,68 @@ let execute ~seed f =
   else print_endline "CIM: not used (host only)"
 
 let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint wall verify explain
-    =
+    tune tune_db =
   ignore o3;
   let source = In_channel.with_open_text file In_channel.input_all in
   let tcfg = { Offload.default_config with Offload.naive_pin; min_intensity } in
+  (* --tune / --tune-db only make sense with the tactics pipeline on *)
+  let tactics = tactics || tune || tune_db <> None in
   let options = { Flow.enable_loop_tactics = tactics; tactics = tcfg } in
-  match Flow.compile_checked ~options ~verify source with
+  let device_rows, device_cols =
+    let xbar = Platform.default_config.Platform.engine.Tdo_cimacc.Micro_engine.xbar in
+    (xbar.Tdo_pcm.Crossbar.rows, xbar.Tdo_pcm.Crossbar.cols)
+  in
+  let db =
+    match tune_db with
+    | None -> None
+    | Some path -> (
+        match Tune_db.load path with
+        | Ok db -> Some db
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 1)
+  in
+  (* the configuration the compile actually used, for the lint pass *)
+  let resolved = ref None in
+  let resolve_config =
+    if tune then
+      Some
+        (fun (ast : Tdo_lang.Ast.func) ->
+          match
+            Search.tune ~source
+              ~args:(fun () -> synthesise_args ~seed ast.Tdo_lang.Ast.params)
+              ()
+          with
+          | Error msg ->
+              Printf.eprintf "%s: autotuning failed: %s\n" file msg;
+              None
+          | Ok r ->
+              let cfg = r.Search.best.Search.point in
+              resolved := Some cfg;
+              Printf.printf "tuned: %s (x%.2f vs default, %d exact simulations)\n"
+                (Tdo_tune.Space.describe cfg)
+                (Search.improvement r) r.Search.simulated;
+              (match (db, tune_db) with
+              | Some d, Some path ->
+                  Tune_db.save
+                    (Tune_db.add d
+                       (Tune_db.entry_of_result ~n:(Tdo_tune.Space.max_extent ast) r))
+                    path;
+                  Printf.printf "tuning database updated: %s\n" path
+              | _ -> ());
+              Some cfg)
+    else
+      Option.map
+        (fun d (ast : Tdo_lang.Ast.func) ->
+          match Tune_db.config_for ~device:(device_rows, device_cols) d ast with
+          | Some cfg ->
+              resolved := Some cfg;
+              Printf.printf "tune-db: compiling with %s\n" (Tdo_tune.Space.describe cfg);
+              Some cfg
+          | None -> None)
+        db
+  in
+  match Flow.compile_checked ~options ?resolve_config ~verify source with
   | exception Tdo_lang.Lexer.Lex_error { line; message } ->
       Printf.eprintf "%s:%d: lexical error: %s\n" file line message;
       exit 1
@@ -153,16 +231,19 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint 
       in
       if lint || wall || (explain && not offloaded) then begin
         let f0 = Tdo_ir.Lower.func (Tdo_lang.Parser.parse_func source) in
+        let etcfg = match !resolved with Some c -> c | None -> tcfg in
         let lcfg =
           {
             Lint.default_config with
-            Lint.xbar_rows = tcfg.Offload.xbar_rows;
-            xbar_cols = tcfg.Offload.xbar_cols;
-            enable_tiling = tcfg.Offload.enable_tiling;
+            Lint.xbar_rows = etcfg.Offload.xbar_rows;
+            xbar_cols = etcfg.Offload.xbar_cols;
+            enable_tiling = etcfg.Offload.enable_tiling;
             min_intensity =
-              (match tcfg.Offload.min_intensity with
+              (match etcfg.Offload.min_intensity with
               | Some t -> t
               | None -> Lint.default_config.Lint.min_intensity);
+            device_rows = Some device_rows;
+            device_cols = Some device_cols;
           }
         in
         let ds = Lint.run ~config:lcfg f0 in
@@ -205,6 +286,6 @@ let cmd =
     Term.(
       const run $ file_arg $ o3_flag $ tactics_flag $ emit_ir_flag $ report_flag
       $ naive_pin_flag $ selective_arg $ run_flag $ seed_arg $ lint_flag $ wall_flag
-      $ verify_flag $ explain_flag)
+      $ verify_flag $ explain_flag $ tune_flag $ tune_db_arg)
 
 let () = exit (Cmd.eval cmd)

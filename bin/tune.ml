@@ -1,0 +1,280 @@
+(* tdo-tune: cost-model-driven autotuning sweep over the PolyBench
+   kernels.
+
+   For every kernel the driver enumerates the offload design space
+   (crossbar geometry, fusion, tiling, pin strategy, selective-offload
+   threshold), fits the analytic cost model against a handful of
+   cycle-accurate calibration runs, re-ranks the model's beam by exact
+   simulation and records the measured winner in a persisted tuning
+   database (consumed by `tdoc --tune-db` and the serving scheduler).
+   Wall-clock per kernel and tuned-vs-default evidence land in
+   BENCH_tune.json; --baseline compares against a previous report. *)
+
+open Cmdliner
+module Kernels = Tdo_polybench.Kernels
+module Dataset = Tdo_polybench.Dataset
+module Space = Tdo_tune.Space
+module Search = Tdo_tune.Search
+module Db = Tdo_tune.Db
+module Report = Tdo_util.Bench_report
+
+type outcome = { bench : Kernels.benchmark; entry : Db.entry; result : Search.result }
+
+let tune_kernel ~axes ~beam ~calibration_points ~objective ~n ~seed (b : Kernels.benchmark) =
+  let source = b.Kernels.source ~n in
+  let args () = fst (b.Kernels.make_args ~n ~seed) in
+  match Search.tune ~axes ~beam ~calibration_points ~objective ~source ~args () with
+  | Error msg -> Error (Printf.sprintf "%s: %s" b.Kernels.name msg)
+  | Ok r -> Ok { bench = b; entry = Db.entry_of_result ~n r; result = r }
+
+let print_outcome (o : outcome) =
+  let e = o.entry in
+  Printf.printf
+    "%-8s n=%-3d default %8d cy / %8d wr  ->  tuned %8d cy / %8d wr  x%.3f  [%s]  cal err \
+     %.1f%% (%d/%d points simulated)\n\
+     %!"
+    e.Db.kernel e.Db.n e.Db.default_cycles e.Db.default_write_bytes e.Db.tuned_cycles
+    e.Db.tuned_write_bytes
+    (Search.improvement o.result)
+    (Space.describe e.Db.config)
+    (100.0 *. e.Db.calibration_error)
+    o.result.Search.simulated o.result.Search.space_size
+
+let kernel_extras (o : outcome) =
+  let e = o.entry in
+  let k fmt = Printf.sprintf ("%s_" ^^ fmt) e.Db.kernel in
+  [
+    (k "tuned_cycles", float_of_int e.Db.tuned_cycles);
+    (k "default_cycles", float_of_int e.Db.default_cycles);
+    (k "tuned_write_bytes", float_of_int e.Db.tuned_write_bytes);
+    (k "default_write_bytes", float_of_int e.Db.default_write_bytes);
+    (k "calibration_error", e.Db.calibration_error);
+    (k "improvement", Search.improvement o.result);
+    (k "space_size", float_of_int o.result.Search.space_size);
+    (k "simulated", float_of_int o.result.Search.simulated);
+  ]
+
+(* Tuned strictly better than default on either axis the paper cares
+   about: ROI cycles or crossbar programming traffic. *)
+let strictly_better (o : outcome) =
+  let e = o.entry in
+  e.Db.tuned_cycles < e.Db.default_cycles
+  || e.Db.tuned_write_bytes < e.Db.default_write_bytes
+
+let never_worse (o : outcome) =
+  let e = o.entry in
+  e.Db.tuned_cycles <= e.Db.default_cycles
+  && e.Db.tuned_write_bytes <= e.Db.default_write_bytes
+
+let run dataset n_override kernels objective beam calibration_points seed db_path out
+    baseline smoke strict =
+  let objective =
+    match Search.objective_of_string objective with
+    | Ok o -> o
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  let axes = if smoke then Space.smoke_axes else Space.default_axes in
+  let n =
+    match n_override with
+    | Some n -> n
+    | None -> if smoke then Dataset.n Dataset.Mini else Dataset.n dataset
+  in
+  let beam = if smoke then min beam 2 else beam in
+  let calibration_points = if smoke then min calibration_points 3 else calibration_points in
+  let selected =
+    match kernels with
+    | [] ->
+        if smoke then
+          List.filter (fun (b : Kernels.benchmark) -> List.mem b.Kernels.name [ "gemm"; "mvt" ])
+            Kernels.all
+        else Kernels.all
+    | names ->
+        List.map
+          (fun name ->
+            match Kernels.find name with
+            | Ok b -> b
+            | Error msg ->
+                prerr_endline msg;
+                exit 2)
+          names
+  in
+  let errors = ref [] in
+  let outcomes, sections =
+    List.fold_left
+      (fun (os, secs) (b : Kernels.benchmark) ->
+        let r, sec =
+          Report.section ~name:b.Kernels.name (fun () ->
+              tune_kernel ~axes ~beam ~calibration_points ~objective ~n ~seed b)
+        in
+        match r with
+        | Error msg ->
+            Printf.eprintf "tune: %s\n%!" msg;
+            errors := msg :: !errors;
+            (os, secs @ [ sec ])
+        | Ok o ->
+            print_outcome o;
+            (os @ [ o ], secs @ [ sec ]))
+      ([], []) selected
+  in
+  let db =
+    List.fold_left (fun db (o : outcome) -> Db.add db o.entry) Db.empty outcomes
+  in
+  (match db_path with
+  | Some path ->
+      Db.save db path;
+      Printf.printf "tuning database: %d entries -> %s\n" (Db.size db) path
+  | None -> ());
+  let improved = List.filter strictly_better outcomes in
+  let mean_cal_err =
+    match outcomes with
+    | [] -> 0.0
+    | os ->
+        List.fold_left (fun acc (o : outcome) -> acc +. o.entry.Db.calibration_error) 0.0 os
+        /. float_of_int (List.length os)
+  in
+  let extra =
+    [
+      ("kernels_tuned", float_of_int (List.length outcomes));
+      ("kernels_never_worse", float_of_int (List.length (List.filter never_worse outcomes)));
+      ("kernels_strictly_better", float_of_int (List.length improved));
+      ("mean_calibration_error", mean_cal_err);
+      ("problem_n", float_of_int n);
+      ("objective_cycles", if objective = Search.Cycles then 1.0 else 0.0);
+    ]
+    @ List.concat_map kernel_extras outcomes
+  in
+  let extra =
+    match baseline with
+    | None -> extra
+    | Some path -> (
+        match Report.compare ~baseline:path sections with
+        | Ok deltas ->
+            List.iter
+              (fun (d : Report.delta) ->
+                Printf.printf "vs baseline %-8s %.3f s -> %.3f s (x%.2f%s)\n" d.Report.name
+                  d.Report.baseline_wall_s d.Report.wall_s d.Report.speedup_vs_baseline
+                  (if d.Report.regression then ", REGRESSION" else ""))
+              deltas;
+            extra @ Report.delta_fields deltas
+        | Error msg ->
+            Printf.eprintf "tune: baseline %s: %s\n%!" path msg;
+            extra)
+  in
+  Report.write ~path:out ~extra
+    ~notes:
+      (Printf.sprintf
+         "tdo-tune sweep: objective %s, n=%d, beam %d, %d calibration points per kernel; \
+          per-kernel sections time the full search (enumerate, compile, calibrate, re-rank)"
+         (Search.objective_to_string objective)
+         n beam calibration_points)
+    ~sections ();
+  Printf.printf "report written to %s\n" out;
+  let strict_failures =
+    if not strict then []
+    else
+      !errors
+      @ List.filter_map
+          (fun (o : outcome) ->
+            if never_worse o then None
+            else
+              Some
+                (Printf.sprintf "%s: tuned configuration measured worse than the default"
+                   o.entry.Db.kernel))
+          outcomes
+  in
+  List.iter (fun m -> Printf.eprintf "FAIL: %s\n" m) strict_failures;
+  if strict_failures <> [] then 1 else 0
+
+let cmd =
+  let dataset_arg =
+    let parse s = Result.map_error (fun e -> `Msg e) (Dataset.of_string s) in
+    let print ppf d = Format.fprintf ppf "%s" (Dataset.to_string d) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Dataset.Small
+      & info [ "d"; "dataset" ] ~docv:"SIZE" ~doc:"Problem size: mini, small, medium or large.")
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Tune at this exact extent instead of the dataset preset (digests are \
+                size-specific, so match the workload's sizes).")
+  in
+  let kernels_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kernels" ] ~docv:"NAMES"
+          ~doc:"Comma-separated kernel subset (default: the full Fig. 6 set).")
+  in
+  let objective_arg =
+    Arg.(
+      value & opt string "cycles"
+      & info [ "objective" ] ~docv:"OBJ" ~doc:"Tuning objective: cycles, writes or edp.")
+  in
+  let beam_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "beam" ] ~docv:"K" ~doc:"Model-ranked points re-ranked by exact simulation.")
+  in
+  let calib_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "calibration-points" ] ~docv:"N"
+          ~doc:"Exact simulations spent fitting the cost model per kernel.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Argument-synthesis seed.")
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "tune.db.json")
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:"Tuning-database output path; pass an empty value via --no-db to skip.")
+  in
+  let no_db_arg =
+    Arg.(value & flag & info [ "no-db" ] ~doc:"Do not write a tuning database.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_tune.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Benchmark report path.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Previous BENCH_tune.json to compare against; per-kernel wall-clock deltas are \
+             added to the report.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Tiny sweep for CI: two kernels at the mini size over the smoke axes, small beam.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero if any kernel fails to tune or tunes worse than the default.")
+  in
+  let run' dataset n kernels objective beam calib seed db no_db out baseline smoke strict =
+    run dataset n kernels objective beam calib seed
+      (if no_db then None else db)
+      out baseline smoke strict
+  in
+  Cmd.v (Cmd.info "tdo-tune" ~doc:"Cost-model-driven autotuning sweep over PolyBench.")
+    Term.(
+      const run' $ dataset_arg $ n_arg $ kernels_arg $ objective_arg $ beam_arg $ calib_arg
+      $ seed_arg $ db_arg $ no_db_arg $ out_arg $ baseline_arg $ smoke_arg $ strict_arg)
+
+let () = exit (Cmd.eval' cmd)

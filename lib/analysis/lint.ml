@@ -18,6 +18,8 @@ type config = {
   min_lifetime_years : float;
   fault_rate : float;
   abft_guard : bool;
+  device_rows : int option;
+  device_cols : int option;
 }
 
 let default_config =
@@ -31,6 +33,8 @@ let default_config =
     min_lifetime_years = 1.0;
     fault_rate = 0.0;
     abft_guard = false;
+    device_rows = None;
+    device_cols = None;
   }
 
 (* ---------- W004 / W005: dead stores and unused arrays ---------- *)
@@ -187,7 +191,20 @@ let tree ?(config = default_config) t =
                ~hint:"enable tiling (Listing 3) to decompose the operand into crossbar-sized tiles"
                "kernel S%d writing '%s': pinned operand '%s' (%dx%d) exceeds the %dx%d crossbar \
                 and tiling is disabled"
-               c.sid c.target c.pinned c.pinned_rows c.pinned_cols config.xbar_rows config.xbar_cols)
+               c.sid c.target c.pinned c.pinned_rows c.pinned_cols config.xbar_rows config.xbar_cols);
+        let device_rows = Option.value ~default:config.xbar_rows config.device_rows in
+        let device_cols = Option.value ~default:config.xbar_cols config.device_cols in
+        let tile_rows = min c.pinned_rows config.xbar_rows in
+        let tile_cols = min c.pinned_cols config.xbar_cols in
+        if tile_rows > device_rows || tile_cols > device_cols then
+          emit
+            (Diag.warningf "W007"
+               ~hint:
+                 "the runtime library will re-tile every launch; tune with the device's real \
+                  geometry (or clamp the tuned configuration to it)"
+               "kernel S%d writing '%s': configured %dx%d tiles of pinned operand '%s' exceed \
+                the device's %dx%d crossbar"
+               c.sid c.target tile_rows tile_cols c.pinned device_rows device_cols)
       end)
     cands;
   (if !programmed > 0 then

@@ -17,6 +17,10 @@
     - {b W006} unguarded offload on a faulty device: the target device
       has a nonzero fault rate but the ABFT checksum guard is off, so a
       stuck cell corrupts results silently.
+    - {b W007} tile footprint exceeds the physical crossbar: the
+      compile configuration's geometry (e.g. a tuned one) produces
+      tiles larger than the device's array, so every launch is re-tiled
+      by the runtime library instead of mapping 1:1.
     - {b N001} why SCoP detection failed, translating the detector's
       obstruction into an actionable note ([--explain-no-offload]).
     - {b N002} SCoP detected but nothing looked offloadable. *)
@@ -31,12 +35,18 @@ type config = {
   min_lifetime_years : float;
   fault_rate : float;  (** W006: expected device fault rate, 0 = pristine *)
   abft_guard : bool;  (** W006: is the checksum guard enabled? *)
+  device_rows : int option;
+  device_cols : int option;
+      (** W007: the physical crossbar geometry when it differs from the
+          compile configuration's [xbar_rows]/[xbar_cols]; [None] means
+          they agree and W007 cannot fire *)
 }
 
 val default_config : config
 (** 256x256 crossbar, tiling on, intensity threshold 4.0, endurance
     1e7 writes at one region execution per second, one-year lifetime
-    floor, fault rate 0 with the ABFT guard off. *)
+    floor, fault rate 0 with the ABFT guard off, device geometry equal
+    to the compile geometry. *)
 
 val func : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
 (** Dead-store / unused-array rules (W004, W005). *)

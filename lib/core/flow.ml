@@ -20,8 +20,14 @@ type compiled = {
   diagnostics : Diag.t list;
 }
 
-let compile_checked ?(options = o3_loop_tactics) ?(verify = false) source =
+let compile_checked ?(options = o3_loop_tactics) ?resolve_config ?(verify = false)
+    source =
   let ast = Tdo_lang.Parser.parse_func source in
+  let options =
+    match Option.bind resolve_config (fun resolve -> resolve ast) with
+    | Some tactics -> { options with tactics }
+    | None -> options
+  in
   let f = Tdo_ir.Lower.func ast in
   if options.enable_loop_tactics then
     let checked = Pipeline.run_checked ~config:options.tactics ~verify f in
@@ -34,8 +40,8 @@ let compile_checked ?(options = o3_loop_tactics) ?(verify = false) source =
     let diagnostics = if verify then Tdo_analysis.Verify.func f @ Tdo_analysis.Bounds.func f else [] in
     { func = f; outcome = None; diagnostics }
 
-let compile ?options ?(verify = false) source =
-  let c = compile_checked ?options ~verify source in
+let compile ?options ?resolve_config ?(verify = false) source =
+  let c = compile_checked ?options ?resolve_config ~verify source in
   if verify && Diag.has_errors c.diagnostics then
     raise (Verification_failure (Diag.errors c.diagnostics));
   let report =
@@ -87,6 +93,6 @@ let run ?(platform_config = Platform.default_config) f ~args =
     },
     platform )
 
-let run_source ?options ?platform_config source ~args =
-  let f, _report = compile ?options source in
+let run_source ?options ?resolve_config ?platform_config source ~args =
+  let f, _report = compile ?options ?resolve_config source in
   run ?platform_config f ~args

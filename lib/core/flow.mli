@@ -31,12 +31,27 @@ type compiled = {
   diagnostics : Diag.t list;
 }
 
-val compile_checked : ?options:options -> ?verify:bool -> string -> compiled
+val compile_checked :
+  ?options:options ->
+  ?resolve_config:(Tdo_lang.Ast.func -> Offload.config option) ->
+  ?verify:bool ->
+  string ->
+  compiled
 (** Like {!compile} but surfacing the pipeline outcome and every
     diagnostic instead of raising. With tactics disabled and
-    [~verify:true] the input IR is still verified. *)
+    [~verify:true] the input IR is still verified.
 
-val compile : ?options:options -> ?verify:bool -> string -> Ir.func * Offload.report option
+    [resolve_config] is consulted once the source is parsed and may
+    replace [options.tactics] for this kernel — the hook the autotuning
+    database ({!Tdo_tune.Db}) hangs per-kernel configurations off
+    without this layer depending on the tuner. *)
+
+val compile :
+  ?options:options ->
+  ?resolve_config:(Tdo_lang.Ast.func -> Offload.config option) ->
+  ?verify:bool ->
+  string ->
+  Ir.func * Offload.report option
 (** Parse, type-check, lower and (optionally) run the tactics
     pipeline on a single-function translation unit. Raises the
     front-end exceptions on malformed source, and
@@ -67,6 +82,7 @@ val run :
 
 val run_source :
   ?options:options ->
+  ?resolve_config:(Tdo_lang.Ast.func -> Offload.config option) ->
   ?platform_config:Platform.config ->
   string ->
   args:(string * Interp.value) list ->

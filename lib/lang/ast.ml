@@ -100,3 +100,7 @@ let rec stmt_iter_exprs f = function
   | Decl_scalar { init; _ } -> Option.iter f init
   | Decl_array _ -> ()
   | Block body -> List.iter (stmt_iter_exprs f) body
+
+(* The AST is plain data, so marshalling yields a canonical byte string
+   of the structure; digesting it gives a stable structural key. *)
+let structural_digest (f : func) = Digest.to_hex (Digest.string (Marshal.to_string f []))

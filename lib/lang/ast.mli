@@ -46,3 +46,12 @@ val expr_equal : expr -> expr -> bool
 val stmt_iter_exprs : (expr -> unit) -> stmt -> unit
 (** Visit every expression in a statement (including nested loops),
     lvalue indices included. *)
+
+val structural_digest : func -> string
+(** Hex digest of the function's structure alone — identifiers, bounds,
+    operators — with the concrete syntax already erased by the parser.
+    Two sources that parse to the same AST share a digest; any semantic
+    change (a bound, a loop body, an array shape) changes it. The key
+    space shared by the serving layer's compiled-kernel cache
+    ({!Tdo_serve.Kernel_cache}) and the autotuner's configuration
+    database ({!Tdo_tune.Db}). *)

@@ -6,6 +6,7 @@ type entry = {
   ast : Ast.func;
   compiled : Flow.compiled;
   compile_s : float;
+  tuned : bool;
 }
 
 type stats = {
@@ -21,6 +22,8 @@ type slot = { entry : entry; mutable last_use : int }
 type t = {
   capacity : int;
   opts : Flow.options;
+  tuning : Tdo_tune.Db.t option;
+  device : (int * int) option;
   table : (string, slot) Hashtbl.t;
   mutable tick : int;  (** LRU clock: bumped on every lookup *)
   mutable hits : int;
@@ -29,10 +32,12 @@ type t = {
   mutable compile_s_total : float;
 }
 
-let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) () =
+let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?device () =
   {
     capacity = max 1 capacity;
     opts = options;
+    tuning;
+    device;
     table = Hashtbl.create 32;
     tick = 0;
     hits = 0;
@@ -43,15 +48,28 @@ let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) () =
 
 let options t = t.opts
 
-(* The AST and the config are both plain data, so marshalling them
-   yields a canonical byte string of the structure alone — identifiers,
-   bounds, operators — with the concrete syntax already erased by the
-   parser. *)
+(* The AST digest is the key space the tuning database shares; the
+   cache folds the effective options in on top, so two compiles of the
+   same program under different configurations occupy distinct slots. *)
 let structural_key ~(options : Flow.options) (ast : Ast.func) =
   let repr =
-    Marshal.to_string (ast, options.Flow.enable_loop_tactics, options.Flow.tactics) []
+    Ast.structural_digest ast
+    ^ Marshal.to_string (options.Flow.enable_loop_tactics, options.Flow.tactics) []
   in
   Digest.to_hex (Digest.string repr)
+
+(* The options this kernel actually compiles under: the tuning
+   database's per-kernel configuration (geometry clamped to the
+   device's crossbar) when one exists, the cache-wide default
+   otherwise. *)
+let resolve t ast =
+  match t.tuning with
+  | None -> (t.opts, false)
+  | Some db -> (
+      match Tdo_tune.Db.config_for ?device:t.device db ast with
+      | Some tactics when tactics <> t.opts.Flow.tactics ->
+          ({ t.opts with Flow.tactics }, true)
+      | Some _ | None -> (t.opts, false))
 
 let evict_lru t =
   let victim = ref None in
@@ -69,7 +87,8 @@ let evict_lru t =
 
 let find_or_compile t source =
   let ast = Tdo_lang.Parser.parse_func source in
-  let key = structural_key ~options:t.opts ast in
+  let options, tuned = resolve t ast in
+  let key = structural_key ~options ast in
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.table key with
   | Some slot ->
@@ -80,10 +99,10 @@ let find_or_compile t source =
       t.misses <- t.misses + 1;
       Tdo_lang.Typecheck.check_func ast;
       let t0 = Unix.gettimeofday () in
-      let compiled = Flow.compile_checked ~options:t.opts source in
+      let compiled = Flow.compile_checked ~options source in
       let dt = Unix.gettimeofday () -. t0 in
       t.compile_s_total <- t.compile_s_total +. dt;
-      let entry = { key; ast; compiled; compile_s = dt } in
+      let entry = { key; ast; compiled; compile_s = dt; tuned } in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       Hashtbl.replace t.table key { entry; last_use = t.tick };
       entry

@@ -22,6 +22,7 @@ type entry = {
   ast : Ast.func;  (** parsed and type-checked — ready for the CPU-fallback interpreter *)
   compiled : Flow.compiled;
   compile_s : float;  (** wall-clock spent compiling this entry *)
+  tuned : bool;  (** compiled under a tuning-database configuration *)
 }
 
 type stats = {
@@ -34,10 +35,20 @@ type stats = {
 
 type t
 
-val create : ?capacity:int -> ?options:Flow.options -> unit -> t
+val create :
+  ?capacity:int ->
+  ?options:Flow.options ->
+  ?tuning:Tdo_tune.Db.t ->
+  ?device:int * int ->
+  unit ->
+  t
 (** LRU cache holding at most [capacity] (default 64, clamped to >= 1)
     compiled programs, compiled under [options] (default
-    {!Flow.o3_loop_tactics}). *)
+    {!Flow.o3_loop_tactics}). A [tuning] database overrides the
+    tactics configuration per kernel — looked up by the same structural
+    digest the database was built with, its geometry clamped to
+    [device] (the crossbar shape of the pool's devices, [(rows,
+    cols)]); entries compiled that way carry [tuned = true]. *)
 
 val options : t -> Flow.options
 

@@ -25,6 +25,7 @@ type config = {
   recovery : recovery;
   device_seed : int;
   on_device_create : (Device.t -> unit) option;
+  tuning : Tdo_tune.Db.t option;
 }
 
 let default_config =
@@ -44,6 +45,7 @@ let default_config =
     recovery = default_recovery;
     device_seed = 0;
     on_device_create = None;
+    tuning = None;
   }
 
 let golden_config c =
@@ -148,6 +150,7 @@ let execute_batch (b : batch) =
                   finish_ps = !cursor;
                   service_ps = stats.Device.service_ps;
                   retries = item.attempts;
+                  tuned = b.entry.Kernel_cache.tuned;
                   checksum = Some (checksum_of_mats (readback ()));
                 }
         | exception Tdo_ir.Exec.Exec_error msg ->
@@ -163,6 +166,7 @@ let execute_batch (b : batch) =
                 finish_ps = !cursor;
                 service_ps = 0;
                 retries = item.attempts;
+                tuned = b.entry.Kernel_cache.tuned;
                 checksum = None;
               })
       b.items
@@ -176,7 +180,15 @@ let replay ?(config = default_config) (trace : Trace.t) =
   if config.recovery.max_attempts < 1 then
     invalid_arg "Scheduler.replay: recovery.max_attempts must be >= 1";
   let t0 = Unix.gettimeofday () in
-  let cache = Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options () in
+  let xbar =
+    config.platform_config.Platform.engine.Tdo_cimacc.Micro_engine.xbar
+  in
+  let cache =
+    Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options
+      ?tuning:config.tuning
+      ~device:(xbar.Tdo_pcm.Crossbar.rows, xbar.Tdo_pcm.Crossbar.cols)
+      ()
+  in
   let devices =
     Array.init config.devices (fun id ->
         let d =
@@ -207,6 +219,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
         finish_ps = !now;
         service_ps = 0;
         retries = 0;
+        tuned = false;
         checksum = None;
       }
   in
@@ -229,6 +242,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 finish_ps = r.Trace.arrival_ps;
                 service_ps = 0;
                 retries = 0;
+                tuned = false;
                 checksum = None;
               }
           else begin
@@ -271,6 +285,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 finish_ps = !now + service_ps;
                 service_ps;
                 retries;
+                tuned = false;
                 checksum = Some (checksum_of_mats mats);
               }
         | exception e -> record_failed r depth (Printexc.to_string e))

@@ -65,12 +65,18 @@ type config = {
       (** called once per device at pool construction — the hook
           reliability campaigns use to plant faults
           ({!Tdo_reliab.Inject}); [None] = pristine pool *)
+  tuning : Tdo_tune.Db.t option;
+      (** per-kernel tuned configurations for the kernel cache, keyed
+          by structural digest; geometry is clamped to the pool's
+          crossbar shape. [golden_config] keeps it, so the oracle
+          compiles identically and checksums stay comparable. *)
 }
 
 val default_config : config
 (** 4 devices, default platform, 64-entry cache, 256-deep queue,
     batching up to 8, parallel waves, 5 us launch overhead, 2.5 ns per
-    MAC fallback rate, {!default_recovery}, no fault hook. *)
+    MAC fallback rate, {!default_recovery}, no fault hook, no tuning
+    database. *)
 
 val golden_config : config -> config
 (** The sequential oracle for a given serving configuration: one

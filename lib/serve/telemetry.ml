@@ -19,6 +19,7 @@ type record = {
   finish_ps : int;
   service_ps : int;
   retries : int;
+  tuned : bool;
   checksum : string option;
 }
 
@@ -59,6 +60,7 @@ type summary = {
   rejected : int;
   failed : int;
   detected_corruptions : int;
+  served_tuned : int;
 }
 
 let summary t =
@@ -71,6 +73,7 @@ let summary t =
             s with
             completed = s.completed + 1;
             completed_after_retry = (s.completed_after_retry + if r.retries > 0 then 1 else 0);
+            served_tuned = (s.served_tuned + if r.tuned then 1 else 0);
           }
       | Cpu_fallback -> { s with cpu_fallbacks = s.cpu_fallbacks + 1 }
       | Recovered_host -> { s with recovered_host = s.recovered_host + 1 }
@@ -85,6 +88,7 @@ let summary t =
       rejected = 0;
       failed = 0;
       detected_corruptions = 0;
+      served_tuned = 0;
     }
     t.records
 
@@ -172,9 +176,9 @@ let chrome_trace t =
   let s = summary t in
   let last_finish = List.fold_left (fun acc r -> max acc r.finish_ps) 0 t.records in
   event
-    {|{"name":"outcome-summary","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"requests":%d,"completed":%d,"completed_after_retry":%d,"cpu_fallbacks":%d,"recovered_host":%d,"rejected":%d,"failed":%d,"detected_corruptions":%d}}|}
+    {|{"name":"outcome-summary","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"requests":%d,"completed":%d,"completed_after_retry":%d,"cpu_fallbacks":%d,"recovered_host":%d,"rejected":%d,"failed":%d,"detected_corruptions":%d,"served_tuned":%d}}|}
     (us_of_ps last_finish) s.requests s.completed s.completed_after_retry s.cpu_fallbacks
-    s.recovered_host s.rejected s.failed s.detected_corruptions;
+    s.recovered_host s.rejected s.failed s.detected_corruptions s.served_tuned;
   Buffer.add_string b "]\n";
   Buffer.contents b
 

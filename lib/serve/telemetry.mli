@@ -28,6 +28,9 @@ type record = {
   finish_ps : int;
   service_ps : int;
   retries : int;  (** device attempts discarded after a detected corruption *)
+  tuned : bool;
+      (** compiled under a configuration the tuning database supplied
+          rather than the scheduler-wide default *)
   checksum : string option;  (** digest of the output arrays, comparison key of the golden check *)
 }
 
@@ -56,6 +59,7 @@ type summary = {
   failed : int;
   detected_corruptions : int;
       (** device attempts whose ABFT check failed (sum of [retries]) *)
+  served_tuned : int;  (** completed requests that ran a tuned configuration *)
 }
 
 val summary : t -> summary

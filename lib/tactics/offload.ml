@@ -592,3 +592,137 @@ let apply ?on_rewrite config tree =
       tiled_kernels = !tiled;
       skipped_low_intensity = !skipped;
     } )
+
+(* ---------- analytic execution plan ---------- *)
+
+type plan = {
+  launches : int;
+  rows_programmed : int;
+  cells_programmed : int;
+  gemv_passes : int;
+  gemv_row_passes : int;
+  device_macs : int;
+  dma_bytes : int;
+  host_ops : int;
+}
+
+let empty_plan =
+  {
+    launches = 0;
+    rows_programmed = 0;
+    cells_programmed = 0;
+    gemv_passes = 0;
+    gemv_row_passes = 0;
+    device_macs = 0;
+    dma_bytes = 0;
+    host_ops = 0;
+  }
+
+let rec expr_ops = function
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> 1
+  | Ast.Index (_, idx) -> 1 + List.fold_left (fun acc e -> acc + expr_ops e) 0 idx
+  | Ast.Binop (_, a, b) -> 1 + expr_ops a + expr_ops b
+  | Ast.Neg e -> 1 + expr_ops e
+
+let rec expr_mentions vars = function
+  | Ast.Var v -> List.mem v vars
+  | Ast.Int_lit _ | Ast.Float_lit _ -> false
+  | Ast.Index (_, idx) -> List.exists (expr_mentions vars) idx
+  | Ast.Binop (_, a, b) -> expr_mentions vars a || expr_mentions vars b
+  | Ast.Neg e -> expr_mentions vars e
+
+let plan config (f : Ir.func) =
+  let ceil_div a b = (a + b - 1) / b in
+  let dims = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.param) -> if p.Ast.dims <> [] then Hashtbl.replace dims p.Ast.pname p.Ast.dims)
+    f.Ir.params;
+  let elems arr =
+    match Hashtbl.find_opt dims arr with
+    | Some ds -> List.fold_left ( * ) 1 ds
+    | None -> 0
+  in
+  (* host-write generations: a bumped generation invalidates any pinned
+     operand living in that array, as the engine's reuse check does *)
+  let gen = Hashtbl.create 16 in
+  let generation arr = Option.value ~default:0 (Hashtbl.find_opt gen arr) in
+  let bump arr = Hashtbl.replace gen arr (generation arr + 1) in
+  let pinned = ref None in
+  let totals = ref empty_plan in
+  let add f = totals := f !totals in
+  let gemm_job ~mult ~loop_vars ~m ~n ~k ~(a : Ir.mat_ref) ~(b : Ir.mat_ref) ~pin =
+    let outer = match pin with Ir.Pin_a -> m | Ir.Pin_b -> n in
+    let streamed = match pin with Ir.Pin_a -> n | Ir.Pin_b -> m in
+    let col_chunks = max 1 (ceil_div outer config.xbar_cols) in
+    let k_chunks = max 1 (ceil_div k config.xbar_rows) in
+    let k_active = min k config.xbar_rows in
+    let p = match pin with Ir.Pin_a -> a | Ir.Pin_b -> b in
+    let key =
+      (p.Ir.array, p.Ir.row_off, p.Ir.col_off, p.Ir.rows, p.Ir.cols, p.Ir.trans,
+       generation p.Ir.array)
+    in
+    let variant =
+      expr_mentions loop_vars p.Ir.row_off || expr_mentions loop_vars p.Ir.col_off
+    in
+    let programs =
+      if variant then mult else if !pinned = Some key then 0 else 1
+    in
+    pinned := (if variant then None else Some key);
+    let passes = mult * streamed * col_chunks * k_chunks in
+    add (fun t ->
+        {
+          t with
+          launches = t.launches + (mult * col_chunks * k_chunks);
+          (* every pinned element is written once per program: k rows per
+             column chunk, k x outer cells in total *)
+          rows_programmed = t.rows_programmed + (programs * col_chunks * k);
+          cells_programmed = t.cells_programmed + (programs * k * outer);
+          gemv_passes = t.gemv_passes + passes;
+          gemv_row_passes = t.gemv_row_passes + (passes * k_active);
+          device_macs = t.device_macs + (mult * m * n * k);
+        })
+  in
+  let rec stmt ~mult ~loop_vars = function
+    | Ir.For { var; lo; hi; step; body } ->
+        let trip =
+          match (lo, hi) with
+          | Ast.Int_lit a, Ast.Int_lit b -> max 0 (ceil_div (b - a) (max 1 step))
+          | _ -> 1
+        in
+        if trip > 0 then
+          List.iter (stmt ~mult:(mult * trip) ~loop_vars:(var :: loop_vars)) body
+    | Ir.Assign { lhs; op = _; rhs } ->
+        if Hashtbl.mem dims lhs.Ast.base then bump lhs.Ast.base;
+        let idx_ops =
+          List.fold_left (fun acc e -> acc + expr_ops e) 0 lhs.Ast.indices
+        in
+        add (fun t -> { t with host_ops = t.host_ops + (mult * (1 + idx_ops + expr_ops rhs)) })
+    | Ir.Decl_scalar { init; _ } ->
+        let ops = match init with Some e -> 1 + expr_ops e | None -> 1 in
+        add (fun t -> { t with host_ops = t.host_ops + (mult * ops) })
+    | Ir.Decl_array { name; dims = ds } ->
+        Hashtbl.replace dims name ds
+    | Ir.Roi_begin | Ir.Roi_end -> ()
+    | Ir.Call c -> (
+        match c with
+        | Ir.Cim_init | Ir.Cim_alloc _ | Ir.Cim_free _ -> ()
+        | Ir.Cim_h2d { array } ->
+            bump array;
+            add (fun t -> { t with dma_bytes = t.dma_bytes + (mult * elems array * 4) })
+        | Ir.Cim_d2h { array } ->
+            add (fun t -> { t with dma_bytes = t.dma_bytes + (mult * elems array * 4) })
+        | Ir.Cim_im2col { kh; kw; oh; ow; _ } ->
+            add (fun t ->
+                { t with dma_bytes = t.dma_bytes + (mult * oh * ow * kh * kw * 4) })
+        | Ir.Cim_gemm { m; n; k; a; b; c = cref; pin; _ } ->
+            bump cref.Ir.array;
+            gemm_job ~mult ~loop_vars ~m ~n ~k ~a ~b ~pin
+        | Ir.Cim_gemm_batched { m; n; k; batch; pin; _ } ->
+            List.iter
+              (fun (a, b, cref) ->
+                bump cref.Ir.array;
+                gemm_job ~mult ~loop_vars ~m ~n ~k ~a ~b ~pin)
+              batch)
+  in
+  List.iter (stmt ~mult:1 ~loop_vars:[]) f.Ir.body;
+  !totals

@@ -55,4 +55,41 @@ val apply :
     invoked once per intermediate schedule-tree rewrite the pass
     commits to (currently: the loop interchange that made a kernel
     match), with a pass name and the subtree before/after — the hook
-    translation validation hangs off ([--verify-each]). *)
+    translation validation hangs off ([--verify-each]).
+
+    With [min_intensity] set, the skip decision is taken {e per fused
+    group}: the MACs of every member are pooled and the pinned operand
+    counts once when shared, so a batch can clear a threshold its
+    members would individually miss. With fusion disabled each kernel
+    is its own group and is judged alone. *)
+
+(** {1 Analytic execution plan}
+
+    A static census of the work a compiled function will put on the
+    device and leave on the host — the feature vector behind the
+    autotuner's cost model ({!Tdo_tune.Cost_model}). Computed by
+    walking the IR, multiplying through constant trip counts and
+    emulating the micro-engine's pinned-operand reuse: a launch whose
+    pinned operand matches the previous one (same reference, no
+    intervening host write or [h2d]) programs no crossbar rows. *)
+
+type plan = {
+  launches : int;  (** device triggers, including library-side tiling *)
+  rows_programmed : int;  (** crossbar wordlines written (2.5 us each) *)
+  cells_programmed : int;
+      (** logical 8-bit operands written — the crossbar's [write_bytes]
+          counter, i.e. the endurance-relevant write pressure *)
+  gemv_passes : int;  (** analog GEMV operations issued *)
+  gemv_row_passes : int;  (** active wordlines summed over passes *)
+  device_macs : int;  (** MACs computed in the crossbar *)
+  dma_bytes : int;  (** [h2d] + [d2h] traffic, 4 bytes per element *)
+  host_ops : int;  (** expression nodes evaluated by host statements *)
+}
+
+val empty_plan : plan
+(** All-zero census (a function with no work). *)
+
+val plan : config -> Tdo_ir.Ir.func -> plan
+(** Census of [func] as compiled — i.e. run the pipeline first and
+    plan its output. Loops with non-constant bounds count as one
+    iteration (none are produced by this compiler). *)

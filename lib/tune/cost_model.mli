@@ -1,0 +1,48 @@
+(** Analytic cost model over {!Tdo_tactics.Offload.plan} censuses.
+
+    Predicted cycles are a non-negative linear combination of the plan's
+    counters (launch count, crossbar rows programmed, GEMV passes and
+    their active wordlines, device MACs, DMA traffic, host expression
+    work, plus a constant). Every counter is monotone in the problem
+    size and {!calibrate} clamps coefficients at zero, so predictions
+    are monotone in the problem size by construction — the property the
+    search relies on and the test suite checks.
+
+    Crossbar write pressure and energy need no fitting: writes are the
+    plan's programmed cells, and energy prices the counters with the
+    Table-I rates the simulator itself uses. *)
+
+module Offload = Tdo_tactics.Offload
+
+type t = { coeffs : float array  (** one per feature, all [>= 0] *) }
+
+val feature_names : string array
+val features : Offload.plan -> float array
+
+val uncalibrated : t
+(** Rough hand-priced coefficients (Table-I latencies at 1.2 GHz) —
+    usable before any simulation has run. *)
+
+val predict_cycles : t -> Offload.plan -> float
+
+val predict_write_bytes : Offload.plan -> int
+(** Crossbar bytes programmed — exact for compiler-shaped plans. *)
+
+val predict_energy_j : ?table:Tdo_energy.Table1.t -> Offload.plan -> float
+(** Table-I pricing of the plan's device counters plus the host term
+    (host ops standing in for instructions). *)
+
+type sample = { plan : Offload.plan; cycles : float }
+
+val calibrate : sample list -> t * float
+(** Fit coefficients by non-negative least squares (projected cyclic
+    coordinate descent on scaled features) and report the mean relative
+    error of the fitted model on the samples themselves. Falls back to
+    {!uncalibrated} (with its error) when the samples are degenerate. *)
+
+val mean_relative_error : t -> sample list -> float
+(** [mean |predicted - measured| / measured] over samples with
+    [measured > 0]; [0.] for an empty list. *)
+
+val to_json : t -> Tdo_util.Json.t
+val of_json : Tdo_util.Json.t -> (t, string) result

@@ -1,0 +1,56 @@
+(** Persisted tuning database.
+
+    Maps a kernel's structural digest
+    ({!Tdo_lang.Ast.structural_digest} — the same key space the serving
+    layer's compiled-kernel cache uses) to the configuration the search
+    settled on, together with the measured evidence. The on-disk form
+    is a single JSON document ([tdo-cim-tunedb/1]) written atomically
+    (temp file + rename), so a database can be produced by [bin/tune],
+    checked in, and consumed by [tdoc --tune-db], the serving
+    scheduler, or a later tuning run that extends it. *)
+
+module Ast = Tdo_lang.Ast
+
+type entry = {
+  digest : string;
+  kernel : string;  (** function name, informational *)
+  n : int;  (** problem size the entry was tuned at; [0] when unknown *)
+  objective : string;
+  config : Space.point;
+  tuned_cycles : int;
+  default_cycles : int;
+  tuned_write_bytes : int;
+  default_write_bytes : int;
+  calibration_error : float;
+}
+
+type t
+
+val empty : t
+val size : t -> int
+val entries : t -> entry list
+(** Sorted by kernel name, then digest. *)
+
+val add : t -> entry -> t
+(** Replaces any previous entry with the same digest. *)
+
+val find : t -> string -> entry option
+val lookup : t -> Ast.func -> entry option
+(** {!find} on the function's structural digest. *)
+
+val entry_of_result : n:int -> Search.result -> entry
+(** Package a search result for the database. *)
+
+val config_for : ?device:int * int -> t -> Ast.func -> Space.point option
+(** The tuned configuration for this kernel, if any. With
+    [device:(rows, cols)] — the geometry of the crossbars that will
+    actually run the kernel — a tuned geometry larger than the device
+    is clamped to it; the remaining knobs (fusion, tiling, pinning,
+    threshold) always transfer. *)
+
+val load : string -> (t, string) result
+(** A missing file loads as {!empty}; a malformed one is an [Error]. *)
+
+val save : t -> string -> unit
+val to_json : t -> Tdo_util.Json.t
+val of_json : Tdo_util.Json.t -> (t, string) result

@@ -1,0 +1,206 @@
+module Offload = Tdo_tactics.Offload
+module Flow = Tdo_cim.Flow
+module Interp = Tdo_lang.Interp
+module Ast = Tdo_lang.Ast
+module Pool = Tdo_util.Pool
+
+type objective = Cycles | Writes | Edp
+
+let objective_to_string = function
+  | Cycles -> "cycles"
+  | Writes -> "writes"
+  | Edp -> "edp"
+
+let objective_of_string = function
+  | "cycles" -> Ok Cycles
+  | "writes" -> Ok Writes
+  | "edp" -> Ok Edp
+  | s -> Error (Printf.sprintf "unknown objective %S (cycles|writes|edp)" s)
+
+type evaluation = {
+  point : Space.point;
+  plan : Offload.plan;
+  predicted_cycles : float;
+  measurement : Flow.measurement option;
+}
+
+type result = {
+  kernel : string;
+  digest : string;
+  objective : objective;
+  best : evaluation;
+  default : evaluation;
+  evaluations : evaluation list;
+  model : Cost_model.t;
+  calibration_error : float;
+  space_size : int;
+  simulated : int;
+}
+
+(* Lexicographic measured score: lower is better. *)
+let measured_score objective (m : Flow.measurement) =
+  match objective with
+  | Cycles -> (float_of_int m.Flow.roi_cycles, 0.0)
+  | Writes -> (float_of_int m.Flow.cim_write_bytes, float_of_int m.Flow.roi_cycles)
+  | Edp -> (m.Flow.edp_js, float_of_int m.Flow.roi_cycles)
+
+let predicted_score objective (e : evaluation) =
+  match objective with
+  | Cycles -> (e.predicted_cycles, 0.0)
+  | Writes -> (float_of_int (Cost_model.predict_write_bytes e.plan), e.predicted_cycles)
+  | Edp ->
+      (Cost_model.predict_energy_j e.plan *. e.predicted_cycles, e.predicted_cycles)
+
+let improvement r =
+  match (r.default.measurement, r.best.measurement) with
+  | Some d, Some b -> (
+      let ratio num den =
+        if den > 0 then float_of_int num /. float_of_int den
+        else if num > 0 then Float.infinity
+        else 1.0
+      in
+      match r.objective with
+      | Cycles | Edp -> ratio d.Flow.roi_cycles b.Flow.roi_cycles
+      | Writes ->
+          if d.Flow.cim_write_bytes = 0 && b.Flow.cim_write_bytes = 0 then
+            ratio d.Flow.roi_cycles b.Flow.roi_cycles
+          else ratio d.Flow.cim_write_bytes b.Flow.cim_write_bytes)
+  | _ -> 1.0
+
+(* Evenly spread [k] indices over [0, n), endpoints included. *)
+let spread_indices n k =
+  if n <= k then List.init n Fun.id
+  else
+    List.init k (fun i -> i * (n - 1) / (max 1 (k - 1)))
+    |> List.sort_uniq Stdlib.compare
+
+let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
+    ?(objective = Cycles) ?platform_base ~source ~args () =
+  match Tdo_lang.Parser.parse_func source with
+  | exception Tdo_lang.Parser.Parse_error { line; message } ->
+      Error (Printf.sprintf "parse error at line %d: %s" line message)
+  | ast ->
+      let digest = Ast.structural_digest ast in
+      let enumerated = Space.enumerate axes in
+      let space_size = List.length enumerated in
+      let points =
+        let pruned = Space.prune ~kernel:ast enumerated in
+        if List.mem Offload.default_config pruned then pruned
+        else Offload.default_config :: pruned
+      in
+      let compiled =
+        List.map
+          (fun point ->
+            let options = { Flow.enable_loop_tactics = true; tactics = point } in
+            let func, _report = Flow.compile ~options source in
+            (point, func, Offload.plan point func))
+          points
+      in
+      let simulate (point, func) =
+        let platform_config = Space.platform_config ?base:platform_base point in
+        let measurement, _platform = Flow.run ~platform_config func ~args:(args ()) in
+        measurement
+      in
+      let prior = Cost_model.uncalibrated in
+      let by_prior =
+        List.sort
+          (fun (_, _, p) (_, _, q) ->
+            Float.compare (Cost_model.predict_cycles prior p)
+              (Cost_model.predict_cycles prior q))
+          compiled
+      in
+      let calib_set =
+        let picked =
+          List.filteri
+            (fun i _ ->
+              List.mem i (spread_indices (List.length by_prior) calibration_points))
+            by_prior
+        in
+        let has_default =
+          List.exists (fun (p, _, _) -> p = Offload.default_config) picked
+        in
+        if has_default then picked
+        else
+          picked
+          @ List.filter (fun (p, _, _) -> p = Offload.default_config) compiled
+      in
+      let calib_measures =
+        Pool.parallel_map (fun (p, f, _) -> simulate (p, f)) calib_set
+      in
+      let samples =
+        List.map2
+          (fun (_, _, plan) (m : Flow.measurement) ->
+            { Cost_model.plan; cycles = float_of_int m.Flow.roi_cycles })
+          calib_set calib_measures
+      in
+      let model, calibration_error = Cost_model.calibrate samples in
+      let measured_so_far =
+        List.map2 (fun (p, _, _) m -> (p, m)) calib_set calib_measures
+      in
+      let evaluations =
+        List.map
+          (fun (point, _, plan) ->
+            {
+              point;
+              plan;
+              predicted_cycles = Cost_model.predict_cycles model plan;
+              measurement = List.assoc_opt point measured_so_far;
+            })
+          compiled
+      in
+      let ranked =
+        List.sort
+          (fun a b ->
+            Stdlib.compare (predicted_score objective a) (predicted_score objective b))
+          evaluations
+      in
+      let beam_points =
+        (List.filteri (fun i _ -> i < beam) ranked
+        |> List.map (fun e -> e.point))
+        @ [ Offload.default_config ]
+        |> List.sort_uniq Stdlib.compare
+      in
+      let to_simulate =
+        List.filter
+          (fun (p, _, _) ->
+            List.mem p beam_points && not (List.mem_assoc p measured_so_far))
+          compiled
+      in
+      let beam_measures =
+        Pool.parallel_map (fun (p, f, _) -> simulate (p, f)) to_simulate
+      in
+      let measured =
+        measured_so_far @ List.map2 (fun (p, _, _) m -> (p, m)) to_simulate beam_measures
+      in
+      let evaluations =
+        List.map
+          (fun e -> { e with measurement = List.assoc_opt e.point measured })
+          evaluations
+      in
+      let eval_of point = List.find (fun e -> e.point = point) evaluations in
+      let default = eval_of Offload.default_config in
+      let best =
+        (* start from the default and only move on a strictly better
+           measured score: ties never adopt a tuned point *)
+        List.fold_left
+          (fun best e ->
+            match (best.measurement, e.measurement) with
+            | Some bm, Some em
+              when measured_score objective em < measured_score objective bm ->
+                e
+            | _ -> best)
+          default evaluations
+      in
+      Ok
+        {
+          kernel = ast.Ast.fname;
+          digest;
+          objective;
+          best;
+          default;
+          evaluations;
+          model;
+          calibration_error;
+          space_size;
+          simulated = List.length measured;
+        }

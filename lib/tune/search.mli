@@ -1,0 +1,69 @@
+(** Cost-model-guided search over the offload design space.
+
+    The strategy is model-first with exact re-ranking:
+
+    + enumerate and prune the space for the kernel ({!Space.prune}),
+      keeping the compiler default in play;
+    + compile every surviving point (cheap — no simulation) and take its
+      {!Tdo_tactics.Offload.plan} census;
+    + simulate a small calibration subset exactly, spread across the
+      uncalibrated model's cost range, and fit the model to it
+      ({!Cost_model.calibrate});
+    + score every point with the fitted model, then re-rank the beam —
+      the predicted top [beam] plus the default — by cycle-accurate
+      simulation ({!Tdo_cim.Flow.run}), fanned out over domains with
+      {!Tdo_util.Pool};
+    + return the measured winner, tie-broken toward the default so a
+      tuned configuration is never adopted on a tie.
+
+    All simulations are deterministic in the caller's argument seeds, so
+    a tuning run is replayable. *)
+
+module Offload = Tdo_tactics.Offload
+module Flow = Tdo_cim.Flow
+module Interp = Tdo_lang.Interp
+
+type objective = Cycles | Writes | Edp
+
+val objective_to_string : objective -> string
+val objective_of_string : string -> (objective, string) result
+
+type evaluation = {
+  point : Space.point;
+  plan : Offload.plan;
+  predicted_cycles : float;
+  measurement : Flow.measurement option;  (** [Some] once exactly simulated *)
+}
+
+type result = {
+  kernel : string;  (** function name *)
+  digest : string;  (** {!Tdo_lang.Ast.structural_digest} of the kernel *)
+  objective : objective;
+  best : evaluation;  (** measured winner; [measurement] is [Some] *)
+  default : evaluation;  (** the compiler default, also measured *)
+  evaluations : evaluation list;  (** every point, model-scored *)
+  model : Cost_model.t;
+  calibration_error : float;  (** mean relative error on the calibration runs *)
+  space_size : int;  (** enumerated, before pruning *)
+  simulated : int;  (** exact simulations spent *)
+}
+
+val improvement : result -> float
+(** Measured objective ratio [default / best] ([>= 1.] means the tuned
+    point is no worse; cycles for [Cycles]/[Edp], write bytes — falling
+    back to cycles at zero writes — for [Writes]). *)
+
+val tune :
+  ?axes:Space.axes ->
+  ?beam:int ->
+  ?calibration_points:int ->
+  ?objective:objective ->
+  ?platform_base:Tdo_runtime.Platform.config ->
+  source:string ->
+  args:(unit -> (string * Interp.value) list) ->
+  unit ->
+  (result, string) Stdlib.result
+(** [beam] (default 4) exact re-rank width; [calibration_points]
+    (default 5) exact runs spent on fitting. [args] must return fresh
+    argument bindings on every call (each simulation mutates them) and
+    be deterministic. [Error] reports an unparsable kernel. *)

@@ -1,0 +1,182 @@
+module Offload = Tdo_tactics.Offload
+module Ast = Tdo_lang.Ast
+module Json = Tdo_util.Json
+
+type point = Offload.config
+
+type axes = {
+  geometries : (int * int) list;
+  fusion : bool list;
+  tiling : bool list;
+  naive_pin : bool list;
+  min_intensities : float option list;
+}
+
+let default_axes =
+  {
+    geometries = [ (64, 64); (128, 128); (256, 256) ];
+    fusion = [ true; false ];
+    tiling = [ true; false ];
+    naive_pin = [ false; true ];
+    min_intensities = [ None; Some 8.0; Some 32.0; Some 128.0 ];
+  }
+
+let smoke_axes =
+  {
+    geometries = [ (256, 256) ];
+    fusion = [ true; false ];
+    tiling = [ true ];
+    naive_pin = [ false ];
+    min_intensities = [ None; Some 32.0 ];
+  }
+
+let enumerate axes =
+  let points =
+    List.concat_map
+      (fun (xbar_rows, xbar_cols) ->
+        List.concat_map
+          (fun enable_fusion ->
+            List.concat_map
+              (fun enable_tiling ->
+                List.concat_map
+                  (fun naive_pin ->
+                    List.map
+                      (fun min_intensity ->
+                        {
+                          Offload.xbar_rows;
+                          xbar_cols;
+                          enable_fusion;
+                          enable_tiling;
+                          naive_pin;
+                          min_intensity;
+                        })
+                      axes.min_intensities)
+                  axes.naive_pin)
+              axes.tiling)
+          axes.fusion)
+      axes.geometries
+    |> List.sort_uniq compare
+  in
+  if List.mem Offload.default_config points then
+    Offload.default_config
+    :: List.filter (fun p -> p <> Offload.default_config) points
+  else points
+
+let max_extent (f : Ast.func) =
+  let best = ref 1 in
+  let dims ds = List.iter (fun d -> if d > !best then best := d) ds in
+  List.iter (fun (p : Ast.param) -> dims p.Ast.dims) f.Ast.params;
+  let rec stmt = function
+    | Ast.Decl_array { dims = ds; _ } -> dims ds
+    | Ast.For { body; _ } | Ast.Block body -> List.iter stmt body
+    | Ast.Assign _ | Ast.Decl_scalar _ -> ()
+  in
+  List.iter stmt f.Ast.body;
+  !best
+
+(* Count top-level statements as a cheap upper bound on how many
+   kernels a fused batch can pool. *)
+let segment_count (f : Ast.func) = max 1 (List.length f.Ast.body)
+
+let prune ~kernel points =
+  let d = max_extent kernel in
+  (* intensity = pooled MACs / pinned writes <= streamed extent x batch
+     size, so any threshold above this bound skips everything *)
+  let intensity_bound = float_of_int (d * segment_count kernel) in
+  let is_default p = p = Offload.default_config in
+  let covering (p : point) = p.Offload.xbar_rows >= d && p.Offload.xbar_cols >= d in
+  let sans_geometry (p : point) = { p with Offload.xbar_rows = 0; xbar_cols = 0 } in
+  let sans_threshold (p : point) = { p with Offload.min_intensity = None } in
+  let keep_geometry p =
+    (not (covering p))
+    || not
+         (List.exists
+            (fun q ->
+              covering q
+              && sans_geometry q = sans_geometry p
+              && (q.Offload.xbar_rows, q.Offload.xbar_cols)
+                 < (p.Offload.xbar_rows, p.Offload.xbar_cols))
+            points)
+  in
+  let saturating (p : point) =
+    match p.Offload.min_intensity with Some t -> t > intensity_bound | None -> false
+  in
+  let keep_threshold p =
+    (not (saturating p))
+    || not
+         (List.exists
+            (fun q ->
+              saturating q
+              && sans_threshold q = sans_threshold p
+              && q.Offload.min_intensity < p.Offload.min_intensity)
+            points)
+  in
+  List.filter (fun p -> is_default p || (keep_geometry p && keep_threshold p)) points
+
+let platform_config ?(base = Tdo_runtime.Platform.default_config) (p : point) =
+  let engine = base.Tdo_runtime.Platform.engine in
+  let xbar =
+    {
+      engine.Tdo_cimacc.Micro_engine.xbar with
+      Tdo_pcm.Crossbar.rows = p.Offload.xbar_rows;
+      cols = p.Offload.xbar_cols;
+      size_bytes = p.Offload.xbar_rows * p.Offload.xbar_cols * 8;
+    }
+  in
+  {
+    base with
+    Tdo_runtime.Platform.engine = { engine with Tdo_cimacc.Micro_engine.xbar };
+  }
+
+let to_json (p : point) =
+  Json.Obj
+    [
+      ("xbar_rows", Json.Num (float_of_int p.Offload.xbar_rows));
+      ("xbar_cols", Json.Num (float_of_int p.Offload.xbar_cols));
+      ("enable_fusion", Json.Bool p.Offload.enable_fusion);
+      ("enable_tiling", Json.Bool p.Offload.enable_tiling);
+      ("naive_pin", Json.Bool p.Offload.naive_pin);
+      ( "min_intensity",
+        match p.Offload.min_intensity with Some t -> Json.Num t | None -> Json.Null );
+    ]
+
+let of_json json =
+  let int_field name =
+    match Option.bind (Json.member name json) Json.to_float with
+    | Some v -> Ok (int_of_float v)
+    | None -> Error (Printf.sprintf "tune config: missing %s" name)
+  in
+  let bool_field name =
+    match Json.member name json with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "tune config: missing %s" name)
+  in
+  let ( let* ) = Result.bind in
+  let* xbar_rows = int_field "xbar_rows" in
+  let* xbar_cols = int_field "xbar_cols" in
+  let* enable_fusion = bool_field "enable_fusion" in
+  let* enable_tiling = bool_field "enable_tiling" in
+  let* naive_pin = bool_field "naive_pin" in
+  let min_intensity =
+    match Json.member "min_intensity" json with
+    | Some (Json.Num t) -> Some t
+    | _ -> None
+  in
+  Ok
+    {
+      Offload.xbar_rows;
+      xbar_cols;
+      enable_fusion;
+      enable_tiling;
+      naive_pin;
+      min_intensity;
+    }
+
+let describe (p : point) =
+  Printf.sprintf "%dx%d %s %s %s%s" p.Offload.xbar_rows p.Offload.xbar_cols
+    (if p.Offload.enable_fusion then "fuse" else "nofuse")
+    (if p.Offload.enable_tiling then "tile" else "notile")
+    (if p.Offload.naive_pin then "naive" else "smart")
+    (match p.Offload.min_intensity with
+    | Some t -> Printf.sprintf " int>=%g" t
+    | None -> "")

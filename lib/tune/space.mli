@@ -1,0 +1,62 @@
+(** The autotuner's design space: enumerable offload configurations.
+
+    A point is exactly an {!Tdo_tactics.Offload.config} — the knobs the
+    compiler's offload pass exposes (crossbar geometry, fusion, tiling,
+    pin strategy, selective-offload threshold). The space is the
+    cartesian product of per-axis value lists, pruned per kernel:
+    geometries that behave identically on the kernel's extents collapse
+    to one representative, and intensity thresholds no kernel of that
+    size can distinguish are deduplicated. *)
+
+module Offload = Tdo_tactics.Offload
+module Ast = Tdo_lang.Ast
+
+type point = Offload.config
+
+type axes = {
+  geometries : (int * int) list;  (** candidate [(xbar_rows, xbar_cols)] *)
+  fusion : bool list;
+  tiling : bool list;
+  naive_pin : bool list;
+  min_intensities : float option list;
+}
+
+val default_axes : axes
+(** The full sweep: 64/128/256-square geometries, both pin strategies,
+    fusion and tiling on/off, thresholds [None; 8; 32; 128]. *)
+
+val smoke_axes : axes
+(** A few points for the strict [dune runtest] smoke tune. *)
+
+val enumerate : axes -> point list
+(** Cartesian product, deduplicated, {!Offload.default_config} first
+    when the axes contain it. *)
+
+val max_extent : Ast.func -> int
+(** Largest array extent among the kernel's parameters and local
+    declarations — the scale pruning reasons about. *)
+
+val prune : kernel:Ast.func -> point list -> point list
+(** Kernel-aware reduction, semantics-preserving on [kernel]:
+
+    - of several points that differ only in geometry and whose crossbars
+      all cover every kernel extent, only the smallest geometry remains
+      (the pass emits identical code for all of them);
+    - of several points whose threshold exceeds any intensity the kernel
+      can reach (so everything is skipped), only the smallest threshold
+      remains.
+
+    The default configuration is never pruned away if present. *)
+
+val platform_config :
+  ?base:Tdo_runtime.Platform.config -> point -> Tdo_runtime.Platform.config
+(** [base] (default {!Tdo_runtime.Platform.default_config}) with the
+    accelerator's crossbar resized to the point's geometry; the Eq.-1
+    capacity scales with it (256x256 corresponds to 512 KB). *)
+
+val to_json : point -> Tdo_util.Json.t
+val of_json : Tdo_util.Json.t -> (point, string) result
+
+val describe : point -> string
+(** One-line human-readable rendering, e.g.
+    ["256x256 fuse tile smart int>=8"]. *)

@@ -23,23 +23,8 @@ let speedup_vs_sequential s =
 
 (* ---------- JSON emission ---------- *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let number v =
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.6g" v
+let escape = Json.escape_string
+let number = Json.number
 
 let field b ~last name value =
   Buffer.add_string b (Printf.sprintf "    \"%s\": %s%s\n" (escape name) value
@@ -91,3 +76,77 @@ let write ~path ?(micro = []) ?(extra = []) ?notes ~sections () =
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
+
+(* ---------- comparison against a previous report ---------- *)
+
+type delta = {
+  name : string;
+  wall_s : float;
+  baseline_wall_s : float;
+  delta_s : float;
+  speedup_vs_baseline : float;
+  regression : bool;
+}
+
+let load_sections ~path =
+  Result.map
+    (fun json ->
+      Json.member "sections" json |> Option.value ~default:(Json.Arr []) |> Json.to_list
+      |> List.filter_map (fun s ->
+             match
+               ( Option.bind (Json.member "name" s) Json.to_string_opt,
+                 Option.bind (Json.member "wall_s" s) Json.to_float )
+             with
+             | Some name, Some wall_s ->
+                 Some
+                   {
+                     name;
+                     wall_s;
+                     minor_words =
+                       Option.bind (Json.member "minor_words" s) Json.to_float
+                       |> Option.value ~default:0.0;
+                     seq_wall_s = Option.bind (Json.member "seq_wall_s" s) Json.to_float;
+                   }
+             | _ -> None))
+    (Json.of_file path)
+
+let load_extra ~path =
+  Result.map
+    (fun json ->
+      match json with
+      | Json.Obj fields ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+            fields
+      | _ -> [])
+    (Json.of_file path)
+
+let compare ?(tolerance = 0.10) ~baseline sections =
+  Result.map
+    (fun old_sections ->
+      List.filter_map
+        (fun (s : section) ->
+          List.find_opt (fun (o : section) -> String.equal o.name s.name) old_sections
+          |> Option.map (fun (o : section) ->
+                 {
+                   name = s.name;
+                   wall_s = s.wall_s;
+                   baseline_wall_s = o.wall_s;
+                   delta_s = s.wall_s -. o.wall_s;
+                   speedup_vs_baseline =
+                     (if s.wall_s > 0.0 then o.wall_s /. s.wall_s else Float.infinity);
+                   regression = s.wall_s > o.wall_s *. (1.0 +. tolerance);
+                 }))
+        sections)
+    (load_sections ~path:baseline)
+
+let delta_fields deltas =
+  List.concat_map
+    (fun d ->
+      [
+        (d.name ^ "_baseline_wall_s", d.baseline_wall_s);
+        (d.name ^ "_delta_s", d.delta_s);
+        (d.name ^ "_speedup_vs_baseline", d.speedup_vs_baseline);
+        (d.name ^ "_regression", if d.regression then 1.0 else 0.0);
+      ])
+    deltas

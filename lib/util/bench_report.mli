@@ -34,3 +34,39 @@ val write :
     [(name, ns per run)]; [extra] holds free-form numeric facts (e.g. a
     recorded baseline). Always records the domain count ({!Pool.size})
     and whether the pool was forced sequential. *)
+
+(** {1 Comparing against a previous report}
+
+    The driver binaries historically computed speedups against recorded
+    baselines with ad-hoc float arithmetic; [compare] centralises it:
+    load the previous [BENCH_*.json], match sections by name, and emit
+    per-entry delta/regression fields ready for [write]'s [~extra]. *)
+
+type delta = {
+  name : string;  (** section name present in both reports *)
+  wall_s : float;  (** this run *)
+  baseline_wall_s : float;  (** previous report *)
+  delta_s : float;  (** [wall_s - baseline_wall_s] *)
+  speedup_vs_baseline : float;  (** [baseline_wall_s / wall_s] *)
+  regression : bool;  (** this run slower than baseline by more than the tolerance *)
+}
+
+val load_sections : path:string -> (section list, string) result
+(** Read the [sections] array of a previously written report.
+    [seq_wall_s] round-trips; derived fields are ignored. *)
+
+val load_extra : path:string -> ((string * float) list, string) result
+(** Top-level numeric fields of a previously written report (the
+    [~extra] values, plus [domains]). *)
+
+val compare :
+  ?tolerance:float -> baseline:string -> section list -> (delta list, string) result
+(** Match [sections] by name against the report at [baseline] (a path).
+    Sections missing from either side are skipped. [tolerance]
+    (default 0.10) is the relative slowdown above which [regression]
+    is set. [Error] reports an unreadable or malformed baseline. *)
+
+val delta_fields : delta list -> (string * float) list
+(** Flatten deltas for [write ~extra]: per section,
+    [<name>_baseline_wall_s], [<name>_delta_s],
+    [<name>_speedup_vs_baseline] and [<name>_regression] (0/1). *)

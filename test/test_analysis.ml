@@ -429,6 +429,26 @@ void copy(float A[8], float B[8]) {
   Alcotest.(check bool) "no candidates, no warning" false
     (has_code "W006" (Lint.run ~config:faulty (lower copy_src)))
 
+let test_lint_tile_exceeds_device () =
+  (* a tuned configuration compiled for a 256-wide crossbar produces
+     128x128 tiles of gemm-128's pinned operand; on a 64x64 device the
+     runtime library must re-tile every launch *)
+  let small_device =
+    { Lint.default_config with Lint.device_rows = Some 64; device_cols = Some 64 }
+  in
+  let ds = Lint.run ~config:small_device (lower (gemm_src 128)) in
+  Alcotest.(check bool) "W007 raised" true (has_code "W007" ds);
+  check_mentions "W007" (message_with "W007" ds) [ "64x64"; "128x128" ];
+  (* same geometry on both sides: the tile always fits the device *)
+  Alcotest.(check bool) "matching device not flagged" false
+    (has_code "W007" (Lint.run (lower (gemm_src 128))));
+  (* a kernel smaller than the device cannot overflow it either *)
+  let tiny_device =
+    { Lint.default_config with Lint.device_rows = Some 32; device_cols = Some 32 }
+  in
+  Alcotest.(check bool) "small kernel fits small device" false
+    (has_code "W007" (Lint.run ~config:tiny_device (lower (gemm_src 24))))
+
 (* ---------- pipeline integration: verify-each ---------- *)
 
 let compile_checked ?(config = Offload.default_config) src =
@@ -609,6 +629,7 @@ let suites =
         Alcotest.test_case "explain scop failure" `Quick test_lint_explains_scop_failure;
         Alcotest.test_case "endurance budget" `Quick test_lint_endurance_budget;
         Alcotest.test_case "unguarded faulty offload" `Quick test_lint_unguarded_faulty_offload;
+        Alcotest.test_case "tile exceeds device crossbar" `Quick test_lint_tile_exceeds_device;
       ] );
     ( "analysis.pipeline",
       [

@@ -365,6 +365,45 @@ void mv(float y[24], float A[24][24], float x[24]) {
   | Some r -> Alcotest.(check int) "skipped" 1 r.Offload.skipped_low_intensity);
   Alcotest.(check bool) "stays on the host" false (Ir.contains_cim_calls f')
 
+let test_pipeline_fused_group_intensity () =
+  (* two GEMMs sharing A: fused intensity = 2*16^3 / (16*16) = 32
+     MACs/write (A programmed once for the batch); each member alone
+     only reaches 16. A threshold between the two must keep the fused
+     batch on the device and, with fusion disabled, skip both. *)
+  let src =
+    {|
+void pair(float C[16][16], float D[16][16], float A[16][16], float B[16][16], float E[16][16]) {
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      for (int k = 0; k < 16; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      for (int k = 0; k < 16; k++)
+        D[i][j] += A[i][k] * E[k][j];
+}
+|}
+  in
+  let f = Lower.func (Parser.parse_func src) in
+  let threshold = Some 20.0 in
+  let fused_cfg = { Offload.default_config with Offload.min_intensity = threshold } in
+  let f_fused, report_fused = Pipeline.run ~config:fused_cfg f in
+  (match report_fused with
+  | None -> Alcotest.fail "scop not detected"
+  | Some r ->
+      Alcotest.(check int) "batch clears the threshold" 0 r.Offload.skipped_low_intensity;
+      Alcotest.(check int) "both offloaded" 2 r.Offload.kernels_offloaded;
+      Alcotest.(check int) "as one batch" 1 r.Offload.fused_groups);
+  Alcotest.(check bool) "device used when fused" true (Ir.contains_cim_calls f_fused);
+  let solo_cfg = { fused_cfg with Offload.enable_fusion = false } in
+  let f_solo, report_solo = Pipeline.run ~config:solo_cfg f in
+  (match report_solo with
+  | None -> Alcotest.fail "scop not detected"
+  | Some r ->
+      Alcotest.(check int) "members alone are skipped" 2 r.Offload.skipped_low_intensity;
+      Alcotest.(check int) "nothing offloaded" 0 r.Offload.kernels_offloaded);
+  Alcotest.(check bool) "stays on the host unfused" false (Ir.contains_cim_calls f_solo)
+
 let test_pipeline_2mm_dataflow () =
   (* tmp = A*B; D = tmp*C: dependent kernels, both offloaded, tmp must
      stay consistent between them *)
@@ -489,6 +528,7 @@ let suites =
           test_pipeline_fusion_respects_dependences;
         Alcotest.test_case "tiling (Listing 3)" `Quick test_pipeline_tiling_listing3;
         Alcotest.test_case "selective offload" `Quick test_pipeline_selective_skips_gemv;
+        Alcotest.test_case "fused-group intensity" `Quick test_pipeline_fused_group_intensity;
         Alcotest.test_case "2mm dataflow" `Quick test_pipeline_2mm_dataflow;
         Alcotest.test_case "conv via im2col" `Quick test_pipeline_conv_offloaded;
         QCheck_alcotest.to_alcotest qcheck_pipeline_preserves_semantics;

@@ -165,4 +165,105 @@ let test_pretty_alignment () =
 let alignment_suite =
   ("util.alignment", [ Alcotest.test_case "column alignment" `Quick test_pretty_alignment ])
 
-let suites = suites @ [ alignment_suite ]
+(* ---------- Json: the hand-rolled parser behind reports and the tuning db ---------- *)
+
+let test_json_parse () =
+  match Json.parse {| {"a": [1, 2.5, -3e2], "b": "x\n\"y\"", "c": null, "d": true} |} with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      let mem k = match Json.member k j with Some v -> v | None -> Alcotest.failf "missing %s" k in
+      let num v = match Json.to_float v with Some f -> f | None -> Alcotest.fail "not a number" in
+      let a = Json.to_list (mem "a") in
+      Alcotest.(check (float 1e-9)) "int" 1.0 (num (List.nth a 0));
+      Alcotest.(check (float 1e-9)) "float" 2.5 (num (List.nth a 1));
+      Alcotest.(check (float 1e-6)) "exponent" (-300.0) (num (List.nth a 2));
+      (match Json.to_string_opt (mem "b") with
+      | Some s -> Alcotest.(check string) "escapes" "x\n\"y\"" s
+      | None -> Alcotest.fail "b not a string");
+      Alcotest.(check bool) "null" true (mem "c" = Json.Null);
+      Alcotest.(check bool) "bool" true (mem "d" = Json.Bool true)
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "{} trailing" ]
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("name", Json.Str "tune \"quoted\"\n");
+        ("xs", Json.Arr [ Json.Num 1.0; Json.Num (-2.25); Json.Null; Json.Bool false ]);
+        ("empty", Json.Arr []);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "print/parse roundtrip" true (j = j')
+  | Error m -> Alcotest.fail m
+
+(* ---------- Bench_report.compare: report-vs-report deltas ---------- *)
+
+let test_bench_report_compare () =
+  let baseline_path = Filename.temp_file "tdo_bench_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove baseline_path with Sys_error _ -> ())
+    (fun () ->
+      let sec name wall_s =
+        { Bench_report.name; wall_s; minor_words = 10.0; seq_wall_s = Some (2.0 *. wall_s) }
+      in
+      Bench_report.write ~path:baseline_path ~extra:[ ("k", 3.5) ]
+        ~sections:[ sec "fig6" 2.0; sec "fig5" 1.0; sec "gone" 4.0 ] ();
+      (match Bench_report.load_sections ~path:baseline_path with
+      | Error m -> Alcotest.fail m
+      | Ok secs ->
+          Alcotest.(check int) "sections round-trip" 3 (List.length secs);
+          let s = List.find (fun (s : Bench_report.section) -> s.name = "fig6") secs in
+          Alcotest.(check (float 1e-9)) "wall_s round-trips" 2.0 s.Bench_report.wall_s;
+          Alcotest.(check bool) "seq_wall_s round-trips" true (s.seq_wall_s = Some 4.0));
+      (match Bench_report.load_extra ~path:baseline_path with
+      | Error m -> Alcotest.fail m
+      | Ok extra ->
+          Alcotest.(check (float 1e-9)) "extra round-trips" 3.5 (List.assoc "k" extra));
+      let current = [ sec "fig6" 1.0; sec "fig5" 1.5; sec "new" 9.0 ] in
+      match Bench_report.compare ~tolerance:0.10 ~baseline:baseline_path current with
+      | Error m -> Alcotest.fail m
+      | Ok deltas ->
+          Alcotest.(check int) "only common sections compared" 2 (List.length deltas);
+          let d name = List.find (fun (d : Bench_report.delta) -> d.name = name) deltas in
+          let fig6 = d "fig6" in
+          Alcotest.(check (float 1e-9)) "speedup" 2.0 fig6.Bench_report.speedup_vs_baseline;
+          Alcotest.(check (float 1e-9)) "delta" (-1.0) fig6.Bench_report.delta_s;
+          Alcotest.(check bool) "faster is not a regression" false fig6.Bench_report.regression;
+          let fig5 = d "fig5" in
+          Alcotest.(check bool) "50% slower is a regression" true fig5.Bench_report.regression;
+          let fields = Bench_report.delta_fields deltas in
+          Alcotest.(check (float 1e-9)) "flattened speedup" 2.0
+            (List.assoc "fig6_speedup_vs_baseline" fields);
+          Alcotest.(check (float 1e-9)) "flattened regression flag" 1.0
+            (List.assoc "fig5_regression" fields))
+
+let test_bench_report_compare_missing_baseline () =
+  match Bench_report.compare ~baseline:"/nonexistent/bench.json" [] with
+  | Ok _ -> Alcotest.fail "missing baseline accepted"
+  | Error _ -> ()
+
+let json_suite =
+  ( "util.json",
+    [
+      Alcotest.test_case "parse" `Quick test_json_parse;
+      Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+      Alcotest.test_case "print/parse roundtrip" `Quick test_json_roundtrip;
+    ] )
+
+let bench_report_suite =
+  ( "util.bench_report",
+    [
+      Alcotest.test_case "compare against baseline report" `Quick test_bench_report_compare;
+      Alcotest.test_case "missing baseline is an error" `Quick
+        test_bench_report_compare_missing_baseline;
+    ] )
+
+let suites = suites @ [ alignment_suite; json_suite; bench_report_suite ]
