@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json serve-bench reliab-bench tune-bench clean
+.PHONY: all build test lint bench bench-json serve-bench reliab-bench tune-bench clean
 
 all: build
 
@@ -7,6 +7,13 @@ build:
 
 test:
 	dune runtest
+
+# Lint CI gate: PolyBench + workload sources against the
+# expected-warnings manifest (bin/lintsweep.ml), compiled IR clean
+# under the IR-mode rules, and the crafted W008/W009/W010 examples
+# firing under --Wall --Werror. Also part of `dune runtest`.
+lint:
+	dune build @lint
 
 bench:
 	dune exec bench/main.exe -- bench

@@ -1,0 +1,8 @@
+void gemm(float alpha, float beta, float C[16][16], float A[16][16], float B[16][16]) {
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++) {
+      C[i][j] *= beta;
+      for (int k = 0; k < 16; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}

@@ -1,0 +1,18 @@
+/* W008: the third kernel re-pins A, unchanged since the first kernel
+   programmed it, after the middle kernel evicted the pin. Reordering
+   the second kernel last (or first) removes the re-program. */
+void w008(float C1[8][8], float C2[8][12], float C3[8][8],
+          float A[8][8], float B[8][8], float D[8][12], float E[12][12], float B2[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      for (int k = 0; k < 8; k++)
+        C1[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 12; j++)
+      for (int k = 0; k < 12; k++)
+        C2[i][j] += D[i][k] * E[k][j];
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      for (int k = 0; k < 8; k++)
+        C3[i][j] += A[i][k] * B2[k][j];
+}

@@ -1,0 +1,12 @@
+/* W009: the copy loop reads C on the host while C's freshest value is
+   the offloaded kernel's device-side result; a cim_d2h copy-back must
+   separate them. */
+void w009(float C[16][16], float S[16][16], float A[16][16], float B[16][16]) {
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      for (int k = 0; k < 16; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      S[i][j] = C[i][j];
+}

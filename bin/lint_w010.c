@@ -1,0 +1,10 @@
+/* W010: iterator t appears in no subscript — every trip re-launches
+   (and may re-program) the identical kernel; hoist it, or scale the
+   accumulation by the trip count. */
+void w010(float C[8][8], float A[8][8], float B[8][8]) {
+  for (int t = 0; t < 4; t++)
+    for (int i = 0; i < 8; i++)
+      for (int j = 0; j < 8; j++)
+        for (int k = 0; k < 8; k++)
+          C[i][j] += A[i][k] * B[k][j];
+}

@@ -1,0 +1,65 @@
+(* lintsweep: the lint CI gate.
+
+   Runs the whole lint pass over the PolyBench suite and the paper's
+   workload sources against an expected-warnings manifest, then runs
+   the IR-mode rules (Lint.offload_ir) over each kernel's compiled
+   output, which must be clean: the compiler's own emission respects
+   the pin-reuse and coherence discipline the lints check. Exits
+   non-zero on any deviation, so a lint regression (false positive or
+   lost warning) fails `dune runtest` / `make lint`. *)
+
+module Diag = Tdo_analysis.Diag
+module Lint = Tdo_analysis.Lint
+module Kernels = Tdo_polybench.Kernels
+
+(* (name, source, expected warning codes). GEMV-class kernels carry
+   exactly their selective-offload W001; gemm at n=512 programs enough
+   cells per invocation to trip the endurance budget (W003); everything
+   else — including Listing 2's two GEMMs sharing A, which the engine
+   serves with adjacent pin reuse — is warning-free. *)
+let manifest =
+  List.map
+    (fun (b : Kernels.benchmark) ->
+      let expected = match b.Kernels.kind with Kernels.Gemv_like -> [ "W001" ] | Kernels.Gemm_like -> [] in
+      (b.Kernels.name, b.Kernels.source ~n:16, expected))
+    Kernels.all
+  @ [
+      ("listing1-gemm", Tdo_cim.Workloads.gemm_source ~n:16, []);
+      ("listing1-gemm-512", Tdo_cim.Workloads.gemm_source ~n:512, [ "W003" ]);
+      ("listing2", Tdo_cim.Workloads.listing2_source ~n:16, []);
+    ]
+
+let warning_codes ds =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (d : Diag.t) ->
+         if d.Diag.severity = Diag.Warning then Some d.Diag.code else None)
+       ds)
+
+let () =
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> incr failures; Printf.printf "FAIL %s\n" s) fmt in
+  List.iter
+    (fun (name, source, expected) ->
+      let f0 = Tdo_ir.Lower.func (Tdo_lang.Parser.parse_func source) in
+      let got = warning_codes (Lint.run f0) in
+      if got <> List.sort_uniq compare expected then
+        fail "%s: warnings [%s], manifest says [%s]" name (String.concat "," got)
+          (String.concat "," expected)
+      else Printf.printf "ok   %-17s src [%s]\n" name (String.concat "," got);
+      let options =
+        { Tdo_cim.Flow.enable_loop_tactics = true; tactics = Tdo_tactics.Offload.default_config }
+      in
+      let compiled, _ = Tdo_cim.Flow.compile ~options source in
+      match Lint.offload_ir compiled with
+      | [] -> Printf.printf "ok   %-17s compiled IR clean\n" name
+      | ds ->
+          fail "%s: compiled IR not clean: [%s]" name
+            (String.concat ","
+               (List.map (fun (d : Diag.t) -> d.Diag.code ^ " " ^ d.Diag.message) ds)))
+    manifest;
+  if !failures > 0 then begin
+    Printf.printf "lintsweep: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "lintsweep: corpus matches the manifest"

@@ -70,6 +70,22 @@ let wall_flag =
     value & flag
     & info [ "Wall" ] ~doc:"With $(b,--lint): also print the informational notes (N0xx).")
 
+let werror_flag =
+  Arg.(
+    value & flag
+    & info [ "Werror" ]
+        ~doc:
+          "Promote warnings to errors: if any lint warning is emitted, tdoc exits with code 2. \
+           Implies $(b,--lint).")
+
+let depgraph_flag =
+  Arg.(
+    value & flag
+    & info [ "depgraph" ]
+        ~doc:
+          "Print the kernel dependence graph of the detected SCoP (RAW/WAR/WAW edges between \
+           top-level events, from region-footprint overlap) as GraphViz DOT and exit.")
+
 let verify_flag =
   Arg.(
     value & flag
@@ -142,9 +158,10 @@ let execute ~seed f =
       m.Flow.launches m.Flow.cim_macs m.Flow.cim_write_bytes m.Flow.macs_per_cim_write
   else print_endline "CIM: not used (host only)"
 
-let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint wall verify explain
-    tune tune_db =
+let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint wall werror
+    depgraph verify explain tune tune_db =
   ignore o3;
+  let lint = lint || werror in
   let source = In_channel.with_open_text file In_channel.input_all in
   let tcfg = { Offload.default_config with Offload.naive_pin; min_intensity } in
   (* --tune / --tune-db only make sense with the tactics pipeline on *)
@@ -216,11 +233,22 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint 
       exit 1
   | compiled ->
       let f = compiled.Flow.func in
+      if depgraph then begin
+        let f0 = Tdo_ir.Lower.func (Tdo_lang.Parser.parse_func source) in
+        match Tdo_poly.Scop_detect.detect_func f0 with
+        | Ok t ->
+            print_string (Tdo_analysis.Depgraph.to_dot (Tdo_analysis.Depgraph.of_tree t));
+            exit 0
+        | Error msg ->
+            Printf.eprintf "%s: no dependence graph: SCoP detection failed: %s\n" file msg;
+            exit 1
+      end;
       let rejected =
         match compiled.Flow.outcome with Some (Pipeline.Rejected _) -> true | _ -> false
       in
       if verify && compiled.Flow.diagnostics <> [] then
-        Format.printf "%a@." Diag.pp_list (Diag.by_severity compiled.Flow.diagnostics);
+        Format.printf "%a@." Diag.pp_list
+          (Diag.by_severity (Diag.canonical compiled.Flow.diagnostics));
       if rejected then
         Printf.eprintf "%s: verification rejected the rewrite; keeping the host path\n" file;
       let tactics_report =
@@ -229,6 +257,7 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint 
       let offloaded =
         match tactics_report with Some r -> r.Offload.kernels_offloaded > 0 | None -> false
       in
+      let saw_warning = ref false in
       if lint || wall || (explain && not offloaded) then begin
         let f0 = Tdo_ir.Lower.func (Tdo_lang.Parser.parse_func source) in
         let etcfg = match !resolved with Some c -> c | None -> tcfg in
@@ -246,15 +275,20 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint 
             device_cols = Some device_cols;
           }
         in
-        let ds = Lint.run ~config:lcfg f0 in
+        let ds =
+          Lint.run ~config:lcfg f0
+          @ if Tdo_ir.Ir.contains_cim_calls f then Lint.offload_ir ~config:lcfg f else []
+        in
         let shown =
           List.filter
             (fun (d : Diag.t) ->
               match d.Diag.severity with
               | Diag.Error | Diag.Warning -> lint || wall || explain
               | Diag.Note -> wall || explain)
-            ds
+            (Diag.canonical ds)
         in
+        if List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Warning) shown then
+          saw_warning := true;
         if shown <> [] then Format.printf "%a@." Diag.pp_list (Diag.by_severity shown)
         else if lint || wall then Printf.printf "lint: clean\n"
       end;
@@ -278,14 +312,24 @@ let run file o3 tactics emit_ir report naive_pin min_intensity do_run seed lint 
       then
         Printf.printf "compiled %s (%s)\n" file
           (if Tdo_ir.Ir.contains_cim_calls f then "with CIM offload" else "host only");
-      if rejected || (verify && Diag.errors compiled.Flow.diagnostics <> []) then exit 1
+      if rejected || (verify && Diag.errors compiled.Flow.diagnostics <> []) then exit 1;
+      if werror && !saw_warning then exit 2
 
 let cmd =
-  let info = Cmd.info "tdoc" ~doc:"TDO-CIM compiler driver." in
+  let exits =
+    Cmd.Exit.info 1
+      ~doc:
+        "on errors: lexical, syntax or type errors in the source; verification rejecting the \
+         rewrite; SCoP detection failing under $(b,--depgraph); or an unreadable tuning \
+         database."
+    :: Cmd.Exit.info 2 ~doc:"when $(b,--Werror) is set and at least one lint warning was emitted."
+    :: Cmd.Exit.defaults
+  in
+  let info = Cmd.info "tdoc" ~doc:"TDO-CIM compiler driver." ~exits in
   Cmd.v info
     Term.(
       const run $ file_arg $ o3_flag $ tactics_flag $ emit_ir_flag $ report_flag
       $ naive_pin_flag $ selective_arg $ run_flag $ seed_arg $ lint_flag $ wall_flag
-      $ verify_flag $ explain_flag $ tune_flag $ tune_db_arg)
+      $ werror_flag $ depgraph_flag $ verify_flag $ explain_flag $ tune_flag $ tune_db_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -97,6 +97,15 @@ let check_mat_ref ~extents ~dims (r : Ir.mat_ref) =
                 (Affine.add co (Affine.const (cols - 1)))
         | _ -> [])
 
+let degenerate_loop ~var ~lo ~hi =
+  Diag.errorf "E204"
+    ~hint:
+      "an empty loop makes every legality and bounds conclusion about its body vacuous; fix the \
+       bounds or delete the loop"
+    "degenerate loop: 'for (%s = %d; %s < %d)' has an empty iteration space (trip count %d)" var
+    lo var hi
+    (max 0 (hi - lo))
+
 let call_mat_refs = function
   | Ir.Cim_gemm { a; b; c; _ } -> [ a; b; c ]
   | Ir.Cim_gemm_batched { batch; _ } -> List.concat_map (fun (a, b, c) -> [ a; b; c ]) batch
@@ -119,15 +128,16 @@ let func (f : Ir.func) =
   in
   let rec walk extents (stmt : Ir.stmt) =
     match stmt with
-    | Ir.For { var; lo; hi; step; body } ->
-        let extents' =
-          match (const_of_expr lo, const_of_expr hi) with
-          | Some l, Some h when step > 0 && h > l ->
-              let last = l + (step * ((h - 1 - l) / step)) in
-              (var, (l, last)) :: extents
-          | _ -> extents
-        in
-        List.iter (walk extents') body
+    | Ir.For { var; lo; hi; step; body } -> (
+        match (const_of_expr lo, const_of_expr hi) with
+        | Some l, Some h when h <= l ->
+            (* the body never executes: any legality or bounds claim
+               about it would be vacuous, so reject instead of walking *)
+            emit [ degenerate_loop ~var ~lo:l ~hi:h ]
+        | Some l, Some h when step > 0 ->
+            let last = l + (step * ((h - 1 - l) / step)) in
+            List.iter (walk ((var, (l, last)) :: extents)) body
+        | _ -> List.iter (walk extents) body)
     | Ir.Assign { lhs; rhs; _ } ->
         List.iter (fun a -> emit (check_access ~extents ~dims:!dims a)) (accesses_of_assign lhs rhs)
     | Ir.Decl_array { name; dims = ds } -> dims := (name, ds) :: !dims
@@ -175,4 +185,16 @@ let tree ?(dims = []) t =
         List.concat_map (calls extents') body
     | _ -> []
   in
-  List.concat_map of_stmt (St.stmts_with_context t) @ List.concat_map (calls []) (code_stmts t)
+  let rec degenerate_bands = function
+    | St.Band (b, c) ->
+        (match (Affine.is_constant b.St.lo, Affine.is_constant b.St.hi) with
+        | Some l, Some h when h <= l -> [ degenerate_loop ~var:b.St.iter ~lo:l ~hi:h ]
+        | _ -> [])
+        @ degenerate_bands c
+    | St.Seq cs -> List.concat_map degenerate_bands cs
+    | St.Mark (_, c) -> degenerate_bands c
+    | St.Stmt _ | St.Code _ -> []
+  in
+  degenerate_bands t
+  @ List.concat_map of_stmt (St.stmts_with_context t)
+  @ List.concat_map (calls []) (code_stmts t)

@@ -21,6 +21,19 @@ let has_errors ds = List.exists is_error ds
 let rank = function Error -> 0 | Warning -> 1 | Note -> 2
 let by_severity ds = List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) ds
 
+let canonical ds =
+  List.sort_uniq
+    (fun a b ->
+      let c = compare a.code b.code in
+      if c <> 0 then c
+      else
+        let c = compare a.message b.message in
+        if c <> 0 then c
+        else
+          let c = compare (rank a.severity) (rank b.severity) in
+          if c <> 0 then c else compare a.fix_hint b.fix_hint)
+    ds
+
 let severity_label = function Error -> "error" | Warning -> "warning" | Note -> "note"
 
 let pp ppf d =

@@ -33,6 +33,12 @@ val has_errors : t list -> bool
 val by_severity : t list -> t list
 (** Stable sort, errors first. *)
 
+val canonical : t list -> t list
+(** Deterministic presentation order: sorted by (code, message) —
+    messages embed the location (statement ids, array names) — then
+    severity and hint, with exact duplicates removed. Printing a
+    canonicalised list is byte-stable across runs. *)
+
 val severity_label : severity -> string
 val pp : Format.formatter -> t -> unit
 val pp_list : Format.formatter -> t list -> unit

@@ -198,7 +198,7 @@ let check_stmt_level ~before ~after =
           if pos1 < pos2 && sid1 <> sid2 then
             match (List.assoc_opt sid1 a_idx, List.assoc_opt sid2 a_idx) with
             | Some (apos1, _, _), Some (apos2, _, _) when apos1 > apos2 ->
-                if not (Deps.independent (wrap bands1 s1) (wrap bands2 s2)) then
+                if not (Depgraph.independent_trees (wrap bands1 s1) (wrap bands2 s2)) then
                   let arrays = stmt_conflicts s1 s2 in
                   emit
                     (Diag.errorf "E101"
@@ -227,23 +227,28 @@ let rec tree_calls = function
 
 let check_batched after =
   let diags = ref [] in
+  let region r = Regions.mat_ref_region ~env:[] r in
+  let conflicts (x : Ir.mat_ref) (y : Ir.mat_ref) =
+    String.equal x.Ir.array y.Ir.array && Regions.overlap (region x) (region y)
+  in
   List.iter
     (fun call ->
       match call with
       | Ir.Cim_gemm_batched { batch; _ } ->
           let entries = List.mapi (fun i (a, b, c) -> (i, a, b, c)) batch in
-          let name (r : Ir.mat_ref) = r.Ir.array in
           List.iter
             (fun (i, ai, bi, ci) ->
               List.iter
                 (fun (j, aj, bj, cj) ->
                   if i < j then
                     (* entry j's inputs/output vs entry i's output, and
-                       entry i's inputs vs entry j's output: any overlap
-                       makes the parallel launch order-sensitive. *)
+                       entry i's inputs vs entry j's output: overlapping
+                       operand windows make the parallel launch
+                       order-sensitive (disjoint tiles of one array are
+                       fine, whole-window aliasing is not). *)
                     let conflict =
-                      if List.mem (name ci) [ name aj; name bj; name cj ] then Some (name ci)
-                      else if List.mem (name cj) [ name ai; name bi ] then Some (name cj)
+                      if List.exists (conflicts ci) [ aj; bj; cj ] then Some ci.Ir.array
+                      else if List.exists (conflicts cj) [ ai; bi ] then Some cj.Ir.array
                       else None
                     in
                     match conflict with
@@ -323,7 +328,7 @@ let check_dataflow ~before ~after =
     for j = i + 1 to n - 1 do
       let ti, (_, wi) = evb.(i) and tj, (rj, wj) = evb.(j) in
       let carried = Strings.inter wi rj in
-      if (not (Strings.is_empty carried)) && not (Deps.independent ti tj) then
+      if (not (Strings.is_empty carried)) && not (Depgraph.independent_trees ti tj) then
         Strings.iter
           (fun a ->
             Strings.iter

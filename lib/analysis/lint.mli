@@ -21,6 +21,23 @@
       compile configuration's geometry (e.g. a tuned one) produces
       tiles larger than the device's array, so every launch is re-tiled
       by the runtime library instead of mapping 1:1.
+    - {b W008} redundant crossbar re-program (missed pin): a kernel
+      re-programs an operand window that an earlier kernel already
+      programmed and that nothing overwrote in between — an unrelated
+      pin evicted it. Replays the engine's generation-keyed single-slot
+      reuse check, the same model {!Tdo_tactics.Offload.plan} prices,
+      so a W008 program shows strictly larger
+      {!Tdo_tune.Cost_model.write_bytes} than its reordered variant.
+    - {b W009} stale host read: a host statement (or the caller, at
+      function exit) reads an array whose freshest value a device
+      kernel produced, with no [cim_d2h] copy-back in between. At
+      source level this is an event-order walk; over explicit runtime
+      calls it is the {!Dataflow.reaching_definitions} device-placement
+      analysis.
+    - {b W010} loop-invariant offload: an offloadable kernel (or an
+      explicit [cim_gemm]) sits under a loop iterator that appears in
+      none of its subscripts/operand windows — every iteration
+      re-launches the identical kernel.
     - {b N001} why SCoP detection failed, translating the detector's
       obstruction into an actionable note ([--explain-no-offload]).
     - {b N002} SCoP detected but nothing looked offloadable. *)
@@ -52,8 +69,16 @@ val func : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
 (** Dead-store / unused-array rules (W004, W005). *)
 
 val tree : ?config:config -> Tdo_poly.Schedule_tree.t -> Diag.t list
-(** Profitability, overflow and endurance rules (W001-W003) over the
-    accumulation kernels of a detected SCoP. *)
+(** Profitability, overflow and endurance rules (W001-W003, W010) over
+    the accumulation kernels of a detected SCoP, then the cross-kernel
+    pinning/coherence replay (W008, W009) over its top-level events. *)
+
+val offload_ir : ?config:config -> Tdo_ir.Ir.func -> Diag.t list
+(** IR-mode rules over explicit runtime calls (compiled or hand-written
+    offload code): W009 via reaching definitions with host/device
+    placement, W008/W010 by replaying the engine's pin-reuse discipline
+    over [cim_gemm] launches (loop bodies containing calls are walked
+    twice so loop-carried evictions are observed; duplicates merged). *)
 
 val explain_scop_failure : string -> Diag.t list
 (** Translate a {!Tdo_poly.Scop_detect} error message into N001 notes. *)

@@ -180,7 +180,7 @@ let group_segments config segments =
           match rest with
           | Sgemm (g', t') :: tail
             when compatible g g'
-                 && List.for_all (fun prev -> Deps.independent prev t') trees
+                 && List.for_all (fun prev -> Tdo_analysis.Depgraph.independent_trees prev t') trees
                  && fits config (group_pin config (kernels @ [ g' ])) g' ->
               absorb (kernels @ [ g' ]) (trees @ [ t' ]) tail
           | _ -> (kernels, trees, rest)
@@ -676,7 +676,11 @@ let plan config (f : Ir.func) =
           (* every pinned element is written once per program: k rows per
              column chunk, k x outer cells in total *)
           rows_programmed = t.rows_programmed + (programs * col_chunks * k);
-          cells_programmed = t.cells_programmed + (programs * k * outer);
+          (* the pinned operand window is exactly [k x outer] cells, so
+             price it off the region the analyzer sees: the tuner's
+             write-bytes model and the W008 lint stay in agreement *)
+          cells_programmed =
+            t.cells_programmed + (programs * Tdo_analysis.Regions.mat_ref_cells p);
           gemv_passes = t.gemv_passes + passes;
           gemv_row_passes = t.gemv_row_passes + (passes * k_active);
           device_macs = t.device_macs + (mult * m * n * k);

@@ -43,6 +43,8 @@ let predict_cycles model plan =
 
 let predict_write_bytes (p : Offload.plan) = p.Offload.cells_programmed
 
+let write_bytes config f = (Offload.plan config f).Offload.cells_programmed
+
 let predict_energy_j ?(table = Table1.ibm_pcm_a7) (p : Offload.plan) =
   (float_of_int p.Offload.device_macs *. table.Table1.crossbar_compute_j_per_mac)
   +. (float_of_int p.Offload.cells_programmed *. table.Table1.crossbar_write_j_per_byte)

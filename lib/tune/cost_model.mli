@@ -28,6 +28,14 @@ val predict_cycles : t -> Offload.plan -> float
 val predict_write_bytes : Offload.plan -> int
 (** Crossbar bytes programmed — exact for compiler-shaped plans. *)
 
+val write_bytes : Offload.config -> Tdo_ir.Ir.func -> int
+(** Crossbar bytes the whole function programs under [config]: the
+    {!Offload.plan} census, which prices each (re)program off the
+    pinned operand's {!Tdo_analysis.Regions.mat_ref_cells} region. The
+    W008 redundant-reprogram lint counts generations with the same
+    region keys, so a program flagged by W008 shows strictly larger
+    [write_bytes] than its hoisted/reordered variant. *)
+
 val predict_energy_j : ?table:Tdo_energy.Table1.t -> Offload.plan -> float
 (** Table-I pricing of the plan's device counters plus the host term
     (host ops standing in for instructions). *)

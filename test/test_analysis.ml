@@ -543,6 +543,288 @@ let test_lint_corpus_clean_and_selective () =
           Alcotest.(check bool) (b.Kernels.name ^ " not flagged") false flagged)
     Kernels.all
 
+(* ---------- dataflow solver ---------- *)
+
+let mk_param name dims = { Ast.pname = name; ptyp = Ast.Tfloat; dims }
+let whole name n = Ir.mat_ref_whole ~array:name ~rows:n ~cols:n ()
+
+let loop var n body = Ir.For { var; lo = Ast.Int_lit 0; hi = Ast.Int_lit n; step = 1; body }
+
+let gemm_call ?(pin = Ir.Pin_a) a b c n =
+  Ir.Call
+    (Ir.Cim_gemm
+       {
+         m = n;
+         n;
+         k = n;
+         alpha = Ast.Float_lit 1.0;
+         beta = Ast.Float_lit 1.0;
+         a = whole a n;
+         b = whole b n;
+         c = whole c n;
+         pin;
+       })
+
+let copy_stmt ~dst ~src =
+  Ir.Assign
+    {
+      lhs = { Ast.base = dst; indices = [ Ast.Var "i"; Ast.Var "j" ] };
+      op = Ast.Set;
+      rhs = Ast.Index (src, [ Ast.Var "i"; Ast.Var "j" ]);
+    }
+
+(* C = A*B on the device, then S[i][j] = C[i][j] on the host; the d2h
+   copy-back decides whether the host read sees a stale value *)
+let device_then_host ~with_d2h =
+  {
+    Ir.name = "df";
+    params = [ mk_param "C" [ 4; 4 ]; mk_param "S" [ 4; 4 ]; mk_param "A" [ 4; 4 ]; mk_param "B" [ 4; 4 ] ];
+    body =
+      [ gemm_call "A" "B" "C" 4 ]
+      @ (if with_d2h then [ Ir.Call (Ir.Cim_d2h { array = "C" }) ] else [])
+      @ [ loop "i" 4 [ loop "j" 4 [ copy_stmt ~dst:"S" ~src:"C" ] ] ];
+  }
+
+let stale_read_reaches f =
+  let g, reach = Dataflow.reaching_definitions f in
+  Array.exists
+    (fun (nd : Dataflow.node) ->
+      match nd.Dataflow.point with
+      | Dataflow.Atom (Ir.Assign _) ->
+          Dataflow.Defs.exists
+            (fun (d : Dataflow.Def.t) -> d.Dataflow.Def.array = "C" && d.Dataflow.Def.on_device)
+            reach.(nd.Dataflow.id)
+      | _ -> false)
+    (Dataflow.nodes g)
+
+let test_dataflow_reaching_definitions () =
+  Alcotest.(check bool) "device def reaches the host read" true
+    (stale_read_reaches (device_then_host ~with_d2h:false));
+  Alcotest.(check bool) "d2h retires the device def" false
+    (stale_read_reaches (device_then_host ~with_d2h:true))
+
+let test_dataflow_liveness () =
+  let f = lower (gemm_src 8) in
+  let _, live = Dataflow.live_arrays f in
+  let ever_read = Array.fold_left Tdo_poly.Deps.Strings.union Tdo_poly.Deps.Strings.empty live in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (a ^ " live somewhere") true (Tdo_poly.Deps.Strings.mem a ever_read))
+    [ "A"; "B"; "C" ]
+
+(* ---------- regions ---------- *)
+
+let test_regions_mat_ref () =
+  let r =
+    { Ir.array = "A"; row_off = Ast.Int_lit 0; col_off = Ast.Int_lit 2; rows = 4; cols = 6; trans = true }
+  in
+  (match Regions.mat_ref_region ~env:[] r with
+  | Regions.Box box ->
+      Alcotest.(check (list (pair int int)))
+        "transposed window swaps extents"
+        [ (0, 5); (2, 5) ]
+        (Tdo_poly.Domain.box_bounds box)
+  | Regions.Top -> Alcotest.fail "expected a box");
+  Alcotest.(check int) "cells agree with the region cardinality" 24 (Regions.mat_ref_cells r)
+
+let test_regions_overlap () =
+  let window row_off rows =
+    Regions.mat_ref_region ~env:[]
+      { Ir.array = "A"; row_off = Ast.Int_lit row_off; col_off = Ast.Int_lit 0; rows; cols = 4; trans = false }
+  in
+  let top = Regions.mat_ref_region ~env:[ ("t", (0, 3)) ]
+      { Ir.array = "A"; row_off = Ast.Binop (Ast.Mul, Ast.Var "u", Ast.Var "u"); col_off = Ast.Int_lit 0; rows = 4; cols = 4; trans = false }
+  in
+  Alcotest.(check bool) "disjoint tiles" false (Regions.overlap (window 0 4) (window 4 4));
+  Alcotest.(check bool) "same tile" true (Regions.overlap (window 0 4) (window 0 4));
+  Alcotest.(check bool) "top is conservative" true (Regions.overlap top (window 0 4))
+
+(* ---------- dependence graph ---------- *)
+
+let source_3mm n =
+  match Kernels.find "3mm" with
+  | Ok b -> b.Kernels.source ~n
+  | Error e -> Alcotest.fail e
+
+let test_depgraph_3mm () =
+  let g = Depgraph.of_tree (tree_of (source_3mm 8)) in
+  Alcotest.(check int) "three kernel events" 3 (List.length g.Depgraph.nodes);
+  Alcotest.(check bool) "E and F kernels commute" true (Depgraph.independent g 0 1);
+  let raw src dst array =
+    List.exists
+      (fun (e : Depgraph.edge) ->
+        e.Depgraph.src = src && e.Depgraph.dst = dst && e.Depgraph.kind = Depgraph.Raw
+        && e.Depgraph.array = array)
+      g.Depgraph.edges
+  in
+  Alcotest.(check bool) "E flows into G" true (raw 0 2 "E");
+  Alcotest.(check bool) "F flows into G" true (raw 1 2 "F");
+  Alcotest.(check bool) "G depends on its producers" false (Depgraph.independent g 0 2);
+  let dot = Depgraph.to_dot g in
+  check_mentions "dot export" dot [ "digraph"; "RAW E"; "RAW F"; "->" ]
+
+let test_depgraph_listing2_independent () =
+  match tree_of (Workloads.listing2_source ~n:8) with
+  | St.Seq [ k1; k2 ] ->
+      Alcotest.(check bool) "listing 2 kernels commute" true (Depgraph.independent_trees k1 k2)
+  | _ -> Alcotest.fail "expected two top-level events"
+
+(* ---------- deterministic diagnostics ---------- *)
+
+let test_diag_canonical () =
+  let w1 = Diag.warningf "W001" "b" in
+  let w1a = Diag.warningf "W001" "a" in
+  let e1 = Diag.errorf "E101" ~hint:"h" "x" in
+  let shuffled = [ w1; e1; w1a; w1; e1 ] in
+  let golden = "error[E101]: x\n  hint: h\nwarning[W001]: a\nwarning[W001]: b" in
+  let render ds = String.concat "\n" (List.map Diag.to_string (Diag.canonical ds)) in
+  Alcotest.(check string) "sorted and deduplicated" golden (render shuffled);
+  Alcotest.(check string) "byte-stable under input order" (render shuffled)
+    (render (List.rev shuffled))
+
+(* ---------- degenerate loop bounds (E204) ---------- *)
+
+let degenerate_src =
+  {|
+void deg(float A[8][8]) {
+  for (int i = 0; i < 8; i++)
+    for (int j = 8; j < 8; j++)
+      A[i][j] += 1.0;
+}
+|}
+
+let test_bounds_degenerate_loop () =
+  let ds = Bounds.func (lower degenerate_src) in
+  Alcotest.(check (list string)) "one dedicated diagnostic" [ "E204" ] (codes ds);
+  check_mentions "E204" (message_with "E204" ds) [ "for (j = 8; j < 8)"; "trip count 0" ];
+  match (compile_checked degenerate_src).Pipeline.outcome with
+  | Pipeline.Rejected ds -> Alcotest.(check bool) "pipeline rejects" true (has_code "E204" ds)
+  | Pipeline.Offloaded _ | Pipeline.Not_scop _ -> Alcotest.fail "expected rejection"
+
+(* ---------- W008 / W009 / W010 ---------- *)
+
+let w008_src ~aba =
+  (* three GEMM kernels; in ABA order the third re-pins A after the
+     D-kernel evicted it, in ABA-reordered (A, A, D) adjacent kernels
+     share the pin *)
+  let k1 = ("C1", "A", "B", 8, 8) and k2 = ("C2", "D", "E", 12, 12) and k3 = ("C3", "A", "B2", 8, 8) in
+  let order = if aba then [ k1; k2; k3 ] else [ k1; k3; k2 ] in
+  let nest (c, a, b, nj, nk) =
+    Printf.sprintf
+      {|  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < %d; j++)
+      for (int k = 0; k < %d; k++)
+        %s[i][j] += %s[i][k] * %s[k][j];
+|}
+      nj nk c a b
+  in
+  Printf.sprintf
+    {|
+void w008(float C1[8][8], float C2[8][12], float C3[8][8],
+          float A[8][8], float B[8][8], float D[8][12], float E[12][12], float B2[8][8]) {
+%s}
+|}
+    (String.concat "" (List.map nest order))
+
+let w009_src =
+  {|
+void w009(float C[16][16], float S[16][16], float A[16][16], float B[16][16]) {
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      for (int k = 0; k < 16; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < 16; i++)
+    for (int j = 0; j < 16; j++)
+      S[i][j] = C[i][j];
+}
+|}
+
+let w010_src =
+  {|
+void w010(float C[8][8], float A[8][8], float B[8][8]) {
+  for (int t = 0; t < 4; t++)
+    for (int i = 0; i < 8; i++)
+      for (int j = 0; j < 8; j++)
+        for (int k = 0; k < 8; k++)
+          C[i][j] += A[i][k] * B[k][j];
+}
+|}
+
+let warning_codes ds =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (d : Diag.t) -> if d.Diag.severity = Diag.Warning then Some d.Diag.code else None)
+       ds)
+
+let test_lint_redundant_reprogram () =
+  let ds = Lint.run (lower (w008_src ~aba:true)) in
+  Alcotest.(check bool) "ABA order flagged" true (has_code "W008" ds);
+  check_mentions "W008" (message_with "W008" ds) [ "'A'"; "S0" ];
+  Alcotest.(check (list string)) "reordered program is clean" []
+    (warning_codes (Lint.run (lower (w008_src ~aba:false))))
+
+let test_lint_stale_host_read () =
+  let ds = Lint.run (lower w009_src) in
+  Alcotest.(check bool) "host copy of the device result flagged" true (has_code "W009" ds);
+  check_mentions "W009" (message_with "W009" ds) [ "'C'"; "S0" ]
+
+let test_lint_loop_invariant_offload () =
+  let ds = Lint.run (lower w010_src) in
+  Alcotest.(check bool) "invariant iterator flagged" true (has_code "W010" ds);
+  check_mentions "W010" (message_with "W010" ds) [ "'t'"; "'C'" ];
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) ("gemm has no " ^ w) false (has_code w (Lint.run (lower (gemm_src 16)))))
+    [ "W008"; "W009"; "W010" ]
+
+let test_lint_offload_ir () =
+  (* explicit runtime calls: the IR-mode rules see the same hazards *)
+  Alcotest.(check bool) "missing d2h flagged" true
+    (has_code "W009" (Lint.offload_ir (device_then_host ~with_d2h:false)));
+  (* the copy-back fixes the read, but C still lives... no: d2h retires
+     the device def entirely, so the function is clean *)
+  Alcotest.(check (list string)) "with d2h clean" []
+    (codes (Lint.offload_ir (device_then_host ~with_d2h:true)));
+  let aba_calls =
+    {
+      Ir.name = "aba";
+      params =
+        [ mk_param "C1" [ 4; 4 ]; mk_param "C2" [ 4; 4 ]; mk_param "C3" [ 4; 4 ];
+          mk_param "A" [ 4; 4 ]; mk_param "D" [ 4; 4 ]; mk_param "B" [ 4; 4 ] ];
+      body =
+        [
+          gemm_call "A" "B" "C1" 4;
+          gemm_call "D" "B" "C2" 4;
+          gemm_call "A" "B" "C3" 4;
+          Ir.Call (Ir.Cim_d2h { array = "C1" });
+          Ir.Call (Ir.Cim_d2h { array = "C2" });
+          Ir.Call (Ir.Cim_d2h { array = "C3" });
+        ];
+    }
+  in
+  Alcotest.(check bool) "call-level ABA flagged" true
+    (has_code "W008" (Lint.offload_ir aba_calls));
+  let invariant_loop =
+    {
+      Ir.name = "inv";
+      params = [ mk_param "C" [ 4; 4 ]; mk_param "A" [ 4; 4 ]; mk_param "B" [ 4; 4 ] ];
+      body = [ loop "t" 4 [ gemm_call "A" "B" "C" 4 ]; Ir.Call (Ir.Cim_d2h { array = "C" }) ];
+    }
+  in
+  let ds = Lint.offload_ir invariant_loop in
+  Alcotest.(check bool) "loop-invariant call flagged" true (has_code "W010" ds);
+  Alcotest.(check bool) "adjacent re-pin is reuse, not W008" false (has_code "W008" ds)
+
+(* ---------- census / tuner agreement ---------- *)
+
+let test_cost_model_write_bytes () =
+  let compiled src = (compile_checked src).Pipeline.func in
+  let wb src = Tdo_tune.Cost_model.write_bytes Offload.default_config (compiled src) in
+  let aba = wb (w008_src ~aba:true) and reordered = wb (w008_src ~aba:false) in
+  (* A (64) + D (96) + A again (64): the W008 re-program is priced *)
+  Alcotest.(check int) "ABA order programs 224 cells" 224 aba;
+  Alcotest.(check bool) "reordering is strictly cheaper" true (reordered < aba)
+
 (* ---------- properties ---------- *)
 
 let random_gemm_func seed =
@@ -579,6 +861,66 @@ let qcheck_builder_programs_verify =
       && Bounds.func f = []
       && (match checked.Pipeline.outcome with Pipeline.Offloaded _ -> true | _ -> false)
       && not (Diag.has_errors checked.Pipeline.diagnostics))
+
+(* Random two-kernel programs over a small array pool: whenever the
+   dependence graph proves the kernels independent, executing them in
+   either order must produce bitwise-identical results. Also pins the
+   precision floor: the graph is never coarser than Deps.independent. *)
+let pool = [| "C"; "D"; "A"; "B"; "E" |]
+
+let two_kernel_source (s1, s2) =
+  let pick s i = pool.(s / int_of_float (5. ** float_of_int i) mod 5) in
+  let nest s =
+    Printf.sprintf
+      {|  for (int i = 0; i < 4; i++)
+    for (int j = 0; j < 4; j++)
+      for (int k = 0; k < 4; k++)
+        %s[i][j] += %s[i][k] * %s[k][j];
+|}
+      (pick s 0) (pick s 1) (pick s 2)
+  in
+  ( Printf.sprintf
+      {|
+void prog(float C[4][4], float D[4][4], float A[4][4], float B[4][4], float E[4][4]) {
+%s%s}
+|}
+      (nest s1) (nest s2),
+    Printf.sprintf
+      {|
+void prog(float C[4][4], float D[4][4], float A[4][4], float B[4][4], float E[4][4]) {
+%s%s}
+|}
+      (nest s2) (nest s1) )
+
+let interp_results src =
+  let module Interp = Tdo_lang.Interp in
+  let arrs =
+    Array.to_list pool
+    |> List.mapi
+         (fun ai name ->
+           let arr = Interp.make_array ~dims:[ 4; 4 ] in
+           Array.iteri
+             (fun i _ -> arr.Interp.data.(i) <- float_of_int (((ai * 31) + (i * 7)) mod 13) /. 8.0)
+             arr.Interp.data;
+           (name, arr))
+  in
+  Interp.run (Parser.parse_func src)
+    ~args:(List.map (fun (n, a) -> (n, Interp.Varray a)) arrs);
+  List.map (fun (_, (a : Interp.arr)) -> Array.to_list a.Interp.data) arrs
+
+let qcheck_depgraph_independence =
+  QCheck.Test.make ~name:"depgraph independence implies order-insensitive execution" ~count:80
+    QCheck.(pair (int_bound 124) (int_bound 124))
+    (fun seeds ->
+      let src12, src21 = two_kernel_source seeds in
+      match tree_of src12 with
+      | St.Seq [ k1; k2 ] ->
+          let precise = Tdo_poly.Deps.independent k1 k2 in
+          let graph_independent = Depgraph.independent_trees k1 k2 in
+          (* precision floor: never coarser than the pairwise check *)
+          ((not precise) || graph_independent)
+          && ((not graph_independent) || interp_results src12 = interp_results src21)
+      | _ -> QCheck.assume_fail ())
 
 let qcheck_mutated_trees_rejected =
   QCheck.Test.make ~name:"dropping any statement from a tree is caught by legality" ~count:20
@@ -621,6 +963,24 @@ let suites =
         Alcotest.test_case "overflow witness" `Quick test_bounds_overflow_witness;
         Alcotest.test_case "underflow witness" `Quick test_bounds_underflow_witness;
         Alcotest.test_case "clean kernels" `Quick test_bounds_clean_kernels;
+        Alcotest.test_case "degenerate loop (E204)" `Quick test_bounds_degenerate_loop;
+      ] );
+    ( "analysis.dataflow",
+      [
+        Alcotest.test_case "reaching definitions" `Quick test_dataflow_reaching_definitions;
+        Alcotest.test_case "array liveness" `Quick test_dataflow_liveness;
+        Alcotest.test_case "diag canonical order" `Quick test_diag_canonical;
+      ] );
+    ( "analysis.regions",
+      [
+        Alcotest.test_case "mat_ref windows" `Quick test_regions_mat_ref;
+        Alcotest.test_case "overlap" `Quick test_regions_overlap;
+      ] );
+    ( "analysis.depgraph",
+      [
+        Alcotest.test_case "3mm kernel graph" `Quick test_depgraph_3mm;
+        Alcotest.test_case "listing 2 independence" `Quick test_depgraph_listing2_independent;
+        QCheck_alcotest.to_alcotest qcheck_depgraph_independence;
       ] );
     ( "analysis.lint",
       [
@@ -630,6 +990,11 @@ let suites =
         Alcotest.test_case "endurance budget" `Quick test_lint_endurance_budget;
         Alcotest.test_case "unguarded faulty offload" `Quick test_lint_unguarded_faulty_offload;
         Alcotest.test_case "tile exceeds device crossbar" `Quick test_lint_tile_exceeds_device;
+        Alcotest.test_case "redundant re-program (W008)" `Quick test_lint_redundant_reprogram;
+        Alcotest.test_case "stale host read (W009)" `Quick test_lint_stale_host_read;
+        Alcotest.test_case "loop-invariant offload (W010)" `Quick test_lint_loop_invariant_offload;
+        Alcotest.test_case "IR-mode rules" `Quick test_lint_offload_ir;
+        Alcotest.test_case "census / write-bytes agreement" `Quick test_cost_model_write_bytes;
       ] );
     ( "analysis.pipeline",
       [
