@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json serve-bench reliab-bench tune-bench clean
+.PHONY: all build test lint bench bench-json sim-bench serve-bench reliab-bench tune-bench clean
 
 all: build
 
@@ -24,6 +24,14 @@ bench:
 bench-json:
 	dune build bin/experiments.exe
 	./_build/default/bin/experiments.exe bench-json --out BENCH_sim.json
+
+# Regression gate: re-run the Fig. 5 / Fig. 6 / ablation sections and
+# compare wall-clock and minor-heap allocation against the committed
+# BENCH_sim.json (exit 1 on regression). A fast --smoke variant of the
+# same gate also runs under `dune runtest`.
+sim-bench:
+	dune build bin/experiments.exe
+	./_build/default/bin/experiments.exe sim-bench --baseline BENCH_sim.json
 
 # Regenerate BENCH_serve.json at the repo root: a 1k-request replay of
 # the synthetic-medium trace on a 4-device pool, golden-checked against

@@ -193,11 +193,11 @@ module Report = Tdo_util.Bench_report
    sequential for the speedup figure *)
 let timed_section name f =
   Pool.set_sequential (Some false);
-  let _, wall_s, minor_words = Report.timed f in
+  let _, m = Report.timed f in
   Pool.set_sequential (Some true);
-  let _, seq_wall_s, _ = Report.timed f in
+  let _, (ms : Report.measure) = Report.timed f in
   Pool.set_sequential None;
-  { Report.name; wall_s; minor_words; seq_wall_s = Some seq_wall_s }
+  Report.of_measure ~name ~seq_wall_s:ms.Report.elapsed_s m
 
 let fig6_section dataset =
   timed_section

@@ -54,34 +54,35 @@ let ablations_cmd =
 
 (* ---------- machine-readable benchmark report ---------- *)
 
+let run_ablations () =
+  let module A = Tdo_cim.Ablations in
+  ignore (A.pinning ());
+  ignore (A.fusion ());
+  ignore (A.double_buffering ());
+  ignore (A.selective ());
+  ignore (A.geometry ());
+  ignore (A.noise ());
+  ignore (A.wear_leveling ());
+  ignore (A.tiles ())
+
 let bench_json dataset out baseline report_baseline =
   let module Pool = Tdo_util.Pool in
   let module Report = Tdo_util.Bench_report in
   let section name f =
     (* the fan-out first, then the same work forced sequential *)
     Pool.set_sequential (Some false);
-    let _, wall_s, minor_words = Report.timed f in
+    let _, m = Report.timed f in
     Pool.set_sequential (Some true);
-    let _, seq_wall_s, _ = Report.timed f in
+    let _, (ms : Report.measure) = Report.timed f in
     Pool.set_sequential None;
-    Printf.printf "%-18s %8.3f s parallel, %8.3f s sequential\n%!" name wall_s seq_wall_s;
-    { Report.name; wall_s; minor_words; seq_wall_s = Some seq_wall_s }
+    Printf.printf "%-18s %8.3f s parallel, %8.3f s sequential\n%!" name m.Report.elapsed_s
+      ms.Report.elapsed_s;
+    Report.of_measure ~name ~seq_wall_s:ms.Report.elapsed_s m
   in
   let fig6_name = Printf.sprintf "fig6-%s" (Dataset.to_string dataset) in
   let fig6 = section fig6_name (fun () -> ignore (E.fig6 ~dataset ())) in
   let fig5 = section "fig5" (fun () -> ignore (E.fig5 ())) in
-  let ablations =
-    let module A = Tdo_cim.Ablations in
-    section "ablations" (fun () ->
-        ignore (A.pinning ());
-        ignore (A.fusion ());
-        ignore (A.double_buffering ());
-        ignore (A.selective ());
-        ignore (A.geometry ());
-        ignore (A.noise ());
-        ignore (A.wear_leveling ());
-        ignore (A.tiles ()))
-  in
+  let ablations = section "ablations" run_ablations in
   let sections = [ fig6; fig5; ablations ] in
   let extra =
     if baseline > 0.0 then
@@ -114,7 +115,12 @@ let bench_json dataset out baseline report_baseline =
       "seed_baseline is the wall-clock of the same Fig. 6 sweep before the fast-engine \
        rework (functional Map event queue, assoc-list interpreter, sequential runner), \
        measured on the same machine; speedup_vs_sequential compares against this build \
-       with the domain pool forced sequential."
+       with the domain pool forced sequential. Built with the release profile \
+       (dune-workspace) so cross-module inlining is on; before the scratch-arena rework \
+       this machine measured fig6-medium at 76.3e6 minor words / 0.64 s, fig5 at 4.7e6 \
+       and ablations at 214.2e6 / 1.72 s. The container exposes a single CPU, so \
+       parallel speedup is bounded at 1.0 regardless of TDO_DOMAINS; the allocation \
+       columns are the load-bearing figures here."
     ~extra ~sections ();
   Printf.printf "wrote %s\n" out
 
@@ -148,6 +154,105 @@ let bench_json_cmd =
           and write BENCH_sim.json.")
     Term.(const bench_json $ dataset_arg $ out_arg $ baseline_arg $ report_baseline_arg)
 
+(* ---------- regression gate against a committed report ---------- *)
+
+let sim_bench dataset baseline smoke tolerance alloc_tolerance =
+  let module Report = Tdo_util.Bench_report in
+  (* wall-clock drifts with the host; allocation is deterministic for a
+     fixed domain count, so it gets the tight default tolerance *)
+  let wall_tol =
+    match tolerance with Some t -> t | None -> if smoke then 5.0 else 1.0
+  in
+  let alloc_tol =
+    match alloc_tolerance with Some t -> t | None -> if smoke then 0.5 else 0.25
+  in
+  let sections =
+    if smoke then [ snd (Report.section ~name:"fig5" (fun () -> ignore (E.fig5 ()))) ]
+    else begin
+      let fig6_name = Printf.sprintf "fig6-%s" (Dataset.to_string dataset) in
+      let _, fig6 =
+        Report.section ~name:fig6_name (fun () -> ignore (E.fig6 ~dataset ()))
+      in
+      let _, fig5 = Report.section ~name:"fig5" (fun () -> ignore (E.fig5 ())) in
+      let _, ablations = Report.section ~name:"ablations" run_ablations in
+      [ fig6; fig5; ablations ]
+    end
+  in
+  match Report.compare ~tolerance:wall_tol ~alloc_tolerance:alloc_tol ~baseline sections with
+  | Error msg ->
+      Printf.eprintf "sim-bench: baseline %s: %s\n%!" baseline msg;
+      exit 2
+  | Ok [] ->
+      Printf.eprintf "sim-bench: no section of this run matches the baseline %s\n%!"
+        baseline;
+      exit 2
+  | Ok deltas ->
+      List.iter
+        (fun (d : Report.delta) ->
+          Printf.printf
+            "%-18s wall %8.3f s vs %8.3f s%s   minor %14.0f w vs %14.0f w%s\n" d.Report.name
+            d.Report.wall_s d.Report.baseline_wall_s
+            (if d.Report.regression then "  WALL-REGRESSION" else "")
+            d.Report.minor_words d.Report.baseline_minor_words
+            (if d.Report.alloc_regression then "  ALLOC-REGRESSION" else ""))
+        deltas;
+      let bad =
+        List.filter
+          (fun (d : Report.delta) -> d.Report.regression || d.Report.alloc_regression)
+          deltas
+      in
+      if bad <> [] then begin
+        Printf.eprintf "sim-bench: %d section(s) regressed against %s\n%!"
+          (List.length bad) baseline;
+        exit 1
+      end;
+      Printf.printf "sim-bench: ok (%d section(s) within tolerance)\n"
+        (List.length deltas)
+
+let sim_bench_cmd =
+  let baseline_arg =
+    Arg.(
+      value & opt string "BENCH_sim.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed report to gate against (sections matched by name).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Fast variant for `dune runtest`: only the Fig. 5 section, with loose \
+             default tolerances.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative wall-clock slowdown that counts as a regression (default 1.0, or \
+             5.0 with $(b,--smoke) — wall-clock is noisy across hosts).")
+  in
+  let alloc_tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alloc-tolerance" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative minor-heap allocation growth that counts as a regression (default \
+             0.25, or 0.5 with $(b,--smoke)). Allocation is deterministic for a fixed \
+             TDO_DOMAINS, so this is the reliable half of the gate.")
+  in
+  Cmd.v
+    (Cmd.info "sim-bench"
+       ~doc:
+         "Regression gate: re-run the benchmark sections and compare wall-clock and \
+          allocation against a committed BENCH_sim.json. Exits 1 on regression, 2 on a \
+          missing or disjoint baseline.")
+    Term.(
+      const sim_bench $ dataset_arg $ baseline_arg $ smoke_arg $ tolerance_arg
+      $ alloc_tolerance_arg)
+
 let all_cmd =
   let run dataset =
     E.print_table1 ();
@@ -178,5 +283,6 @@ let () =
             fig6_cmd;
             ablations_cmd;
             bench_json_cmd;
+            sim_bench_cmd;
             all_cmd;
           ]))

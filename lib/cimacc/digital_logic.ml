@@ -9,25 +9,25 @@ let reset_counters t =
   t.sums <- 0;
   t.ops <- 0
 
-let postprocess t ~alpha ~beta ~scale ~raw ~c_old =
+let postprocess_into t ~alpha ~beta ~scale ~raw ~c_old ~out =
   let n = Array.length raw in
+  if Array.length out <> n then invalid_arg "Digital_logic.postprocess: out length mismatch";
   (match c_old with
   | Some c when Array.length c <> n ->
       invalid_arg "Digital_logic.postprocess: c_old length mismatch"
   | Some _ -> ()
   | None -> if beta <> 0.0 then invalid_arg "Digital_logic.postprocess: beta without c_old");
   t.sums <- t.sums + 1;
-  let out =
-    Array.mapi
-      (fun i v ->
-        let scaled = alpha *. scale *. float_of_int v in
-        match c_old with
-        | None -> scaled
-        | Some c -> scaled +. (beta *. c.(i)))
-      raw
-  in
+  let ab = alpha *. scale in
+  (match c_old with
+  | None -> for i = 0 to n - 1 do out.(i) <- ab *. float_of_int raw.(i) done
+  | Some c -> for i = 0 to n - 1 do out.(i) <- (ab *. float_of_int raw.(i)) +. (beta *. c.(i)) done);
   (* Per element: one rescale multiply, one alpha multiply, and the
      beta multiply-accumulate when the epilogue reads C. *)
   let per_element = if c_old = None then 2 else 4 in
-  t.ops <- t.ops + (per_element * n);
+  t.ops <- t.ops + (per_element * n)
+
+let postprocess t ~alpha ~beta ~scale ~raw ~c_old =
+  let out = Array.make (Array.length raw) 0.0 in
+  postprocess_into t ~alpha ~beta ~scale ~raw ~c_old ~out;
   out

@@ -30,3 +30,15 @@ val postprocess :
     Counts one weighted sum (for the GEMV that produced [raw]) and the
     per-element ALU work. Raises [Invalid_argument] when [beta <> 0]
     but no [c_old] is supplied, or on length mismatch. *)
+
+val postprocess_into :
+  t ->
+  alpha:float ->
+  beta:float ->
+  scale:float ->
+  raw:int array ->
+  c_old:float array option ->
+  out:float array ->
+  unit
+(** {!postprocess} into a caller-owned buffer of matching length — the
+    engine's streamed launch loop reuses one buffer per launch. *)

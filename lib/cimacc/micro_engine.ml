@@ -1,4 +1,5 @@
 module Sim = Tdo_sim
+module Arena = Tdo_util.Arena
 module Quant = Tdo_linalg.Quant
 module Abft = Tdo_linalg.Abft
 module Crossbar = Tdo_pcm.Crossbar
@@ -40,18 +41,22 @@ type counters = {
   abft_mismatches : int;
 }
 
-let zero_counters =
-  {
-    jobs = 0;
-    gemv_jobs = 0;
-    gemm_jobs = 0;
-    batched_jobs = 0;
-    streamed_vectors = 0;
-    programming_skipped = 0;
-    busy_ps = 0;
-    abft_checks = 0;
-    abft_mismatches = 0;
-  }
+(* Internal counter storage is a record of mutable fields: the streamed
+   loop bumps [streamed_vectors] (and under ABFT [abft_checks]) once per
+   vector, and a functional [{ c with ... }] update there would allocate
+   a fresh ten-field record per vector. The public immutable view is
+   built on demand. *)
+type counters_mut = {
+  mutable jobs_m : int;
+  mutable gemv_jobs_m : int;
+  mutable gemm_jobs_m : int;
+  mutable batched_jobs_m : int;
+  mutable streamed_vectors_m : int;
+  mutable programming_skipped_m : int;
+  mutable busy_ps_m : Sim.Time_base.ps;
+  mutable abft_checks_m : int;
+  mutable abft_mismatches_m : int;
+}
 
 type pinned = {
   pin_addr : int;
@@ -66,31 +71,60 @@ type pinned = {
 type t = {
   config : config;
   dma : Sim.Dma.t;
+  scratch : Arena.t option;
   xbars : Crossbar.t array;
   digital : Digital_logic.t;
   timeline : Timeline.t;
   pinned : pinned option array;  (** per tile *)
   busy_until : Sim.Time_base.ps array;  (** per tile *)
-  mutable counters : counters;
+  c : counters_mut;
+  (* Local buffers of the streamed phase, sized on first use and reused
+     across vectors, jobs and (via the arena) whole runs. [xbuf] holds
+     the streamed input vector (k elements) and [codes] its quantised
+     form; [raw]/[result]/[c_old] are output-sized. All are fully
+     overwritten before every read, so handing out dirty arena blocks is
+     fine. *)
+  mutable xbuf : float array;
+  mutable codes : int array;
+  mutable raw : int array;
+  mutable result : float array;
+  mutable c_old : float array;
   mutable last_abft_fault : (int * (int * int * int * int)) option;
       (** (tile, active region) of the most recent checksum mismatch *)
 }
 
-let create ?(config = default_config) ?(seed = 0) ~dma () =
+let create ?(config = default_config) ?(seed = 0) ?scratch ~dma () =
   if config.tiles <= 0 then invalid_arg "Micro_engine.create: need at least one tile";
   {
     config;
     dma;
+    scratch;
     xbars =
       (* distinct, reproducible noise stream per tile, derived from the
          engine seed *)
       Array.init config.tiles (fun tile ->
-          Crossbar.create ~config:config.xbar ~seed:((seed * 1_000_003) + tile) ());
+          Crossbar.create ~config:config.xbar ~seed:((seed * 1_000_003) + tile) ?scratch ());
     digital = Digital_logic.create ();
     timeline = Timeline.create ();
     pinned = Array.make config.tiles None;
     busy_until = Array.make config.tiles 0;
-    counters = zero_counters;
+    c =
+      {
+        jobs_m = 0;
+        gemv_jobs_m = 0;
+        gemm_jobs_m = 0;
+        batched_jobs_m = 0;
+        streamed_vectors_m = 0;
+        programming_skipped_m = 0;
+        busy_ps_m = 0;
+        abft_checks_m = 0;
+        abft_mismatches_m = 0;
+      };
+    xbuf = [||];
+    codes = [||];
+    raw = [||];
+    result = [||];
+    c_old = [||];
     last_abft_fault = None;
   }
 
@@ -118,8 +152,31 @@ let total_adc_conversions t =
 
 let digital t = t.digital
 let timeline t = t.timeline
-let counters t = t.counters
-let reset_counters t = t.counters <- zero_counters
+
+let counters t =
+  {
+    jobs = t.c.jobs_m;
+    gemv_jobs = t.c.gemv_jobs_m;
+    gemm_jobs = t.c.gemm_jobs_m;
+    batched_jobs = t.c.batched_jobs_m;
+    streamed_vectors = t.c.streamed_vectors_m;
+    programming_skipped = t.c.programming_skipped_m;
+    busy_ps = t.c.busy_ps_m;
+    abft_checks = t.c.abft_checks_m;
+    abft_mismatches = t.c.abft_mismatches_m;
+  }
+
+let reset_counters t =
+  t.c.jobs_m <- 0;
+  t.c.gemv_jobs_m <- 0;
+  t.c.gemm_jobs_m <- 0;
+  t.c.batched_jobs_m <- 0;
+  t.c.streamed_vectors_m <- 0;
+  t.c.programming_skipped_m <- 0;
+  t.c.busy_ps_m <- 0;
+  t.c.abft_checks_m <- 0;
+  t.c.abft_mismatches_m <- 0
+
 let last_abft_fault t = t.last_abft_fault
 let clear_abft_fault t = t.last_abft_fault <- None
 
@@ -130,26 +187,49 @@ let pinned t =
 
 let invalidate_pinned t = Array.fill t.pinned 0 (Array.length t.pinned) None
 
-let f32_at bytes i = Int32.float_of_bits (Bytes.get_int32_le bytes (4 * i))
+(* Buffer management: keep the current buffer when the size matches,
+   otherwise draw a replacement from the scratch arena (pooled per exact
+   size, so alternating job shapes still reuse) or allocate fresh when
+   the engine runs without one (a long-lived serving device). *)
+
+let get_floats t n cur =
+  if Array.length cur = n then cur
+  else match t.scratch with Some a -> Arena.float_array a n | None -> Array.make n 0.0
+
+let get_ints t n cur =
+  if Array.length cur = n then cur
+  else match t.scratch with Some a -> Arena.int_array a n | None -> Array.make n 0
+
+(* DMA transfers whose functional side is performed element-wise through
+   the memory's f32 fast path instead of materialising packed [Bytes.t]
+   payloads; the timing and traffic side is identical to
+   [Dma.read_strided]/[write_strided] — one descriptor, same byte
+   counts, same burst latency. *)
+
+let fetch_vector_into t ~addr ~len ~stride_elems out =
+  let mem = Sim.Dma.memory t.dma in
+  for i = 0 to len - 1 do
+    Array.unsafe_set out i (Sim.Memory.read_f32 mem (addr + (4 * i * stride_elems)))
+  done;
+  Sim.Dma.charge t.dma ~bytes:(4 * len)
+
+let store_vector_into t ~addr ~stride_elems ~len values =
+  let mem = Sim.Dma.memory t.dma in
+  for i = 0 to len - 1 do
+    Sim.Memory.write_f32 mem (addr + (4 * i * stride_elems)) (Array.unsafe_get values i)
+  done;
+  Sim.Dma.charge_write t.dma ~bytes:(4 * len)
 
 (* Fetch a [rows x cols] float matrix stored row-major with leading
-   dimension [ld] (in elements). *)
+   dimension [ld] (in elements). Runs once per crossbar (re)programming,
+   so the result matrix is allocated normally. *)
 let fetch_matrix t ~addr ~rows ~cols ~ld =
-  let data, latency =
-    Sim.Dma.read_strided t.dma ~addr ~row_bytes:(cols * 4) ~rows ~stride_bytes:(ld * 4)
+  let mem = Sim.Dma.memory t.dma in
+  let out =
+    Array.init rows (fun r ->
+        Array.init cols (fun c -> Sim.Memory.read_f32 mem (addr + (4 * ((r * ld) + c)))))
   in
-  (Array.init rows (fun r -> Array.init cols (fun c -> f32_at data ((r * cols) + c))), latency)
-
-let fetch_vector t ~addr ~len ~stride_elems =
-  let data, latency =
-    Sim.Dma.read_strided t.dma ~addr ~row_bytes:4 ~rows:len ~stride_bytes:(stride_elems * 4)
-  in
-  (Array.init len (fun i -> f32_at data i), latency)
-
-let store_vector t ~addr ~stride_elems values =
-  let data = Bytes.create (4 * Array.length values) in
-  Array.iteri (fun i v -> Bytes.set_int32_le data (4 * i) (Int32.bits_of_float v)) values;
-  Sim.Dma.write_strided t.dma ~addr ~row_bytes:4 ~stride_bytes:(stride_elems * 4) data
+  (out, Sim.Dma.charge t.dma ~bytes:(4 * rows * cols))
 
 let max_abs_2d m =
   Array.fold_left
@@ -159,6 +239,14 @@ let max_abs_2d m =
 let transpose_2d m =
   let rows = Array.length m and cols = Array.length m.(0) in
   Array.init cols (fun i -> Array.init rows (fun j -> m.(j).(i)))
+
+let max_abs v =
+  let m = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    let a = Float.abs (Array.unsafe_get v i) in
+    if a > !m then m := a
+  done;
+  !m
 
 (* One GEMM (or GEMV, n = 1) with explicit operand addresses; the
    batched path calls this once per descriptor. Returns the finish
@@ -208,7 +296,7 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
     in
     let scale_w, pin_check =
       if reusable then begin
-        t.counters <- { t.counters with programming_skipped = t.counters.programming_skipped + 1 };
+        t.c.programming_skipped_m <- t.c.programming_skipped_m + 1;
         let p = Option.get t.pinned.(tile) in
         (p.pin_scale, p.pin_check)
       end
@@ -251,20 +339,37 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
        Pin_b: stream the m rows of op(A), produce rows of C. *)
     let stream_count = match pin with Context_regs.Pin_a -> n | Context_regs.Pin_b -> m in
     let out_len = match pin with Context_regs.Pin_a -> m | Context_regs.Pin_b -> n in
+    let x = get_floats t k t.xbuf in
+    t.xbuf <- x;
+    let x_codes = get_ints t k t.codes in
+    t.codes <- x_codes;
+    let raw = get_ints t out_len t.raw in
+    t.raw <- raw;
+    let result = get_floats t out_len t.result in
+    t.result <- result;
+    (* one [Some] for the whole launch, not one per vector *)
+    let c_old =
+      if beta = 0.0 then None
+      else begin
+        let c = get_floats t out_len t.c_old in
+        t.c_old <- c;
+        Some c
+      end
+    in
     let fetch_stream idx =
       match (pin, trans_b, trans_a) with
       | Context_regs.Pin_a, false, _ ->
           (* column idx of B (k x n, ld = ldb) *)
-          fetch_vector t ~addr:(b_addr + (4 * idx)) ~len:k ~stride_elems:ldb
+          fetch_vector_into t ~addr:(b_addr + (4 * idx)) ~len:k ~stride_elems:ldb x
       | Context_regs.Pin_a, true, _ ->
           (* column idx of op(B) = row idx of physical B (n x k) *)
-          fetch_vector t ~addr:(b_addr + (4 * idx * ldb)) ~len:k ~stride_elems:1
+          fetch_vector_into t ~addr:(b_addr + (4 * idx * ldb)) ~len:k ~stride_elems:1 x
       | Context_regs.Pin_b, _, false ->
           (* row idx of A (m x k) *)
-          fetch_vector t ~addr:(a_addr + (4 * idx * lda)) ~len:k ~stride_elems:1
+          fetch_vector_into t ~addr:(a_addr + (4 * idx * lda)) ~len:k ~stride_elems:1 x
       | Context_regs.Pin_b, _, true ->
           (* row idx of op(A) = column idx of physical A (k x m) *)
-          fetch_vector t ~addr:(a_addr + (4 * idx)) ~len:k ~stride_elems:lda
+          fetch_vector_into t ~addr:(a_addr + (4 * idx)) ~len:k ~stride_elems:lda x
     in
     let c_slice_addr idx =
       match pin with
@@ -290,10 +395,16 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
     in
     let fill_channel = ref !cursor in
     let compute_channel = ref !cursor in
+    let tl = t.timeline in
     for idx = 0 to stream_count - 1 do
       if not cfg.double_buffering then fill_channel := max !fill_channel !compute_channel;
-      record !fill_channel Timeline.Dma_fill (Printf.sprintf "vector %d" idx);
-      let x, fill_lat = fetch_stream idx in
+      (* Timeline entries past the ring capacity would be dropped anyway,
+         so skip formatting their detail strings — the counts stay
+         exact via [count_dropped]. *)
+      if Timeline.active tl then
+        record !fill_channel Timeline.Dma_fill (Printf.sprintf "vector %d" idx)
+      else Timeline.count_dropped tl;
+      let fill_lat = fetch_stream idx in
       (* burst accounting: the descriptor fetched at the head of a burst
          covers the next [burst-1] vectors; their payload time is part
          of that burst's latency *)
@@ -305,31 +416,36 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
           (* ~payload share at bus bandwidth for the rest of the burst *)
         else 0
       in
-      let c_old, c_fill_lat =
-        if beta = 0.0 then (None, 0)
-        else begin
-          let addr, stride = c_slice_addr idx in
-          let c, lat = fetch_vector t ~addr ~len:out_len ~stride_elems:stride in
-          (Some c, lat)
-        end
+      let c_fill_lat =
+        match c_old with
+        | None -> 0
+        | Some c ->
+            let addr, stride = c_slice_addr idx in
+            fetch_vector_into t ~addr ~len:out_len ~stride_elems:stride c
       in
       fill_channel := !fill_channel + fill_lat + c_fill_lat;
       compute_channel := max !compute_channel !fill_channel;
-      record !compute_channel Timeline.Compute (Printf.sprintf "gemv %d" idx);
-      let scheme_x = Quant.scheme_for ~bits:8 ~max_abs:(Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 x) in
-      let x_codes = Array.map (Quant.quantize scheme_x) x in
-      let raw = Crossbar.gemv_codes xbar x_codes in
+      if Timeline.active tl then
+        record !compute_channel Timeline.Compute (Printf.sprintf "gemv %d" idx)
+      else Timeline.count_dropped tl;
+      let scheme_x = Quant.scheme_for ~bits:8 ~max_abs:(max_abs x) in
+      for i = 0 to k - 1 do
+        Array.unsafe_set x_codes i (Quant.quantize scheme_x (Array.unsafe_get x i))
+      done;
+      Crossbar.gemv_codes_into xbar x_codes ~out:raw;
       compute_channel := !compute_channel + gemv_latency;
       if cfg.abft then begin
         (* one extra dot product (k MACs) plus the output sum (out_len
            adds), on the digital ALU *)
-        record !compute_channel Timeline.Accumulate (Printf.sprintf "abft verify %d" idx);
+        if Timeline.active tl then
+          record !compute_channel Timeline.Accumulate (Printf.sprintf "abft verify %d" idx)
+        else Timeline.count_dropped tl;
         compute_channel := !compute_channel + ((k + out_len) * cfg.alu_latency_ps);
-        t.counters <- { t.counters with abft_checks = t.counters.abft_checks + 1 };
+        t.c.abft_checks_m <- t.c.abft_checks_m + 1;
         match Abft.verify ~row_sums:pin_check ~input:x_codes ~output:raw with
         | Abft.Pass -> ()
         | Abft.Fail _ ->
-            t.counters <- { t.counters with abft_mismatches = t.counters.abft_mismatches + 1 };
+            t.c.abft_mismatches_m <- t.c.abft_mismatches_m + 1;
             let region =
               match Crossbar.active_region xbar with
               | Some r -> r
@@ -337,16 +453,18 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
             in
             t.last_abft_fault <- Some (tile, region)
       end;
-      record !compute_channel Timeline.Accumulate (Printf.sprintf "epilogue %d" idx);
-      let result =
-        Digital_logic.postprocess t.digital ~alpha ~beta
-          ~scale:(scale_w *. scheme_x.Quant.scale)
-          ~raw ~c_old
-      in
+      if Timeline.active tl then
+        record !compute_channel Timeline.Accumulate (Printf.sprintf "epilogue %d" idx)
+      else Timeline.count_dropped tl;
+      Digital_logic.postprocess_into t.digital ~alpha ~beta
+        ~scale:(scale_w *. scheme_x.Quant.scale)
+        ~raw ~c_old ~out:result;
       compute_channel := !compute_channel + (out_len * cfg.alu_latency_ps);
-      record !compute_channel Timeline.Store_result (Printf.sprintf "slice %d" idx);
+      if Timeline.active tl then
+        record !compute_channel Timeline.Store_result (Printf.sprintf "slice %d" idx)
+      else Timeline.count_dropped tl;
       let addr, stride = c_slice_addr idx in
-      let store_lat = store_vector t ~addr ~stride_elems:stride result in
+      let store_lat = store_vector_into t ~addr ~stride_elems:stride ~len:out_len result in
       (* results collect in the output buffer and drain one DMA
          descriptor per buffer-full, mirroring the input bursting *)
       let store_burst = max 1 (row_buffer_bytes / (4 * out_len)) in
@@ -357,7 +475,7 @@ let run_single t (job : Context_regs.job) ~tile ~a_addr ~b_addr ~c_addr ~start =
         else 0
       in
       compute_channel := !compute_channel + store_lat;
-      t.counters <- { t.counters with streamed_vectors = t.counters.streamed_vectors + 1 }
+      t.c.streamed_vectors_m <- t.c.streamed_vectors_m + 1
     done;
     Ok (max !cursor !compute_channel)
   end
@@ -478,16 +596,11 @@ let run_job t (job : Context_regs.job) ~start =
   (match result with
   | Ok finish ->
       record finish Timeline.Result_ready "status <- done";
-      let c = t.counters in
-      t.counters <-
-        {
-          c with
-          jobs = c.jobs + 1;
-          gemv_jobs = (c.gemv_jobs + match job.Context_regs.op with Context_regs.Gemv -> 1 | _ -> 0);
-          gemm_jobs = (c.gemm_jobs + match job.Context_regs.op with Context_regs.Gemm -> 1 | _ -> 0);
-          batched_jobs =
-            (c.batched_jobs + match job.Context_regs.op with Context_regs.Gemm_batched -> 1 | _ -> 0);
-          busy_ps = c.busy_ps + (finish - start);
-        }
+      t.c.jobs_m <- t.c.jobs_m + 1;
+      (match job.Context_regs.op with
+      | Context_regs.Gemv -> t.c.gemv_jobs_m <- t.c.gemv_jobs_m + 1
+      | Context_regs.Gemm -> t.c.gemm_jobs_m <- t.c.gemm_jobs_m + 1
+      | Context_regs.Gemm_batched -> t.c.batched_jobs_m <- t.c.batched_jobs_m + 1);
+      t.c.busy_ps_m <- t.c.busy_ps_m + (finish - start)
   | Error _ -> ());
   result

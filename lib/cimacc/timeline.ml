@@ -31,6 +31,9 @@ let record t ~at ~phase ~detail =
   t.count <- t.count + 1;
   if t.count <= t.capacity then t.events <- { at; phase; detail } :: t.events
 
+let active t = t.count < t.capacity
+let count_dropped t = t.count <- t.count + 1
+
 let events t = List.rev t.events
 let dropped t = max 0 (t.count - t.capacity)
 

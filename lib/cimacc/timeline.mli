@@ -24,6 +24,17 @@ val create : ?capacity:int -> unit -> t
     10000); later events are dropped but counted. *)
 
 val record : t -> at:Tdo_sim.Time_base.ps -> phase:phase -> detail:string -> unit
+
+val active : t -> bool
+(** [true] while the next {!record} would still be kept. Hot loops use
+    this to skip building the [detail] string once the ring is full,
+    calling {!count_dropped} instead so the drop statistics stay
+    exact. *)
+
+val count_dropped : t -> unit
+(** Count one event without recording it — the fast-path companion of
+    {!active}. *)
+
 val events : t -> event list
 (** In chronological (insertion) order. *)
 

@@ -353,14 +353,17 @@ let wear_leveling ?(lines = 64) ?(writes = 100_000) ?(seed = 13) () =
   (* Zipf-ish skew: line l gets weight 1/(l+1) *)
   let weights = Array.init lines (fun l -> 1.0 /. float_of_int (l + 1)) in
   let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  (* iterative with local (uncaptured, hence unboxed) accumulators:
+     this draw runs once per modelled write, so a boxed float per
+     recursion level would dominate the ablation's allocation *)
   let draw g =
     let x = Prng.float g ~bound:total_weight in
-    let rec pick l acc =
-      if l = lines - 1 then l
-      else if acc +. weights.(l) > x then l
-      else pick (l + 1) (acc +. weights.(l))
-    in
-    pick 0 0.0
+    let l = ref 0 and acc = ref 0.0 in
+    while !l < lines - 1 && not (!acc +. weights.(!l) > x) do
+      acc := !acc +. weights.(!l);
+      incr l
+    done;
+    !l
   in
   let unlevelled =
     let g = Prng.create ~seed in

@@ -314,6 +314,11 @@ type state = {
   ints : int array;
   floats : float array;
   arrays : array_info array;
+  facc : floatarray;
+      (** single-slot accumulator [eval_f] leaves its result in: a
+          [float]-returning recursive evaluator boxes its result at
+          every call, and the evaluator runs once per operand of every
+          dynamic instruction *)
   mutable heap : int;
   mutable api : Api.t option;
   dev : (int, Api.buffer) Hashtbl.t;  (** keyed by array slot *)
@@ -329,9 +334,18 @@ let alloc_array st dims =
   st.heap <- (st.heap + bytes + 63) / 64 * 64;
   { base; dims }
 
-let issue st ?addr cls = Sim.Cpu.issue st.cpu ?addr cls
+let issue st cls = Sim.Cpu.issue st.cpu cls
+let[@inline always] issue_at st addr cls = Sim.Cpu.issue_at st.cpu ~addr cls
 
-(* ---------- expression evaluation with instruction charging ---------- *)
+(* ---------- expression evaluation with instruction charging ----------
+
+   [eval_f] communicates through [st.facc] instead of returning the
+   float: the accumulator store and load compile to raw [floatarray]
+   accesses, so evaluating an expression tree allocates nothing —
+   intermediate values live in registers (or are spilled unboxed). *)
+
+let[@inline always] getf st = Float.Array.unsafe_get st.facc 0
+let[@inline always] setf st v = Float.Array.unsafe_set st.facc 0 v
 
 let rec element_address st base (dims : int array) (idxs : rexpr array) =
   let flat = ref 0 in
@@ -366,18 +380,20 @@ and eval_i st (e : rexpr) : int =
       -v
   | Cf _ | Vf _ | Load _ | Fbin _ | Fneg _ -> assert false
 
-and eval_f st (e : rexpr) : float =
+and eval_f st (e : rexpr) : unit =
   match e with
-  | Cf f -> f
-  | Vf s -> Array.unsafe_get st.floats s
+  | Cf f -> setf st f
+  | Vf s -> setf st (Array.unsafe_get st.floats s)
   | Load { arr; dims; idxs } ->
       let info = Array.unsafe_get st.arrays arr in
       let addr = element_address st info.base dims idxs in
-      issue st ~addr Sim.Cpu.Load;
-      Sim.Memory.read_f32 st.memory addr
+      issue_at st addr Sim.Cpu.Load;
+      setf st (Sim.Memory.read_f32 st.memory addr)
   | Fbin (op, a, b) ->
-      let x = eval_f st a in
-      let y = eval_f st b in
+      eval_f st a;
+      let x = getf st in
+      eval_f st b;
+      let y = getf st in
       let cls =
         match op with
         | Ast.Add | Ast.Sub -> Sim.Cpu.Fp_add
@@ -385,18 +401,20 @@ and eval_f st (e : rexpr) : float =
         | Ast.Div -> Sim.Cpu.Fp_div
       in
       issue st cls;
-      (match op with
-      | Ast.Add -> x +. y
-      | Ast.Sub -> x -. y
-      | Ast.Mul -> x *. y
-      | Ast.Div -> x /. y)
+      setf st
+        (match op with
+        | Ast.Add -> x +. y
+        | Ast.Sub -> x -. y
+        | Ast.Mul -> x *. y
+        | Ast.Div -> x /. y)
   | Fneg e ->
-      let v = eval_f st e in
+      eval_f st e;
+      let v = getf st in
       issue st Sim.Cpu.Fp_add;
-      -.v
-  | Ci n -> float_of_int n
-  | Vi s -> float_of_int (Array.unsafe_get st.ints s)
-  | (Ibin _ | Ineg _) as e -> float_of_int (eval_i st e)
+      setf st (-.v)
+  | Ci n -> setf st (float_of_int n)
+  | Vi s -> setf st (float_of_int (Array.unsafe_get st.ints s))
+  | (Ibin _ | Ineg _) as e -> setf st (float_of_int (eval_i st e))
 
 (* ---------- runtime-call support ---------- *)
 
@@ -427,7 +445,7 @@ let host_matrix st info =
   Tdo_linalg.Mat.init ~rows ~cols ~f:(fun i j ->
       let addr = info.base + (4 * ((i * cols) + j)) in
       issue st Sim.Cpu.Int_alu;
-      issue st ~addr Sim.Cpu.Load;
+      issue_at st addr Sim.Cpu.Load;
       Sim.Memory.read_f32 st.memory addr)
 
 let store_host_matrix st info name m =
@@ -438,7 +456,7 @@ let store_host_matrix st info name m =
     ~f:(fun i j v ->
       let addr = info.base + (4 * ((i * cols) + j)) in
       issue st Sim.Cpu.Int_alu;
-      issue st ~addr Sim.Cpu.Store;
+      issue_at st addr Sim.Cpu.Store;
       Sim.Memory.write_f32 st.memory addr v)
     m
 
@@ -483,8 +501,10 @@ let exec_call st (call : rcall) =
       Hashtbl.remove st.dev slot
   | Rgemm { gm; gn; gk; galpha; gbeta; ga; gb; gc; gpin } ->
       let api = require_api st in
-      let alpha = eval_f st galpha in
-      let beta = eval_f st gbeta in
+      eval_f st galpha;
+      let alpha = getf st in
+      eval_f st gbeta;
+      let beta = getf st in
       let va = view_of_ref st ga in
       let vb = view_of_ref st gb in
       let vc = view_of_ref st gc in
@@ -496,8 +516,10 @@ let exec_call st (call : rcall) =
       | Error reason -> fail "polly_cimBlasSGemm: %s" reason)
   | Rgemm_batched { bm; bn; bk; balpha; bbeta; bbatch; bpin } ->
       let api = require_api st in
-      let alpha = eval_f st balpha in
-      let beta = eval_f st bbeta in
+      eval_f st balpha;
+      let alpha = getf st in
+      eval_f st bbeta;
+      let beta = getf st in
       let trans_a, trans_b =
         match bbatch with
         | (a, b, _) :: _ -> (a.mtrans, b.mtrans)
@@ -530,7 +552,7 @@ let exec_call st (call : rcall) =
 
 (* ---------- statements ---------- *)
 
-let apply_op op old rhs =
+let[@inline always] apply_op op old rhs =
   match op with
   | Ast.Set -> rhs
   | Ast.Add_assign -> old +. rhs
@@ -557,26 +579,31 @@ let rec exec_stmt st (stmt : rstmt) =
       let rhs_value =
         match rhs with
         | Rmac (a, b, int_mul) ->
-            let x = eval_f st a in
-            let y = eval_f st b in
+            eval_f st a;
+            let x = getf st in
+            eval_f st b;
+            let y = getf st in
             issue st (if int_mul then Sim.Cpu.Int_alu else Sim.Cpu.Fp_mac);
             x *. y
-        | Rplain e -> eval_f st e
+        | Rplain e ->
+            eval_f st e;
+            getf st
       in
       let old =
         match op with
         | Ast.Set -> 0.0
         | Ast.Add_assign | Ast.Sub_assign | Ast.Mul_assign ->
-            issue st ~addr Sim.Cpu.Load;
+            issue_at st addr Sim.Cpu.Load;
             Sim.Memory.read_f32 st.memory addr
       in
       (match op with
       | Ast.Set | Ast.Add_assign -> () (* Add_assign folded into the MAC *)
       | Ast.Sub_assign | Ast.Mul_assign -> issue st Sim.Cpu.Fp_add);
-      issue st ~addr Sim.Cpu.Store;
+      issue_at st addr Sim.Cpu.Store;
       Sim.Memory.write_f32 st.memory addr (apply_op op old rhs_value)
   | Rset_f { slot; op; rhs } ->
-      let rhs = eval_f st rhs in
+      eval_f st rhs;
+      let rhs = getf st in
       if op <> Ast.Set then issue st Sim.Cpu.Fp_add;
       st.floats.(slot) <- apply_op op st.floats.(slot) rhs
   | Rset_i { slot; op; rhs } ->
@@ -590,7 +617,12 @@ let rec exec_stmt st (stmt : rstmt) =
   | Rdecl_i { slot; init } ->
       st.ints.(slot) <- (match init with Some e -> eval_i st e | None -> 0)
   | Rdecl_f { slot; init } ->
-      st.floats.(slot) <- (match init with Some e -> eval_f st e | None -> 0.0)
+      st.floats.(slot) <-
+        (match init with
+        | Some e ->
+            eval_f st e;
+            getf st
+        | None -> 0.0)
   | Rdecl_arr { slot; adims } -> st.arrays.(slot) <- alloc_array st adims
   | Rcall call -> exec_call st call
   | Rroi_begin -> Sim.Cpu.roi_begin st.cpu
@@ -614,7 +646,7 @@ let stage_out st info (arr : Interp.arr) =
     data.(i) <- Sim.Memory.read_f32 st.memory (info.base + (4 * i))
   done
 
-let run (f : Ir.func) ~platform ~args =
+let run ?scratch (f : Ir.func) ~platform ~args =
   (* Slot types follow the argument values (as before): scalar params
      take the kind of the value passed for them. *)
   let c = { n_int = 0; n_float = 0; n_arr = 0 } in
@@ -635,14 +667,35 @@ let run (f : Ir.func) ~platform ~args =
   let bound = List.map bind_param f.Ir.params in
   let env = List.map fst bound in
   let program = compile_body env c f.Ir.body in
+  (* Slot tables come from the per-domain arena when the caller passes
+     one — every slot is written (by binding or its [Rdecl_*]) before it
+     is read, but zero-fill anyway so a miscompiled program reads
+     deterministic garbage rather than a previous run's values. *)
+  let ints =
+    match scratch with
+    | None -> Array.make (max 1 c.n_int) 0
+    | Some a ->
+        let t = Tdo_util.Arena.int_array a (max 1 c.n_int) in
+        Array.fill t 0 (Array.length t) 0;
+        t
+  in
+  let floats =
+    match scratch with
+    | None -> Array.make (max 1 c.n_float) 0.0
+    | Some a ->
+        let t = Tdo_util.Arena.float_array a (max 1 c.n_float) in
+        Array.fill t 0 (Array.length t) 0.0;
+        t
+  in
   let st =
     {
       platform;
       cpu = Platform.cpu platform;
       memory = platform.Platform.memory;
-      ints = Array.make (max 1 c.n_int) 0;
-      floats = Array.make (max 1 c.n_float) 0.0;
+      ints;
+      floats;
       arrays = Array.make (max 1 c.n_arr) no_array;
+      facc = Float.Array.create 1;
       heap = heap_base;
       api = None;
       dev = Hashtbl.create 8;

@@ -25,7 +25,14 @@ type metrics = {
 
 exception Exec_error of string
 
-val run : Ir.func -> platform:Platform.t -> args:(string * Interp.value) list -> metrics
+val run :
+  ?scratch:Tdo_util.Arena.t ->
+  Ir.func ->
+  platform:Platform.t ->
+  args:(string * Interp.value) list ->
+  metrics
 (** Mutates [Varray] arguments in place with the final memory contents.
     Raises {!Exec_error} on argument mismatch, out-of-bounds accesses,
-    runtime-call misuse, or a device error. *)
+    runtime-call misuse, or a device error. [scratch] backs the
+    executor's scalar slot tables with pooled blocks valid for the
+    duration of the run. *)

@@ -7,7 +7,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 type arr = { dims : int list; data : float array }
 type value = Vint of int | Vfloat of float | Varray of arr
 
-let f32 v = Int32.float_of_bits (Int32.bits_of_float v)
+let[@inline always] f32 v = Int32.float_of_bits (Int32.bits_of_float v)
 
 let make_array ~dims =
   if dims = [] || List.exists (fun d -> d <= 0) dims then
@@ -186,9 +186,20 @@ and compile_stmt env c = function
 
 (* ---------- execution ---------- *)
 
-type state = { ints : int array; floats : float array; arrays : arr array }
+type state = {
+  ints : int array;
+  floats : float array;
+  arrays : arr array;
+  facc : floatarray;
+      (** single-slot accumulator [eval_f] leaves its result in, so the
+          recursive evaluator never boxes a returned float (same
+          discipline as [Tdo_ir.Exec]) *)
+}
 
 let dummy_arr = { dims = []; data = [||] }
+
+let[@inline always] getf st = Float.Array.unsafe_get st.facc 0
+let[@inline always] setf st v = Float.Array.unsafe_set st.facc 0 v
 
 let rec eval_i st = function
   | Ci n -> n
@@ -206,19 +217,24 @@ let rec eval_i st = function
   | Ineg e -> -eval_i st e
   | Cf _ | Vf _ | Load _ | Fbin _ | Fneg _ -> assert false
 
-and eval_f st = function
-  | Cf f -> f
-  | Vf s -> Array.unsafe_get st.floats s
+and eval_f st e =
+  match e with
+  | Cf f -> setf st f
+  | Vf s -> setf st (Array.unsafe_get st.floats s)
   | Load { arr; dims; idxs } ->
-      Array.unsafe_get (Array.unsafe_get st.arrays arr).data (flat_offset st dims idxs)
-  | Fbin (op, a, b) -> (
-      let x = eval_f st a in
-      let y = eval_f st b in
-      match op with Add -> x +. y | Sub -> x -. y | Mul -> x *. y | Div -> x /. y)
-  | Fneg e -> -.eval_f st e
-  | Ci n -> float_of_int n
-  | Vi s -> float_of_int (Array.unsafe_get st.ints s)
-  | (Ibin _ | Ineg _) as e -> float_of_int (eval_i st e)
+      setf st (Array.unsafe_get (Array.unsafe_get st.arrays arr).data (flat_offset st dims idxs))
+  | Fbin (op, a, b) ->
+      eval_f st a;
+      let x = getf st in
+      eval_f st b;
+      let y = getf st in
+      setf st (match op with Add -> x +. y | Sub -> x -. y | Mul -> x *. y | Div -> x /. y)
+  | Fneg e ->
+      eval_f st e;
+      setf st (-.getf st)
+  | Ci n -> setf st (float_of_int n)
+  | Vi s -> setf st (float_of_int (Array.unsafe_get st.ints s))
+  | (Ibin _ | Ineg _) as e -> setf st (float_of_int (eval_i st e))
 
 and flat_offset st (dims : int array) (idxs : rexpr array) =
   let flat = ref 0 in
@@ -230,7 +246,7 @@ and flat_offset st (dims : int array) (idxs : rexpr array) =
   done;
   !flat
 
-let apply_op op old rhs =
+let[@inline always] apply_op op old rhs =
   match op with
   | Set -> rhs
   | Add_assign -> old +. rhs
@@ -249,12 +265,14 @@ let rec exec_stmt st = function
       done
   | Rstore { arr; dims; idxs; op; rhs } ->
       let off = flat_offset st dims idxs in
-      let rhs = eval_f st rhs in
+      eval_f st rhs;
+      let rhs = getf st in
       let data = (Array.unsafe_get st.arrays arr).data in
       let old = Array.unsafe_get data off in
       Array.unsafe_set data off (f32 (apply_op op old rhs))
   | Rset_f { slot; op; rhs } ->
-      let rhs = eval_f st rhs in
+      eval_f st rhs;
+      let rhs = getf st in
       st.floats.(slot) <- apply_op op st.floats.(slot) rhs
   | Rset_i { slot; op; rhs } -> (
       let rhs = eval_i st rhs in
@@ -266,7 +284,12 @@ let rec exec_stmt st = function
   | Rdecl_i { slot; init } ->
       st.ints.(slot) <- (match init with Some e -> eval_i st e | None -> 0)
   | Rdecl_f { slot; init } ->
-      st.floats.(slot) <- (match init with Some e -> eval_f st e | None -> 0.0)
+      st.floats.(slot) <-
+        (match init with
+        | Some e ->
+            eval_f st e;
+            getf st
+        | None -> 0.0)
   | Rdecl_arr { slot; adims } -> st.arrays.(slot) <- make_array ~dims:adims
   | Rblock body -> exec_body st body
 
@@ -275,7 +298,7 @@ and exec_body st (body : rstmt array) =
     exec_stmt st (Array.unsafe_get body i)
   done
 
-let run f ~args =
+let run ?scratch f ~args =
   let c = { n_int = 0; n_float = 0; n_arr = 0 } in
   let bind_param p =
     match List.assoc_opt p.pname args with
@@ -297,11 +320,30 @@ let run f ~args =
   let bound = List.map bind_param f.params in
   let env = List.map fst bound in
   let program = compile_body env c f.body in
+  (* Slot tables come from the per-domain arena when one is passed;
+     zero-filled to match the fresh-allocation behaviour. *)
+  let ints =
+    match scratch with
+    | None -> Array.make (max 1 c.n_int) 0
+    | Some a ->
+        let t = Tdo_util.Arena.int_array a (max 1 c.n_int) in
+        Array.fill t 0 (Array.length t) 0;
+        t
+  in
+  let floats =
+    match scratch with
+    | None -> Array.make (max 1 c.n_float) 0.0
+    | Some a ->
+        let t = Tdo_util.Arena.float_array a (max 1 c.n_float) in
+        Array.fill t 0 (Array.length t) 0.0;
+        t
+  in
   let st =
     {
-      ints = Array.make (max 1 c.n_int) 0;
-      floats = Array.make (max 1 c.n_float) 0.0;
+      ints;
+      floats;
       arrays = Array.make (max 1 c.n_arr) dummy_arr;
+      facc = Float.Array.create 1;
     }
   in
   List.iter

@@ -11,7 +11,9 @@ let create ?(config = default_config) () =
 
 let config t = t.config
 
-let convert t ~full_scale value =
+(* inlined so the float arguments stay unboxed in the crossbar's
+   per-column conversion loop *)
+let[@inline always] convert t ~full_scale value =
   if full_scale <= 0.0 then invalid_arg "Adc.convert: full_scale must be positive";
   t.samples <- t.samples + 1;
   t.conversions <- t.conversions + 1;

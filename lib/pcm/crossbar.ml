@@ -1,4 +1,5 @@
 module Prng = Tdo_util.Prng
+module Arena = Tdo_util.Arena
 module Quant = Tdo_linalg.Quant
 
 type config = {
@@ -49,10 +50,24 @@ type flip = {
   mutable remaining : int;  (** gemv passes still affected *)
 }
 
+(* Cell state lives in structure-of-arrays form — one byte of level,
+   one byte of defect flag and one write counter per physical cell —
+   instead of a [Cell.t] record per cell. A 2x(256x256) array held as
+   records costs ~1M minor words per crossbar, paid on every fresh
+   platform; the SoA planes are three flat blocks that a scratch arena
+   can recycle across runs. The per-cell semantics mirror [Cell]
+   exactly (see [program_cell]). *)
+type plane_state = {
+  levels : Bytes.t;  (** current conductance level per cell *)
+  writes : int array;  (** lifetime write pulses per cell *)
+  stuck : Bytes.t;  (** 1 = injected manufacture-time defect *)
+}
+
 type t = {
   config : config;
-  msb : Cell.t array array;  (** plane holding the signed high nibble, offset by +8 *)
-  lsb : Cell.t array array;  (** plane holding the unsigned low nibble *)
+  cells : int;  (** rows * cols, the plane stride *)
+  msb : plane_state;  (** plane holding the signed high nibble, offset by +8 *)
+  lsb : plane_state;  (** plane holding the unsigned low nibble *)
   adc : Adc.t;
   prng : Prng.t;
   mutable active : (int * int * int * int) option;
@@ -61,19 +76,35 @@ type t = {
   mutable drift : int;  (** additive conductance-drift offset per column output *)
 }
 
-let create ?(config = default_config) ?(seed = 0) () =
+let make_plane ?scratch cells =
+  match scratch with
+  | None ->
+      {
+        levels = Bytes.make cells '\000';
+        writes = Array.make cells 0;
+        stuck = Bytes.make cells '\000';
+      }
+  | Some arena ->
+      (* pooled blocks come back dirty: every plane starts erased *)
+      let levels = Arena.bytes arena cells in
+      Bytes.fill levels 0 cells '\000';
+      let writes = Arena.int_array arena cells in
+      Array.fill writes 0 cells 0;
+      let stuck = Arena.bytes arena cells in
+      Bytes.fill stuck 0 cells '\000';
+      { levels; writes; stuck }
+
+let create ?(config = default_config) ?(seed = 0) ?scratch () =
   if config.rows <= 0 || config.cols <= 0 then
     invalid_arg "Crossbar.create: dimensions must be positive";
   if config.cell.Cell.levels <> 16 then
     invalid_arg "Crossbar.create: operand split assumes 4-bit (16-level) cells";
-  let plane () =
-    Array.init config.rows (fun _ ->
-        Array.init config.cols (fun _ -> Cell.create ~config:config.cell ()))
-  in
+  let cells = config.rows * config.cols in
   {
     config;
-    msb = plane ();
-    lsb = plane ();
+    cells;
+    msb = make_plane ?scratch cells;
+    lsb = make_plane ?scratch cells;
     adc = Adc.create ~config:config.adc ();
     prng = Prng.create ~seed;
     active = None;
@@ -81,6 +112,30 @@ let create ?(config = default_config) ?(seed = 0) () =
     flips = [];
     drift = 0;
   }
+
+(* ---------- per-cell operations (the [Cell] semantics, on SoA) ---------- *)
+
+let[@inline always] cell_level p i = Char.code (Bytes.unsafe_get p.levels i)
+
+let[@inline always] cell_is_worn t p i =
+  Array.unsafe_get p.writes i >= t.config.cell.Cell.endurance
+
+let[@inline always] cell_is_stuck t p i =
+  Bytes.unsafe_get p.stuck i <> '\000' || cell_is_worn t p i
+
+let check_level t level =
+  if level < 0 || level >= t.config.cell.Cell.levels then
+    invalid_arg
+      (Printf.sprintf "Cell.program: level %d out of [0,%d)" level t.config.cell.Cell.levels)
+
+(* Mirrors [Cell.program]: the write pulse is charged (and wear
+   accrues) even when the cell no longer switches, and stuckness is
+   judged before this pulse's wear is added. *)
+let program_cell t p i ~level =
+  check_level t level;
+  let stuck = cell_is_stuck t p i in
+  Array.unsafe_set p.writes i (Array.unsafe_get p.writes i + 1);
+  if not stuck then Bytes.unsafe_set p.levels i (Char.unsafe_chr level)
 
 let config t = t.config
 let counters t = t.counters
@@ -99,15 +154,17 @@ let program_codes t ?(row_off = 0) ?(col_off = 0) codes =
     codes;
   if row_off < 0 || col_off < 0 || row_off + m > t.config.rows || col_off + n > t.config.cols
   then invalid_arg "Crossbar.program_codes: region exceeds the array";
+  let stride = t.config.cols in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
       let code = codes.(i).(j) in
       let hi, lo = Quant.split_nibbles code in
+      let idx = ((row_off + i) * stride) + col_off + j in
       (* The signed high nibble [-8,7] is stored with a +8 offset so it
          maps onto the unsigned conductance levels; the digital logic
          removes the offset after sensing. *)
-      Cell.program t.msb.(row_off + i).(col_off + j) ~level:(hi + 8);
-      Cell.program t.lsb.(row_off + i).(col_off + j) ~level:lo
+      program_cell t t.msb idx ~level:(hi + 8);
+      program_cell t t.lsb idx ~level:lo
     done
   done;
   t.active <- Some (row_off, col_off, m, n);
@@ -126,57 +183,73 @@ let require_active t =
 
 let read_codes t =
   let row_off, col_off, m, n = require_active t in
+  let stride = t.config.cols in
   Array.init m (fun i ->
       Array.init n (fun j ->
-          let hi = Cell.level t.msb.(row_off + i).(col_off + j) - 8 in
-          let lo = Cell.level t.lsb.(row_off + i).(col_off + j) in
+          let idx = ((row_off + i) * stride) + col_off + j in
+          let hi = cell_level t.msb idx - 8 in
+          let lo = cell_level t.lsb idx in
           Quant.combine_nibbles ~msb:hi ~lsb:lo))
 
-let gemv_codes t input =
+let perturb t v =
+  match t.config.noise_sigma with
+  | None -> v
+  | Some sigma -> v + int_of_float (Float.round (Prng.gaussian t.prng ~mu:0.0 ~sigma))
+
+(* Injected analog disturbances on the combined column output: an armed
+   transient flips one bit of one physical column for a bounded number
+   of passes. *)
+let rec apply_flips flips ~col v =
+  match flips with
+  | [] -> v
+  | f :: rest ->
+      let v =
+        if f.fcol = col && f.remaining > 0 then begin
+          f.remaining <- f.remaining - 1;
+          v lxor (1 lsl f.fbit)
+        end
+        else v
+      in
+      apply_flips rest ~col v
+
+let gemv_codes_into t input ~out =
   let row_off, col_off, m, n = require_active t in
   if Array.length input <> m then
     invalid_arg
       (Printf.sprintf "Crossbar.gemv_codes: input length %d, active rows %d"
          (Array.length input) m);
+  if Array.length out <> n then
+    invalid_arg
+      (Printf.sprintf "Crossbar.gemv_codes_into: output length %d, active columns %d"
+         (Array.length out) n);
   (* Analog currents: one Kirchhoff sum per plane per column. The model
      is functional — the integer column sums are what an ideal
-     sense/convert chain recovers — with optional additive noise. *)
+     sense/convert chain recovers — with optional additive noise. The
+     loop writes into the caller's buffer and keeps its accumulators in
+     locals, so a streamed launch performs the whole GEMV without
+     allocating. *)
   let full_scale = float_of_int (m * 127 * 15) +. 1.0 in
-  let out =
-    Array.init n (fun j ->
-        let sum_hi = ref 0 and sum_lo = ref 0 in
-        for i = 0 to m - 1 do
-          let x = input.(i) in
-          sum_hi := !sum_hi + (x * (Cell.level t.msb.(row_off + i).(col_off + j) - 8));
-          sum_lo := !sum_lo + (x * Cell.level t.lsb.(row_off + i).(col_off + j))
-        done;
-        let perturb v =
-          match t.config.noise_sigma with
-          | None -> v
-          | Some sigma ->
-              v + int_of_float (Float.round (Prng.gaussian t.prng ~mu:0.0 ~sigma))
-        in
-        (* Two conversions per column: one per physical plane. The ADC
-           model is charged for the events; the code path keeps the
-           integer value (ideal transfer function). *)
-        let hi = perturb !sum_hi in
-        let lo = perturb !sum_lo in
-        ignore (Adc.convert t.adc ~full_scale (float_of_int hi));
-        ignore (Adc.convert t.adc ~full_scale (float_of_int lo));
-        (* Injected analog disturbances on the combined column output:
-           conductance drift shifts every column; an armed transient
-           flips one bit of one physical column for a bounded number of
-           passes. *)
-        let v = (16 * hi) + lo + t.drift in
-        List.fold_left
-          (fun v f ->
-            if f.fcol = col_off + j && f.remaining > 0 then begin
-              f.remaining <- f.remaining - 1;
-              v lxor (1 lsl f.fbit)
-            end
-            else v)
-          v t.flips)
-  in
+  let stride = t.config.cols in
+  for j = 0 to n - 1 do
+    let sum_hi = ref 0 and sum_lo = ref 0 in
+    for i = 0 to m - 1 do
+      let x = input.(i) in
+      let idx = ((row_off + i) * stride) + col_off + j in
+      sum_hi := !sum_hi + (x * (cell_level t.msb idx - 8));
+      sum_lo := !sum_lo + (x * cell_level t.lsb idx)
+    done;
+    (* Two conversions per column: one per physical plane. The ADC
+       model is charged for the events; the code path keeps the
+       integer value (ideal transfer function). *)
+    let hi = perturb t !sum_hi in
+    let lo = perturb t !sum_lo in
+    ignore (Adc.convert t.adc ~full_scale (float_of_int hi));
+    ignore (Adc.convert t.adc ~full_scale (float_of_int lo));
+    (* Conductance drift shifts every column; see [apply_flips] for the
+       transient disturbances. *)
+    let v = (16 * hi) + lo + t.drift in
+    out.(j) <- apply_flips t.flips ~col:(col_off + j) v
+  done;
   t.counters <-
     {
       t.counters with
@@ -184,7 +257,12 @@ let gemv_codes t input =
       macs = t.counters.macs + (m * n);
       input_buffer_bytes = t.counters.input_buffer_bytes + m;
       output_buffer_bytes = t.counters.output_buffer_bytes + (4 * n);
-    };
+    }
+
+let gemv_codes t input =
+  let _, _, _, n = require_active t in
+  let out = Array.make n 0 in
+  gemv_codes_into t input ~out;
   out
 
 (* ---------- fault-injection hooks ---------- *)
@@ -194,15 +272,19 @@ let cell_of t ~plane ~row ~col =
     invalid_arg
       (Printf.sprintf "Crossbar: cell (%d,%d) outside the %dx%d array" row col t.config.rows
          t.config.cols);
-  match plane with Msb -> t.msb.(row).(col) | Lsb -> t.lsb.(row).(col)
+  let idx = (row * t.config.cols) + col in
+  match plane with Msb -> (t.msb, idx) | Lsb -> (t.lsb, idx)
 
 let inject_stuck_at t ~plane ~row ~col ~level =
-  Cell.force_stuck_at (cell_of t ~plane ~row ~col) ~level
+  let p, idx = cell_of t ~plane ~row ~col in
+  check_level t level;
+  Bytes.set p.levels idx (Char.chr level);
+  Bytes.set p.stuck idx '\001'
 
 let inject_wear_out t ~plane ~row ~col ~level =
-  let c = cell_of t ~plane ~row ~col in
-  Cell.program c ~level;
-  Cell.exhaust c
+  let p, idx = cell_of t ~plane ~row ~col in
+  program_cell t p idx ~level;
+  p.writes.(idx) <- max p.writes.(idx) t.config.cell.Cell.endurance
 
 let arm_column_flip t ~col ~bit ~ops =
   if col < 0 || col >= t.config.cols then
@@ -217,20 +299,24 @@ let flips_remaining t = List.fold_left (fun acc f -> acc + f.remaining) 0 t.flip
 
 let fold_cells t f init =
   let acc = ref init in
-  let visit plane = Array.iter (fun row -> Array.iter (fun c -> acc := f !acc c) row) plane in
+  let visit p =
+    for i = 0 to t.cells - 1 do
+      acc := f !acc p i
+    done
+  in
   visit t.msb;
   visit t.lsb;
   !acc
 
-let wear_total t = fold_cells t (fun acc c -> acc + Cell.writes c) 0
-let wear_max t = fold_cells t (fun acc c -> max acc (Cell.writes c)) 0
+let wear_total t = fold_cells t (fun acc p i -> acc + p.writes.(i)) 0
+let wear_max t = fold_cells t (fun acc p i -> max acc p.writes.(i)) 0
 
 let worn_out_fraction t =
-  let worn = fold_cells t (fun acc c -> if Cell.is_worn_out c then acc + 1 else acc) 0 in
-  let total = 2 * t.config.rows * t.config.cols in
+  let worn = fold_cells t (fun acc p i -> if cell_is_worn t p i then acc + 1 else acc) 0 in
+  let total = 2 * t.cells in
   float_of_int worn /. float_of_int total
 
 let stuck_fraction t =
-  let stuck = fold_cells t (fun acc c -> if Cell.is_stuck c then acc + 1 else acc) 0 in
-  let total = 2 * t.config.rows * t.config.cols in
+  let stuck = fold_cells t (fun acc p i -> if cell_is_stuck t p i then acc + 1 else acc) 0 in
+  let total = 2 * t.cells in
   float_of_int stuck /. float_of_int total

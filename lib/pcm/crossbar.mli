@@ -31,7 +31,13 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?seed:int -> unit -> t
+val create : ?config:config -> ?seed:int -> ?scratch:Tdo_util.Arena.t -> unit -> t
+(** [scratch] backs the per-cell state (levels, wear counters, defect
+    flags) with arena blocks, so short-lived crossbars inside per-run
+    platforms recycle their planes instead of reallocating ~1M words
+    each. A crossbar created with [scratch] is only valid until that
+    arena's next reset — never pass one for a long-lived device. *)
+
 val config : t -> config
 
 val program_codes : t -> ?row_off:int -> ?col_off:int -> int array array -> unit
@@ -49,6 +55,11 @@ val gemv_codes : t -> int array -> int array
 (** Analog GEMV over the active region: input length must equal the
     active row count; the result has one (exact, full-precision) integer
     per active column. Raises [Failure] if nothing was programmed. *)
+
+val gemv_codes_into : t -> int array -> out:int array -> unit
+(** Allocation-free {!gemv_codes}: writes the column results into [out],
+    whose length must equal the active column count. The engine's
+    streamed launch loop calls this with a reused buffer. *)
 
 val read_codes : t -> int array array
 (** Read back the active region (digital read path; reconstructs codes

@@ -73,24 +73,31 @@ let create ?(config = arm_a7) ~l1d () =
 let config t = t.config
 let time_ps t = (t.cycles * t.period_ps) + t.extra_ps
 
-let issue t ?addr cls =
-  let base = t.config.class_base_cycles cls in
+(* [issue_at] is the executor's hot entry: a labelled (non-optional)
+   address means no [Some] box per charged load/store. *)
+let issue_at t ~addr cls =
   let mem_cycles =
     match cls with
-    | Load | Store -> begin
-        match addr with
-        | None -> invalid_arg "Cpu.issue: memory instruction without an address"
-        | Some a ->
-            let op = if cls = Load then Cache.Read else Cache.Write in
-            let lat_ps = Cache.access t.l1d op ~addr:a in
-            Time_base.ps_to_cycles ~freq_hz:t.config.freq_hz lat_ps
-      end
-    | Int_alu | Int_mul | Fp_add | Fp_mul | Fp_mac | Fp_div | Branch | Call | Ret -> 0
+    | Load | Store ->
+        let op = if cls = Load then Cache.Read else Cache.Write in
+        Time_base.ps_to_cycles ~freq_hz:t.config.freq_hz (Cache.access t.l1d op ~addr)
+    | Int_alu | Int_mul | Fp_add | Fp_mul | Fp_mac | Fp_div | Branch | Call | Ret ->
+        invalid_arg "Cpu.issue_at: not a memory instruction"
   in
-  t.cycles <- t.cycles + base + mem_cycles;
+  t.cycles <- t.cycles + t.config.class_base_cycles cls + mem_cycles;
   t.instructions <- t.instructions + 1;
   let i = class_index cls in
   t.class_counts.(i) <- t.class_counts.(i) + 1
+
+let issue t ?addr cls =
+  match (cls, addr) with
+  | (Load | Store), Some a -> issue_at t ~addr:a cls
+  | (Load | Store), None -> invalid_arg "Cpu.issue: memory instruction without an address"
+  | (Int_alu | Int_mul | Fp_add | Fp_mul | Fp_mac | Fp_div | Branch | Call | Ret), _ ->
+      t.cycles <- t.cycles + t.config.class_base_cycles cls;
+      t.instructions <- t.instructions + 1;
+      let i = class_index cls in
+      t.class_counts.(i) <- t.class_counts.(i) + 1
 
 let issue_many t cls count =
   if count < 0 then invalid_arg "Cpu.issue_many: negative count";

@@ -42,6 +42,11 @@ val issue : t -> ?addr:int -> iclass -> unit
     [Store] (raises [Invalid_argument] if missing) and ignored
     otherwise. *)
 
+val issue_at : t -> addr:int -> iclass -> unit
+(** {!issue} for [Load]/[Store] with a mandatory address — the
+    executor's hot path, avoiding the [Some addr] box per charged
+    memory access. Raises [Invalid_argument] for non-memory classes. *)
+
 val issue_many : t -> iclass -> int -> unit
 (** Account [count] identical non-memory instructions in one step (used
     for modelled fixed-cost loops like the driver's set/way cache

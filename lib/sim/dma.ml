@@ -64,6 +64,14 @@ let charge t ~bytes =
   t.transfers <- t.transfers + 1;
   latency t ~bytes
 
+let charge_write t ~bytes =
+  if bytes < 0 then invalid_arg "Dma.charge_write: negative size";
+  t.bytes_written <- t.bytes_written + bytes;
+  t.transfers <- t.transfers + 1;
+  latency t ~bytes
+
+let memory t = t.memory
+
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written
 let transfers t = t.transfers

@@ -40,6 +40,15 @@ val charge : t -> bytes:int -> Time_base.ps
     style engine operations whose functional effect is performed
     element-wise by the caller. *)
 
+val charge_write : t -> bytes:int -> Time_base.ps
+(** Like {!charge} but counts the traffic as written rather than
+    read. *)
+
+val memory : t -> Memory.t
+(** The shared memory this engine moves data to and from — for callers
+    that perform the functional side of a transfer element-wise and use
+    {!charge}/{!charge_write} for the timing side. *)
+
 val bytes_read : t -> int
 val bytes_written : t -> int
 val transfers : t -> int

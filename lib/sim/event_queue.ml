@@ -1,95 +1,121 @@
-(* The pending set is an array-backed binary min-heap ordered by
-   (time, seq): the sequence number makes the order total, so events
-   scheduled for the same tick run in scheduling order and the heap's
-   internal sift order can never leak into execution order. Compared to
-   the previous Map.Make-based implementation this allocates nothing on
-   the push/pop path beyond occasional capacity doubling, which matters
-   because the CPU model schedules and drains events inside the
-   simulation's innermost loops. *)
+(* The pending set is a binary min-heap ordered by (time, seq): the
+   sequence number makes the order total, so events scheduled for the
+   same tick run in scheduling order and the heap's internal sift order
+   can never leak into execution order.
 
-type event = { name : string; callback : unit -> unit }
-
-type entry = { time : Time_base.ps; seq : int; event : event }
+   The heap is stored as parallel arrays (structure-of-arrays) rather
+   than an array of entry records: a push previously allocated a
+   two-level {time; seq; event = {name; callback}} record pair per
+   scheduled event, which matters because the CPU model schedules and
+   drains events inside the simulation's innermost loops. With the
+   fields split into unboxed int arrays plus name/callback slots,
+   push/pop allocate nothing beyond occasional capacity doubling. *)
 
 type t = {
   mutable now : Time_base.ps;
   mutable seq : int;
-  mutable heap : entry array;  (** slots [0, size) are live *)
+  (* slots [0, size) of each array are live and describe one event *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable names : string array;
+  mutable callbacks : (unit -> unit) array;
   mutable size : int;
   mutable executed : int;
 }
 
-let dummy_entry = { time = 0; seq = 0; event = { name = ""; callback = ignore } }
-
-let create () = { now = 0; seq = 0; heap = Array.make 16 dummy_entry; size = 0; executed = 0 }
+let create () =
+  {
+    now = 0;
+    seq = 0;
+    times = Array.make 16 0;
+    seqs = Array.make 16 0;
+    names = Array.make 16 "";
+    callbacks = Array.make 16 ignore;
+    size = 0;
+    executed = 0;
+  }
 
 let now t = t.now
 
 (* (time, seq) lexicographic order; seq values are unique *)
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i ~time ~seq =
+  let ti = Array.unsafe_get t.times i in
+  time < ti || (time = ti && seq < Array.unsafe_get t.seqs i)
 
 let grow t =
-  let heap = Array.make (2 * Array.length t.heap) dummy_entry in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0
+  and seqs = Array.make cap 0
+  and names = Array.make cap ""
+  and callbacks = Array.make cap ignore in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.names 0 names 0 t.size;
+  Array.blit t.callbacks 0 callbacks 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.names <- names;
+  t.callbacks <- callbacks
 
-let sift_up t i =
-  let entry = t.heap.(i) in
+let set t i ~time ~seq ~name ~callback =
+  Array.unsafe_set t.times i time;
+  Array.unsafe_set t.seqs i seq;
+  Array.unsafe_set t.names i name;
+  Array.unsafe_set t.callbacks i callback
+
+let move t ~src ~dst =
+  Array.unsafe_set t.times dst (Array.unsafe_get t.times src);
+  Array.unsafe_set t.seqs dst (Array.unsafe_get t.seqs src);
+  Array.unsafe_set t.names dst (Array.unsafe_get t.names src);
+  Array.unsafe_set t.callbacks dst (Array.unsafe_get t.callbacks src)
+
+let sift_up t i ~time ~seq ~name ~callback =
   let i = ref i in
   while
     !i > 0
     &&
+    (* the inserted (time, seq) sorts before its parent *)
     let parent = (!i - 1) / 2 in
-    before entry t.heap.(parent)
+    before t parent ~time ~seq
   do
     let parent = (!i - 1) / 2 in
-    t.heap.(!i) <- t.heap.(parent);
+    move t ~src:parent ~dst:!i;
     i := parent
   done;
-  t.heap.(!i) <- entry
+  set t !i ~time ~seq ~name ~callback
 
-let sift_down t i =
-  let entry = t.heap.(i) in
-  let i = ref i in
+let sift_down t ~time ~seq ~name ~callback =
+  let i = ref 0 in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 in
     if l >= t.size then continue := false
     else begin
       let r = l + 1 in
-      let child = if r < t.size && before t.heap.(r) t.heap.(l) then r else l in
-      if before t.heap.(child) entry then begin
-        t.heap.(!i) <- t.heap.(child);
+      (* the smaller of the two children *)
+      let child =
+        if r < t.size && before t l ~time:t.times.(r) ~seq:t.seqs.(r) then r else l
+      in
+      if before t child ~time ~seq then continue := false
+      else begin
+        move t ~src:child ~dst:!i;
         i := child
       end
-      else continue := false
     end
   done;
-  t.heap.(!i) <- entry
+  set t !i ~time ~seq ~name ~callback
 
-let push t entry =
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- entry;
+let push t ~time ~seq ~name ~callback =
+  if t.size = Array.length t.times then grow t;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
-
-let pop t =
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  if t.size > 0 then begin
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy_entry;
-    sift_down t 0
-  end
-  else t.heap.(0) <- dummy_entry;
-  top
+  sift_up t (t.size - 1) ~time ~seq ~name ~callback
 
 let schedule_at t ~time ~name callback =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Event_queue.schedule_at: %s scheduled at %d before now=%d" name time t.now);
   t.seq <- t.seq + 1;
-  push t { time; seq = t.seq; event = { name; callback } }
+  push t ~time ~seq:t.seq ~name ~callback
 
 let schedule t ~delay ~name callback =
   if delay < 0 then invalid_arg "Event_queue.schedule: negative delay";
@@ -98,10 +124,24 @@ let schedule t ~delay ~name callback =
 let run_next t =
   if t.size = 0 then false
   else begin
-    let { time; event; _ } = pop t in
+    let time = t.times.(0) in
+    let callback = t.callbacks.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      (* move the last entry down from the root *)
+      let last = t.size in
+      sift_down t ~time:t.times.(last) ~seq:t.seqs.(last) ~name:t.names.(last)
+        ~callback:t.callbacks.(last);
+      t.names.(last) <- "";
+      t.callbacks.(last) <- ignore
+    end
+    else begin
+      t.names.(0) <- "";
+      t.callbacks.(0) <- ignore
+    end;
     t.now <- time;
     t.executed <- t.executed + 1;
-    event.callback ();
+    callback ();
     true
   end
 
@@ -109,7 +149,7 @@ let run_until t ~time =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Event_queue.run_until: target %d before now=%d" time t.now);
-  while t.size > 0 && t.heap.(0).time <= time do
+  while t.size > 0 && t.times.(0) <= time do
     ignore (run_next t)
   done;
   (* the clock lands on [time] even when the queue drains early *)

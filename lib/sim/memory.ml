@@ -1,3 +1,5 @@
+module Arena = Tdo_util.Arena
+
 type config = {
   size_bytes : int;
   access_latency_ps : Time_base.ps;
@@ -14,22 +16,40 @@ let default_config =
 let chunk_bits = 16
 let chunk_size = 1 lsl chunk_bits
 
+(* Direct-mapped chunk cache: a kernel like GEMM streams three arrays
+   at once, and with a single cached chunk the A/B/C accesses evict
+   each other every instruction, sending almost everything down the
+   allocating slow path. Eight slots keep every active region's chunk
+   resident at a cost of one extra indexed load on the fast path. *)
+let slot_bits = 3
+let slots = 1 lsl slot_bits
+let slot_mask = slots - 1
+
 type t = {
   config : config;
+  limit : int;  (** [config.size_bytes], one field load on the fast path *)
+  scratch : Arena.t option;  (** chunk backing comes from here when present *)
   chunks : (int, Bytes.t) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
-  (* one-entry chunk cache: the executor streams through arrays, so
-     consecutive accesses almost always land in the same 64 KB chunk *)
-  mutable last_idx : int;
-  mutable last_chunk : Bytes.t;
+  slot_idx : int array;  (** chunk index cached in each slot, -1 when empty *)
+  slot_chunk : Bytes.t array;
 }
 
 let no_chunk = Bytes.create 0
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?scratch () =
   if config.size_bytes <= 0 then invalid_arg "Memory.create: size must be positive";
-  { config; chunks = Hashtbl.create 64; reads = 0; writes = 0; last_idx = -1; last_chunk = no_chunk }
+  {
+    config;
+    limit = config.size_bytes;
+    scratch;
+    chunks = Hashtbl.create 64;
+    reads = 0;
+    writes = 0;
+    slot_idx = Array.make slots (-1);
+    slot_chunk = Array.make slots no_chunk;
+  }
 
 let config t = t.config
 
@@ -38,18 +58,28 @@ let check_range t addr len =
     invalid_arg (Printf.sprintf "Memory: access [%d, %d) out of range" addr (addr + len))
 
 let chunk t idx =
-  if t.last_idx = idx then t.last_chunk
+  let slot = idx land slot_mask in
+  if Array.unsafe_get t.slot_idx slot = idx then Array.unsafe_get t.slot_chunk slot
   else
     let c =
-      match Hashtbl.find_opt t.chunks idx with
-      | Some c -> c
-      | None ->
-          let c = Bytes.make chunk_size '\000' in
+      match Hashtbl.find t.chunks idx with
+      | c -> c
+      | exception Not_found ->
+          let c =
+            match t.scratch with
+            | None -> Bytes.make chunk_size '\000'
+            | Some arena ->
+                (* pooled blocks come back dirty; memory reads as zero
+                   until written, so clear before first use *)
+                let c = Arena.bytes arena chunk_size in
+                Bytes.fill c 0 chunk_size '\000';
+                c
+          in
           Hashtbl.add t.chunks idx c;
           c
     in
-    t.last_idx <- idx;
-    t.last_chunk <- c;
+    Array.unsafe_set t.slot_idx slot idx;
+    Array.unsafe_set t.slot_chunk slot c;
     c
 
 let read_u8 t addr =
@@ -112,8 +142,46 @@ let write_i32 t addr v =
     write_bytes t addr b
   end
 
-let read_f32 t addr = Int32.float_of_bits (read_i32 t addr)
-let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)
+(* The f32 accessors are the executor's hottest operations. The slow
+   path funnels through the i32 accessors (chunk lookup, range errors,
+   sub-word split); the fast path below hits when the access lands in
+   the cached chunk, and is written as one composed expression so the
+   intermediate int32 never materialises — inlined at the call site,
+   neither does the float, making streaming f32 access allocation-free. *)
+
+let read_f32_slow t addr = Int32.float_of_bits (read_i32 t addr)
+
+let[@inline always] read_f32 t addr =
+  let off = addr land offset_mask in
+  let idx = addr lsr chunk_bits in
+  let slot = idx land slot_mask in
+  if
+    Array.unsafe_get t.slot_idx slot = idx
+    && off <= chunk_size - 4
+    && addr >= 0
+    && addr + 4 <= t.limit
+  then begin
+    t.reads <- t.reads + 4;
+    Int32.float_of_bits (Bytes.get_int32_le (Array.unsafe_get t.slot_chunk slot) off)
+  end
+  else read_f32_slow t addr
+
+let write_f32_slow t addr v = write_i32 t addr (Int32.bits_of_float v)
+
+let[@inline always] write_f32 t addr v =
+  let off = addr land offset_mask in
+  let idx = addr lsr chunk_bits in
+  let slot = idx land slot_mask in
+  if
+    Array.unsafe_get t.slot_idx slot = idx
+    && off <= chunk_size - 4
+    && addr >= 0
+    && addr + 4 <= t.limit
+  then begin
+    t.writes <- t.writes + 4;
+    Bytes.set_int32_le (Array.unsafe_get t.slot_chunk slot) off (Int32.bits_of_float v)
+  end
+  else write_f32_slow t addr v
 
 let burst_latency t ~bytes =
   if bytes < 0 then invalid_arg "Memory.burst_latency: negative size";

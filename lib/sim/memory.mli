@@ -19,7 +19,13 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?scratch:Tdo_util.Arena.t -> unit -> t
+(** [scratch] backs the 64 KB chunks with pooled (zero-filled on first
+    touch) buffers instead of fresh allocations. Only pass it for a
+    memory whose lifetime ends before the arena's next reset — the
+    per-run platforms of {!Tdo_cim.Flow.run} — never for a long-lived
+    one (a serving device). *)
+
 val config : t -> config
 
 val read_u8 : t -> int -> int
@@ -30,10 +36,12 @@ val write_i32 : t -> int -> int32 -> unit
 
 val read_f32 : t -> int -> float
 (** Reads 4 bytes as an IEEE binary32 (little endian), widened to
-    [float]. *)
+    [float]. Annotated [[@inline always]]: at an inlined call site the
+    in-chunk fast path allocates nothing. *)
 
 val write_f32 : t -> int -> float -> unit
-(** Rounds to binary32 before storing. *)
+(** Rounds to binary32 before storing. Allocation-free on the in-chunk
+    fast path, like {!read_f32}. *)
 
 val read_bytes : t -> int -> int -> Bytes.t
 val write_bytes : t -> int -> Bytes.t -> unit

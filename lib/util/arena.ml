@@ -1,0 +1,88 @@
+(* Exact-size pooling rather than a bump pointer over raw bytes: the
+   simulation's recurring scratch shapes (slot tables, 64 KB memory
+   chunks, crossbar row buffers) are requested with the same handful of
+   lengths run after run, so a per-length free list gives O(1) acquire
+   and O(1) reuse without any pointer arithmetic or unsafe casts, and
+   [reset] is a counter sweep over the few dozen live buckets. Blocks
+   are handed out dirty; a consumer that needs zeroed storage (the
+   sparse memory model) clears the block itself. *)
+
+type 'a bucket = {
+  mutable blocks : 'a array;  (** slots [0, live) hold allocated blocks *)
+  mutable live : int;
+  mutable handed : int;  (** blocks handed out since the last [reset] *)
+}
+
+type stats = { fresh : int; reused : int; live_words : int }
+
+type t = {
+  ints : (int, int array bucket) Hashtbl.t;
+  floats : (int, float array bucket) Hashtbl.t;
+  bytes : (int, Bytes.t bucket) Hashtbl.t;
+  mutable fresh : int;
+  mutable reused : int;
+  mutable live_words : int;
+}
+
+let create () =
+  {
+    ints = Hashtbl.create 16;
+    floats = Hashtbl.create 16;
+    bytes = Hashtbl.create 16;
+    fresh = 0;
+    reused = 0;
+    live_words = 0;
+  }
+
+let bucket table n =
+  match Hashtbl.find_opt table n with
+  | Some b -> b
+  | None ->
+      let b = { blocks = [||]; live = 0; handed = 0 } in
+      Hashtbl.add table n b;
+      b
+
+(* The grown backing array is filled with the block being stored, so no
+   dummy value of type ['a] is ever needed. *)
+let store b x =
+  if b.live = Array.length b.blocks then begin
+    let blocks = Array.make (max 4 (2 * b.live)) x in
+    Array.blit b.blocks 0 blocks 0 b.live;
+    b.blocks <- blocks
+  end;
+  b.blocks.(b.live) <- x;
+  b.live <- b.live + 1;
+  b.handed <- b.handed + 1
+
+let acquire t table n ~make ~words =
+  if n < 0 then invalid_arg "Arena: negative length";
+  let b = bucket table n in
+  if b.handed < b.live then begin
+    let x = b.blocks.(b.handed) in
+    b.handed <- b.handed + 1;
+    t.reused <- t.reused + 1;
+    x
+  end
+  else begin
+    let x = make n in
+    store b x;
+    t.fresh <- t.fresh + 1;
+    t.live_words <- t.live_words + words;
+    x
+  end
+
+let int_array t n = acquire t t.ints n ~make:(fun n -> Array.make n 0) ~words:(n + 1)
+let float_array t n = acquire t t.floats n ~make:(fun n -> Array.make n 0.0) ~words:(n + 1)
+
+let bytes t n =
+  acquire t t.bytes n ~make:Bytes.create ~words:(((n + Sys.word_size / 8) / (Sys.word_size / 8)) + 1)
+
+let reset t =
+  let sweep : 'a. (int, 'a bucket) Hashtbl.t -> unit =
+   fun table -> Hashtbl.iter (fun _ b -> b.handed <- 0) table
+  in
+  sweep t.ints;
+  sweep t.floats;
+  sweep t.bytes
+
+let stats t = { fresh = t.fresh; reused = t.reused; live_words = t.live_words }

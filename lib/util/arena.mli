@@ -1,0 +1,47 @@
+(** Reusable scratch regions for the simulation hot loops.
+
+    An arena is a per-domain pool of preallocated blocks — int arrays,
+    float arrays and byte buffers — keyed by exact length. [reset]
+    returns every block to its pool in O(live buckets) without freeing
+    anything, so a worker that simulates thousands of configuration
+    points reuses the same slot tables, memory chunks and row buffers
+    instead of churning the minor heap.
+
+    Discipline (see DESIGN.md, "Memory discipline"):
+
+    - Blocks are handed out {e dirty}: the previous user's data is
+      still in them. Consumers that need zeroed storage clear the block
+      on acquisition.
+    - A block is valid from its acquisition until the next [reset] of
+      the arena it came from. Nothing acquired from an arena may be
+      reachable after that reset — results must be copied out first.
+    - Arenas are single-domain. {!Pool.scratch} hands each domain its
+      own; never share one across domains. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Return every outstanding block to its pool. Amortised O(1) per
+    acquisition (a counter sweep over the live size classes); no memory
+    is released. *)
+
+val int_array : t -> int -> int array
+(** [int_array t n] is an [int array] of length exactly [n], reused
+    from the pool when one of that length was acquired before the last
+    [reset]. Contents are unspecified. *)
+
+val float_array : t -> int -> float array
+(** Same, for unboxed float arrays. *)
+
+val bytes : t -> int -> Bytes.t
+(** Same, for byte buffers. *)
+
+type stats = {
+  fresh : int;  (** blocks allocated because no pooled one fit *)
+  reused : int;  (** acquisitions served from the pool *)
+  live_words : int;  (** approximate words held across all pools *)
+}
+
+val stats : t -> stats

@@ -1,20 +1,48 @@
+type measure = {
+  elapsed_s : float;
+  minor : float;
+  major : float;
+  promoted : float;
+}
+
 type section = {
   name : string;
   wall_s : float;
   minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  domains : int;
   seq_wall_s : float option;
 }
 
 let timed f =
-  let words0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  let wall = Unix.gettimeofday () -. t0 in
-  (result, wall, Gc.minor_words () -. words0)
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( result,
+    {
+      elapsed_s;
+      minor = s1.Gc.minor_words -. s0.Gc.minor_words;
+      major = s1.Gc.major_words -. s0.Gc.major_words;
+      promoted = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    } )
+
+let of_measure ~name ?seq_wall_s (m : measure) =
+  {
+    name;
+    wall_s = m.elapsed_s;
+    minor_words = m.minor;
+    major_words = m.major;
+    promoted_words = m.promoted;
+    domains = Pool.size ();
+    seq_wall_s;
+  }
 
 let section ~name ?seq_wall_s f =
-  let result, wall_s, minor_words = timed f in
-  (result, { name; wall_s; minor_words; seq_wall_s })
+  let result, m = timed f in
+  (result, of_measure ~name ?seq_wall_s m)
 
 let speedup_vs_sequential s =
   match s.seq_wall_s with
@@ -57,7 +85,10 @@ let write ~path ?(micro = []) ?(extra = []) ?notes ~sections () =
       (match speedup_vs_sequential s with
       | Some sp -> field b ~last:false "speedup_vs_sequential" (number sp)
       | None -> ());
-      field b ~last:true "minor_words" (number s.minor_words);
+      field b ~last:false "minor_words" (number s.minor_words);
+      field b ~last:false "major_words" (number s.major_words);
+      field b ~last:false "promoted_words" (number s.promoted_words);
+      field b ~last:true "domains" (string_of_int s.domains);
       Buffer.add_string b "  }")
     sections;
   Buffer.add_string b "\n  ]";
@@ -86,6 +117,9 @@ type delta = {
   delta_s : float;
   speedup_vs_baseline : float;
   regression : bool;
+  minor_words : float;
+  baseline_minor_words : float;
+  alloc_regression : bool;
 }
 
 let load_sections ~path =
@@ -98,13 +132,18 @@ let load_sections ~path =
                  Option.bind (Json.member "wall_s" s) Json.to_float )
              with
              | Some name, Some wall_s ->
+                 let num key =
+                   Option.bind (Json.member key s) Json.to_float
+                   |> Option.value ~default:0.0
+                 in
                  Some
                    {
                      name;
                      wall_s;
-                     minor_words =
-                       Option.bind (Json.member "minor_words" s) Json.to_float
-                       |> Option.value ~default:0.0;
+                     minor_words = num "minor_words";
+                     major_words = num "major_words";
+                     promoted_words = num "promoted_words";
+                     domains = int_of_float (num "domains");
                      seq_wall_s = Option.bind (Json.member "seq_wall_s" s) Json.to_float;
                    }
              | _ -> None))
@@ -121,7 +160,7 @@ let load_extra ~path =
       | _ -> [])
     (Json.of_file path)
 
-let compare ?(tolerance = 0.10) ~baseline sections =
+let compare ?(tolerance = 0.10) ?(alloc_tolerance = 0.25) ~baseline sections =
   Result.map
     (fun old_sections ->
       List.filter_map
@@ -136,6 +175,11 @@ let compare ?(tolerance = 0.10) ~baseline sections =
                    speedup_vs_baseline =
                      (if s.wall_s > 0.0 then o.wall_s /. s.wall_s else Float.infinity);
                    regression = s.wall_s > o.wall_s *. (1.0 +. tolerance);
+                   minor_words = s.minor_words;
+                   baseline_minor_words = o.minor_words;
+                   alloc_regression =
+                     o.minor_words > 0.0
+                     && s.minor_words > o.minor_words *. (1.0 +. alloc_tolerance);
                  }))
         sections)
     (load_sections ~path:baseline)
@@ -148,5 +192,7 @@ let delta_fields deltas =
         (d.name ^ "_delta_s", d.delta_s);
         (d.name ^ "_speedup_vs_baseline", d.speedup_vs_baseline);
         (d.name ^ "_regression", if d.regression then 1.0 else 0.0);
+        (d.name ^ "_baseline_minor_words", d.baseline_minor_words);
+        (d.name ^ "_alloc_regression", if d.alloc_regression then 1.0 else 0.0);
       ])
     deltas

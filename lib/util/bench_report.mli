@@ -6,16 +6,30 @@
     hand-rolled: the schema is flat and the repo takes no JSON
     dependency for it. *)
 
+type measure = {
+  elapsed_s : float;  (** wall-clock seconds *)
+  minor : float;  (** minor-heap words allocated *)
+  major : float;  (** major-heap words allocated (incl. promotions) *)
+  promoted : float;  (** words promoted minor -> major *)
+}
+
 type section = {
   name : string;
   wall_s : float;  (** wall-clock of the (possibly parallel) run *)
   minor_words : float;  (** minor-heap words allocated during the run *)
+  major_words : float;  (** major-heap words allocated during the run *)
+  promoted_words : float;  (** words promoted minor -> major during the run *)
+  domains : int;  (** {!Pool.size} when the section was measured *)
   seq_wall_s : float option;  (** same work with {!Pool} forced sequential *)
 }
 
-val timed : (unit -> 'a) -> 'a * float * float
-(** [timed f] runs [f] and returns [(result, wall seconds,
-    minor words allocated)]. *)
+val timed : (unit -> 'a) -> 'a * measure
+(** [timed f] runs [f] and returns its result plus wall-clock and
+    GC counters ([Gc.quick_stat] deltas) for the run. *)
+
+val of_measure : name:string -> ?seq_wall_s:float -> measure -> section
+(** Promote a {!timed} measurement to a report section, stamping the
+    current {!Pool.size}. *)
 
 val section : name:string -> ?seq_wall_s:float -> (unit -> 'a) -> 'a * section
 
@@ -49,6 +63,13 @@ type delta = {
   delta_s : float;  (** [wall_s - baseline_wall_s] *)
   speedup_vs_baseline : float;  (** [baseline_wall_s / wall_s] *)
   regression : bool;  (** this run slower than baseline by more than the tolerance *)
+  minor_words : float;  (** this run's minor-heap allocation *)
+  baseline_minor_words : float;  (** previous report's; 0 when absent *)
+  alloc_regression : bool;
+      (** this run allocated more than the baseline by more than
+          [alloc_tolerance] (only when the baseline recorded a non-zero
+          figure — allocation is deterministic, so this catches perf
+          regressions that wall-clock noise on small machines hides) *)
 }
 
 val load_sections : path:string -> (section list, string) result
@@ -60,13 +81,20 @@ val load_extra : path:string -> ((string * float) list, string) result
     [~extra] values, plus [domains]). *)
 
 val compare :
-  ?tolerance:float -> baseline:string -> section list -> (delta list, string) result
+  ?tolerance:float ->
+  ?alloc_tolerance:float ->
+  baseline:string ->
+  section list ->
+  (delta list, string) result
 (** Match [sections] by name against the report at [baseline] (a path).
     Sections missing from either side are skipped. [tolerance]
     (default 0.10) is the relative slowdown above which [regression]
-    is set. [Error] reports an unreadable or malformed baseline. *)
+    is set; [alloc_tolerance] (default 0.25) likewise for
+    [alloc_regression]. [Error] reports an unreadable or malformed
+    baseline. *)
 
 val delta_fields : delta list -> (string * float) list
 (** Flatten deltas for [write ~extra]: per section,
     [<name>_baseline_wall_s], [<name>_delta_s],
-    [<name>_speedup_vs_baseline] and [<name>_regression] (0/1). *)
+    [<name>_speedup_vs_baseline], [<name>_regression] (0/1),
+    [<name>_baseline_minor_words] and [<name>_alloc_regression] (0/1). *)

@@ -7,16 +7,20 @@
 
 (* [Domain.recommended_domain_count] is allowed to report anything the
    OS hands it, including 0 on containers with broken cgroup limits —
-   clamp so a degenerate report never disables the pool outright. An
-   explicit [TDO_DOMAINS=<n>] wins over the runtime's guess; it is read
-   on every call so tests can flip it with [Unix.putenv]. *)
+   clamp so a degenerate report never disables the pool outright. The
+   recommendation probes the OS (cgroup files, sysconf), so it is
+   computed once and cached; an explicit [TDO_DOMAINS=<n>] wins over
+   the runtime's guess and is still read on every call so tests can
+   flip it with [Unix.putenv]. *)
+let recommended = lazy (max 1 (Domain.recommended_domain_count ()))
+
 let size () =
   match Sys.getenv_opt "TDO_DOMAINS" with
   | Some s ->
       (match int_of_string_opt (String.trim s) with
       | Some n -> max 1 n
-      | None -> max 1 (Domain.recommended_domain_count ()))
-  | None -> max 1 (Domain.recommended_domain_count ())
+      | None -> Lazy.force recommended)
+  | None -> Lazy.force recommended
 
 let sequential_override = ref None
 
@@ -33,37 +37,80 @@ let sequential () =
    spawning domains recursively *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* One scratch arena per domain, created on first use. The calling
+   domain's arena persists across maps; worker domains are per-call, so
+   they would lose their warmed buffer pools on every join — instead a
+   spawned worker checks an arena out of the shared registry below for
+   the duration of the map and returns it at the end, so the same
+   arenas (and their pooled blocks) circulate across fan-outs. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Arena.create ())
+
+let scratch () = Domain.DLS.get scratch_key
+
+(* Checkout is mutually exclusive per arena: a busy flag flips under
+   the registry lock, so even if two independent domains fan out
+   concurrently, no arena is ever shared — a second fan-out simply
+   grows the registry. *)
+let worker_arenas : (Arena.t * bool ref) list ref = ref []
+let worker_arenas_lock = Mutex.create ()
+
+let checkout_arena () =
+  Mutex.protect worker_arenas_lock (fun () ->
+      match List.find_opt (fun (_, busy) -> not !busy) !worker_arenas with
+      | Some (a, busy) ->
+          busy := true;
+          (a, busy)
+      | None ->
+          let entry = (Arena.create (), ref true) in
+          worker_arenas := entry :: !worker_arenas;
+          entry)
+
+let return_arena (_, busy) = Mutex.protect worker_arenas_lock (fun () -> busy := false)
+
 let parallel_map ?workers f xs =
   let n = List.length xs in
   let w = min n (match workers with Some w -> max 1 w | None -> size ()) in
   if w <= 1 || n <= 1 || sequential () || Domain.DLS.get in_worker then List.map f xs
   else begin
     let input = Array.of_list xs in
-    let results = Array.make n None in
+    (* Every index below [n] is written exactly once before the join,
+       so the never-observed initial value can be a sentinel instead of
+       [None] — no [Some] box per task. The array is built and read
+       with generic (tag-dispatched) accesses because ['b] is
+       polymorphic here, so the unit sentinel is safe even when ['b]
+       turns out to be [float]. *)
+    let results : 'b array = Array.make n (Obj.magic () : 'b) in
     let errors = Array.make n None in
-    (* the work queue: tasks are claimed by index, one atomic increment
-       per task, no locks *)
+    (* the work queue: indices are claimed in chunks, so a map over
+       many small tasks pays one atomic operation per [chunk] tasks
+       instead of one per task; the chunk stays small relative to n/w
+       so the tail still balances *)
+    let chunk = max 1 (n / (8 * w)) in
     let next = Atomic.make 0 in
     let work () =
       let continue = ref true in
       while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
+        let base = Atomic.fetch_and_add next chunk in
+        if base >= n then continue := false
         else
-          match f (Array.unsafe_get input i) with
-          | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some e
+          for i = base to min (base + chunk) n - 1 do
+            match f (Array.unsafe_get input i) with
+            | v -> results.(i) <- v
+            | exception e -> errors.(i) <- Some e
+          done
       done
     in
     let domains =
       List.init (w - 1) (fun _ ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_worker true;
-              work ()))
+              let entry = checkout_arena () in
+              Domain.DLS.set scratch_key (fst entry);
+              Fun.protect ~finally:(fun () -> return_arena entry) work))
     in
     (* the caller is a worker too *)
     work ();
     List.iter Domain.join domains;
     Array.iter (function Some e -> raise e | None -> ()) errors;
-    Array.to_list (Array.map Option.get results)
+    Array.to_list results
   end

@@ -17,7 +17,8 @@ val size : unit -> int
 (** Number of domains a map may use: [TDO_DOMAINS] when set to an
     integer, otherwise [Domain.recommended_domain_count]. Always at
     least 1, even when either source is degenerate (0, negative, or
-    unparsable). Re-read on every call. *)
+    unparsable). The environment variable is re-read on every call;
+    the recommendation (an OS probe) is computed once and cached. *)
 
 val sequential : unit -> bool
 (** [true] when maps are forced sequential — by {!set_sequential} or,
@@ -28,12 +29,27 @@ val set_sequential : bool option -> unit
     parallel, [None] restores the [TDO_SEQUENTIAL] environment
     default. *)
 
+val scratch : unit -> Arena.t
+(** The calling domain's scratch {!Arena}, created on first use
+    (DLS-keyed, one per domain — inside a [parallel_map] worker this is
+    an arena the worker checked out of a shared registry for the
+    duration of the map, so worker arenas and their warmed buffer pools
+    survive across fan-outs even though the domains themselves are
+    per-call). The simulation drivers reset it at the start of each run
+    so repeated simulations on one domain reuse the same buffers; see
+    DESIGN.md "Memory discipline" for what may not outlive that
+    reset. *)
+
 val parallel_map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map f xs] is [List.map f xs] computed by up to
     [?workers] (default {!size}[ ()]) domains, the calling domain
     included. Results keep input order. If any [f x] raises, the whole
     map raises the exception of the earliest failing element — after
     every task has finished, so no task is abandoned mid-flight.
+
+    Tasks are claimed from a shared atomic cursor in chunks of
+    [max 1 (n / (8 * workers))] indices, so large maps of small tasks
+    pay one atomic operation per chunk rather than per task.
 
     Nested calls from inside a worker run sequentially instead of
     spawning further domains, so the pool cannot explode or deadlock

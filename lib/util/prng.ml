@@ -3,27 +3,29 @@ type t = { mutable state : int64 }
 let create ~seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
 
-(* splitmix64: fast, good statistical quality, trivially seedable. *)
-let next_int64 t =
+(* splitmix64: fast, good statistical quality, trivially seedable.
+   Inlined into callers so the Int64 mixing chain and the float/int
+   results stay unboxed there; only the state store itself boxes. *)
+let[@inline always] next_int64 t =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
   let z = t.state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let int t ~bound =
+let[@inline always] int t ~bound =
   assert (bound > 0);
   (* Reduce in Int64: a logical shift by 1 still exceeds the native-int
      range, so converting before the reduction would wrap negative. *)
   let r = Int64.shift_right_logical (next_int64 t) 1 in
   Int64.to_int (Int64.rem r (Int64.of_int bound))
 
-let float t ~bound =
+let[@inline always] float t ~bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
   (* 53 significant bits, as in the stdlib. *)
   r /. 9007199254740992.0 *. bound
 
-let float_range t ~lo ~hi =
+let[@inline always] float_range t ~lo ~hi =
   assert (lo <= hi);
   lo +. float t ~bound:(hi -. lo)
 

@@ -211,8 +211,16 @@ let test_bench_report_compare () =
   Fun.protect
     ~finally:(fun () -> try Sys.remove baseline_path with Sys_error _ -> ())
     (fun () ->
-      let sec name wall_s =
-        { Bench_report.name; wall_s; minor_words = 10.0; seq_wall_s = Some (2.0 *. wall_s) }
+      let sec ?(minor_words = 10.0) name wall_s =
+        {
+          Bench_report.name;
+          wall_s;
+          minor_words;
+          major_words = 5.0;
+          promoted_words = 1.0;
+          domains = 2;
+          seq_wall_s = Some (2.0 *. wall_s);
+        }
       in
       Bench_report.write ~path:baseline_path ~extra:[ ("k", 3.5) ]
         ~sections:[ sec "fig6" 2.0; sec "fig5" 1.0; sec "gone" 4.0 ] ();
@@ -222,12 +230,17 @@ let test_bench_report_compare () =
           Alcotest.(check int) "sections round-trip" 3 (List.length secs);
           let s = List.find (fun (s : Bench_report.section) -> s.name = "fig6") secs in
           Alcotest.(check (float 1e-9)) "wall_s round-trips" 2.0 s.Bench_report.wall_s;
+          Alcotest.(check (float 1e-9)) "major_words round-trips" 5.0 s.major_words;
+          Alcotest.(check (float 1e-9)) "promoted_words round-trips" 1.0 s.promoted_words;
+          Alcotest.(check int) "domains round-trips" 2 s.domains;
           Alcotest.(check bool) "seq_wall_s round-trips" true (s.seq_wall_s = Some 4.0));
       (match Bench_report.load_extra ~path:baseline_path with
       | Error m -> Alcotest.fail m
       | Ok extra ->
           Alcotest.(check (float 1e-9)) "extra round-trips" 3.5 (List.assoc "k" extra));
-      let current = [ sec "fig6" 1.0; sec "fig5" 1.5; sec "new" 9.0 ] in
+      let current =
+        [ sec "fig6" 1.0; sec ~minor_words:20.0 "fig5" 1.5; sec "new" 9.0 ]
+      in
       match Bench_report.compare ~tolerance:0.10 ~baseline:baseline_path current with
       | Error m -> Alcotest.fail m
       | Ok deltas ->
@@ -237,8 +250,12 @@ let test_bench_report_compare () =
           Alcotest.(check (float 1e-9)) "speedup" 2.0 fig6.Bench_report.speedup_vs_baseline;
           Alcotest.(check (float 1e-9)) "delta" (-1.0) fig6.Bench_report.delta_s;
           Alcotest.(check bool) "faster is not a regression" false fig6.Bench_report.regression;
+          Alcotest.(check bool) "same allocation is not an alloc regression" false
+            fig6.Bench_report.alloc_regression;
           let fig5 = d "fig5" in
           Alcotest.(check bool) "50% slower is a regression" true fig5.Bench_report.regression;
+          Alcotest.(check bool) "2x allocation is an alloc regression" true
+            fig5.Bench_report.alloc_regression;
           let fields = Bench_report.delta_fields deltas in
           Alcotest.(check (float 1e-9)) "flattened speedup" 2.0
             (List.assoc "fig6_speedup_vs_baseline" fields);
