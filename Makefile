@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json sim-bench serve-bench reliab-bench tune-bench clean
+.PHONY: all build test lint bench bench-json sim-bench serve-bench fleet-bench reliab-bench tune-bench clean
 
 all: build
 
@@ -33,12 +33,23 @@ sim-bench:
 	dune build bin/experiments.exe
 	./_build/default/bin/experiments.exe sim-bench --baseline BENCH_sim.json
 
-# Regenerate BENCH_serve.json at the repo root: a 1k-request replay of
-# the synthetic-medium trace on a 4-device pool, golden-checked against
-# the sequential single-device oracle.
+# 1k-request replay of the synthetic-medium trace on a homogeneous
+# 4-crossbar pool, golden-checked against the sequential single-device
+# oracle.
 serve-bench:
 	dune build bin/serve.exe
-	./_build/default/bin/serve.exe --trace synthetic-medium --devices 4 --out BENCH_serve.json
+	./_build/default/bin/serve.exe --trace synthetic-medium --devices 4 --out BENCH_serve.homogeneous.json
+
+# Regenerate BENCH_serve.json at the repo root: the same 1k-request
+# trace on a mixed fleet (2 analog crossbars, 2 digital tiles, 2
+# dual-mode tiles) with cost-based placement, per-class telemetry
+# sections and one golden sequential check per compute class.
+# Wall-clock is regression-compared against the committed report
+# before it is overwritten. A --fleet smoke variant of the same check
+# also runs under `dune runtest`.
+fleet-bench:
+	dune build bin/serve.exe
+	./_build/default/bin/serve.exe --trace synthetic-medium --fleet pcm:2,digital:2,dual:2 --baseline BENCH_serve.json --out BENCH_serve.json
 
 # Regenerate BENCH_reliab.json at the repo root: stuck-cell fault
 # campaigns over the gemm/gesummv/mvt mix with the ABFT guard armed,

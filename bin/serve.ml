@@ -1,11 +1,18 @@
 (* tdo-serve: replay a synthetic workload trace against the multi-tenant
-   CIM offload service (kernel cache + device pool + batching scheduler)
-   and report request telemetry as BENCH_serve.json.
+   CIM offload service (kernel cache + heterogeneous device fleet +
+   batching scheduler) and report request telemetry as BENCH_serve.json.
 
-   By default every replay is followed by its golden run — the same
-   trace on one device, unbatched, forced sequential — and the
-   per-request output checksums are compared; any divergence is a bug
-   in the serving layer and fails the invocation. *)
+   The pool is a mixed fleet when --fleet is given (e.g.
+   "pcm:2,digital:2,dual:2"): analog PCM crossbars, digital SRAM CIM
+   tiles, the host BLAS path and dual-mode tiles that serve as plain
+   memory until queue pressure drafts them. Placement is cost-based per
+   class; telemetry and the report break outcomes down per class.
+
+   By default every replay is followed by its golden runs — the same
+   trace on one always-compute device per compute class present in the
+   fleet, unbatched, forced sequential — and the per-request output
+   checksums are compared within each class; any divergence is a bug in
+   the serving layer and fails the invocation. *)
 
 open Cmdliner
 module Serve = Tdo_serve
@@ -13,6 +20,7 @@ module Scheduler = Tdo_serve.Scheduler
 module Telemetry = Tdo_serve.Telemetry
 module Trace = Tdo_serve.Trace
 module Device = Tdo_serve.Device
+module Backend = Tdo_backend.Backend
 module Platform = Tdo_runtime.Platform
 module Micro_engine = Tdo_cimacc.Micro_engine
 module Report = Tdo_util.Bench_report
@@ -39,6 +47,9 @@ let summarise label (r : Scheduler.report) =
     Printf.printf "  abft: %d corrupt offloads detected, %d devices quarantined\n"
       s.Telemetry.detected_corruptions
       (List.length r.Scheduler.quarantined);
+  if s.Telemetry.conversions_to_compute + s.Telemetry.conversions_to_memory > 0 then
+    Printf.printf "  dual-mode: %d conversions to compute, %d back to memory\n"
+      s.Telemetry.conversions_to_compute s.Telemetry.conversions_to_memory;
   Printf.printf "  latency us: p50 %.1f  p99 %.1f  mean %.1f | max queue depth %d\n"
     (pct 50.0) (pct 99.0)
     (match Telemetry.mean_latency_us t with Some v -> v | None -> 0.0)
@@ -47,11 +58,23 @@ let summarise label (r : Scheduler.report) =
     (us_of_ps r.Scheduler.makespan_ps /. 1000.0)
     r.Scheduler.wall_s;
   List.iter
-    (fun (id, (w : Device.wear), served) ->
+    (fun (profile, (c : Telemetry.class_counts)) ->
       Printf.printf
-        "  device %d: %d reqs, %d cell writes (max/cell %d), levelled max/line %d, %d \
-         remaps, budget %.2e\n"
-        id served w.Device.total_cell_writes w.Device.max_per_cell
+        "  class %-8s served %d, recovered %d, cpu-fallback %d, rejected %d, failed %d%s\n"
+        profile c.Telemetry.served c.Telemetry.recovered c.Telemetry.fallbacks
+        c.Telemetry.rejected c.Telemetry.failed
+        (if c.Telemetry.to_compute + c.Telemetry.to_memory > 0 then
+           Printf.sprintf " | conversions %d/%d" c.Telemetry.to_compute c.Telemetry.to_memory
+         else ""))
+    (Telemetry.class_summary t);
+  List.iter
+    (fun (d : Scheduler.device_report) ->
+      let w = d.Scheduler.dev_wear in
+      Printf.printf
+        "  device %d (%s): %d reqs, %.2e J, %d cell writes (max/cell %d), levelled \
+         max/line %d, %d remaps, budget %.2e\n"
+        d.Scheduler.dev_id d.Scheduler.dev_profile d.Scheduler.dev_served
+        d.Scheduler.dev_energy_j w.Device.total_cell_writes w.Device.max_per_cell
         w.Device.leveling.Tdo_pcm.Wear_leveling.max_per_cell
         w.Device.leveling.Tdo_pcm.Wear_leveling.remaps w.Device.budget_consumed)
     r.Scheduler.devices
@@ -59,6 +82,7 @@ let summarise label (r : Scheduler.report) =
 let extras (r : Scheduler.report) ~golden_divergence =
   let t = r.Scheduler.telemetry in
   let pct p = match Telemetry.latency_percentile t ~p with Some v -> v | None -> 0.0 in
+  let s = Telemetry.summary t in
   let base =
     [
       ("requests", float_of_int (List.length r.Scheduler.trace.Trace.requests));
@@ -72,7 +96,9 @@ let extras (r : Scheduler.report) ~golden_divergence =
       ("recovered_host", float_of_int (Scheduler.recovered r));
       ("detected_corruptions", float_of_int (Scheduler.detected_corruptions r));
       ("quarantined_devices", float_of_int (List.length r.Scheduler.quarantined));
-      ("devices", float_of_int r.Scheduler.config.Scheduler.devices);
+      ("devices", float_of_int (List.length r.Scheduler.devices));
+      ("conversions_to_compute", float_of_int s.Telemetry.conversions_to_compute);
+      ("conversions_to_memory", float_of_int s.Telemetry.conversions_to_memory);
       ("cache_hits", float_of_int r.Scheduler.cache.Serve.Kernel_cache.hits);
       ("cache_misses", float_of_int r.Scheduler.cache.Serve.Kernel_cache.misses);
       ("cache_hit_rate", Scheduler.cache_hit_rate r);
@@ -86,12 +112,50 @@ let extras (r : Scheduler.report) ~golden_divergence =
       ("makespan_ms", us_of_ps r.Scheduler.makespan_ps /. 1000.0);
     ]
   in
+  (* per-class breakdown: served/latency/energy per device class, the
+     mixed-fleet sections of BENCH_serve.json *)
+  let per_class =
+    List.concat_map
+      (fun (profile, (c : Telemetry.class_counts)) ->
+        let k fmt = Printf.sprintf ("class_%s_" ^^ fmt) profile in
+        let energy =
+          List.fold_left
+            (fun acc (d : Scheduler.device_report) ->
+              if d.Scheduler.dev_profile = profile then acc +. d.Scheduler.dev_energy_j
+              else acc)
+            0.0 r.Scheduler.devices
+        in
+        [
+          (k "served", float_of_int c.Telemetry.served);
+          (k "recovered", float_of_int c.Telemetry.recovered);
+          (k "cpu_fallbacks", float_of_int c.Telemetry.fallbacks);
+          (k "rejected", float_of_int c.Telemetry.rejected);
+          (k "failed", float_of_int c.Telemetry.failed);
+          (k "retries_against", float_of_int c.Telemetry.retries_against);
+          (k "conversions_to_compute", float_of_int c.Telemetry.to_compute);
+          (k "conversions_to_memory", float_of_int c.Telemetry.to_memory);
+          (k "energy_j", energy);
+          ( k "latency_p50_us",
+            match Telemetry.latency_percentile ~profile t ~p:50.0 with
+            | Some v -> v
+            | None -> 0.0 );
+          ( k "latency_mean_us",
+            match Telemetry.mean_latency_us ~profile t with Some v -> v | None -> 0.0 );
+        ])
+      (Telemetry.class_summary t)
+  in
   let per_device =
     List.concat_map
-      (fun (id, (w : Device.wear), served) ->
+      (fun (d : Scheduler.device_report) ->
+        let id = d.Scheduler.dev_id in
+        let w = d.Scheduler.dev_wear in
+        let to_compute, to_memory = d.Scheduler.dev_conversions in
         let dev fmt = Printf.sprintf ("dev%d_" ^^ fmt) id in
         [
-          (dev "requests", float_of_int served);
+          (dev "requests", float_of_int d.Scheduler.dev_served);
+          (dev "energy_j", d.Scheduler.dev_energy_j);
+          (dev "conversions_to_compute", float_of_int to_compute);
+          (dev "conversions_to_memory", float_of_int to_memory);
           (dev "cell_writes", float_of_int w.Device.total_cell_writes);
           (dev "max_per_cell", float_of_int w.Device.max_per_cell);
           ( dev "levelled_max_per_line",
@@ -116,15 +180,25 @@ let extras (r : Scheduler.report) ~golden_divergence =
     | Some d -> [ ("golden_divergence", float_of_int d) ]
     | None -> []
   in
-  base @ per_device @ golden
+  base @ per_class @ per_device @ golden
 
-let run trace_name devices seed queue_capacity max_batch no_batching sequential deadline_us
-    tiles cache_capacity tune_db chrome_trace out no_golden strict =
+let run trace_name devices fleet_spec seed queue_capacity max_batch no_batching sequential
+    deadline_us tiles cache_capacity tune_db chrome_trace out baseline no_golden strict =
   match Trace.synthetic ?deadline_us ~seed trace_name with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok trace ->
+  | Ok trace -> (
+      let fleet =
+        match fleet_spec with
+        | None -> None
+        | Some spec -> (
+            match Backend.parse_fleet spec with
+            | Ok profiles -> Some profiles
+            | Error msg ->
+                prerr_endline msg;
+                exit 1)
+      in
       let tuning =
         match tune_db with
         | None -> None
@@ -149,6 +223,7 @@ let run trace_name devices seed queue_capacity max_batch no_batching sequential 
         {
           Scheduler.default_config with
           Scheduler.devices;
+          fleet;
           platform_config;
           queue_capacity;
           max_batch;
@@ -157,6 +232,11 @@ let run trace_name devices seed queue_capacity max_batch no_batching sequential 
           cache_capacity;
           tuning;
         }
+      in
+      let fleet_desc =
+        match fleet with
+        | Some profiles -> Backend.describe_fleet profiles
+        | None -> Printf.sprintf "pcm:%d" devices
       in
       let report, main_section =
         Report.section ~name:("replay-" ^ trace_name) (fun () ->
@@ -168,37 +248,86 @@ let run trace_name devices seed queue_capacity max_batch no_batching sequential 
           Telemetry.write_chrome_trace report.Scheduler.telemetry ~path;
           Printf.printf "chrome trace written to %s\n" path
       | None -> ());
+      (* one golden oracle per compute class present in the fleet:
+         checksums are only comparable within a class, so each class
+         gets its own sequential single-device reference *)
+      let golden_profiles =
+        match fleet with
+        | None -> [ Backend.pcm ]
+        | Some profiles ->
+            List.rev
+              (List.fold_left
+                 (fun acc (p : Backend.profile) ->
+                   if
+                     List.exists
+                       (fun (q : Backend.profile) -> q.Backend.cls = p.Backend.cls)
+                       acc
+                   then acc
+                   else p :: acc)
+                 [] profiles)
+      in
       let golden_divergence, sections =
         if no_golden then (None, [ main_section ])
-        else begin
-          let golden, golden_section =
-            Report.section ~name:"golden-sequential" (fun () ->
-                Tdo_util.Pool.set_sequential (Some true);
-                Fun.protect
-                  ~finally:(fun () -> Tdo_util.Pool.set_sequential None)
-                  (fun () ->
-                    Scheduler.replay ~config:(Scheduler.golden_config config) trace))
+        else
+          let total, golden_sections =
+            List.fold_left
+              (fun (total, secs) (profile : Backend.profile) ->
+                let section_name =
+                  if fleet = None then "golden-sequential"
+                  else "golden-" ^ Backend.class_name profile.Backend.cls
+                in
+                let golden, golden_section =
+                  Report.section ~name:section_name (fun () ->
+                      Tdo_util.Pool.set_sequential (Some true);
+                      Fun.protect
+                        ~finally:(fun () -> Tdo_util.Pool.set_sequential None)
+                        (fun () ->
+                          Scheduler.replay
+                            ~config:(Scheduler.golden_config ~profile config)
+                            trace))
+                in
+                let d = Scheduler.divergence report golden in
+                Printf.printf "golden check (%s): %d divergent of %d comparable requests\n"
+                  (Backend.class_name profile.Backend.cls)
+                  d
+                  (min (Scheduler.completed report) (Scheduler.completed golden));
+                (total + d, secs @ [ golden_section ]))
+              (0, []) golden_profiles
           in
-          let d = Scheduler.divergence report golden in
-          Printf.printf "golden check: %d divergent of %d comparable requests\n" d
-            (min (Scheduler.completed report) (Scheduler.completed golden));
-          (Some d, [ main_section; golden_section ])
-        end
+          (Some total, main_section :: golden_sections)
       in
-      Report.write ~path:out
-        ~extra:(extras report ~golden_divergence)
+      let extra = extras report ~golden_divergence in
+      let extra =
+        match baseline with
+        | None -> extra
+        | Some path -> (
+            match Report.compare ~baseline:path sections with
+            | Ok deltas ->
+                List.iter
+                  (fun (d : Report.delta) ->
+                    Printf.printf "vs baseline %-18s %.3f s -> %.3f s (x%.2f%s)\n"
+                      d.Report.name d.Report.baseline_wall_s d.Report.wall_s
+                      d.Report.speedup_vs_baseline
+                      (if d.Report.regression then ", REGRESSION" else ""))
+                  deltas;
+                extra @ Report.delta_fields deltas
+            | Error msg ->
+                Printf.eprintf "serve: baseline %s: %s\n%!" path msg;
+                extra)
+      in
+      Report.write ~path:out ~extra
         ~notes:
           (Printf.sprintf
-             "tdo-serve replay of %s: %d devices, %d tiles/device, batching %b, queue \
+             "tdo-serve replay of %s: fleet %s, %d tiles/device, batching %b, queue \
               capacity %d"
-             trace_name devices tiles (not no_batching) queue_capacity)
+             trace_name fleet_desc tiles (not no_batching) queue_capacity)
         ~sections ();
       Printf.printf "report written to %s\n" out;
       let divergent = match golden_divergence with Some d when d > 0 -> true | _ -> false in
       let strict_failure = strict && Scheduler.failures report > 0 in
       if divergent then prerr_endline "FAIL: golden divergence detected";
       if strict_failure then prerr_endline "FAIL: request failures under --strict";
-      if divergent || strict_failure then 1 else 0
+      if divergent || strict_failure then 1 else 0)
 
 let cmd =
   let trace_arg =
@@ -210,7 +339,22 @@ let cmd =
              synthetic-large or synthetic-tight.")
   in
   let devices_arg =
-    Arg.(value & opt int 4 & info [ "devices" ] ~docv:"N" ~doc:"Devices in the pool.")
+    Arg.(
+      value & opt int 4
+      & info [ "devices" ] ~docv:"N"
+          ~doc:"Devices in the pool (all analog crossbars); superseded by --fleet.")
+  in
+  let fleet_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet" ] ~docv:"SPEC"
+          ~doc:
+            "Heterogeneous fleet spec, e.g. pcm:2,digital:2,dual:2. Classes: pcm (analog \
+             PCM crossbar), digital (SRAM CIM tile: slower GEMV, near-free writes, no \
+             wear), host (the host BLAS path as a placement target), dual (an analog tile \
+             that serves as plain memory until queue pressure converts it, paying the \
+             conversion latency). Placement across the fleet is cost-based per class.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace generator seed.") in
   let queue_arg =
@@ -254,8 +398,9 @@ let cmd =
       & info [ "tune-db" ] ~docv:"FILE"
           ~doc:
             "Tuning database (written by tdo-tune): kernels whose structural digest has an \
-             entry are compiled with the tuned configuration, clamped to the pool's crossbar \
-             geometry. The golden check keeps the database, so tuned replays stay \
+             entry for a device class are compiled with the tuned configuration on that \
+             class, clamped to the pool's crossbar geometry; cross-class entries are \
+             refused. The golden checks keep the database, so tuned replays stay \
              divergence-checked.")
   in
   let chrome_arg =
@@ -270,10 +415,19 @@ let cmd =
       value & opt string "BENCH_serve.json"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Benchmark report path.")
   in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Previous BENCH_serve.json to compare against; per-section wall-clock deltas \
+             are added to the report.")
+  in
   let no_golden_arg =
     Arg.(
       value & flag
-      & info [ "no-golden" ] ~doc:"Skip the sequential single-device golden check.")
+      & info [ "no-golden" ] ~doc:"Skip the sequential single-device golden checks.")
   in
   let strict_arg =
     Arg.(value & flag & info [ "strict" ] ~doc:"Also fail on any per-request failure.")
@@ -281,8 +435,9 @@ let cmd =
   Cmd.v
     (Cmd.info "tdo-serve" ~doc:"Multi-tenant CIM offload service: trace replay driver.")
     Term.(
-      const run $ trace_arg $ devices_arg $ seed_arg $ queue_arg $ max_batch_arg
-      $ no_batching_arg $ sequential_arg $ deadline_arg $ tiles_arg $ cache_arg
-      $ tune_db_arg $ chrome_arg $ out_arg $ no_golden_arg $ strict_arg)
+      const run $ trace_arg $ devices_arg $ fleet_arg $ seed_arg $ queue_arg
+      $ max_batch_arg $ no_batching_arg $ sequential_arg $ deadline_arg $ tiles_arg
+      $ cache_arg $ tune_db_arg $ chrome_arg $ out_arg $ baseline_arg $ no_golden_arg
+      $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

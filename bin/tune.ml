@@ -20,10 +20,11 @@ module Report = Tdo_util.Bench_report
 
 type outcome = { bench : Kernels.benchmark; entry : Db.entry; result : Search.result }
 
-let tune_kernel ~axes ~beam ~calibration_points ~objective ~n ~seed (b : Kernels.benchmark) =
+let tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~n ~seed
+    (b : Kernels.benchmark) =
   let source = b.Kernels.source ~n in
   let args () = fst (b.Kernels.make_args ~n ~seed) in
-  match Search.tune ~axes ~beam ~calibration_points ~objective ~source ~args () with
+  match Search.tune ~axes ~beam ~calibration_points ~objective ~cls ~source ~args () with
   | Error msg -> Error (Printf.sprintf "%s: %s" b.Kernels.name msg)
   | Ok r -> Ok { bench = b; entry = Db.entry_of_result ~n r; result = r }
 
@@ -66,8 +67,8 @@ let never_worse (o : outcome) =
   e.Db.tuned_cycles <= e.Db.default_cycles
   && e.Db.tuned_write_bytes <= e.Db.default_write_bytes
 
-let run dataset n_override kernels objective beam calibration_points seed db_path out
-    baseline smoke strict =
+let run dataset n_override kernels objective device_class beam calibration_points seed
+    db_path out baseline smoke strict =
   let objective =
     match Search.objective_of_string objective with
     | Ok o -> o
@@ -75,7 +76,14 @@ let run dataset n_override kernels objective beam calibration_points seed db_pat
         prerr_endline msg;
         exit 2
   in
-  let axes = if smoke then Space.smoke_axes else Space.default_axes in
+  let cls =
+    match Tdo_backend.Backend.class_of_name device_class with
+    | Ok c -> c
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  let axes = if smoke then Space.smoke_axes else Space.axes_for cls in
   let n =
     match n_override with
     | Some n -> n
@@ -106,7 +114,7 @@ let run dataset n_override kernels objective beam calibration_points seed db_pat
       (fun (os, secs) (b : Kernels.benchmark) ->
         let r, sec =
           Report.section ~name:b.Kernels.name (fun () ->
-              tune_kernel ~axes ~beam ~calibration_points ~objective ~n ~seed b)
+              tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~n ~seed b)
         in
         match r with
         | Error msg ->
@@ -216,6 +224,16 @@ let cmd =
       value & opt string "cycles"
       & info [ "objective" ] ~docv:"OBJ" ~doc:"Tuning objective: cycles, writes or edp.")
   in
+  let device_class_arg =
+    Arg.(
+      value & opt string "pcm"
+      & info [ "device-class" ] ~docv:"CLASS"
+          ~doc:
+            "Device class to tune for: pcm (analog crossbar, the default), digital (SRAM \
+             CIM tile — simulated under its timing model, swept with lower offload \
+             thresholds) or host. Entries are stamped with the class, and the serving \
+             scheduler only replays a configuration on devices of the same class.")
+  in
   let beam_arg =
     Arg.(
       value & opt int 4
@@ -267,14 +285,16 @@ let cmd =
       & info [ "strict" ]
           ~doc:"Exit non-zero if any kernel fails to tune or tunes worse than the default.")
   in
-  let run' dataset n kernels objective beam calib seed db no_db out baseline smoke strict =
-    run dataset n kernels objective beam calib seed
+  let run' dataset n kernels objective device_class beam calib seed db no_db out baseline
+      smoke strict =
+    run dataset n kernels objective device_class beam calib seed
       (if no_db then None else db)
       out baseline smoke strict
   in
   Cmd.v (Cmd.info "tdo-tune" ~doc:"Cost-model-driven autotuning sweep over PolyBench.")
     Term.(
-      const run' $ dataset_arg $ n_arg $ kernels_arg $ objective_arg $ beam_arg $ calib_arg
-      $ seed_arg $ db_arg $ no_db_arg $ out_arg $ baseline_arg $ smoke_arg $ strict_arg)
+      const run' $ dataset_arg $ n_arg $ kernels_arg $ objective_arg $ device_class_arg
+      $ beam_arg $ calib_arg $ seed_arg $ db_arg $ no_db_arg $ out_arg $ baseline_arg
+      $ smoke_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

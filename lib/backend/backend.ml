@@ -1,0 +1,158 @@
+module Table1 = Tdo_energy.Table1
+module Time_base = Tdo_sim.Time_base
+
+type device_class = Pcm_crossbar | Digital_tile | Host_blas
+
+let class_name = function
+  | Pcm_crossbar -> "pcm"
+  | Digital_tile -> "digital"
+  | Host_blas -> "host"
+
+let class_of_name = function
+  | "pcm" -> Ok Pcm_crossbar
+  | "digital" -> Ok Digital_tile
+  | "host" -> Ok Host_blas
+  | other ->
+      Error (Printf.sprintf "unknown device class %S (expected pcm, digital or host)" other)
+
+type mode = Memory_mode | Compute_mode
+
+type profile = {
+  name : string;
+  cls : device_class;
+  dual_mode : bool;
+  compute_latency_ps : int;
+  write_latency_per_row_ps : int;
+  cpu_ps_per_mac : int;
+  conversion_latency_ps : int;
+  energy : Table1.t;
+  wears : bool;
+  cell_endurance : float;
+}
+
+(* ~3 VFP cycles per MAC at the A7's 1.2 GHz — the same rate the
+   scheduler's interpreter fallback has always charged. *)
+let host_ps_per_mac = 2500
+
+let pcm =
+  {
+    name = "pcm";
+    cls = Pcm_crossbar;
+    dual_mode = false;
+    compute_latency_ps = Time_base.ps_per_us;
+    write_latency_per_row_ps = 25 * Time_base.ps_per_us / 10;
+    cpu_ps_per_mac = host_ps_per_mac;
+    conversion_latency_ps = 0;
+    energy = Table1.ibm_pcm_a7;
+    wears = true;
+    cell_endurance = 1e7;
+  }
+
+let digital =
+  {
+    name = "digital";
+    cls = Digital_tile;
+    dual_mode = false;
+    compute_latency_ps =
+      int_of_float (Table1.digital_cim_tile.Table1.compute_latency_s *. 1e12);
+    write_latency_per_row_ps =
+      int_of_float (Table1.digital_cim_tile.Table1.write_latency_s *. 1e12);
+    cpu_ps_per_mac = host_ps_per_mac;
+    conversion_latency_ps = 0;
+    energy = Table1.digital_cim_tile;
+    wears = false;
+    (* SRAM cells: endurance is effectively unbounded; the Eq. 1
+       tracker still wants a finite number *)
+    cell_endurance = 1e16;
+  }
+
+let host =
+  {
+    name = "host";
+    cls = Host_blas;
+    dual_mode = false;
+    compute_latency_ps = 0;
+    write_latency_per_row_ps = 0;
+    cpu_ps_per_mac = host_ps_per_mac;
+    conversion_latency_ps = 0;
+    energy = Table1.ibm_pcm_a7;
+    wears = false;
+    cell_endurance = 1e16;
+  }
+
+(* "Be CIM or Be Memory": the role switch reprograms the tile's
+   peripheral circuitry (drivers, S&H, ADC muxing) — charged at 10 us,
+   i.e. four full row-programming times. *)
+let dual =
+  {
+    pcm with
+    name = "dual";
+    dual_mode = true;
+    conversion_latency_ps = 10 * Time_base.ps_per_us;
+  }
+
+let of_name = function
+  | "pcm" -> Ok pcm
+  | "digital" -> Ok digital
+  | "host" -> Ok host
+  | "dual" -> Ok dual
+  | other ->
+      Error
+        (Printf.sprintf "unknown device profile %S (expected pcm, digital, host or dual)"
+           other)
+
+let parse_fleet spec =
+  let parse_entry s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ name ] | [ name; "" ] -> Result.map (fun p -> (p, 1)) (of_name name)
+    | [ name; count ] -> (
+        match int_of_string_opt count with
+        | Some n when n >= 1 -> Result.map (fun p -> (p, n)) (of_name name)
+        | Some _ | None ->
+            Error (Printf.sprintf "fleet spec: bad count %S for %s" count name))
+    | _ -> Error (Printf.sprintf "fleet spec: cannot parse entry %S" s)
+  in
+  let rec go acc = function
+    | [] ->
+        let fleet = List.concat_map (fun (p, n) -> List.init n (fun _ -> p)) (List.rev acc) in
+        if fleet = [] then Error "fleet spec: empty" else Ok fleet
+    | entry :: rest -> (
+        match parse_entry entry with
+        | Ok pair -> go (pair :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' spec |> List.filter (fun s -> String.trim s <> ""))
+
+let describe_fleet fleet =
+  let rec group = function
+    | [] -> []
+    | p :: rest ->
+        let same, rest = List.partition (fun q -> q.name = p.name) rest in
+        (* partition rather than span: fleet order within a class does
+           not matter for the description *)
+        (p.name, 1 + List.length same) :: group rest
+  in
+  group fleet
+  |> List.map (fun (name, n) -> Printf.sprintf "%s:%d" name n)
+  |> String.concat ","
+
+let platform_config ?(base = Tdo_runtime.Platform.default_config) profile =
+  match profile.cls with
+  | Pcm_crossbar | Host_blas -> base
+  | Digital_tile ->
+      let engine = base.Tdo_runtime.Platform.engine in
+      let xbar =
+        { engine.Tdo_cimacc.Micro_engine.xbar with Tdo_pcm.Crossbar.noise_sigma = None }
+      in
+      {
+        base with
+        Tdo_runtime.Platform.engine =
+          {
+            engine with
+            Tdo_cimacc.Micro_engine.xbar;
+            compute_latency_ps = profile.compute_latency_ps;
+            write_latency_per_row_ps = profile.write_latency_per_row_ps;
+          };
+      }
+
+let ps_per_cycle = 1e12 /. 1.2e9

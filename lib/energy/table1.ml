@@ -29,6 +29,31 @@ let ibm_pcm_a7 =
     write_latency_s = 2.5e-6;
   }
 
+(* A digital SRAM-based CIM tile in the same 256x256 envelope (CIMFlow
+   style): exact integer MAC arrays clocked off the host PLL. Digital
+   MACs burn ~10x the analog crossbar's energy and a full-array GEMV
+   integrates ~4x slower (adder-tree reduction instead of Kirchhoff
+   summation), but writes are ordinary SRAM stores — ~20x cheaper per
+   byte and 125x faster per row — and the cells neither drift nor wear
+   out. *)
+let digital_cim_tile =
+  {
+    crossbar_compute_j_per_mac = 2e-12;
+    crossbar_write_j_per_byte = 10e-12;
+    (* no analog S&H/ADC chain; the digital read-out path is folded
+       into the per-MAC figure, leaving a small sequencing cost *)
+    mixed_signal_j_per_full_gemv = 0.4e-9;
+    buffer_j_per_byte = 5.4e-12;
+    weighted_sum_j_per_gemv = 40e-12;
+    alu_j_per_op = 2.11e-12;
+    dma_engine_j_per_full_gemv = 0.78e-9;
+    host_j_per_instruction = 128e-12;
+    reference_rows = 256;
+    reference_cols = 256;
+    compute_latency_s = 4e-6;
+    write_latency_s = 20e-9;
+  }
+
 let rows t =
   let si = Tdo_util.Pretty.si_float ~digits:2 in
   [

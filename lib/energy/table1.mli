@@ -26,5 +26,12 @@ type t = {
 val ibm_pcm_a7 : t
 (** The configuration of Table I. *)
 
+val digital_cim_tile : t
+(** A digital SRAM-based CIM tile in the same envelope: ~10x the
+    compute energy per MAC and 4x the GEMV latency of the analog
+    crossbar, but SRAM-priced writes (10 pJ/byte, 20 ns/row) and no
+    drift or wear. The device-class fleet prices digital tiles with
+    this table. *)
+
 val rows : t -> (string * string) list
 (** Printable (parameter, value) pairs reproducing Table I. *)

@@ -1,20 +1,32 @@
-(** One pooled accelerator: a full emulated platform (its own event
-    queue, memory, bus, caches and CIM accelerator) that is {e reused}
-    across requests instead of being rebuilt per run.
+(** One pooled fleet device behind a {!Tdo_backend.Backend.profile}.
 
-    Reuse is what makes a device a device: crossbar wear accumulates
-    over its lifetime exactly as it would in a physical tile, which is
-    the signal the pool's endurance-aware dispatch spreads writes with.
-    Two pieces of state must not leak between tenants, and [run] clears
-    or compensates for both: the engine's pinned-operand latch is
-    invalidated (a fresh runtime instance restarts its generation
-    counter, so a stale latch could alias a new tenant's buffer at a
-    recycled CMA address), and ROI/crossbar counters are read as deltas
-    around each run. *)
+    For the CIM classes (analog PCM crossbar, digital SRAM tile) a
+    device is a full emulated platform (its own event queue, memory,
+    bus, caches and CIM accelerator) that is {e reused} across requests
+    instead of being rebuilt per run. Reuse is what makes a device a
+    device: crossbar wear accumulates over its lifetime exactly as it
+    would in a physical tile, which is the signal the pool's
+    endurance-aware dispatch spreads writes with. Two pieces of state
+    must not leak between tenants, and [run] clears or compensates for
+    both: the engine's pinned-operand latch is invalidated (a fresh
+    runtime instance restarts its generation counter, so a stale latch
+    could alias a new tenant's buffer at a recycled CMA address), and
+    ROI/crossbar counters are read as deltas around each run.
+
+    A host-class device builds no emulated machine — it {e is} the
+    host: {!run_host} executes the type-checked AST through the
+    reference interpreter under the profile's per-MAC cost curve. A
+    dual-mode device additionally carries a {!Tdo_backend.Backend.mode}
+    the scheduler flips as load demands, with every flip counted.
+
+    Every run is priced against the profile's Table-I-style energy
+    table; {!energy_j} is the device's lifetime total. *)
 
 module Platform = Tdo_runtime.Platform
 module Flow = Tdo_cim.Flow
 module Interp = Tdo_lang.Interp
+module Ast = Tdo_lang.Ast
+module Backend = Tdo_backend.Backend
 
 type exec_stats = {
   service_ps : int;  (** simulated ROI time of this request *)
@@ -24,6 +36,7 @@ type exec_stats = {
   write_bytes : int;  (** matrix bytes programmed into this device's crossbars *)
   cell_writes : int;  (** physical write pulses, summed over tiles *)
   macs : int;
+  energy_j : float;  (** this run's energy under the profile's table *)
   abft_checks : int;  (** GEMV checksum verifications during this run *)
   abft_mismatches : int;  (** detected corruptions during this run *)
   abft_fault : (int * (int * int * int * int)) option;
@@ -45,14 +58,30 @@ type wear = {
 type t
 
 val create :
-  ?platform_config:Platform.config -> ?cell_endurance:float -> ?seed:int -> id:int -> unit -> t
-(** Fresh device. [cell_endurance] (default [1e7], the paper's
-    baseline PCM endurance) parameterises the Eq. 1 budget model.
-    [seed] (default [id]) selects the device's reproducible PRNG
-    stream — distinct per pooled device out of the box. *)
+  ?platform_config:Platform.config ->
+  ?cell_endurance:float ->
+  ?seed:int ->
+  ?backend:Backend.profile ->
+  id:int ->
+  unit ->
+  t
+(** Fresh device of class [backend] (default {!Backend.pcm}, the
+    paper's analog crossbar). The profile reshapes [platform_config]
+    (class latencies; digital tiles are noise-immune) before the
+    emulated machine is built; host-class devices build none.
+    [cell_endurance] (default: the profile's) parameterises the Eq. 1
+    budget model. [seed] (default [id]) selects the device's
+    reproducible PRNG stream — distinct per pooled device out of the
+    box. Dual-mode devices start in [Memory_mode]. *)
 
 val id : t -> int
+
+val profile : t -> Backend.profile
+val device_class : t -> Backend.device_class
+
 val platform : t -> Platform.t
+(** The emulated machine. Raises [Invalid_argument] on a host-class
+    device, which has none. *)
 
 val available_ps : t -> int
 (** Virtual time at which the device is free; maintained by the
@@ -73,19 +102,45 @@ val quarantine : t -> rows:int * int -> unit
 
 val write_pressure : t -> int
 (** Matrix bytes written to this device's crossbars so far — the O(1)
-    {!Tdo_pcm.Endurance.Tracker} counter the scheduler sorts free
-    devices by. (The full {!wear} snapshot walks every cell and is for
+    {!Tdo_pcm.Endurance.Tracker} counter the scheduler breaks placement
+    ties with. (The full {!wear} snapshot walks every cell and is for
     end-of-run reporting, not the dispatch hot path.) *)
 
+val energy_j : t -> float
+(** Lifetime energy this device has consumed, priced per run against
+    its profile's energy table. *)
+
+val mode : t -> Backend.mode
+(** Current dual-mode role; non-dual devices are always
+    [Compute_mode]. *)
+
+val convert : t -> to_compute:bool -> unit
+(** Flip a dual-mode device's role and count the conversion. The
+    scheduler charges the profile's conversion latency and emits the
+    telemetry event. *)
+
+val conversions : t -> int * int
+(** [(to_compute, to_memory)] lifetime conversion counts. *)
+
 val run : t -> Flow.compiled -> args:(string * Interp.value) list -> exec_stats
-(** Execute one compiled request on this device, mutating [Varray]
+(** Execute one compiled request on this CIM device, mutating [Varray]
     arguments with the results. Raises {!Tdo_ir.Exec.Exec_error} on a
-    device rejection; the device stays usable. *)
+    device rejection; the device stays usable. Raises
+    [Invalid_argument] on a host-class device — use {!run_host}. *)
+
+val run_host :
+  t -> ast:Ast.func -> args:(string * Interp.value) list -> macs:int -> exec_stats
+(** Execute one request on a host-class device: the reference
+    interpreter runs [ast], service time is the profile's
+    [cpu_ps_per_mac] x [macs], and energy is priced at the Table I host
+    instruction rate. Interpreter failures surface as
+    {!Tdo_ir.Exec.Exec_error}. *)
 
 val wear : t -> wear
-(** Read-only wear snapshot, the dispatch key of the endurance-aware
-    scheduler. *)
+(** Read-only wear snapshot. Zero cell counters for classes that do not
+    wear (digital SRAM, host). *)
 
 val lifetime_years : t -> elapsed_s:float -> float option
 (** Eq. 1 lifetime extrapolated from this device's accumulated write
-    traffic over [elapsed_s] of simulated serving time. *)
+    traffic over [elapsed_s] of simulated serving time; [None] for
+    classes that do not wear. *)

@@ -1,10 +1,13 @@
 module Flow = Tdo_cim.Flow
 module Ast = Tdo_lang.Ast
+module Backend = Tdo_backend.Backend
 
 type entry = {
   key : string;
+  cls : Backend.device_class;
   ast : Ast.func;
   compiled : Flow.compiled;
+  options : Flow.options;
   compile_s : float;
   tuned : bool;
 }
@@ -23,7 +26,7 @@ type t = {
   capacity : int;
   opts : Flow.options;
   tuning : Tdo_tune.Db.t option;
-  device : (int * int) option;
+  geometries : (Backend.device_class * (int * int)) list;
   table : (string, slot) Hashtbl.t;
   mutable tick : int;  (** LRU clock: bumped on every lookup *)
   mutable hits : int;
@@ -32,12 +35,13 @@ type t = {
   mutable compile_s_total : float;
 }
 
-let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?device () =
+let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?(geometries = []) ()
+    =
   {
     capacity = max 1 capacity;
     opts = options;
     tuning;
-    device;
+    geometries;
     table = Hashtbl.create 32;
     tick = 0;
     hits = 0;
@@ -49,24 +53,31 @@ let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?device ()
 let options t = t.opts
 
 (* The AST digest is the key space the tuning database shares; the
-   cache folds the effective options in on top, so two compiles of the
-   same program under different configurations occupy distinct slots. *)
-let structural_key ~(options : Flow.options) (ast : Ast.func) =
+   cache folds the effective options and the device class in on top, so
+   two compiles of the same program under different configurations — or
+   for different classes, whose tuned geometries differ — occupy
+   distinct slots. *)
+let structural_key ?(cls = Backend.Pcm_crossbar) ~(options : Flow.options) (ast : Ast.func)
+    =
   let repr =
     Ast.structural_digest ast
     ^ Marshal.to_string (options.Flow.enable_loop_tactics, options.Flow.tactics) []
+    ^ Backend.class_name cls
   in
   Digest.to_hex (Digest.string repr)
 
-(* The options this kernel actually compiles under: the tuning
-   database's per-kernel configuration (geometry clamped to the
-   device's crossbar) when one exists, the cache-wide default
-   otherwise. *)
-let resolve t ast =
+(* The options this kernel actually compiles under for [cls]: the
+   tuning database's per-(kernel, class) configuration (geometry
+   clamped to the class's crossbar shape) when one exists, the
+   cache-wide default otherwise. [Db.config_for] refuses cross-class
+   entries, so a configuration measured on the analog crossbar is never
+   silently replayed on a digital tile. *)
+let resolve t ~cls ast =
   match t.tuning with
   | None -> (t.opts, false)
   | Some db -> (
-      match Tdo_tune.Db.config_for ?device:t.device db ast with
+      let device = List.assoc_opt cls t.geometries in
+      match Tdo_tune.Db.config_for ?device ~cls db ast with
       | Some tactics when tactics <> t.opts.Flow.tactics ->
           ({ t.opts with Flow.tactics }, true)
       | Some _ | None -> (t.opts, false))
@@ -85,10 +96,10 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
-let find_or_compile t source =
+let find_or_compile t ?(cls = Backend.Pcm_crossbar) source =
   let ast = Tdo_lang.Parser.parse_func source in
-  let options, tuned = resolve t ast in
-  let key = structural_key ~options ast in
+  let options, tuned = resolve t ~cls ast in
+  let key = structural_key ~cls ~options ast in
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.table key with
   | Some slot ->
@@ -102,7 +113,7 @@ let find_or_compile t source =
       let compiled = Flow.compile_checked ~options source in
       let dt = Unix.gettimeofday () -. t0 in
       t.compile_s_total <- t.compile_s_total +. dt;
-      let entry = { key; ast; compiled; compile_s = dt; tuned } in
+      let entry = { key; cls; ast; compiled; options; compile_s = dt; tuned } in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       Hashtbl.replace t.table key { entry; last_use = t.tick };
       entry

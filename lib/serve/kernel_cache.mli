@@ -5,9 +5,13 @@
     configuration compile to the same IR — the cache makes the second
     request free. Entries are keyed by a {e structural} hash: the
     source is parsed and the AST digested together with the offload
-    configuration, so whitespace, comments and formatting differences
-    hit the same entry while any semantic change (a bound, a loop body,
-    a config knob) misses.
+    configuration {e and the device class the entry was compiled for},
+    so whitespace, comments and formatting differences hit the same
+    entry while any semantic change (a bound, a loop body, a config
+    knob, a different target class) misses. The class lives in the key
+    because tuned configurations are class-specific: replaying a
+    crossbar geometry tuned for the analog array on a digital tile
+    would change the quantisation tiling and hence the results.
 
     The cache is an LRU bounded by [capacity] entries. It is {b not}
     thread-safe: the scheduler performs all lookups on the dispatcher
@@ -16,11 +20,14 @@
 
 module Flow = Tdo_cim.Flow
 module Ast = Tdo_lang.Ast
+module Backend = Tdo_backend.Backend
 
 type entry = {
   key : string;  (** structural digest, hex *)
+  cls : Backend.device_class;  (** device class this entry was compiled for *)
   ast : Ast.func;  (** parsed and type-checked — ready for the CPU-fallback interpreter *)
   compiled : Flow.compiled;
+  options : Flow.options;  (** effective options the entry compiled under *)
   compile_s : float;  (** wall-clock spent compiling this entry *)
   tuned : bool;  (** compiled under a tuning-database configuration *)
 }
@@ -39,26 +46,32 @@ val create :
   ?capacity:int ->
   ?options:Flow.options ->
   ?tuning:Tdo_tune.Db.t ->
-  ?device:int * int ->
+  ?geometries:(Backend.device_class * (int * int)) list ->
   unit ->
   t
 (** LRU cache holding at most [capacity] (default 64, clamped to >= 1)
     compiled programs, compiled under [options] (default
     {!Flow.o3_loop_tactics}). A [tuning] database overrides the
-    tactics configuration per kernel — looked up by the same structural
-    digest the database was built with, its geometry clamped to
-    [device] (the crossbar shape of the pool's devices, [(rows,
-    cols)]); entries compiled that way carry [tuned = true]. *)
+    tactics configuration per (kernel, class) — looked up by the same
+    structural digest the database was built with; cross-class entries
+    are refused by {!Tdo_tune.Db.config_for}. [geometries] gives the
+    crossbar shape [(rows, cols)] of each class's devices in the fleet,
+    used to clamp tuned geometries; entries compiled from the database
+    carry [tuned = true]. *)
 
 val options : t -> Flow.options
 
-val structural_key : options:Flow.options -> Ast.func -> string
-(** Digest of the AST structure plus the tactics configuration — the
-    cache key, exposed for tests and cache-aware clients. *)
+val structural_key :
+  ?cls:Backend.device_class -> options:Flow.options -> Ast.func -> string
+(** Digest of the AST structure plus the tactics configuration plus the
+    device class (default [Pcm_crossbar]) — the cache key, exposed for
+    tests and cache-aware clients. *)
 
-val find_or_compile : t -> string -> entry
-(** Parse [source], look its structural key up, and compile on a miss.
-    Front-end errors (parse, type-check) propagate to the caller;
-    failed compiles are not cached. *)
+val find_or_compile : t -> ?cls:Backend.device_class -> string -> entry
+(** Parse [source], look its structural key up for [cls] (default
+    [Pcm_crossbar]), and compile on a miss. Front-end errors (parse,
+    type-check) propagate to the caller; failed compiles are not
+    cached. An entry compiled for one class is never returned for
+    another — the class is part of the key. *)
 
 val stats : t -> stats

@@ -5,6 +5,9 @@ module Kernels = Tdo_polybench.Kernels
 module Mat = Tdo_linalg.Mat
 module Pool = Tdo_util.Pool
 module Time_base = Tdo_sim.Time_base
+module Backend = Tdo_backend.Backend
+module Offload = Tdo_tactics.Offload
+module Cost_model = Tdo_tune.Cost_model
 
 type recovery = { max_attempts : int; quarantine_after : int }
 
@@ -12,6 +15,7 @@ let default_recovery = { max_attempts = 3; quarantine_after = 2 }
 
 type config = {
   devices : int;
+  fleet : Backend.profile list option;
   platform_config : Platform.config;
   options : Flow.options;
   cache_capacity : int;
@@ -21,6 +25,9 @@ type config = {
   parallel : bool;
   dispatch_overhead_ps : int;
   cpu_ps_per_mac : int;
+  convert_queue_threshold : int;
+  revert_idle_ps : int;
+  wear_bias_ps_per_byte : float;
   ignore_deadlines : bool;
   recovery : recovery;
   device_seed : int;
@@ -31,6 +38,7 @@ type config = {
 let default_config =
   {
     devices = 4;
+    fleet = None;
     platform_config = Platform.default_config;
     options = Flow.o3_loop_tactics;
     cache_capacity = 64;
@@ -41,6 +49,9 @@ let default_config =
     dispatch_overhead_ps = 5 * Time_base.ps_per_us;
     (* ~3 VFP cycles per MAC at the A7's 1.2 GHz *)
     cpu_ps_per_mac = 2500;
+    convert_queue_threshold = 2;
+    revert_idle_ps = 200 * Time_base.ps_per_us;
+    wear_bias_ps_per_byte = 0.05;
     ignore_deadlines = false;
     recovery = default_recovery;
     device_seed = 0;
@@ -48,10 +59,14 @@ let default_config =
     tuning = None;
   }
 
-let golden_config c =
+let golden_config ?(profile = Backend.pcm) c =
   {
     c with
     devices = 1;
+    (* the oracle serves everything on one always-compute device of the
+       class under test: a dual profile is pinned to its compute role so
+       conversion policy cannot perturb the reference *)
+    fleet = Some [ { profile with Backend.dual_mode = false } ];
     batching = false;
     parallel = false;
     queue_capacity = 0;
@@ -60,12 +75,22 @@ let golden_config c =
     on_device_create = None;
   }
 
+type device_report = {
+  dev_id : int;
+  dev_profile : string;
+  dev_class : string;
+  dev_wear : Device.wear;
+  dev_served : int;
+  dev_energy_j : float;
+  dev_conversions : int * int;  (** (to compute, to memory) *)
+}
+
 type report = {
   trace : Trace.t;
   config : config;
   telemetry : Telemetry.t;
   cache : Kernel_cache.stats;
-  devices : (int * Device.wear * int) list;
+  devices : device_report list;
   quarantined : int list;
   makespan_ps : int;
   wall_s : float;
@@ -96,7 +121,7 @@ type queued = {
 type batch = {
   dev : Device.t;
   batch_id : int;
-  start_ps : int;  (** dispatch time + launch overhead *)
+  start_ps : int;  (** dispatch time + launch overhead + any conversion charge *)
   cache_hit : bool;
   bench : Kernels.benchmark;
   entry : Kernel_cache.entry;
@@ -119,13 +144,22 @@ type exec_result =
 (* Runs on a worker domain: touches only its own device, the immutable
    compiled entry, and per-request data derived from the seed. *)
 let execute_batch (b : batch) =
+  let profile_name = Some (Device.profile b.dev).Backend.name in
   let cursor = ref b.start_ps in
   let results =
     List.map
       (fun item ->
         let r = item.req in
         let args, readback = b.bench.Kernels.make_args ~n:r.Trace.n ~seed:r.Trace.seed in
-        match Device.run b.dev b.entry.Kernel_cache.compiled ~args with
+        let exec () =
+          match Device.device_class b.dev with
+          | Backend.Host_blas ->
+              Device.run_host b.dev ~ast:b.entry.Kernel_cache.ast ~args
+                ~macs:(b.bench.Kernels.macs ~n:r.Trace.n)
+          | Backend.Pcm_crossbar | Backend.Digital_tile ->
+              Device.run b.dev b.entry.Kernel_cache.compiled ~args
+        in
+        match exec () with
         | stats ->
             let start = !cursor in
             cursor := !cursor + stats.Device.service_ps;
@@ -143,6 +177,7 @@ let execute_batch (b : batch) =
                   Telemetry.request = r;
                   outcome = Telemetry.Completed;
                   device = Some (Device.id b.dev);
+                  profile = profile_name;
                   batch = Some b.batch_id;
                   cache_hit = b.cache_hit;
                   queue_depth = item.depth;
@@ -159,6 +194,7 @@ let execute_batch (b : batch) =
                 Telemetry.request = r;
                 outcome = Telemetry.Failed msg;
                 device = Some (Device.id b.dev);
+                profile = profile_name;
                 batch = Some b.batch_id;
                 cache_hit = b.cache_hit;
                 queue_depth = item.depth;
@@ -175,30 +211,44 @@ let execute_batch (b : batch) =
   results
 
 let replay ?(config = default_config) (trace : Trace.t) =
-  if config.devices < 1 then invalid_arg "Scheduler.replay: need at least one device";
+  let fleet =
+    match config.fleet with
+    | Some (_ :: _ as profiles) -> Array.of_list profiles
+    | Some [] -> invalid_arg "Scheduler.replay: empty fleet"
+    | None ->
+        if config.devices < 1 then invalid_arg "Scheduler.replay: need at least one device";
+        Array.make config.devices Backend.pcm
+  in
+  let ndev = Array.length fleet in
   if config.max_batch < 1 then invalid_arg "Scheduler.replay: max_batch must be >= 1";
   if config.recovery.max_attempts < 1 then
     invalid_arg "Scheduler.replay: recovery.max_attempts must be >= 1";
   let t0 = Unix.gettimeofday () in
-  let xbar =
-    config.platform_config.Platform.engine.Tdo_cimacc.Micro_engine.xbar
+  let xbar = config.platform_config.Platform.engine.Tdo_cimacc.Micro_engine.xbar in
+  let geometry = (xbar.Tdo_pcm.Crossbar.rows, xbar.Tdo_pcm.Crossbar.cols) in
+  (* one clamp geometry per class present in the fleet (the class
+     profiles reshape latencies, not the crossbar footprint) *)
+  let classes =
+    Array.to_list fleet
+    |> List.map (fun (p : Backend.profile) -> p.Backend.cls)
+    |> List.sort_uniq compare
   in
   let cache =
     Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options
       ?tuning:config.tuning
-      ~device:(xbar.Tdo_pcm.Crossbar.rows, xbar.Tdo_pcm.Crossbar.cols)
+      ~geometries:(List.map (fun cls -> (cls, geometry)) classes)
       ()
   in
   let devices =
-    Array.init config.devices (fun id ->
+    Array.init ndev (fun id ->
         let d =
-          Device.create ~platform_config:config.platform_config ~seed:(config.device_seed + id)
-            ~id ()
+          Device.create ~platform_config:config.platform_config
+            ~seed:(config.device_seed + id) ~backend:fleet.(id) ~id ()
         in
         (match config.on_device_create with Some f -> f d | None -> ());
         d)
   in
-  let corruptions = Array.make config.devices 0 in
+  let corruptions = Array.make ndev 0 in
   let telemetry = Telemetry.create () in
   let arrivals = ref trace.Trace.requests in
   let queue : queued list ref = ref [] in
@@ -212,6 +262,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
         Telemetry.request = r;
         outcome = Telemetry.Failed msg;
         device = None;
+        profile = None;
         batch = None;
         cache_hit = false;
         queue_depth = depth;
@@ -235,6 +286,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 Telemetry.request = r;
                 outcome = Telemetry.Rejected_overloaded;
                 device = None;
+                profile = None;
                 batch = None;
                 cache_hit = false;
                 queue_depth = !queue_len;
@@ -278,6 +330,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 Telemetry.request = r;
                 outcome;
                 device = None;
+                profile = None;
                 batch = None;
                 cache_hit = false;
                 queue_depth = depth;
@@ -352,11 +405,70 @@ let replay ?(config = default_config) (trace : Trace.t) =
         end
   in
 
-  let free_devices () =
-    Array.to_list devices
-    |> List.filter (fun d -> (not (Device.is_quarantined d)) && Device.available_ps d <= !now)
-    |> List.sort (fun a b ->
-           compare (Device.write_pressure a, Device.id a) (Device.write_pressure b, Device.id b))
+  (* A fleet with no always-compute device (e.g. all dual-mode tiles,
+     or every plain device quarantined) must still be able to draft a
+     dual tile, or light load would never be served. *)
+  let compute_role_exists () =
+    Array.exists
+      (fun d ->
+        (not (Device.is_quarantined d))
+        && not (Device.profile d).Backend.dual_mode)
+      devices
+  in
+  let dual_draft_allowed () =
+    !queue_len > config.convert_queue_threshold || not (compute_role_exists ())
+  in
+
+  (* Cost-based placement: predicted service time of one request of
+     this (kernel, size) on each device class, from the class's
+     cost-model coefficient set over the offload plan of the entry the
+     class would actually run (tuned configurations included). Memoised
+     — the compile behind a first estimate is shared with dispatch
+     through the kernel cache. *)
+  let est_memo : (string * int * string, float) Hashtbl.t = Hashtbl.create 64 in
+  let estimate ~cls (bench : Kernels.benchmark) ~n =
+    let key = (bench.Kernels.name, n, Backend.class_name cls) in
+    match Hashtbl.find_opt est_memo key with
+    | Some v -> v
+    | None ->
+        let v =
+          match
+            let entry = Kernel_cache.find_or_compile cache ~cls (bench.Kernels.source ~n) in
+            let plan =
+              Offload.plan entry.Kernel_cache.options.Flow.tactics
+                entry.Kernel_cache.compiled.Flow.func
+            in
+            Cost_model.predict_cycles (Cost_model.uncalibrated_for cls) plan
+          with
+          | cycles -> cycles *. Backend.ps_per_cycle
+          | exception _ ->
+              (* the class cannot compile this kernel: never preferred,
+                 but still placeable as a last resort so the compile
+                 error surfaces through the normal failure record *)
+              Float.max_float
+        in
+        Hashtbl.add est_memo key v;
+        v
+  in
+  (* Lower is better: predicted service, plus the conversion charge if
+     the device must first be drafted out of its memory role, plus a
+     small write-pressure bias on classes that wear (endurance has a
+     price; classes that do not wear never pay it). Ties break to the
+     least-written, lowest-id device — the pre-fleet behaviour. *)
+  let score dev (bench : Kernels.benchmark) ~n =
+    let profile = Device.profile dev in
+    let est = estimate ~cls:profile.Backend.cls bench ~n in
+    let conversion =
+      if Device.mode dev = Backend.Memory_mode then
+        float_of_int profile.Backend.conversion_latency_ps
+      else 0.0
+    in
+    let wear_bias =
+      if profile.Backend.wears then
+        float_of_int (Device.write_pressure dev) *. config.wear_bias_ps_per_byte
+      else 0.0
+    in
+    (est +. conversion +. wear_bias, Device.write_pressure dev, Device.id dev)
   in
 
   (* Recovery policy for one corrupt attempt (runs on the scheduler,
@@ -386,48 +498,114 @@ let replay ?(config = default_config) (trace : Trace.t) =
     else item :: requeue
   in
 
-  (* Form one batch per free device (least-worn device first), then
-     execute the whole wave — in parallel on the domain pool when
-     configured. Every decision (membership, placement, start times) is
+  (* Dual-mode release: a drafted tile that has sat idle past the
+     hysteresis window with nothing queued hands its capacity back to
+     the memory role. *)
+  let release_idle_duals () =
+    if !queue = [] then
+      Array.iter
+        (fun d ->
+          if
+            (Device.profile d).Backend.dual_mode
+            && Device.mode d = Backend.Compute_mode
+            && (not (Device.is_quarantined d))
+            && Device.available_ps d + config.revert_idle_ps <= !now
+          then begin
+            Device.convert d ~to_compute:false;
+            Telemetry.record_conversion telemetry ~at_ps:!now ~device:(Device.id d)
+              ~profile:(Device.profile d).Backend.name ~to_compute:false
+          end)
+        devices
+  in
+
+  (* Form batches head-of-queue first: for each placeable item, score
+     every eligible free device across the mixed fleet and take the
+     cheapest, converting a dual-mode tile if that is what won. Every
+     decision (membership, placement, conversions, start times) is
      fixed before execution starts, so the wave's results do not depend
      on how it is run. *)
   let dispatch () =
-    let prepared =
-      List.filter_map
-        (fun dev ->
-          match pop_batch ~dev_id:(Device.id dev) with
-          | None -> None
-          | Some items -> (
-              let r0 = (List.hd items).req in
-              match Kernels.find r0.Trace.kernel with
-              | Error msg ->
-                  List.iter (fun it -> record_failed it.req it.depth msg) items;
-                  None
-              | Ok bench -> (
-                  let misses0 = (Kernel_cache.stats cache).Kernel_cache.misses in
-                  match Kernel_cache.find_or_compile cache (bench.Kernels.source ~n:r0.Trace.n) with
+    let free =
+      ref
+        (Array.to_list devices
+        |> List.filter (fun d ->
+               (not (Device.is_quarantined d)) && Device.available_ps d <= !now))
+    in
+    let prepared = ref [] in
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      let eligible item =
+        List.filter
+          (fun d ->
+            (not (List.mem (Device.id d) item.tried))
+            && (Device.mode d = Backend.Compute_mode || dual_draft_allowed ()))
+          !free
+      in
+      match List.find_opt (fun item -> eligible item <> []) !queue with
+      | None -> ()
+      | Some item -> (
+          progressed := true;
+          let r0 = item.req in
+          match Kernels.find r0.Trace.kernel with
+          | Error msg ->
+              (* unknown kernel: no device can help; drop just this item *)
+              queue := List.filter (fun it -> it != item) !queue;
+              queue_len := List.length !queue;
+              record_failed r0 item.depth msg
+          | Ok bench -> (
+              let misses0 = (Kernel_cache.stats cache).Kernel_cache.misses in
+              let best =
+                List.fold_left
+                  (fun acc d ->
+                    let s = score d bench ~n:r0.Trace.n in
+                    match acc with
+                    | Some (_, s') when s' <= s -> acc
+                    | _ -> Some (d, s))
+                  None (eligible item)
+              in
+              let dev, _ = Option.get best in
+              match pop_batch ~dev_id:(Device.id dev) with
+              | None -> assert false (* [item] is poppable by [dev] *)
+              | Some items -> (
+                  match
+                    Kernel_cache.find_or_compile cache ~cls:(Device.device_class dev)
+                      (bench.Kernels.source ~n:r0.Trace.n)
+                  with
                   | entry ->
                       let cache_hit =
                         (Kernel_cache.stats cache).Kernel_cache.misses = misses0
                       in
+                      let conversion_ps =
+                        if Device.mode dev = Backend.Memory_mode then begin
+                          Device.convert dev ~to_compute:true;
+                          Telemetry.record_conversion telemetry ~at_ps:!now
+                            ~device:(Device.id dev)
+                            ~profile:(Device.profile dev).Backend.name ~to_compute:true;
+                          (Device.profile dev).Backend.conversion_latency_ps
+                        end
+                        else 0
+                      in
                       let batch_id = !batch_counter in
                       incr batch_counter;
-                      Some
+                      free := List.filter (fun d -> Device.id d <> Device.id dev) !free;
+                      prepared :=
                         {
                           dev;
                           batch_id;
-                          start_ps = !now + config.dispatch_overhead_ps;
+                          start_ps = !now + config.dispatch_overhead_ps + conversion_ps;
                           cache_hit;
                           bench;
                           entry;
                           items;
                         }
+                        :: !prepared
                   | exception e ->
-                      List.iter (fun it -> record_failed it.req it.depth (Printexc.to_string e)) items;
-                      None)))
-        (free_devices ())
-    in
-    match prepared with
+                      List.iter
+                        (fun it -> record_failed it.req it.depth (Printexc.to_string e))
+                        items)))
+    done;
+    match List.rev !prepared with
     | [] -> false
     | waves ->
         let results =
@@ -455,6 +633,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
   in
 
   while !arrivals <> [] || !queue <> [] do
+    (* release before admitting: a revert is decided by the idle
+       interval leading up to [now], not by whatever arrives at that
+       same instant *)
+    release_idle_duals ();
     admit_due ();
     cull_expired ();
     if not (dispatch ()) then begin
@@ -500,7 +682,16 @@ let replay ?(config = default_config) (trace : Trace.t) =
     cache = Kernel_cache.stats cache;
     devices =
       Array.to_list devices
-      |> List.map (fun d -> (Device.id d, Device.wear d, Device.requests_served d));
+      |> List.map (fun d ->
+             {
+               dev_id = Device.id d;
+               dev_profile = (Device.profile d).Backend.name;
+               dev_class = Backend.class_name (Device.device_class d);
+               dev_wear = Device.wear d;
+               dev_served = Device.requests_served d;
+               dev_energy_j = Device.energy_j d;
+               dev_conversions = Device.conversions d;
+             });
     quarantined =
       Array.to_list devices
       |> List.filter (fun d -> Device.is_quarantined d)
@@ -523,20 +714,34 @@ let cache_hit_rate r =
   let lookups = c.Kernel_cache.hits + c.Kernel_cache.misses in
   if lookups = 0 then 0.0 else float_of_int c.Kernel_cache.hits /. float_of_int lookups
 
+(* The compute class behind a completed record: what decides whether
+   two checksums are comparable. Analog and digital tiles share the
+   quantised CIM numeric path but class-keyed tuned geometries may tile
+   the quantisation differently, and the host computes in full
+   precision — so only same-class results are expected bit-identical. *)
+let record_class (r : Telemetry.record) =
+  match r.Telemetry.profile with
+  | None -> None
+  | Some name -> (
+      match Backend.of_name name with
+      | Ok p -> Some p.Backend.cls
+      | Error _ -> None)
+
 let divergence a b =
   let of_b = Hashtbl.create 256 in
   List.iter
     (fun (r : Telemetry.record) ->
-      match (r.Telemetry.outcome, r.Telemetry.checksum) with
-      | Telemetry.Completed, Some cs -> Hashtbl.replace of_b r.Telemetry.request.Trace.id cs
+      match (r.Telemetry.outcome, r.Telemetry.checksum, record_class r) with
+      | Telemetry.Completed, Some cs, Some cls ->
+          Hashtbl.replace of_b r.Telemetry.request.Trace.id (cs, cls)
       | _ -> ())
     (Telemetry.records b.telemetry);
   List.fold_left
     (fun acc (r : Telemetry.record) ->
-      match (r.Telemetry.outcome, r.Telemetry.checksum) with
-      | Telemetry.Completed, Some cs -> (
+      match (r.Telemetry.outcome, r.Telemetry.checksum, record_class r) with
+      | Telemetry.Completed, Some cs, Some cls -> (
           match Hashtbl.find_opt of_b r.Telemetry.request.Trace.id with
-          | Some cs' when cs' <> cs -> acc + 1
+          | Some (cs', cls') when cls' = cls && cs' <> cs -> acc + 1
           | Some _ | None -> acc)
       | _ -> acc)
     0

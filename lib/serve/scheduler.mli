@@ -1,16 +1,35 @@
 (** The multi-tenant offload scheduler: bounded admission, batch
-    coalescing, endurance-aware placement, deadlines with
-    CPU-interpreter degradation.
+    coalescing, cost-based placement across a heterogeneous device
+    fleet, deadlines with CPU-interpreter degradation.
 
     [replay] drives a {!Trace.t} through a virtual-time event loop.
     Requests are admitted into a bounded submission queue (overflow is
     {e backpressure}: the request is rejected with
     {!Telemetry.Rejected_overloaded}, never silently dropped). When
-    devices are free, the dispatcher forms one batch per free device by
-    coalescing queued requests that share a (kernel, size) — they reuse
+    devices are free, the dispatcher works head-of-queue first: it
+    coalesces queued requests that share a (kernel, size) — they reuse
     one compiled-cache entry and pay the launch overhead once — and
-    places each batch on the free device with the least accumulated
-    crossbar wear, which is what spreads write traffic across the pool.
+    places each batch on the eligible free device with the lowest
+    predicted cost. The prediction comes from the per-class cost-model
+    coefficient sets ({!Tdo_tune.Cost_model.uncalibrated_for}) applied
+    to the offload plan of the entry that class would actually run, so
+    an analog crossbar, a digital SRAM tile and the host BLAS path each
+    quote their own price; devices of classes that wear additionally
+    pay a write-pressure bias ([wear_bias_ps_per_byte]), which is what
+    spreads write traffic across the analog pool while leaving
+    wear-free classes unpenalised. Ties break to the least-written,
+    lowest-id device.
+
+    {b Dual-mode tiles.} A fleet profile with
+    {!Tdo_backend.Backend.profile.dual_mode} set serves as plain memory
+    until the scheduler drafts it: when the queue is deeper than
+    [convert_queue_threshold] (or the fleet has no always-compute
+    device left), a memory-mode tile becomes eligible for placement,
+    its conversion latency is added to its placement score and charged
+    to the batch's start time, and the flip is counted in telemetry.
+    Once the queue drains and the tile has idled for [revert_idle_ps],
+    it reverts to the memory role (also counted).
+
     A request whose deadline has already passed when it reaches the
     head of the queue is not sent to a device at all: it degrades to
     the host reference interpreter (functionally exact, charged with a
@@ -38,6 +57,7 @@
 
 module Platform = Tdo_runtime.Platform
 module Flow = Tdo_cim.Flow
+module Backend = Tdo_backend.Backend
 
 type recovery = {
   max_attempts : int;  (** device attempts per request before host degradation; >= 1 *)
@@ -48,8 +68,14 @@ val default_recovery : recovery
 (** 3 attempts, quarantine after 2 corruptions. *)
 
 type config = {
-  devices : int;  (** pool size; >= 1 *)
-  platform_config : Platform.config;  (** per-device platform *)
+  devices : int;  (** pool size when [fleet] is [None]; >= 1 *)
+  fleet : Backend.profile list option;
+      (** device [i] gets profile [i] of the list; [None] = [devices]
+          analog crossbars (the pre-fleet behaviour). Parse a
+          command-line spec with {!Backend.parse_fleet}. *)
+  platform_config : Platform.config;
+      (** per-device platform base; each profile reshapes it
+          (latencies, noise immunity) via {!Backend.platform_config} *)
   options : Flow.options;  (** compile options for the kernel cache *)
   cache_capacity : int;
   queue_capacity : int;  (** submission-queue bound; [<= 0] = unbounded *)
@@ -58,6 +84,13 @@ type config = {
   parallel : bool;  (** execute dispatch waves on the domain pool *)
   dispatch_overhead_ps : int;  (** per-batch launch cost (driver + syscall path) *)
   cpu_ps_per_mac : int;  (** latency model of the interpreter fallback *)
+  convert_queue_threshold : int;
+      (** queue depth beyond which memory-mode dual tiles are drafted *)
+  revert_idle_ps : int;
+      (** idle hysteresis before a drafted dual tile reverts to memory *)
+  wear_bias_ps_per_byte : float;
+      (** placement penalty per byte already written, charged only to
+          classes that wear *)
   ignore_deadlines : bool;  (** golden mode: never degrade *)
   recovery : recovery;
   device_seed : int;  (** device [i] gets PRNG seed [device_seed + i] *)
@@ -66,31 +99,45 @@ type config = {
           reliability campaigns use to plant faults
           ({!Tdo_reliab.Inject}); [None] = pristine pool *)
   tuning : Tdo_tune.Db.t option;
-      (** per-kernel tuned configurations for the kernel cache, keyed
-          by structural digest; geometry is clamped to the pool's
-          crossbar shape. [golden_config] keeps it, so the oracle
-          compiles identically and checksums stay comparable. *)
+      (** per-(kernel, class) tuned configurations for the kernel
+          cache, keyed by structural digest and device class
+          (cross-class entries are refused); geometry is clamped to the
+          pool's crossbar shape. [golden_config] keeps it, so the
+          oracle compiles identically and checksums stay comparable. *)
 }
 
 val default_config : config
-(** 4 devices, default platform, 64-entry cache, 256-deep queue,
-    batching up to 8, parallel waves, 5 us launch overhead, 2.5 ns per
-    MAC fallback rate, {!default_recovery}, no fault hook, no tuning
-    database. *)
+(** 4 analog-crossbar devices, default platform, 64-entry cache,
+    256-deep queue, batching up to 8, parallel waves, 5 us launch
+    overhead, 2.5 ns per MAC fallback rate, draft duals beyond queue
+    depth 2, 200 us revert hysteresis, {!default_recovery}, no fault
+    hook, no tuning database. *)
 
-val golden_config : config -> config
+val golden_config : ?profile:Backend.profile -> config -> config
 (** The sequential oracle for a given serving configuration: one
-    device, no batching, no parallelism, unbounded queue, deadlines
-    ignored, {e no fault-injection hook} — same compile options and
-    platform. *)
+    device of [profile]'s class (default {!Backend.pcm}; dual-mode is
+    pinned off so the oracle always computes), no batching, no
+    parallelism, unbounded queue, deadlines ignored, {e no
+    fault-injection hook} — same compile options and platform. Run one
+    golden per compute class in a mixed fleet: {!divergence} only
+    compares records of the same class. *)
+
+type device_report = {
+  dev_id : int;
+  dev_profile : string;  (** fleet profile name, e.g. ["pcm"], ["dual"] *)
+  dev_class : string;  (** device-class name, e.g. ["pcm"], ["digital"] *)
+  dev_wear : Device.wear;  (** final wear snapshot *)
+  dev_served : int;  (** requests served *)
+  dev_energy_j : float;  (** lifetime energy under the class's table *)
+  dev_conversions : int * int;  (** (to compute, to memory) *)
+}
 
 type report = {
   trace : Trace.t;
   config : config;
   telemetry : Telemetry.t;
   cache : Kernel_cache.stats;
-  devices : (int * Device.wear * int) list;
-      (** per device: id, final wear snapshot, requests served *)
+  devices : device_report list;
   quarantined : int list;  (** devices pulled from rotation during the run *)
   makespan_ps : int;  (** finish time of the last request *)
   wall_s : float;  (** host wall-clock spent replaying *)
@@ -116,7 +163,14 @@ val detected_corruptions : report -> int
 val cache_hit_rate : report -> float
 (** Hits over (hits + misses); 0 on an empty run. *)
 
+val record_class : Telemetry.record -> Backend.device_class option
+(** The compute class behind a record's checksum — what decides
+    comparability in {!divergence}. *)
+
 val divergence : report -> report -> int
-(** Number of requests that ran on CIM devices in {e both} reports and
-    produced different output checksums — the cross-device golden
-    check. 0 means every comparable request is bit-identical. *)
+(** Number of requests that completed on devices of the {e same
+    compute class} in both reports and produced different output
+    checksums — the cross-device golden check. 0 means every comparable
+    request is bit-identical. (Cross-class checksums are not compared:
+    class-keyed tuned geometries may tile the 8-bit quantisation
+    differently, and the host computes in full precision.) *)

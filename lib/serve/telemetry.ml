@@ -12,6 +12,7 @@ type record = {
   request : Trace.request;
   outcome : outcome;
   device : int option;
+  profile : string option;
   batch : int option;
   cache_hit : bool;
   queue_depth : int;
@@ -25,16 +26,39 @@ type record = {
 
 let latency_ps r = r.finish_ps - r.request.Trace.arrival_ps
 
+(* Bucket a record lands in for per-class accounting: the fleet
+   profile that produced it, "host" for interpreter degradations, and
+   "unplaced" for outcomes that never reached a device. *)
+let profile_bucket r =
+  match (r.profile, r.outcome) with
+  | Some p, _ -> p
+  | None, (Cpu_fallback | Recovered_host) -> "host"
+  | None, _ -> "unplaced"
+
+type conversion = {
+  at_ps : int;
+  conv_device : int;
+  conv_profile : string;
+  to_compute : bool;  (** [false] = reverted to the plain-memory role *)
+}
+
 type t = {
   mutable records : record list;  (** reverse order of recording *)
   mutable depth_samples : (int * int) list;  (** (at_ps, depth), reverse *)
+  mutable conversions : conversion list;  (** reverse order *)
 }
 
-let create () = { records = []; depth_samples = [] }
+let create () = { records = []; depth_samples = []; conversions = [] }
 let record t r = t.records <- r :: t.records
 
 let sample_queue_depth t ~at_ps ~depth =
   t.depth_samples <- (at_ps, depth) :: t.depth_samples
+
+let record_conversion t ~at_ps ~device ~profile ~to_compute =
+  t.conversions <-
+    { at_ps; conv_device = device; conv_profile = profile; to_compute } :: t.conversions
+
+let conversions t = List.rev t.conversions
 
 let records t =
   List.sort (fun a b -> compare a.request.Trace.id b.request.Trace.id) t.records
@@ -61,9 +85,16 @@ type summary = {
   failed : int;
   detected_corruptions : int;
   served_tuned : int;
+  conversions_to_compute : int;
+  conversions_to_memory : int;
 }
 
 let summary t =
+  let to_compute, to_memory =
+    List.fold_left
+      (fun (c, m) conv -> if conv.to_compute then (c + 1, m) else (c, m + 1))
+      (0, 0) t.conversions
+  in
   List.fold_left
     (fun s r ->
       let s = { s with requests = s.requests + 1; detected_corruptions = s.detected_corruptions + r.retries } in
@@ -89,23 +120,83 @@ let summary t =
       failed = 0;
       detected_corruptions = 0;
       served_tuned = 0;
+      conversions_to_compute = to_compute;
+      conversions_to_memory = to_memory;
     }
     t.records
 
-let served_latencies_us t =
+(* ---------- per-device-class breakdown ---------- *)
+
+type class_counts = {
+  served : int;  (** [Completed] on a device of this profile *)
+  recovered : int;
+  fallbacks : int;
+  rejected : int;
+  failed : int;
+  retries_against : int;  (** corrupt attempts charged to this profile's devices *)
+  to_compute : int;  (** dual-mode conversions into the compute role *)
+  to_memory : int;
+}
+
+let empty_class_counts =
+  {
+    served = 0;
+    recovered = 0;
+    fallbacks = 0;
+    rejected = 0;
+    failed = 0;
+    retries_against = 0;
+    to_compute = 0;
+    to_memory = 0;
+  }
+
+let class_summary t =
+  let table : (string, class_counts) Hashtbl.t = Hashtbl.create 8 in
+  let bump bucket f =
+    let cur = Option.value ~default:empty_class_counts (Hashtbl.find_opt table bucket) in
+    Hashtbl.replace table bucket (f cur)
+  in
+  List.iter
+    (fun r ->
+      let bucket = profile_bucket r in
+      let bump' f = bump bucket f in
+      match r.outcome with
+      | Completed ->
+          bump' (fun c ->
+              { c with served = c.served + 1; retries_against = c.retries_against + r.retries })
+      | Cpu_fallback -> bump' (fun c -> { c with fallbacks = c.fallbacks + 1 })
+      | Recovered_host ->
+          bump' (fun c ->
+              { c with recovered = c.recovered + 1; retries_against = c.retries_against + r.retries })
+      | Rejected_overloaded -> bump' (fun c -> { c with rejected = c.rejected + 1 })
+      | Failed _ -> bump' (fun c -> { c with failed = c.failed + 1 }))
+    t.records;
+  List.iter
+    (fun conv ->
+      bump conv.conv_profile (fun c ->
+          if conv.to_compute then { c with to_compute = c.to_compute + 1 }
+          else { c with to_memory = c.to_memory + 1 }))
+    t.conversions;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let served_latencies_us ?profile t =
   List.filter_map
     (fun r ->
+      let keep =
+        match profile with None -> true | Some p -> profile_bucket r = p
+      in
       match r.outcome with
-      | Completed | Cpu_fallback | Recovered_host ->
+      | (Completed | Cpu_fallback | Recovered_host) when keep ->
           Some (float_of_int (latency_ps r) /. float_of_int Time_base.ps_per_us)
-      | Rejected_overloaded | Failed _ -> None)
+      | _ -> None)
     t.records
 
-let latency_percentile t ~p =
-  match served_latencies_us t with [] -> None | xs -> Some (Stats.percentile xs ~p)
+let latency_percentile ?profile t ~p =
+  match served_latencies_us ?profile t with [] -> None | xs -> Some (Stats.percentile xs ~p)
 
-let mean_latency_us t =
-  match served_latencies_us t with [] -> None | xs -> Some (Stats.mean xs)
+let mean_latency_us ?profile t =
+  match served_latencies_us ?profile t with [] -> None | xs -> Some (Stats.mean xs)
 
 let max_queue_depth t = List.fold_left (fun acc (_, d) -> max acc d) 0 t.depth_samples
 
@@ -145,11 +236,11 @@ let chrome_trace t =
       match r.outcome with
       | Completed ->
           event
-            {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"cache_hit":%b,"queue_depth":%d}}|}
+            {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"class":"%s","cache_hit":%b,"queue_depth":%d}}|}
             name (us_of_ps r.start_ps)
             (us_of_ps (r.finish_ps - r.start_ps))
             (match r.device with Some d -> d | None -> -1)
-            r.cache_hit r.queue_depth
+            (escape (profile_bucket r)) r.cache_hit r.queue_depth
       | Cpu_fallback ->
           event {|{"name":"%s (cpu)","ph":"X","ts":%.3f,"dur":%.3f,"pid":2,"tid":0}|} name
             (us_of_ps r.start_ps)
@@ -166,6 +257,16 @@ let chrome_trace t =
           event {|{"name":"%s failed: %s","ph":"i","ts":%.3f,"pid":2,"tid":1,"s":"g"}|} name
             (escape msg) (us_of_ps r.finish_ps))
     (records t);
+  (* dual-mode role switches land on their device's track, so a trace
+     viewer shows exactly when a tile joined or left the compute pool *)
+  List.iter
+    (fun conv ->
+      event
+        {|{"name":"%s: convert to %s","ph":"i","ts":%.3f,"pid":1,"tid":%d,"s":"t"}|}
+        (escape conv.conv_profile)
+        (if conv.to_compute then "compute" else "memory")
+        (us_of_ps conv.at_ps) conv.conv_device)
+    (List.rev t.conversions);
   List.iter
     (fun (at_ps, depth) ->
       event {|{"name":"queue","ph":"C","ts":%.3f,"pid":1,"tid":0,"args":{"depth":%d}}|}
@@ -176,9 +277,19 @@ let chrome_trace t =
   let s = summary t in
   let last_finish = List.fold_left (fun acc r -> max acc r.finish_ps) 0 t.records in
   event
-    {|{"name":"outcome-summary","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"requests":%d,"completed":%d,"completed_after_retry":%d,"cpu_fallbacks":%d,"recovered_host":%d,"rejected":%d,"failed":%d,"detected_corruptions":%d,"served_tuned":%d}}|}
+    {|{"name":"outcome-summary","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"requests":%d,"completed":%d,"completed_after_retry":%d,"cpu_fallbacks":%d,"recovered_host":%d,"rejected":%d,"failed":%d,"detected_corruptions":%d,"served_tuned":%d,"conversions_to_compute":%d,"conversions_to_memory":%d}}|}
     (us_of_ps last_finish) s.requests s.completed s.completed_after_retry s.cpu_fallbacks
-    s.recovered_host s.rejected s.failed s.detected_corruptions s.served_tuned;
+    s.recovered_host s.rejected s.failed s.detected_corruptions s.served_tuned
+    s.conversions_to_compute s.conversions_to_memory;
+  (* and one per device class, so mixed-fleet runs are debuggable from
+     the trace alone *)
+  List.iter
+    (fun (profile, (c : class_counts)) ->
+      event
+        {|{"name":"class-summary %s","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"served":%d,"recovered":%d,"cpu_fallbacks":%d,"rejected":%d,"failed":%d,"retries_against":%d,"conversions_to_compute":%d,"conversions_to_memory":%d}}|}
+        (escape profile) (us_of_ps last_finish) c.served c.recovered c.fallbacks c.rejected
+        c.failed c.retries_against c.to_compute c.to_memory)
+    (class_summary t);
   Buffer.add_string b "]\n";
   Buffer.contents b
 

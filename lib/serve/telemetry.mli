@@ -1,15 +1,16 @@
 (** Per-request telemetry of the serving layer.
 
     The scheduler records one {!record} per request — outcome, timing,
-    placement, cache behaviour and a checksum of the produced outputs —
-    plus a queue-depth sample per scheduling step. Aggregations
-    (latency percentiles, hit rates) are computed on demand from the
-    raw records, and the whole run can be dumped as a Chrome
-    trace-event JSON file ([chrome://tracing], Perfetto) with one
-    track per device. *)
+    placement (device {e and} fleet profile), cache behaviour and a
+    checksum of the produced outputs — plus a queue-depth sample per
+    scheduling step and one event per dual-mode role conversion.
+    Aggregations (latency percentiles, hit rates, per-device-class
+    outcome counts) are computed on demand from the raw records, and
+    the whole run can be dumped as a Chrome trace-event JSON file
+    ([chrome://tracing], Perfetto) with one track per device. *)
 
 type outcome =
-  | Completed  (** served on a CIM device *)
+  | Completed  (** served on a fleet device *)
   | Cpu_fallback  (** deadline missed; degraded to the host interpreter *)
   | Recovered_host
       (** corruption detected on every attempted device; final
@@ -21,6 +22,9 @@ type record = {
   request : Trace.request;
   outcome : outcome;
   device : int option;  (** [None] unless [Completed] *)
+  profile : string option;
+      (** fleet-profile name of the serving device ({!Tdo_backend.Backend.profile});
+          [None] for outcomes that never reached a device *)
   batch : int option;  (** dispatch batch id, [None] for unbatched outcomes *)
   cache_hit : bool;
   queue_depth : int;  (** submission-queue depth seen at admission *)
@@ -37,12 +41,33 @@ type record = {
 val latency_ps : record -> int
 (** [finish - arrival]: what the client observed. *)
 
+val profile_bucket : record -> string
+(** The per-class accounting bucket: the record's profile name, ["host"]
+    for interpreter degradations that never touched a device, and
+    ["unplaced"] otherwise. *)
+
 type t
 
 val create : unit -> t
 
 val record : t -> record -> unit
 val sample_queue_depth : t -> at_ps:int -> depth:int -> unit
+
+val record_conversion :
+  t -> at_ps:int -> device:int -> profile:string -> to_compute:bool -> unit
+(** A dual-mode tile switched roles at [at_ps]: [to_compute = true]
+    when it was converted into the compute pool, [false] when it
+    reverted to plain memory. *)
+
+type conversion = {
+  at_ps : int;
+  conv_device : int;
+  conv_profile : string;
+  to_compute : bool;  (** [false] = reverted to the plain-memory role *)
+}
+
+val conversions : t -> conversion list
+(** In recording order. *)
 
 val records : t -> record list
 (** In request-id order. *)
@@ -60,23 +85,44 @@ type summary = {
   detected_corruptions : int;
       (** device attempts whose ABFT check failed (sum of [retries]) *)
   served_tuned : int;  (** completed requests that ran a tuned configuration *)
+  conversions_to_compute : int;  (** dual-mode tiles drafted into the compute pool *)
+  conversions_to_memory : int;  (** dual-mode tiles released back to plain memory *)
 }
 
 val summary : t -> summary
 (** Per-outcome counters over all records. *)
 
-val latency_percentile : t -> p:float -> float option
-(** Percentile (in simulated microseconds) over requests that were
-    actually served ([Completed] or [Cpu_fallback]); [None] when none
-    were. *)
+type class_counts = {
+  served : int;  (** [Completed] on a device of this profile *)
+  recovered : int;
+  fallbacks : int;
+  rejected : int;
+  failed : int;
+  retries_against : int;  (** corrupt attempts charged to this profile's devices *)
+  to_compute : int;  (** dual-mode conversions into the compute role *)
+  to_memory : int;
+}
 
-val mean_latency_us : t -> float option
+val class_summary : t -> (string * class_counts) list
+(** Outcome counters split by {!profile_bucket}, sorted by bucket name.
+    Mixed-fleet runs read per-class served/recovered/rejected counts
+    and dual-mode conversion totals from here. *)
+
+val latency_percentile : ?profile:string -> t -> p:float -> float option
+(** Percentile (in simulated microseconds) over requests that were
+    actually served ([Completed], [Cpu_fallback] or [Recovered_host]);
+    [None] when none were. [profile] restricts to one
+    {!profile_bucket}. *)
+
+val mean_latency_us : ?profile:string -> t -> float option
 val max_queue_depth : t -> int
 
 val chrome_trace : t -> string
 (** The run as a JSON array of Chrome trace events: one complete
-    ("ph":"X") event per served request on its device's track, one
-    instant event per rejection, and a queue-depth counter track.
+    ("ph":"X") event per served request on its device's track (tagged
+    with its device class), one instant event per rejection and per
+    dual-mode conversion, a queue-depth counter track, and closing
+    instant events carrying the run-level and per-class summaries.
     Timestamps are simulated microseconds. *)
 
 val write_chrome_trace : t -> path:string -> unit

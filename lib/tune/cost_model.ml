@@ -35,6 +35,26 @@ let features (p : Offload.plan) =
 let uncalibrated =
   { coeffs = [| 0.0; 1000.0; 3000.0; 100.0; 4.7; 0.0; 2.0; 5.0 |] }
 
+(* Per-class coefficient sets over the same feature census. The
+   serving scheduler ranks a mixed fleet's free devices with these, so
+   the relative shape matters more than absolute accuracy:
+
+   - digital tiles write rows at SRAM speed (20 ns = 24 cycles instead
+     of 3000) but integrate a GEMV ~4x slower through the adder tree
+     (18.8 cycles per active wordline instead of 4.7);
+   - the host BLAS fallback executes every would-be device MAC itself
+     (~3 cycles per MAC, the scheduler's 2.5 ns interpreter rate) and
+     pays neither launches, programming nor DMA. *)
+let uncalibrated_digital =
+  { coeffs = [| 0.0; 1000.0; 24.0; 100.0; 18.8; 0.0; 2.0; 5.0 |] }
+
+let uncalibrated_host = { coeffs = [| 0.0; 0.0; 0.0; 0.0; 0.0; 3.0; 0.0; 5.0 |] }
+
+let uncalibrated_for = function
+  | Tdo_backend.Backend.Pcm_crossbar -> uncalibrated
+  | Tdo_backend.Backend.Digital_tile -> uncalibrated_digital
+  | Tdo_backend.Backend.Host_blas -> uncalibrated_host
+
 let predict_cycles model plan =
   let x = features plan in
   let acc = ref 0.0 in

@@ -23,6 +23,14 @@ val uncalibrated : t
 (** Rough hand-priced coefficients (Table-I latencies at 1.2 GHz) —
     usable before any simulation has run. *)
 
+val uncalibrated_for : Tdo_backend.Backend.device_class -> t
+(** Per-class coefficient set over the same features: the analog
+    crossbar prior ({!uncalibrated}) for [Pcm_crossbar], SRAM-priced
+    row writes with a slower adder-tree GEMV for [Digital_tile], and a
+    MAC-rate-dominated set for [Host_blas] (every would-be device MAC
+    priced at ~3 host cycles, no launch/programming/DMA terms). The
+    mixed-fleet scheduler ranks placement candidates with these. *)
+
 val predict_cycles : t -> Offload.plan -> float
 
 val predict_write_bytes : Offload.plan -> int

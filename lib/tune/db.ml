@@ -3,10 +3,13 @@ module Json = Tdo_util.Json
 module Offload = Tdo_tactics.Offload
 module Flow = Tdo_cim.Flow
 
+module Backend = Tdo_backend.Backend
+
 type entry = {
   digest : string;
   kernel : string;
   n : int;
+  device_class : Backend.device_class;
   objective : string;
   config : Space.point;
   tuned_cycles : int;
@@ -23,16 +26,27 @@ type t = entry Smap.t
 let empty = Smap.empty
 let size = Smap.cardinal
 
+(* One kernel can hold a tuned configuration per device class; the map
+   key is the digest qualified by the class name. *)
+let key ~cls digest = digest ^ "/" ^ Backend.class_name cls
+
 let entries db =
   Smap.bindings db |> List.map snd
   |> List.sort (fun a b ->
          match String.compare a.kernel b.kernel with
-         | 0 -> String.compare a.digest b.digest
+         | 0 -> (
+             match String.compare a.digest b.digest with
+             | 0 ->
+                 String.compare
+                   (Backend.class_name a.device_class)
+                   (Backend.class_name b.device_class)
+             | c -> c)
          | c -> c)
 
-let add db e = Smap.add e.digest e db
-let find db digest = Smap.find_opt digest db
-let lookup db f = find db (Ast.structural_digest f)
+let add db e = Smap.add (key ~cls:e.device_class e.digest) e db
+
+let find ?(cls = Backend.Pcm_crossbar) db digest = Smap.find_opt (key ~cls digest) db
+let lookup ?cls db f = find ?cls db (Ast.structural_digest f)
 
 let entry_of_result ~n (r : Search.result) =
   let cycles e =
@@ -45,6 +59,7 @@ let entry_of_result ~n (r : Search.result) =
     digest = r.Search.digest;
     kernel = r.Search.kernel;
     n;
+    device_class = r.Search.cls;
     objective = Search.objective_to_string r.Search.objective;
     config = r.Search.best.Search.point;
     tuned_cycles = cycles r.Search.best;
@@ -54,18 +69,24 @@ let entry_of_result ~n (r : Search.result) =
     calibration_error = r.Search.calibration_error;
   }
 
-let config_for ?device db f =
-  Option.map
-    (fun e ->
-      match device with
-      | None -> e.config
-      | Some (rows, cols) ->
-          {
-            e.config with
-            Offload.xbar_rows = min e.config.Offload.xbar_rows rows;
-            xbar_cols = min e.config.Offload.xbar_cols cols;
-          })
-    (lookup db f)
+let config_for ?device ?(cls = Backend.Pcm_crossbar) db f =
+  (* Class-qualified lookup, then a belt-and-braces check: a tuned
+     configuration measured on one device class is refused — not
+     clamped — for any other class, so the caller falls back to the
+     class-appropriate default instead of replaying, say, a PCM
+     geometry on a digital tile. *)
+  match lookup ~cls db f with
+  | Some e when e.device_class = cls ->
+      Some
+        (match device with
+        | None -> e.config
+        | Some (rows, cols) ->
+            {
+              e.config with
+              Offload.xbar_rows = min e.config.Offload.xbar_rows rows;
+              xbar_cols = min e.config.Offload.xbar_cols cols;
+            })
+  | Some _ | None -> None
 
 (* ---------- JSON ---------- *)
 
@@ -75,6 +96,7 @@ let entry_to_json e =
       ("digest", Json.Str e.digest);
       ("kernel", Json.Str e.kernel);
       ("n", Json.Num (float_of_int e.n));
+      ("device_class", Json.Str (Backend.class_name e.device_class));
       ("objective", Json.Str e.objective);
       ("config", Space.to_json e.config);
       ("tuned_cycles", Json.Num (float_of_int e.tuned_cycles));
@@ -87,7 +109,7 @@ let entry_to_json e =
 let to_json db =
   Json.Obj
     [
-      ("schema", Json.Str "tdo-cim-tunedb/1");
+      ("schema", Json.Str "tdo-cim-tunedb/2");
       ("entries", Json.Arr (List.map entry_to_json (entries db)));
     ]
 
@@ -103,6 +125,13 @@ let entry_of_json json =
   in
   let* digest = str "digest" in
   let* kernel = str "kernel" in
+  let* device_class =
+    (* absent in schema 1 databases: every pre-fleet entry was tuned on
+       the analog crossbar *)
+    match Option.bind (Json.member "device_class" json) Json.to_string_opt with
+    | None -> Ok Backend.Pcm_crossbar
+    | Some s -> Backend.class_of_name s
+  in
   let* objective = str "objective" in
   let* config =
     match Json.member "config" json with
@@ -114,6 +143,7 @@ let entry_of_json json =
       digest;
       kernel;
       n = int_of_float (num "n");
+      device_class;
       objective;
       config;
       tuned_cycles = int_of_float (num "tuned_cycles");
@@ -125,7 +155,7 @@ let entry_of_json json =
 
 let of_json json =
   match Option.bind (Json.member "schema" json) Json.to_string_opt with
-  | Some "tdo-cim-tunedb/1" ->
+  | Some ("tdo-cim-tunedb/1" | "tdo-cim-tunedb/2") ->
       let rec collect db = function
         | [] -> Ok db
         | e :: rest -> (

@@ -27,6 +27,7 @@ type evaluation = {
 type result = {
   kernel : string;
   digest : string;
+  cls : Tdo_backend.Backend.device_class;
   objective : objective;
   best : evaluation;
   default : evaluation;
@@ -75,7 +76,20 @@ let spread_indices n k =
     |> List.sort_uniq Stdlib.compare
 
 let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
-    ?(objective = Cycles) ?platform_base ~source ~args () =
+    ?(objective = Cycles) ?(cls = Tdo_backend.Backend.Pcm_crossbar) ?platform_base ~source
+    ~args () =
+  (* The class fixes the timing model every exact simulation runs
+     under (and the prior the calibration subset is spread across), so
+     a digital-tile entry is tuned against digital-tile latencies. *)
+  let platform_base =
+    match platform_base with
+    | Some _ as b -> b
+    | None -> (
+        match cls with
+        | Tdo_backend.Backend.Pcm_crossbar | Tdo_backend.Backend.Host_blas -> None
+        | Tdo_backend.Backend.Digital_tile ->
+            Some (Tdo_backend.Backend.platform_config Tdo_backend.Backend.digital))
+  in
   match Tdo_lang.Parser.parse_func source with
   | exception Tdo_lang.Parser.Parse_error { line; message } ->
       Error (Printf.sprintf "parse error at line %d: %s" line message)
@@ -101,7 +115,7 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
         let measurement, _platform = Flow.run ~platform_config func ~args:(args ()) in
         measurement
       in
-      let prior = Cost_model.uncalibrated in
+      let prior = Cost_model.uncalibrated_for cls in
       let by_prior =
         List.sort
           (fun (_, _, p) (_, _, q) ->
@@ -195,6 +209,7 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
         {
           kernel = ast.Ast.fname;
           digest;
+          cls;
           objective;
           best;
           default;

@@ -38,6 +38,9 @@ type evaluation = {
 type result = {
   kernel : string;  (** function name *)
   digest : string;  (** {!Tdo_lang.Ast.structural_digest} of the kernel *)
+  cls : Tdo_backend.Backend.device_class;
+      (** device class the search simulated against — stamped into the
+          database entry so configurations never cross classes *)
   objective : objective;
   best : evaluation;  (** measured winner; [measurement] is [Some] *)
   default : evaluation;  (** the compiler default, also measured *)
@@ -58,12 +61,18 @@ val tune :
   ?beam:int ->
   ?calibration_points:int ->
   ?objective:objective ->
+  ?cls:Tdo_backend.Backend.device_class ->
   ?platform_base:Tdo_runtime.Platform.config ->
   source:string ->
   args:(unit -> (string * Interp.value) list) ->
   unit ->
   (result, string) Stdlib.result
 (** [beam] (default 4) exact re-rank width; [calibration_points]
-    (default 5) exact runs spent on fitting. [args] must return fresh
-    argument bindings on every call (each simulation mutates them) and
-    be deterministic. [Error] reports an unparsable kernel. *)
+    (default 5) exact runs spent on fitting. [cls] (default
+    [Pcm_crossbar]) selects the device class tuned for: it fixes the
+    calibration prior ({!Cost_model.uncalibrated_for}) and, unless
+    [platform_base] overrides it, the timing model of every exact
+    simulation ({!Tdo_backend.Backend.platform_config}). [args] must
+    return fresh argument bindings on every call (each simulation
+    mutates them) and be deterministic. [Error] reports an unparsable
+    kernel. *)

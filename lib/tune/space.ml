@@ -30,6 +30,23 @@ let smoke_axes =
     min_intensities = [ None; Some 32.0 ];
   }
 
+let axes_for = function
+  | Tdo_backend.Backend.Pcm_crossbar -> default_axes
+  | Tdo_backend.Backend.Digital_tile ->
+      (* SRAM-priced writes shift the interesting selective-offload
+         thresholds down (reprogramming is nearly free) and make the
+         naive always-stream pin strategy worth sweeping *)
+      { default_axes with min_intensities = [ None; Some 2.0; Some 8.0; Some 32.0 ] }
+  | Tdo_backend.Backend.Host_blas ->
+      (* no crossbar: the only point that matters is the default *)
+      {
+        geometries = [ (256, 256) ];
+        fusion = [ true ];
+        tiling = [ true ];
+        naive_pin = [ false ];
+        min_intensities = [ None ];
+      }
+
 let enumerate axes =
   let points =
     List.concat_map

@@ -28,6 +28,12 @@ val default_axes : axes
 val smoke_axes : axes
 (** A few points for the strict [dune runtest] smoke tune. *)
 
+val axes_for : Tdo_backend.Backend.device_class -> axes
+(** Class-appropriate sweep: {!default_axes} for the analog crossbar,
+    lower selective-offload thresholds for digital tiles (writes are
+    SRAM-priced, so offloading pays off much earlier), and the single
+    default point for the host fallback (no crossbar to shape). *)
+
 val enumerate : axes -> point list
 (** Cartesian product, deduplicated, {!Offload.default_config} first
     when the axes contain it. *)

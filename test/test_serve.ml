@@ -1,4 +1,5 @@
 open Tdo_serve
+module Backend = Tdo_backend.Backend
 module Pool = Tdo_util.Pool
 module Wear_leveling = Tdo_pcm.Wear_leveling
 module Endurance = Tdo_pcm.Endurance
@@ -140,6 +141,90 @@ let test_cache_lru_eviction () =
   ignore (Kernel_cache.find_or_compile cache (gemm_source ~n:8));
   Alcotest.(check int) "evicted entry recompiles" 3
     (Kernel_cache.stats cache).Kernel_cache.misses
+
+(* The device class is part of the cache key: the same source compiled
+   for the analog crossbar, the digital tile and the host BLAS path
+   must occupy three separate entries, because class-keyed tuned
+   geometries can tile the quantisation differently. *)
+let test_cache_class_in_key () =
+  let cache = Kernel_cache.create ~capacity:8 () in
+  let src = gemm_source ~n:8 in
+  let p = Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src in
+  let d = Kernel_cache.find_or_compile cache ~cls:Backend.Digital_tile src in
+  let h = Kernel_cache.find_or_compile cache ~cls:Backend.Host_blas src in
+  Alcotest.(check bool) "pcm and digital keys differ" true
+    (p.Kernel_cache.key <> d.Kernel_cache.key);
+  Alcotest.(check bool) "digital and host keys differ" true
+    (d.Kernel_cache.key <> h.Kernel_cache.key);
+  Alcotest.(check bool) "entry remembers its class" true
+    (p.Kernel_cache.cls = Backend.Pcm_crossbar
+    && d.Kernel_cache.cls = Backend.Digital_tile
+    && h.Kernel_cache.cls = Backend.Host_blas);
+  let s = Kernel_cache.stats cache in
+  Alcotest.(check int) "one compile per class" 3 s.Kernel_cache.misses;
+  Alcotest.(check int) "three resident entries" 3 s.Kernel_cache.entries;
+  (* same (source, class) again is a hit, not a cross-class leak *)
+  let p' = Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src in
+  Alcotest.(check string) "same class hits its own entry" p.Kernel_cache.key p'.Kernel_cache.key;
+  Alcotest.(check int) "no extra compile" 3 (Kernel_cache.stats cache).Kernel_cache.misses
+
+(* Eviction order with mixed-class entries: LRU is over (source, class)
+   entries uniformly — touching the pcm entry protects it while the
+   digital and host entries of the very same source get cycled out. *)
+let test_cache_mixed_class_eviction_order () =
+  let cache = Kernel_cache.create ~capacity:2 () in
+  let src = gemm_source ~n:8 in
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src);
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Digital_tile src);
+  (* touch pcm: digital becomes LRU *)
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src);
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Host_blas src);
+  let s = Kernel_cache.stats cache in
+  Alcotest.(check int) "capacity holds two classes" 2 s.Kernel_cache.entries;
+  Alcotest.(check int) "digital (LRU) evicted, not pcm" 1 s.Kernel_cache.evictions;
+  (* touch pcm again so host becomes LRU, then recompile digital:
+     the hit must have refreshed pcm's recency, so host is the victim *)
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src);
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Digital_tile src);
+  Alcotest.(check int) "evicted class recompiles" 4
+    (Kernel_cache.stats cache).Kernel_cache.misses;
+  Alcotest.(check int) "host cycled out in turn" 2
+    (Kernel_cache.stats cache).Kernel_cache.evictions;
+  (* pcm was most-recently-used through the whole dance: still resident *)
+  ignore (Kernel_cache.find_or_compile cache ~cls:Backend.Pcm_crossbar src);
+  let s = Kernel_cache.stats cache in
+  Alcotest.(check int) "pcm survived as MRU" 4 s.Kernel_cache.misses;
+  Alcotest.(check int) "three hits total" 3 s.Kernel_cache.hits
+
+(* qcheck: whatever interleaving of classes and sizes hits the cache —
+   including through evictions forced by a tiny capacity — an entry
+   compiled for class A is never returned for a class-B lookup, and
+   every returned key is exactly the structural key of (AST, options,
+   class). *)
+let qcheck_cache_never_crosses_class =
+  let classes = [ Backend.Pcm_crossbar; Backend.Digital_tile; Backend.Host_blas ] in
+  let lookup_gen =
+    QCheck.Gen.(list_size (2 -- 12) (pair (oneofl classes) (oneofl [ 8; 12 ])))
+  in
+  let print lookups =
+    String.concat ";"
+      (List.map
+         (fun (cls, n) -> Printf.sprintf "%s@%d" (Backend.class_name cls) n)
+         lookups)
+  in
+  QCheck.Test.make ~name:"cache entry compiled for class A never serves class B" ~count:15
+    (QCheck.make ~print lookup_gen)
+    (fun lookups ->
+      let options = Flow.o3_loop_tactics in
+      let cache = Kernel_cache.create ~capacity:2 ~options () in
+      List.for_all
+        (fun (cls, n) ->
+          let e = Kernel_cache.find_or_compile cache ~cls (gemm_source ~n) in
+          e.Kernel_cache.cls = cls
+          && e.Kernel_cache.key
+             = Kernel_cache.structural_key ~cls ~options
+                 (Parser.parse_func (gemm_source ~n)))
+        lookups)
 
 (* ---------- Device reuse ---------- *)
 
@@ -293,6 +378,151 @@ let test_chrome_trace_shape () =
   Alcotest.(check bool) "has duration events" true (contains "\"ph\":\"X\"");
   Alcotest.(check bool) "has queue-depth counter track" true (contains "\"ph\":\"C\"")
 
+(* ---------- Heterogeneous fleet ---------- *)
+
+let fleet_of spec =
+  match Backend.parse_fleet spec with Ok f -> f | Error e -> Alcotest.fail e
+
+let class_served summary profile =
+  match List.assoc_opt profile summary with
+  | Some c -> c.Telemetry.served
+  | None -> 0
+
+(* A mixed fleet over a trace heavy enough that cost-based placement
+   exercises every class: the analog crossbar, the digital tile, the
+   host BLAS path and a drafted dual-mode tile each serve work, and
+   each compute class independently matches its own sequential golden
+   oracle. *)
+let test_mixed_fleet_places_on_every_class () =
+  let trace =
+    match Trace.synthetic ~seed:7 "synthetic-small" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.fleet = Some (fleet_of "pcm:1,digital:1,host:1,dual:1");
+    }
+  in
+  let report = Scheduler.replay ~config trace in
+  let total = List.length trace.Trace.requests in
+  Alcotest.(check int) "every request completed" total (Scheduler.completed report);
+  Alcotest.(check int) "no rejections" 0 (Scheduler.rejections report);
+  Alcotest.(check int) "no failures" 0 (Scheduler.failures report);
+  let cs = Telemetry.class_summary report.Scheduler.telemetry in
+  List.iter
+    (fun profile ->
+      Alcotest.(check bool) (profile ^ " serves at least one request") true
+        (class_served cs profile > 0))
+    [ "pcm"; "digital"; "host"; "dual" ];
+  Alcotest.(check int) "per-class counts partition the trace" total
+    (List.fold_left (fun acc (_, c) -> acc + c.Telemetry.served) 0 cs);
+  let s = Telemetry.summary report.Scheduler.telemetry in
+  Alcotest.(check bool) "the dual tile was drafted" true (s.Telemetry.conversions_to_compute > 0);
+  (* device reports carry profile, class, energy and conversions *)
+  Alcotest.(check int) "four devices reported" 4 (List.length report.Scheduler.devices);
+  let dev profile =
+    match
+      List.find_opt (fun d -> d.Scheduler.dev_profile = profile) report.Scheduler.devices
+    with
+    | Some d -> d
+    | None -> Alcotest.failf "no %s device in the report" profile
+  in
+  Alcotest.(check string) "a dual tile computes as a pcm crossbar" "pcm"
+    (dev "dual").Scheduler.dev_class;
+  Alcotest.(check bool) "dual conversions mirrored in its device report" true
+    (fst (dev "dual").Scheduler.dev_conversions = s.Telemetry.conversions_to_compute);
+  Alcotest.(check bool) "host consumes energy but no write budget" true
+    ((dev "host").Scheduler.dev_energy_j > 0.0
+    && ((dev "host").Scheduler.dev_wear).Device.budget_consumed = 0.0);
+  Alcotest.(check bool) "digital tile does not wear" true
+    (((dev "digital").Scheduler.dev_wear).Device.budget_consumed = 0.0);
+  Alcotest.(check bool) "analog crossbar does wear" true
+    (((dev "pcm").Scheduler.dev_wear).Device.budget_consumed > 0.0);
+  (* one golden per compute class; same-class outputs are bit-identical *)
+  List.iter
+    (fun profile ->
+      let golden =
+        Scheduler.replay ~config:(Scheduler.golden_config ~profile config) trace
+      in
+      Alcotest.(check int)
+        ("no divergence against the " ^ profile.Backend.name ^ " golden")
+        0
+        (Scheduler.divergence report golden))
+    [ Backend.pcm; Backend.digital; Backend.host ]
+
+(* Dual-mode lifecycle: a burst deep enough to exceed the draft
+   threshold converts the tile to compute (latency charged, event
+   recorded); once the queue drains and the hysteresis window passes,
+   the straggler's arrival finds it reverted to plain memory, so the
+   always-compute crossbar serves it. *)
+let test_dual_mode_draft_and_revert () =
+  let base = burst_trace ~count:10 ~gap_ps:1000 () in
+  let straggler =
+    {
+      Trace.id = 10;
+      kernel = "gemm";
+      n = 8;
+      seed = 4242;
+      arrival_ps = 5_000 * Tdo_sim.Time_base.ps_per_us;
+      deadline_ps = None;
+    }
+  in
+  let trace = { base with Trace.requests = base.Trace.requests @ [ straggler ] } in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.fleet = Some (fleet_of "pcm:1,dual:1");
+      batching = false;
+      max_batch = 1;
+      parallel = false;
+    }
+  in
+  let report = Scheduler.replay ~config trace in
+  Alcotest.(check int) "burst and straggler all served" 11 (Scheduler.completed report);
+  let s = Telemetry.summary report.Scheduler.telemetry in
+  Alcotest.(check bool) "burst drafts the dual tile" true
+    (s.Telemetry.conversions_to_compute >= 1);
+  Alcotest.(check bool) "idle hysteresis reverts it" true
+    (s.Telemetry.conversions_to_memory >= 1);
+  (match Telemetry.conversions report.Scheduler.telemetry with
+  | [] -> Alcotest.fail "no conversion events recorded"
+  | first :: _ ->
+      Alcotest.(check bool) "first event is the draft" true first.Telemetry.to_compute;
+      Alcotest.(check string) "event names the dual profile" "dual"
+        first.Telemetry.conv_profile);
+  let cs = Telemetry.class_summary report.Scheduler.telemetry in
+  Alcotest.(check bool) "the drafted tile served burst work" true
+    (class_served cs "dual" > 0);
+  (* the straggler arrives after the revert: only the crossbar computes *)
+  (match
+     List.find_opt
+       (fun r -> r.Telemetry.request.Trace.id = 10)
+       (Telemetry.records report.Scheduler.telemetry)
+   with
+  | None -> Alcotest.fail "straggler record missing"
+  | Some r ->
+      Alcotest.(check (option string)) "straggler served by the pcm crossbar"
+        (Some "pcm") r.Telemetry.profile);
+  (* conversion traffic shows up in the chrome trace *)
+  let json = Telemetry.chrome_trace report.Scheduler.telemetry in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "draft event in chrome trace" true
+    (contains "convert to compute");
+  Alcotest.(check bool) "revert event in chrome trace" true
+    (contains "convert to memory");
+  Alcotest.(check bool) "per-class summary event in chrome trace" true
+    (contains "class-summary dual");
+  (* dual-mode conversions never break the golden property *)
+  let golden = Scheduler.replay ~config:(Scheduler.golden_config config) trace in
+  Alcotest.(check int) "no divergence with conversions in play" 0
+    (Scheduler.divergence report golden)
+
 (* ---------- qcheck: batched multi-device == sequential single-device ---------- *)
 
 let trace_gen =
@@ -332,6 +562,31 @@ let qcheck_batched_matches_sequential =
       && Scheduler.completed golden = total
       && Scheduler.divergence report golden = 0)
 
+(* Determinism extends to heterogeneous fleets: every placement and
+   conversion decision is taken on the scheduler thread before a wave
+   executes, so running the waves on worker domains or inline yields
+   record-for-record identical telemetry. *)
+let qcheck_fleet_parallel_matches_sequential =
+  QCheck.Test.make ~name:"mixed-fleet parallel waves == inline waves" ~count:4
+    (QCheck.make
+       ~print:(fun t ->
+         Printf.sprintf "%d requests, seed %d" (List.length t.Trace.requests) t.Trace.seed)
+       trace_gen)
+    (fun trace ->
+      let config =
+        {
+          Scheduler.default_config with
+          Scheduler.fleet = Some (fleet_of "pcm:1,digital:1,host:1,dual:1");
+          max_batch = 4;
+          queue_capacity = 0;
+        }
+      in
+      let par = Scheduler.replay ~config trace in
+      let seq = Scheduler.replay ~config:{ config with Scheduler.parallel = false } trace in
+      Telemetry.records par.Scheduler.telemetry = Telemetry.records seq.Scheduler.telemetry
+      && Telemetry.conversions par.Scheduler.telemetry
+         = Telemetry.conversions seq.Scheduler.telemetry)
+
 let suites =
   [
     ( "serve.pool",
@@ -349,6 +604,10 @@ let suites =
         Alcotest.test_case "structural key ignores formatting" `Quick test_cache_structural_hits;
         Alcotest.test_case "key covers compile options" `Quick test_cache_key_depends_on_options;
         Alcotest.test_case "LRU eviction at capacity" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "device class is part of the key" `Quick test_cache_class_in_key;
+        Alcotest.test_case "LRU order with mixed-class entries" `Quick
+          test_cache_mixed_class_eviction_order;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_cache_never_crosses_class;
       ] );
     ( "serve.device",
       [ Alcotest.test_case "platform reuse leaks no state" `Quick test_device_reuse_no_state_leak ] );
@@ -359,6 +618,16 @@ let suites =
         Alcotest.test_case "deadline miss degrades to CPU" `Quick test_deadline_degrades_to_cpu;
         Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
       ] );
+    ( "serve.fleet",
+      [
+        Alcotest.test_case "cost-based placement reaches every class" `Quick
+          test_mixed_fleet_places_on_every_class;
+        Alcotest.test_case "dual-mode draft and revert lifecycle" `Quick
+          test_dual_mode_draft_and_revert;
+      ] );
     ( "serve.determinism",
-      [ QCheck_alcotest.to_alcotest ~long:false qcheck_batched_matches_sequential ] );
+      [
+        QCheck_alcotest.to_alcotest ~long:false qcheck_batched_matches_sequential;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_fleet_parallel_matches_sequential;
+      ] );
   ]

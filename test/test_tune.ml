@@ -7,6 +7,7 @@ module Space = Tdo_tune.Space
 module Cost_model = Tdo_tune.Cost_model
 module Search = Tdo_tune.Search
 module Db = Tdo_tune.Db
+module Backend = Tdo_backend.Backend
 module Offload = Tdo_tactics.Offload
 module Flow = Tdo_cim.Flow
 module Kernels = Tdo_polybench.Kernels
@@ -193,6 +194,37 @@ let test_db_lookup_and_clamp () =
   let other = Tdo_lang.Parser.parse_func ((bench "gemm").Kernels.source ~n:24) in
   Alcotest.(check bool) "different size misses" true (Db.config_for db other = None)
 
+(* Entries are keyed by (digest, device class): a configuration tuned
+   on the analog crossbar must be refused — not clamped — when the
+   kernel is compiled for another class, and each class resolves only
+   its own entry. *)
+let test_db_class_refusal () =
+  let r = tune_bench ~n:16 "gemm" in
+  let pcm_entry = Db.entry_of_result ~n:16 r in
+  let db = Db.add Db.empty pcm_entry in
+  let ast = Tdo_lang.Parser.parse_func ((bench "gemm").Kernels.source ~n:16) in
+  Alcotest.(check bool) "default class resolves its entry" true
+    (Db.config_for db ast <> None);
+  Alcotest.(check bool) "cross-class transfer refused for digital" true
+    (Db.config_for ~cls:Backend.Digital_tile db ast = None);
+  Alcotest.(check bool) "refusal even when a device geometry could clamp" true
+    (Db.config_for ~device:(64, 64) ~cls:Backend.Digital_tile db ast = None);
+  Alcotest.(check bool) "cross-class transfer refused for host" true
+    (Db.config_for ~cls:Backend.Host_blas db ast = None);
+  (* a digital entry under the same digest coexists and resolves per class *)
+  let digital_entry = { pcm_entry with Db.device_class = Backend.Digital_tile } in
+  let db = Db.add db digital_entry in
+  Alcotest.(check int) "one entry per (digest, class)" 2 (Db.size db);
+  Alcotest.(check bool) "digital now resolves its own entry" true
+    (Db.config_for ~cls:Backend.Digital_tile db ast <> None);
+  (match Db.find ~cls:Backend.Digital_tile db pcm_entry.Db.digest with
+  | None -> Alcotest.fail "digital entry not found by digest"
+  | Some e ->
+      Alcotest.(check bool) "found entry carries its class" true
+        (e.Db.device_class = Backend.Digital_tile));
+  Alcotest.(check bool) "pcm still resolves independently" true
+    (Db.config_for db ast <> None)
+
 (* ---------- Serving with a tuning database ---------- *)
 
 let smoke_trace () =
@@ -268,6 +300,7 @@ let suites =
         Alcotest.test_case "save/load roundtrip" `Quick test_db_roundtrip;
         Alcotest.test_case "missing file is empty" `Quick test_db_missing_file_is_empty;
         Alcotest.test_case "lookup and device clamping" `Quick test_db_lookup_and_clamp;
+        Alcotest.test_case "cross-class configs refused" `Quick test_db_class_refusal;
       ] );
     ( "tune.serving",
       [
