@@ -126,8 +126,25 @@ let run dataset n_override kernels objective device_class beam calibration_point
             (os @ [ o ], secs @ [ sec ]))
       ([], []) selected
   in
+  (* extend the database at --db rather than clobbering it: successive
+     runs over different sizes/classes accumulate (entries are keyed by
+     (digest, class), so re-tuning a kernel replaces its entry) *)
   let db =
-    List.fold_left (fun db (o : outcome) -> Db.add db o.entry) Db.empty outcomes
+    let base =
+      match db_path with
+      | None -> Db.empty
+      | Some path -> (
+          match Db.load path with
+          | Ok existing ->
+              if Db.size existing > 0 then
+                Printf.printf "tuning database: extending %d entries from %s\n"
+                  (Db.size existing) path;
+              existing
+          | Error msg ->
+              Printf.eprintf "tune: %s: %s (starting a fresh database)\n%!" path msg;
+              Db.empty)
+    in
+    List.fold_left (fun db (o : outcome) -> Db.add db o.entry) base outcomes
   in
   (match db_path with
   | Some path ->

@@ -1,0 +1,21 @@
+(** Trace files: replayable dumps of generated workloads.
+
+    A trace file is one header line —
+
+    {v #tdo-trace v1 name=<name> seed=<seed> v}
+
+    — followed by one {!Tdo_serve.Trace.request_to_line} per request.
+    The encoding is byte-deterministic in the trace contents, so two
+    generator runs with the same seed produce identical files (the
+    property the qcheck suite pins down), and the body lines can be
+    piped straight into a {!Tdo_serve.Frontend} session. *)
+
+module Trace = Tdo_serve.Trace
+
+val encode : Trace.t -> string
+val decode : string -> (Trace.t, string) result
+(** Inverse of {!encode}; blank lines are skipped, errors carry the
+    1-based line number. *)
+
+val write : Trace.t -> path:string -> unit
+val read : path:string -> (Trace.t, string) result

@@ -1,0 +1,134 @@
+module Prng = Tdo_util.Prng
+module Trace = Tdo_serve.Trace
+
+type tenant = {
+  tenant : int;
+  tname : string;
+  slo : Trace.slo;
+  process : Arrival.process;
+  mix : (string * int * int) list;
+  deadline_us : int option;
+}
+
+(* The serving mix the synthetic profiles use: a skewed popularity
+   distribution over few (kernel, size) combinations, GEMM-heavy. *)
+let default_mix =
+  [
+    ("gemm", 16, 30);
+    ("gemm", 24, 15);
+    ("2mm", 16, 12);
+    ("3mm", 12, 8);
+    ("gesummv", 24, 12);
+    ("bicg", 24, 8);
+    ("mvt", 24, 8);
+    ("conv", 12, 7);
+  ]
+
+(* Smaller, latency-friendly kernels for the interactive class. *)
+let interactive_mix = [ ("gemm", 16, 40); ("gesummv", 24, 25); ("mvt", 24, 20); ("bicg", 24, 15) ]
+
+(* Heavier multi-GEMM pipelines for the batch class. *)
+let batch_mix = [ ("gemm", 24, 30); ("2mm", 16, 30); ("3mm", 12, 25); ("conv", 12, 15) ]
+
+let standard_tenants ?(process = fun _slo rate -> Arrival.Poisson { rate_rps = rate })
+    ~total_rate_rps () =
+  [
+    {
+      tenant = 1;
+      tname = "chat";
+      slo = Trace.Interactive;
+      process = process Trace.Interactive (0.5 *. total_rate_rps);
+      mix = interactive_mix;
+      deadline_us = None;
+    };
+    {
+      tenant = 2;
+      tname = "analytics";
+      slo = Trace.Batch;
+      process = process Trace.Batch (0.3 *. total_rate_rps);
+      mix = batch_mix;
+      deadline_us = None;
+    };
+    {
+      tenant = 3;
+      tname = "scavenger";
+      slo = Trace.Best_effort;
+      process = process Trace.Best_effort (0.2 *. total_rate_rps);
+      mix = default_mix;
+      deadline_us = None;
+    };
+  ]
+
+let pick_weighted g mix =
+  let total = List.fold_left (fun acc (_, _, w) -> acc + w) 0 mix in
+  let r = Prng.int g ~bound:total in
+  let rec go acc = function
+    | [] -> assert false
+    | (k, n, w) :: rest -> if r < acc + w then (k, n) else go (acc + w) rest
+  in
+  go 0 mix
+
+(* One live generator per tenant: its own PRNG stream (decorrelated
+   from the other tenants by hashing the tenant id into the seed), its
+   own arrival clock, the head request pre-drawn for the merge. *)
+type stream = {
+  spec : tenant;
+  g : Prng.t;
+  gap : unit -> int;
+  mutable clock_ps : int;
+  mutable head : (int * string * int);  (** (arrival_ps, kernel, n) *)
+}
+
+let advance s =
+  s.clock_ps <- s.clock_ps + s.gap ();
+  let kernel, n = pick_weighted s.g s.spec.mix in
+  s.head <- (s.clock_ps, kernel, n)
+
+let generate ?(seed = 42) ~count tenants =
+  if tenants = [] then invalid_arg "Workload.generate: no tenants";
+  if count < 0 then invalid_arg "Workload.generate: negative count";
+  let streams =
+    List.map
+      (fun spec ->
+        let g = Prng.create ~seed:(seed lxor (spec.tenant * 0x9e3779b97f4a7c)) in
+        let s =
+          { spec; g; gap = Arrival.gaps_ps spec.process g; clock_ps = 0; head = (0, "", 0) }
+        in
+        advance s;
+        s)
+      tenants
+  in
+  let requests = ref [] in
+  for id = 0 to count - 1 do
+    (* earliest head across tenants; ties break to the lowest tenant
+       id, so the merge is deterministic *)
+    let s =
+      List.fold_left
+        (fun best s ->
+          let a, _, _ = s.head in
+          let b, _, _ = best.head in
+          if a < b || (a = b && s.spec.tenant < best.spec.tenant) then s else best)
+        (List.hd streams) (List.tl streams)
+    in
+    let arrival_ps, kernel, n = s.head in
+    requests :=
+      {
+        Trace.id;
+        kernel;
+        n;
+        seed = (seed * 1_000_003) + id;
+        arrival_ps;
+        deadline_ps =
+          Option.map
+            (fun us -> us * Tdo_sim.Time_base.ps_per_us)
+            s.spec.deadline_us;
+        tenant = s.spec.tenant;
+        slo = s.spec.slo;
+      }
+      :: !requests;
+    advance s
+  done;
+  let tenant_names =
+    String.concat "+" (List.map (fun t -> t.tname) tenants)
+  in
+  { Trace.name = Printf.sprintf "loadgen-%s" tenant_names; seed; requests = List.rev !requests }

@@ -81,6 +81,8 @@ let trace_of config =
         seed = 1000 + id;
         arrival_ps = !clock;
         deadline_ps = None;
+        tenant = 0;
+        slo = Trace.Interactive;
       }
       :: !requests
   done;

@@ -1,0 +1,84 @@
+(** Wall-clock serving front-end.
+
+    Where {!Scheduler.replay} drives a pre-recorded trace through
+    virtual time, the front-end accepts live requests over a file
+    descriptor — a pipe, a socket, anything [Unix.select] can watch —
+    and serves them against a real device fleet in {e wall-clock} time:
+    arrival stamps, admission-bucket refills and telemetry windows all
+    read the host clock (as picoseconds since the front-end came up).
+
+    {b Protocol.} One request per line, either the {!Trace} line codec
+    ([req kernel=gemm n=16 ...] — only [kernel] and [n] are required)
+    or a JSON object ([{"kernel":"gemm","n":16,"tenant":1,
+    "class":"batch","seed":7,"deadline_us":500}]). Two control verbs:
+    [stats] answers with a one-line run summary, [quit] ends the
+    session. Responses are one line per request:
+
+    - [ok id=.. device=.. class=.. latency_us=.. service_us=.. checksum=..]
+    - [shed id=.. reason=rate_limited|load_shed] (admission drop)
+    - [rejected id=..] (hard queue bound)
+    - [err id=.. msg=..] (unknown kernel, compile or device error)
+
+    [latency_us] is wall time from arrival to response; [service_us]
+    is the device's {e simulated} service time — the front-end runs on
+    an emulated fleet, so the two deliberately differ.
+
+    {b Admission.} Input is drained eagerly, so a burst of lines forms
+    a visible backlog; each arrival is judged by the {!Admission}
+    policy against that backlog (best-effort shed first, then batch)
+    and its tenant's token bucket before it may queue, and the hard
+    [queue_capacity] bound rejects what admission let through when the
+    backlog is full. Execution is synchronous, one request at a time,
+    on the cheapest device by the same per-class cost-model estimate
+    the replay scheduler uses (memory-mode dual tiles are drafted on
+    first use and the conversion is counted).
+
+    {b Live telemetry.} With [window_us] set, a {!Telemetry.live_view}
+    observer emits one roll-up line per elapsed wall-time window to
+    [emit] (default [stderr]) while the session runs. *)
+
+module Platform = Tdo_runtime.Platform
+module Flow = Tdo_cim.Flow
+module Backend = Tdo_backend.Backend
+
+type config = {
+  fleet : Backend.profile list;  (** device [i] gets profile [i]; non-empty *)
+  platform_config : Platform.config;
+  options : Flow.options;
+  cache_capacity : int;
+  queue_capacity : int;  (** backlog bound; [<= 0] = unbounded *)
+  admission : Admission.policy option;  (** [None] = admit everything *)
+  tuning : Tdo_tune.Db.t option;
+  device_seed : int;
+  window_us : float option;
+      (** live roll-up window (wall microseconds); [None] = no live lines *)
+}
+
+val default_config : config
+(** Two analog crossbars, a digital tile and a dual-mode tile; default
+    platform and compile options; 256-deep backlog;
+    {!Admission.default_policy}; live roll-ups every 100 ms. *)
+
+type stop =
+  | Eof  (** the client closed its end *)
+  | Quit  (** the client sent [quit] *)
+
+val serve :
+  ?emit:(string -> unit) ->
+  ?config:config ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit ->
+  Telemetry.t * stop
+(** Serve one session: read requests from [input] until EOF or [quit],
+    answer on [output], return the session's telemetry. Requests still
+    queued at session end are executed and answered before returning.
+    Raises [Invalid_argument] on an empty fleet. *)
+
+val serve_unix_socket :
+  ?emit:(string -> unit) -> ?config:config -> path:string -> unit -> Telemetry.t list
+(** Bind a Unix-domain socket at [path] (replacing any stale file) and
+    serve clients one at a time — each connection is a fresh {!serve}
+    session over a shared fleet configuration — until a client sends
+    [quit]. Returns the per-session telemetry, oldest first. The socket
+    file is removed on exit. *)

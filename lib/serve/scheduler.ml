@@ -33,6 +33,9 @@ type config = {
   device_seed : int;
   on_device_create : (Device.t -> unit) option;
   tuning : Tdo_tune.Db.t option;
+  admission : Admission.policy option;
+  calibrate_after : int option;
+  on_record : (Telemetry.record -> unit) option;
 }
 
 let default_config =
@@ -57,6 +60,9 @@ let default_config =
     device_seed = 0;
     on_device_create = None;
     tuning = None;
+    admission = None;
+    calibrate_after = None;
+    on_record = None;
   }
 
 let golden_config ?(profile = Backend.pcm) c =
@@ -73,6 +79,12 @@ let golden_config ?(profile = Backend.pcm) c =
     ignore_deadlines = true;
     (* the oracle device is pristine: no injected faults *)
     on_device_create = None;
+    (* the oracle serves every request with the prior cost model, so
+       admission, online calibration and live observation cannot change
+       what it computes *)
+    admission = None;
+    calibrate_after = None;
+    on_record = None;
   }
 
 type device_report = {
@@ -94,6 +106,9 @@ type report = {
   quarantined : int list;
   makespan_ps : int;
   wall_s : float;
+  calibrations : (string * int * float) list;
+      (** (class, samples fitted over, mean relative error) per online
+          cost-model calibration that was adopted *)
 }
 
 (* ---------- output checksums ---------- *)
@@ -110,6 +125,84 @@ let checksum_of_mats mats =
 let output_checksum = checksum_of_mats
 
 (* ---------- replay ---------- *)
+
+(* Intrusive doubly-linked FIFO. The golden oracles replay the open-loop
+   load traces with an unbounded queue, so the backlog under the 6x
+   overload pattern reaches ~10^5 items; a [list ref] queue made every
+   append, length and removal O(n) and the whole oracle replay
+   quadratic. Here push/pop/remove/length are O(1); traversals cost one
+   pass per scan. *)
+module Dll = struct
+  type 'a node = {
+    value : 'a;
+    mutable prev : 'a node option;
+    mutable next : 'a node option;
+    mutable linked : bool;
+  }
+
+  type 'a t = {
+    mutable first : 'a node option;
+    mutable last : 'a node option;
+    mutable len : int;
+  }
+
+  let create () = { first = None; last = None; len = 0 }
+  let length t = t.len
+  let is_empty t = t.len = 0
+  let first t = t.first
+
+  let push_back t v =
+    let n = { value = v; prev = t.last; next = None; linked = true } in
+    (match t.last with Some l -> l.next <- Some n | None -> t.first <- Some n);
+    t.last <- Some n;
+    t.len <- t.len + 1
+
+  let push_front t v =
+    let n = { value = v; prev = None; next = t.first; linked = true } in
+    (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+    t.first <- Some n;
+    t.len <- t.len + 1
+
+  let remove t n =
+    if n.linked then begin
+      (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+      (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+      n.prev <- None;
+      n.next <- None;
+      n.linked <- false;
+      t.len <- t.len - 1
+    end
+
+  (* first node whose value satisfies [p], in queue order *)
+  let find_node t p =
+    let rec go = function
+      | None -> None
+      | Some n -> if p n.value then Some n else go n.next
+    in
+    go t.first
+
+  let to_list t =
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some n -> go (n.value :: acc) n.next
+    in
+    go [] t.first
+
+  let clear t =
+    let rec unlink = function
+      | None -> ()
+      | Some n ->
+          let next = n.next in
+          n.prev <- None;
+          n.next <- None;
+          n.linked <- false;
+          unlink next
+    in
+    unlink t.first;
+    t.first <- None;
+    t.last <- None;
+    t.len <- 0
+end
 
 type queued = {
   req : Trace.request;
@@ -249,10 +342,13 @@ let replay ?(config = default_config) (trace : Trace.t) =
         d)
   in
   let corruptions = Array.make ndev 0 in
-  let telemetry = Telemetry.create () in
+  let telemetry = Telemetry.create ?observer:config.on_record () in
+  let admission = Option.map Admission.create config.admission in
   let arrivals = ref trace.Trace.requests in
-  let queue : queued list ref = ref [] in
-  let queue_len = ref 0 in
+  let trace_has_deadlines =
+    List.exists (fun (r : Trace.request) -> r.Trace.deadline_ps <> None) trace.Trace.requests
+  in
+  let queue : queued Dll.t = Dll.create () in
   let now = ref 0 in
   let batch_counter = ref 0 in
   let record = Telemetry.record telemetry in
@@ -275,33 +371,53 @@ let replay ?(config = default_config) (trace : Trace.t) =
       }
   in
 
+  let record_dropped (r : Trace.request) outcome =
+    record
+      {
+        Telemetry.request = r;
+        outcome;
+        device = None;
+        profile = None;
+        batch = None;
+        cache_hit = false;
+        queue_depth = Dll.length queue;
+        start_ps = r.Trace.arrival_ps;
+        finish_ps = r.Trace.arrival_ps;
+        service_ps = 0;
+        retries = 0;
+        tuned = false;
+        checksum = None;
+      }
+  in
+  (* Admission verdict for one arrival: the policy's SLO-tiered load
+     shedding and per-tenant token buckets first (both judged at the
+     arrival timestamp), then the hard queue bound — so under overload
+     best-effort traffic is shed well before interactive traffic ever
+     sees a [Rejected_overloaded]. *)
+  let admission_verdict (r : Trace.request) =
+    match admission with
+    | None -> Admission.Admit
+    | Some adm ->
+        Admission.admit adm ~now_ps:r.Trace.arrival_ps ~queue_len:(Dll.length queue)
+          ~capacity:config.queue_capacity r
+  in
   let admit_due () =
     let rec go () =
       match !arrivals with
       | (r : Trace.request) :: rest when r.Trace.arrival_ps <= !now ->
           arrivals := rest;
-          if config.queue_capacity > 0 && !queue_len >= config.queue_capacity then
-            record
-              {
-                Telemetry.request = r;
-                outcome = Telemetry.Rejected_overloaded;
-                device = None;
-                profile = None;
-                batch = None;
-                cache_hit = false;
-                queue_depth = !queue_len;
-                start_ps = r.Trace.arrival_ps;
-                finish_ps = r.Trace.arrival_ps;
-                service_ps = 0;
-                retries = 0;
-                tuned = false;
-                checksum = None;
-              }
-          else begin
-            queue := !queue @ [ { req = r; depth = !queue_len; attempts = 0; tried = [] } ];
-            incr queue_len
-          end;
-          Telemetry.sample_queue_depth telemetry ~at_ps:r.Trace.arrival_ps ~depth:!queue_len;
+          (match admission_verdict r with
+          | Admission.Shed_rate ->
+              record_dropped r (Telemetry.Shed Telemetry.Rate_limited)
+          | Admission.Shed_load -> record_dropped r (Telemetry.Shed Telemetry.Load_shed)
+          | Admission.Admit ->
+              if config.queue_capacity > 0 && Dll.length queue >= config.queue_capacity
+              then record_dropped r Telemetry.Rejected_overloaded
+              else
+                Dll.push_back queue
+                  { req = r; depth = Dll.length queue; attempts = 0; tried = [] });
+          Telemetry.sample_queue_depth telemetry ~at_ps:r.Trace.arrival_ps
+            ~depth:(Dll.length queue);
           go ()
       | _ -> ()
     in
@@ -345,62 +461,68 @@ let replay ?(config = default_config) (trace : Trace.t) =
   in
 
   let cull_expired () =
-    if not config.ignore_deadlines then begin
-      let expired, live =
-        List.partition
-          (fun it ->
-            match it.req.Trace.deadline_ps with
-            | Some d -> !now > it.req.Trace.arrival_ps + d
-            | None -> false)
-          !queue
+    if (not config.ignore_deadlines) && trace_has_deadlines then
+      let rec go node =
+        match node with
+        | None -> ()
+        | Some n ->
+            let next = n.Dll.next in
+            let it = n.Dll.value in
+            (match it.req.Trace.deadline_ps with
+            | Some d when !now > it.req.Trace.arrival_ps + d ->
+                Dll.remove queue n;
+                run_fallback ~retries:it.attempts (it.req, it.depth)
+            | _ -> ());
+            go next
       in
-      if expired <> [] then begin
-        queue := live;
-        queue_len := List.length live;
-        List.iter (fun it -> run_fallback ~retries:it.attempts (it.req, it.depth)) expired
-      end
-    end
+      go (Dll.first queue)
   in
 
   let pop_batch ~dev_id =
     (* The first queued item this device may take: one it has not
        already corrupted. Items it must skip stay queued, in order. *)
-    let rec split acc = function
-      | [] -> None
-      | item :: rest when List.mem dev_id item.tried -> split (item :: acc) rest
-      | item :: rest -> Some (List.rev acc, item, rest)
+    let rec find node =
+      match node with
+      | None -> None
+      | Some n when List.mem dev_id n.Dll.value.tried -> find n.Dll.next
+      | Some n -> Some n
     in
-    match split [] !queue with
+    match find (Dll.first queue) with
     | None -> None
-    | Some (before, item, rest) ->
-        if item.attempts > 0 || (not config.batching) || config.max_batch <= 1 then begin
+    | Some n ->
+        let item = n.Dll.value in
+        Dll.remove queue n;
+        if item.attempts > 0 || (not config.batching) || config.max_batch <= 1 then
           (* retried work is dispatched alone: its timing must not be
              entangled with fresh requests *)
-          queue := before @ rest;
-          queue_len := List.length !queue;
           Some [ item ]
-        end
         else begin
           (* coalesce fresh queued requests sharing (kernel, n): one
-             compile, one launch, back-to-back execution on one device *)
+             compile, one launch, back-to-back execution on one device.
+             Items skipped above all carry a non-empty [tried], so
+             scanning from the head selects the same mates as scanning
+             only past the popped item. *)
           let taken = ref [ item ] in
-          let kept = ref [] in
           let count = ref 1 in
-          List.iter
-            (fun it ->
-              if
-                !count < config.max_batch
-                && it.attempts = 0 && it.tried = []
-                && it.req.Trace.kernel = item.req.Trace.kernel
-                && it.req.Trace.n = item.req.Trace.n
-              then begin
-                taken := it :: !taken;
-                incr count
-              end
-              else kept := it :: !kept)
-            rest;
-          queue := before @ List.rev !kept;
-          queue_len := List.length !queue;
+          let rec scan node =
+            if !count < config.max_batch then
+              match node with
+              | None -> ()
+              | Some m ->
+                  let next = m.Dll.next in
+                  let it = m.Dll.value in
+                  if
+                    it.attempts = 0 && it.tried = []
+                    && it.req.Trace.kernel = item.req.Trace.kernel
+                    && it.req.Trace.n = item.req.Trace.n
+                  then begin
+                    Dll.remove queue m;
+                    taken := it :: !taken;
+                    incr count
+                  end;
+                  scan next
+          in
+          scan (Dll.first queue);
           Some (List.rev !taken)
         end
   in
@@ -416,7 +538,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
       devices
   in
   let dual_draft_allowed () =
-    !queue_len > config.convert_queue_threshold || not (compute_role_exists ())
+    Dll.length queue > config.convert_queue_threshold || not (compute_role_exists ())
   in
 
   (* Cost-based placement: predicted service time of one request of
@@ -426,6 +548,73 @@ let replay ?(config = default_config) (trace : Trace.t) =
      — the compile behind a first estimate is shared with dispatch
      through the kernel cache. *)
   let est_memo : (string * int * string, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Online calibration: measured (plan, cycles) samples per device
+     class, fitted once a class has seen [calibrate_after] completed
+     requests. The fit is adopted only when it beats the hand-priced
+     prior on its own samples (never worse), and the placement memo for
+     the class is dropped so later estimates use the calibrated
+     coefficients. Samples accumulate in wave-fold order, which is
+     fixed before execution — calibration preserves the
+     parallel==sequential determinism property. *)
+  let calib_samples : (Backend.device_class, Cost_model.sample list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let calibrated : (Backend.device_class, Cost_model.t) Hashtbl.t = Hashtbl.create 4 in
+  let calib_done : (Backend.device_class, unit) Hashtbl.t = Hashtbl.create 4 in
+  let calib_log = ref [] in
+  let model_for cls =
+    match Hashtbl.find_opt calibrated cls with
+    | Some m -> m
+    | None -> Cost_model.uncalibrated_for cls
+  in
+  let note_sample (b : batch) plan (r : Telemetry.record) =
+    if
+      config.calibrate_after <> None
+      && r.Telemetry.outcome = Telemetry.Completed
+      && r.Telemetry.service_ps > 0
+    then begin
+      let cls = Device.device_class b.dev in
+      if not (Hashtbl.mem calib_done cls) then begin
+        let samples =
+          match Hashtbl.find_opt calib_samples cls with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add calib_samples cls l;
+              l
+        in
+        samples :=
+          {
+            Cost_model.plan = Lazy.force plan;
+            cycles = float_of_int r.Telemetry.service_ps /. Backend.ps_per_cycle;
+          }
+          :: !samples
+      end
+    end
+  in
+  let maybe_calibrate () =
+    match config.calibrate_after with
+    | None -> ()
+    | Some threshold ->
+        Hashtbl.iter
+          (fun cls samples ->
+            if (not (Hashtbl.mem calib_done cls)) && List.length !samples >= threshold then begin
+              Hashtbl.add calib_done cls ();
+              let fitted, err = Cost_model.calibrate !samples in
+              let prior_err =
+                Cost_model.mean_relative_error (Cost_model.uncalibrated_for cls) !samples
+              in
+              if err <= prior_err then begin
+                Hashtbl.replace calibrated cls fitted;
+                let name = Backend.class_name cls in
+                calib_log := (name, List.length !samples, err) :: !calib_log;
+                Hashtbl.filter_map_inplace
+                  (fun (_, _, cls_name) v -> if cls_name = name then None else Some v)
+                  est_memo
+              end
+            end)
+          calib_samples
+  in
   let estimate ~cls (bench : Kernels.benchmark) ~n =
     let key = (bench.Kernels.name, n, Backend.class_name cls) in
     match Hashtbl.find_opt est_memo key with
@@ -438,7 +627,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
               Offload.plan entry.Kernel_cache.options.Flow.tactics
                 entry.Kernel_cache.compiled.Flow.func
             in
-            Cost_model.predict_cycles (Cost_model.uncalibrated_for cls) plan
+            Cost_model.predict_cycles (model_for cls) plan
           with
           | cycles -> cycles *. Backend.ps_per_cycle
           | exception _ ->
@@ -502,7 +691,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
      hysteresis window with nothing queued hands its capacity back to
      the memory role. *)
   let release_idle_duals () =
-    if !queue = [] then
+    if Dll.is_empty queue then
       Array.iter
         (fun d ->
           if
@@ -535,23 +724,27 @@ let replay ?(config = default_config) (trace : Trace.t) =
     let progressed = ref true in
     while !progressed do
       progressed := false;
-      let eligible item =
-        List.filter
-          (fun d ->
-            (not (List.mem (Device.id d) item.tried))
-            && (Device.mode d = Backend.Compute_mode || dual_draft_allowed ()))
-          !free
-      in
-      match List.find_opt (fun item -> eligible item <> []) !queue with
-      | None -> ()
-      | Some item -> (
+      (* no free device means no queued item is placeable: skip the
+         scan entirely instead of walking the whole backlog to learn
+         nothing (the oracle's unbounded queue makes that walk hurt) *)
+      if !free <> [] then begin
+        let eligible item =
+          List.filter
+            (fun d ->
+              (not (List.mem (Device.id d) item.tried))
+              && (Device.mode d = Backend.Compute_mode || dual_draft_allowed ()))
+            !free
+        in
+        match Dll.find_node queue (fun item -> eligible item <> []) with
+        | None -> ()
+        | Some node -> (
           progressed := true;
+          let item = node.Dll.value in
           let r0 = item.req in
           match Kernels.find r0.Trace.kernel with
           | Error msg ->
               (* unknown kernel: no device can help; drop just this item *)
-              queue := List.filter (fun it -> it != item) !queue;
-              queue_len := List.length !queue;
+              Dll.remove queue node;
               record_failed r0 item.depth msg
           | Ok bench -> (
               let misses0 = (Kernel_cache.stats cache).Kernel_cache.misses in
@@ -604,6 +797,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                       List.iter
                         (fun it -> record_failed it.req it.depth (Printexc.to_string e))
                         items)))
+      end
     done;
     match List.rev !prepared with
     | [] -> false
@@ -614,25 +808,32 @@ let replay ?(config = default_config) (trace : Trace.t) =
           else List.map execute_batch waves
         in
         let requeue =
-          List.fold_left
-            (List.fold_left (fun acc -> function
-               | Recorded r ->
-                   record r;
-                   acc
-               | Corrupt { item; dev_id; service_ps = _; fault } ->
-                   handle_corrupt ~item ~dev_id ~fault acc))
-            [] results
+          List.fold_left2
+            (fun acc (b : batch) rs ->
+              let plan =
+                lazy
+                  (Offload.plan b.entry.Kernel_cache.options.Flow.tactics
+                     b.entry.Kernel_cache.compiled.Flow.func)
+              in
+              List.fold_left
+                (fun acc -> function
+                  | Recorded r ->
+                      record r;
+                      note_sample b plan r;
+                      acc
+                  | Corrupt { item; dev_id; service_ps = _; fault } ->
+                      handle_corrupt ~item ~dev_id ~fault acc)
+                acc rs)
+            [] waves results
         in
+        maybe_calibrate ();
         (* retried work goes back to the head of the queue so recovery
            runs before newer arrivals *)
-        if requeue <> [] then begin
-          queue := List.rev requeue @ !queue;
-          queue_len := List.length !queue
-        end;
+        List.iter (fun it -> Dll.push_front queue it) requeue;
         true
   in
 
-  while !arrivals <> [] || !queue <> [] do
+  while !arrivals <> [] || not (Dll.is_empty queue) do
     (* release before admitting: a revert is decided by the idle
        interval leading up to [now], not by whatever arrives at that
        same instant *)
@@ -650,14 +851,15 @@ let replay ?(config = default_config) (trace : Trace.t) =
             if a > !now then min acc a else acc)
           max_int devices
       in
-      let next = if !queue = [] then next_arrival else min next_arrival next_free in
-      if next = max_int && !queue <> [] then begin
+      let next =
+        if Dll.is_empty queue then next_arrival else min next_arrival next_free
+      in
+      if next = max_int && not (Dll.is_empty queue) then begin
         (* dead end: every queued item has exhausted the usable pool
            (e.g. all devices quarantined) — drain it to the host so the
            loop terminates *)
-        let stuck = !queue in
-        queue := [];
-        queue_len := 0;
+        let stuck = Dll.to_list queue in
+        Dll.clear queue;
         List.iter
           (fun it ->
             run_fallback ~outcome:Telemetry.Recovered_host ~retries:it.attempts
@@ -698,6 +900,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
       |> List.map Device.id;
     makespan_ps;
     wall_s = Unix.gettimeofday () -. t0;
+    calibrations = List.rev !calib_log;
   }
 
 (* ---------- report accessors ---------- *)

@@ -104,6 +104,23 @@ type config = {
           (cross-class entries are refused); geometry is clamped to the
           pool's crossbar shape. [golden_config] keeps it, so the
           oracle compiles identically and checksums stay comparable. *)
+  admission : Admission.policy option;
+      (** per-tenant token buckets and SLO-class load shedding, judged
+          at each request's arrival timestamp {e before} the hard queue
+          bound; shed requests are recorded as {!Telemetry.Shed} and
+          never queue. [None] = every arrival admitted (the pre-SLO
+          behaviour). *)
+  calibrate_after : int option;
+      (** [Some n]: refit the per-class cost-model coefficients from
+          measured service cycles once a class has completed [n]
+          requests ({!Tdo_tune.Cost_model.calibrate}); adopted only
+          when the fit beats the hand-priced prior on its own samples,
+          so placement never gets worse. Each adoption is listed in the
+          report's [calibrations]. [None] = priors throughout. *)
+  on_record : (Telemetry.record -> unit) option;
+      (** live observer installed on the run's telemetry — sees every
+          record as it lands (e.g. {!Telemetry.live_view}); [None] for
+          post-hoc-only analysis *)
 }
 
 val default_config : config
@@ -111,14 +128,16 @@ val default_config : config
     256-deep queue, batching up to 8, parallel waves, 5 us launch
     overhead, 2.5 ns per MAC fallback rate, draft duals beyond queue
     depth 2, 200 us revert hysteresis, {!default_recovery}, no fault
-    hook, no tuning database. *)
+    hook, no tuning database, no admission policy, no online
+    calibration, no live observer. *)
 
 val golden_config : ?profile:Backend.profile -> config -> config
 (** The sequential oracle for a given serving configuration: one
     device of [profile]'s class (default {!Backend.pcm}; dual-mode is
     pinned off so the oracle always computes), no batching, no
     parallelism, unbounded queue, deadlines ignored, {e no
-    fault-injection hook} — same compile options and platform. Run one
+    fault-injection hook}, no admission policy, no online calibration,
+    no live observer — same compile options and platform. Run one
     golden per compute class in a mixed fleet: {!divergence} only
     compares records of the same class. *)
 
@@ -141,6 +160,11 @@ type report = {
   quarantined : int list;  (** devices pulled from rotation during the run *)
   makespan_ps : int;  (** finish time of the last request *)
   wall_s : float;  (** host wall-clock spent replaying *)
+  calibrations : (string * int * float) list;
+      (** one entry per adopted online cost-model fit: class name,
+          number of samples fitted over, mean relative error of the
+          fitted model on those samples. Empty when [calibrate_after]
+          is [None] or no fit beat its prior. *)
 }
 
 val replay : ?config:config -> Trace.t -> report

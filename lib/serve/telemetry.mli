@@ -4,10 +4,23 @@
     placement (device {e and} fleet profile), cache behaviour and a
     checksum of the produced outputs — plus a queue-depth sample per
     scheduling step and one event per dual-mode role conversion.
-    Aggregations (latency percentiles, hit rates, per-device-class
-    outcome counts) are computed on demand from the raw records, and
-    the whole run can be dumped as a Chrome trace-event JSON file
-    ([chrome://tracing], Perfetto) with one track per device. *)
+    Aggregations (latency percentiles, hit rates, per-device-class and
+    per-SLO-class outcome counts, rolling time windows) are computed on
+    demand from the raw records, and the whole run can be dumped as a
+    Chrome trace-event JSON file ([chrome://tracing], Perfetto) with
+    one track per device.
+
+    For live runs ({!Frontend}, [--load]), an observer can be attached:
+    it sees every record as it lands, and {!live_view} builds a
+    windowed observer that emits one formatted roll-up line per elapsed
+    time window while the run is still going. *)
+
+type shed_reason =
+  | Rate_limited  (** tenant token bucket empty ({!Admission.Shed_rate}) *)
+  | Load_shed  (** queue fill beyond the SLO class's limit ({!Admission.Shed_load}) *)
+
+val shed_reason_name : shed_reason -> string
+(** ["rate_limited"], ["load_shed"]. *)
 
 type outcome =
   | Completed  (** served on a fleet device *)
@@ -16,6 +29,7 @@ type outcome =
       (** corruption detected on every attempted device; final
           degradation to the host interpreter produced the result *)
   | Rejected_overloaded  (** bounced at admission: submission queue full *)
+  | Shed of shed_reason  (** dropped by {!Admission} before queueing *)
   | Failed of string  (** device or front-end error *)
 
 type record = {
@@ -46,9 +60,20 @@ val profile_bucket : record -> string
     for interpreter degradations that never touched a device, and
     ["unplaced"] otherwise. *)
 
+val served : record -> bool
+(** The client got an answer: [Completed], [Cpu_fallback] or
+    [Recovered_host]. *)
+
+val shed : record -> bool
+(** The client got a drop: [Shed _] or [Rejected_overloaded]. *)
+
 type t
 
-val create : unit -> t
+val create : ?observer:(record -> unit) -> unit -> t
+(** [observer] (if any) is called synchronously with every record as it
+    is recorded — the hook live views hang off. *)
+
+val set_observer : t -> (record -> unit) option -> unit
 
 val record : t -> record -> unit
 val sample_queue_depth : t -> at_ps:int -> depth:int -> unit
@@ -81,6 +106,8 @@ type summary = {
   cpu_fallbacks : int;
   recovered_host : int;
   rejected : int;
+  shed_rate_limited : int;  (** dropped by a tenant token bucket *)
+  shed_load : int;  (** dropped by SLO-class queue-fill shedding *)
   failed : int;
   detected_corruptions : int;
       (** device attempts whose ABFT check failed (sum of [retries]) *)
@@ -97,6 +124,7 @@ type class_counts = {
   recovered : int;
   fallbacks : int;
   rejected : int;
+  shed : int;  (** admission sheds (always in the ["unplaced"] bucket) *)
   failed : int;
   retries_against : int;  (** corrupt attempts charged to this profile's devices *)
   to_compute : int;  (** dual-mode conversions into the compute role *)
@@ -107,6 +135,57 @@ val class_summary : t -> (string * class_counts) list
 (** Outcome counters split by {!profile_bucket}, sorted by bucket name.
     Mixed-fleet runs read per-class served/recovered/rejected counts
     and dual-mode conversion totals from here. *)
+
+type slo_counts = {
+  slo_requests : int;
+  slo_served : int;  (** completed + degraded-but-answered *)
+  slo_shed : int;  (** admission sheds + queue-overflow rejections *)
+  slo_failed : int;
+  slo_p50_us : float;  (** latency over this class's served requests; 0 if none *)
+  slo_p99_us : float;
+}
+
+val slo_summary : t -> (Trace.slo * slo_counts) list
+(** Outcome counters split by SLO class, sorted [Interactive] first.
+    The shed-ordering claim — overload drops best-effort before batch
+    before interactive — is checked against these counters. *)
+
+val tenant_summary : t -> (int * slo_counts) list
+(** Same counters split by tenant id, ascending. *)
+
+type window = {
+  w_index : int;
+  w_start_us : float;
+  w_arrivals : int;  (** requests whose arrival falls in the window *)
+  w_served : int;  (** requests answered (finish) in the window *)
+  w_shed : int;  (** admission sheds + rejections in the window *)
+  w_p50_us : float;  (** latency of requests finishing in the window *)
+  w_p99_us : float;
+  w_throughput_rps : float;  (** served per second of window time *)
+  w_max_depth : int;  (** deepest queue sample in the window *)
+  w_slo_served : (Trace.slo * int) list;
+  w_slo_shed : (Trace.slo * int) list;
+}
+
+val windows : ?window_us:float -> t -> window list
+(** Post-hoc rolling view: bucket the run into fixed windows of
+    [window_us] (default 10ms) simulated/wall time, ascending, gaps
+    omitted. Arrivals are bucketed by arrival time, served/shed counts
+    and latency percentiles by finish time — so a burst shows up as an
+    arrival spike first and a served/latency bump in later windows.
+    Raises [Invalid_argument] if [window_us <= 0]. *)
+
+val format_window : window -> string
+(** One fixed-width human-readable roll-up line. *)
+
+val live_view : ?window_us:float -> emit:(string -> unit) -> unit -> record -> unit
+(** Build a stateful observer (pass it to {!create} or {!set_observer})
+    that folds records into the current time window and calls [emit]
+    with one {!format_window} line each time a record lands past the
+    window's end. Empty windows are skipped. Records are seen in
+    dispatch order, which is only approximately time order; stragglers
+    for an already-emitted window are folded into the live window
+    rather than reopening the past. *)
 
 val latency_percentile : ?profile:string -> t -> p:float -> float option
 (** Percentile (in simulated microseconds) over requests that were
@@ -120,9 +199,9 @@ val max_queue_depth : t -> int
 val chrome_trace : t -> string
 (** The run as a JSON array of Chrome trace events: one complete
     ("ph":"X") event per served request on its device's track (tagged
-    with its device class), one instant event per rejection and per
-    dual-mode conversion, a queue-depth counter track, and closing
-    instant events carrying the run-level and per-class summaries.
-    Timestamps are simulated microseconds. *)
+    with its device class, SLO class and tenant), one instant event per
+    rejection, shed and dual-mode conversion, a queue-depth counter
+    track, and closing instant events carrying the run-level, per-class
+    and per-SLO summaries. Timestamps are simulated microseconds. *)
 
 val write_chrome_trace : t -> path:string -> unit

@@ -1,6 +1,24 @@
 module Prng = Tdo_util.Prng
 module Time_base = Tdo_sim.Time_base
 
+type slo = Interactive | Batch | Best_effort
+
+let slo_name = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+  | Best_effort -> "best_effort"
+
+let slo_of_name = function
+  | "interactive" -> Ok Interactive
+  | "batch" -> Ok Batch
+  | "best_effort" -> Ok Best_effort
+  | other ->
+      Error
+        (Printf.sprintf "unknown SLO class %S (expected interactive, batch or best_effort)"
+           other)
+
+let all_slos = [ Interactive; Batch; Best_effort ]
+
 type request = {
   id : int;
   kernel : string;
@@ -8,6 +26,8 @@ type request = {
   seed : int;
   arrival_ps : int;
   deadline_ps : int option;
+  tenant : int;
+  slo : slo;
 }
 
 type t = { name : string; seed : int; requests : request list }
@@ -82,9 +102,79 @@ let synthetic ?(seed = 42) ?deadline_us name =
               seed = (seed * 1_000_003) + id;
               arrival_ps = !clock;
               deadline_ps;
+              tenant = 0;
+              slo = Interactive;
             })
       in
       Ok { name; seed; requests }
 
 let distinct_kernels t =
   List.sort_uniq compare (List.map (fun r -> (r.kernel, r.n)) t.requests)
+
+(* ---------- line codec ----------
+
+   One request per line, `req k=v ...` with a fixed key order, so the
+   encoding of a trace is byte-deterministic in its contents. The same
+   lines are the wire protocol of {!Frontend} and the body of the
+   {!Tdo_loadgen.Codec} trace files. *)
+
+let request_to_line r =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "req id=%d tenant=%d class=%s kernel=%s n=%d seed=%d arrival_ps=%d" r.id
+       r.tenant (slo_name r.slo) r.kernel r.n r.seed r.arrival_ps);
+  (match r.deadline_ps with
+  | Some d -> Buffer.add_string b (Printf.sprintf " deadline_ps=%d" d)
+  | None -> ());
+  Buffer.contents b
+
+let request_of_line line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+  | "req" :: fields ->
+      let parse_field acc field =
+        match (acc, String.index_opt field '=') with
+        | Error _, _ -> acc
+        | Ok _, None -> fail "malformed field %S (expected key=value)" field
+        | Ok kvs, Some i ->
+            Ok
+              ((String.sub field 0 i, String.sub field (i + 1) (String.length field - i - 1))
+              :: kvs)
+      in
+      Result.bind (List.fold_left parse_field (Ok []) fields) (fun kvs ->
+          let int_field ?default key =
+            match (List.assoc_opt key kvs, default) with
+            | Some v, _ -> (
+                match int_of_string_opt v with
+                | Some n -> Ok n
+                | None -> fail "field %s: %S is not an integer" key v)
+            | None, Some d -> Ok d
+            | None, None -> fail "missing field %s" key
+          in
+          let ( let* ) = Result.bind in
+          let* id = int_field ~default:0 "id" in
+          let* tenant = int_field ~default:0 "tenant" in
+          let* n = int_field "n" in
+          let* seed = int_field ~default:0 "seed" in
+          let* arrival_ps = int_field ~default:0 "arrival_ps" in
+          let* deadline_ps =
+            match List.assoc_opt "deadline_ps" kvs with
+            | None -> Ok None
+            | Some v -> (
+                match int_of_string_opt v with
+                | Some d -> Ok (Some d)
+                | None -> fail "field deadline_ps: %S is not an integer" v)
+          in
+          let* slo =
+            match List.assoc_opt "class" kvs with
+            | None -> Ok Interactive
+            | Some name -> slo_of_name name
+          in
+          let* kernel =
+            match List.assoc_opt "kernel" kvs with
+            | Some k -> Ok k
+            | None -> fail "missing field kernel"
+          in
+          Ok { id; kernel; n; seed; arrival_ps; deadline_ps; tenant; slo })
+  | verb :: _ -> fail "unknown verb %S (expected req)" verb
+  | [] -> fail "empty request line"

@@ -284,6 +284,8 @@ let burst_trace ?deadline_ps ?(kernel = "gemm") ?(n = 8) ~count ~gap_ps () =
             seed = 1000 + id;
             arrival_ps = (id + 1) * gap_ps;
             deadline_ps;
+            tenant = 0;
+            slo = Trace.Interactive;
           });
   }
 
@@ -467,6 +469,8 @@ let test_dual_mode_draft_and_revert () =
       seed = 4242;
       arrival_ps = 5_000 * Tdo_sim.Time_base.ps_per_us;
       deadline_ps = None;
+      tenant = 0;
+      slo = Trace.Interactive;
     }
   in
   let trace = { base with Trace.requests = base.Trace.requests @ [ straggler ] } in
@@ -537,7 +541,16 @@ let trace_gen =
       List.mapi
         (fun id ((kernel, n), gap) ->
           clock := !clock + gap;
-          { Trace.id; kernel; n; seed = seed + (id * 7919); arrival_ps = !clock; deadline_ps = None })
+          {
+            Trace.id;
+            kernel;
+            n;
+            seed = seed + (id * 7919);
+            arrival_ps = !clock;
+            deadline_ps = None;
+            tenant = 0;
+            slo = Trace.Interactive;
+          })
         (List.combine picks gaps)
     in
     return { Trace.name = "qcheck"; seed; requests })
@@ -587,6 +600,225 @@ let qcheck_fleet_parallel_matches_sequential =
       && Telemetry.conversions par.Scheduler.telemetry
          = Telemetry.conversions seq.Scheduler.telemetry)
 
+(* ---------- Admission: token buckets + SLO-class load shedding ---------- *)
+
+let mk_request ?(tenant = 1) ?(slo = Trace.Interactive) ~id ~arrival_ps () =
+  {
+    Trace.id;
+    kernel = "gemm";
+    n = 8;
+    seed = id;
+    arrival_ps;
+    deadline_ps = None;
+    tenant;
+    slo;
+  }
+
+let test_admission_token_bucket () =
+  (* 2 tokens/s with burst 3: the first 3 back-to-back requests pass,
+     the 4th is rate-shed, and one refill interval later a token is
+     back *)
+  let policy =
+    {
+      Admission.per_tenant = [ (1, { Admission.rate_per_s = 2.0; burst = 3.0 }) ];
+      default_bucket = None;
+      batch_above = 1.0;
+      best_effort_above = 1.0;
+    }
+  in
+  let t = Admission.create policy in
+  let admit ~now_ps id =
+    Admission.admit t ~now_ps ~queue_len:0 ~capacity:16 (mk_request ~id ~arrival_ps:now_ps ())
+  in
+  let verdict = Alcotest.testable (Fmt.of_to_string (function
+    | Admission.Admit -> "Admit"
+    | Admission.Shed_rate -> "Shed_rate"
+    | Admission.Shed_load -> "Shed_load")) ( = )
+  in
+  Alcotest.check verdict "1st admitted" Admission.Admit (admit ~now_ps:0 0);
+  Alcotest.check verdict "2nd admitted" Admission.Admit (admit ~now_ps:0 1);
+  Alcotest.check verdict "3rd admitted" Admission.Admit (admit ~now_ps:0 2);
+  Alcotest.check verdict "burst exhausted" Admission.Shed_rate (admit ~now_ps:0 3);
+  (* 0.5 s later the 2/s bucket has regained one token *)
+  let half_s = 500_000 * Tdo_sim.Time_base.ps_per_us in
+  Alcotest.check verdict "refill admits again" Admission.Admit (admit ~now_ps:half_s 4);
+  Alcotest.check verdict "and only one" Admission.Shed_rate (admit ~now_ps:half_s 5)
+
+let test_admission_sheds_best_effort_first () =
+  (* same queue fill, three classes: below the best-effort threshold
+     everyone passes; past it only best-effort is shed; past the batch
+     threshold batch sheds too, and interactive still passes *)
+  let t = Admission.create Admission.default_policy in
+  let admit ~queue_len slo id =
+    Admission.admit t ~now_ps:0 ~queue_len ~capacity:100 (mk_request ~slo ~id ~arrival_ps:0 ())
+  in
+  let is_admit = function Admission.Admit -> true | _ -> false in
+  Alcotest.(check bool) "calm: best-effort passes" true (is_admit (admit ~queue_len:10 Trace.Best_effort 0));
+  Alcotest.(check bool) "busy: best-effort shed" false (is_admit (admit ~queue_len:60 Trace.Best_effort 1));
+  Alcotest.(check bool) "busy: batch passes" true (is_admit (admit ~queue_len:60 Trace.Batch 2));
+  Alcotest.(check bool) "overloaded: batch shed" false (is_admit (admit ~queue_len:90 Trace.Batch 3));
+  Alcotest.(check bool) "overloaded: interactive passes" true
+    (is_admit (admit ~queue_len:90 Trace.Interactive 4))
+
+(* An overloaded replay with the admission policy armed: shedding is
+   ordered by SLO class (best-effort suffers most, interactive least)
+   and shed requests never reach a device. *)
+let test_replay_sheds_by_slo_class () =
+  let count = 120 in
+  let requests =
+    List.init count (fun id ->
+        let slo =
+          match id mod 3 with 0 -> Trace.Interactive | 1 -> Trace.Batch | _ -> Trace.Best_effort
+        in
+        mk_request ~tenant:(1 + (id mod 3)) ~slo ~id ~arrival_ps:(id * 1000) ())
+  in
+  let trace = { Trace.name = "slo-overload"; seed = 1; requests } in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.devices = 1;
+      queue_capacity = 10;
+      batching = false;
+      max_batch = 1;
+      parallel = false;
+      admission = Some Admission.default_policy;
+    }
+  in
+  let report = Scheduler.replay ~config trace in
+  let counts slo =
+    match List.assoc_opt slo (Telemetry.slo_summary report.Scheduler.telemetry) with
+    | Some c -> c
+    | None -> Alcotest.fail "missing slo bucket"
+  in
+  let be = counts Trace.Best_effort and b = counts Trace.Batch and i = counts Trace.Interactive in
+  Alcotest.(check bool) "best-effort shed under overload" true (be.Telemetry.slo_shed > 0);
+  Alcotest.(check bool) "best-effort shed rate >= batch shed rate" true
+    (be.Telemetry.slo_shed * b.Telemetry.slo_requests
+    >= b.Telemetry.slo_shed * be.Telemetry.slo_requests);
+  Alcotest.(check bool) "batch shed rate >= interactive shed rate" true
+    (b.Telemetry.slo_shed * i.Telemetry.slo_requests
+    >= i.Telemetry.slo_shed * b.Telemetry.slo_requests);
+  List.iter
+    (fun (r : Telemetry.record) ->
+      match r.Telemetry.outcome with
+      | Telemetry.Shed _ ->
+          Alcotest.(check bool) "shed has no device" true (r.Telemetry.device = None);
+          Alcotest.(check bool) "shed has no checksum" true (r.Telemetry.checksum = None)
+      | _ -> ())
+    (Telemetry.records report.Scheduler.telemetry);
+  (* every request is accounted for across outcomes *)
+  let s = Telemetry.summary report.Scheduler.telemetry in
+  Alcotest.(check int) "conservation" count
+    (s.Telemetry.completed + s.Telemetry.cpu_fallbacks + s.Telemetry.recovered_host
+    + s.Telemetry.rejected + s.Telemetry.shed_rate_limited + s.Telemetry.shed_load
+    + s.Telemetry.failed)
+
+let test_telemetry_windows () =
+  let t = Telemetry.create () in
+  let us = Tdo_sim.Time_base.ps_per_us in
+  let mk ~id ~arrival_us ~finish_us outcome =
+    {
+      Telemetry.request = mk_request ~id ~arrival_ps:(arrival_us * us) ();
+      outcome;
+      device = (match outcome with Telemetry.Completed -> Some 0 | _ -> None);
+      profile = (match outcome with Telemetry.Completed -> Some "pcm" | _ -> None);
+      batch = None;
+      cache_hit = false;
+      queue_depth = 1;
+      start_ps = arrival_us * us;
+      finish_ps = finish_us * us;
+      service_ps = (finish_us - arrival_us) * us;
+      retries = 0;
+      tuned = false;
+      checksum = None;
+    }
+  in
+  (* two 10ms windows: 2 arrivals + 2 served in the first; the third
+     request arrives in w0 but finishes in w1, the fourth is shed *)
+  Telemetry.record t (mk ~id:0 ~arrival_us:1_000 ~finish_us:2_000 Telemetry.Completed);
+  Telemetry.record t (mk ~id:1 ~arrival_us:4_000 ~finish_us:6_000 Telemetry.Completed);
+  Telemetry.record t (mk ~id:2 ~arrival_us:9_000 ~finish_us:12_000 Telemetry.Completed);
+  Telemetry.record t
+    (mk ~id:3 ~arrival_us:11_000 ~finish_us:11_000 (Telemetry.Shed Telemetry.Load_shed));
+  let ws = Telemetry.windows ~window_us:10_000.0 t in
+  Alcotest.(check int) "two windows" 2 (List.length ws);
+  let w0 = List.nth ws 0 and w1 = List.nth ws 1 in
+  Alcotest.(check int) "w0 arrivals" 3 w0.Telemetry.w_arrivals;
+  Alcotest.(check int) "w0 served" 2 w0.Telemetry.w_served;
+  Alcotest.(check int) "w1 arrivals" 1 w1.Telemetry.w_arrivals;
+  Alcotest.(check int) "w1 served (straggler finish)" 1 w1.Telemetry.w_served;
+  Alcotest.(check int) "w1 shed" 1 w1.Telemetry.w_shed;
+  Alcotest.(check bool) "w0 p50 covers the 1-2ms latencies" true
+    (w0.Telemetry.w_p50_us >= 1_000.0 && w0.Telemetry.w_p50_us <= 2_000.0);
+  (* live view emits exactly the completed (non-final) windows *)
+  let emitted = ref [] in
+  let live = Telemetry.live_view ~window_us:10_000.0 ~emit:(fun l -> emitted := l :: !emitted) () in
+  let t2 = Telemetry.create ~observer:live () in
+  List.iter (Telemetry.record t2) (Telemetry.records t);
+  Alcotest.(check int) "live view flushed the first window" 1 (List.length !emitted)
+
+(* ---------- Frontend: wire protocol over a pipe ---------- *)
+
+let test_frontend_pipe_roundtrip () =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let input_lines =
+    String.concat "\n"
+      [
+        "req id=1 tenant=1 class=interactive kernel=gemm n=8 seed=3 arrival_ps=0";
+        {|{"id": 2, "kernel": "mvt", "n": 8, "class": "batch", "tenant": 2}|};
+        "bogus line";
+        "stats";
+        "quit";
+      ]
+    ^ "\n"
+  in
+  let wrote = Unix.write_substring in_w input_lines 0 (String.length input_lines) in
+  Alcotest.(check int) "request script written" (String.length input_lines) wrote;
+  Unix.close in_w;
+  let config =
+    {
+      Frontend.default_config with
+      Frontend.fleet = [ Backend.pcm ];
+      window_us = None;
+      device_seed = 11;
+    }
+  in
+  let telemetry, stop =
+    Frontend.serve ~emit:ignore ~config ~input:in_r ~output:out_w ()
+  in
+  Unix.close out_w;
+  Unix.close in_r;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read out_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close out_r;
+  let output = Buffer.contents buf in
+  let has needle =
+    let n = String.length needle and h = String.length output in
+    let rec go i = i + n <= h && (String.sub output i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stopped on quit" true (stop = Frontend.Quit);
+  Alcotest.(check bool) "line request answered" true (has "ok id=1 ");
+  Alcotest.(check bool) "json request answered" true (has "ok id=2 ");
+  Alcotest.(check bool) "bogus line errored" true (has "err id=0 ");
+  Alcotest.(check bool) "stats line answered" true (has "stats requests=");
+  let s = Telemetry.summary telemetry in
+  Alcotest.(check int) "both requests recorded" 2 s.Telemetry.requests;
+  Alcotest.(check int) "both completed" 2 s.Telemetry.completed;
+  List.iter
+    (fun (r : Telemetry.record) ->
+      Alcotest.(check bool) "wall latency is positive" true (Telemetry.latency_ps r > 0))
+    (Telemetry.records telemetry)
+
 let suites =
   [
     ( "serve.pool",
@@ -630,4 +862,16 @@ let suites =
         QCheck_alcotest.to_alcotest ~long:false qcheck_batched_matches_sequential;
         QCheck_alcotest.to_alcotest ~long:false qcheck_fleet_parallel_matches_sequential;
       ] );
+    ( "serve.admission",
+      [
+        Alcotest.test_case "token bucket: burst, shed, refill" `Quick test_admission_token_bucket;
+        Alcotest.test_case "queue fill sheds best-effort first" `Quick
+          test_admission_sheds_best_effort_first;
+        Alcotest.test_case "overloaded replay sheds by SLO class" `Quick
+          test_replay_sheds_by_slo_class;
+      ] );
+    ( "serve.telemetry",
+      [ Alcotest.test_case "windowed roll-ups and live view" `Quick test_telemetry_windows ] );
+    ( "serve.frontend",
+      [ Alcotest.test_case "wire protocol over a pipe" `Quick test_frontend_pipe_roundtrip ] );
   ]
