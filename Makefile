@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json sim-bench serve-bench fleet-bench load-bench reliab-bench tune-bench serve-tune-db clean
+.PHONY: all build test lint bench bench-json sim-bench serve-bench fleet-bench load-bench graph-bench reliab-bench tune-bench serve-tune-db clean
 
 all: build
 
@@ -76,6 +76,22 @@ serve-tune-db tune.serve.db.json:
 load-bench: tune.serve.db.json
 	dune build bin/serve.exe
 	./_build/default/bin/serve.exe --load --fleet pcm:2,digital:2,dual:2 --tune-db tune.serve.db.json --baseline BENCH_serve.json --out BENCH_serve.json
+
+# Regenerate BENCH_serve.json in full, graph-serving sections
+# included: the classic fleet replay and all four open-loop load
+# patterns (sustained, overload, burst-recovery, diurnal) ride along,
+# then 100k multi-kernel requests (MLP-4 and attention blocks from
+# lib/graph) run through the mixed fleet with cross-request weight
+# residency on ("graph-pinned") and off ("graph-unpinned"),
+# golden-checked per compute class. Reports weight-write bytes per
+# 1000 requests for both runs and fails below a 5x pinned-vs-unpinned
+# reduction. --tiles 4 so a whole model's weights fit pinned on one
+# device. Wall-clock is regression-compared against the committed
+# report before it is overwritten; a --smoke variant of the graph run
+# runs under `dune runtest`.
+graph-bench: tune.serve.db.json
+	dune build bin/serve.exe
+	./_build/default/bin/serve.exe --load --graph --fleet pcm:2,digital:2,dual:2 --tiles 4 --tune-db tune.serve.db.json --baseline BENCH_serve.json --out BENCH_serve.json
 
 # Regenerate BENCH_reliab.json at the repo root: stuck-cell fault
 # campaigns over the gemm/gesummv/mvt mix with the ABFT guard armed,

@@ -41,6 +41,7 @@ module Frontend = Tdo_serve.Frontend
 module Arrival = Tdo_loadgen.Arrival
 module Workload = Tdo_loadgen.Workload
 module Codec = Tdo_loadgen.Codec
+module Graph = Tdo_graph.Graph
 module Backend = Tdo_backend.Backend
 module Platform = Tdo_runtime.Platform
 module Micro_engine = Tdo_cimacc.Micro_engine
@@ -99,11 +100,15 @@ let summarise label (r : Scheduler.report) =
   List.iter
     (fun (profile, (c : Telemetry.class_counts)) ->
       Printf.printf
-        "  class %-8s served %d, recovered %d, cpu-fallback %d, rejected %d, failed %d%s\n"
+        "  class %-8s served %d, recovered %d, cpu-fallback %d, rejected %d, failed %d, \
+         %d write bytes%s%s\n"
         profile c.Telemetry.served c.Telemetry.recovered c.Telemetry.fallbacks
-        c.Telemetry.rejected c.Telemetry.failed
+        c.Telemetry.rejected c.Telemetry.failed c.Telemetry.class_write_bytes
         (if c.Telemetry.to_compute + c.Telemetry.to_memory > 0 then
            Printf.sprintf " | conversions %d/%d" c.Telemetry.to_compute c.Telemetry.to_memory
+         else "")
+        (if c.Telemetry.class_displaced_bytes > 0.0 then
+           Printf.sprintf " | displaced mem %.0f B" c.Telemetry.class_displaced_bytes
          else ""))
     (Telemetry.class_summary t);
   List.iter
@@ -175,6 +180,8 @@ let extras (r : Scheduler.report) ~golden_divergence =
           (k "retries_against", float_of_int c.Telemetry.retries_against);
           (k "conversions_to_compute", float_of_int c.Telemetry.to_compute);
           (k "conversions_to_memory", float_of_int c.Telemetry.to_memory);
+          (k "write_bytes", float_of_int c.Telemetry.class_write_bytes);
+          (k "displaced_mem_bytes", c.Telemetry.class_displaced_bytes);
           (k "energy_j", energy);
           ( k "latency_p50_us",
             match Telemetry.latency_percentile ~profile t ~p:50.0 with
@@ -197,6 +204,7 @@ let extras (r : Scheduler.report) ~golden_divergence =
           (dev "energy_j", d.Scheduler.dev_energy_j);
           (dev "conversions_to_compute", float_of_int to_compute);
           (dev "conversions_to_memory", float_of_int to_memory);
+          (dev "displaced_mem_bytes", d.Scheduler.dev_displaced_bytes);
           (dev "cell_writes", float_of_int w.Device.total_cell_writes);
           (dev "max_per_cell", float_of_int w.Device.max_per_cell);
           ( dev "levelled_max_per_line",
@@ -311,6 +319,22 @@ let load_patterns ~rate ~requests ~seed =
          in
          Workload.generate ~seed:(seed + 2) ~count:requests
            (Workload.standard_tenants ~process ~total_rate_rps:(0.8 *. rate) ())) );
+    ( "diurnal",
+      lazy
+        (let process _slo share_rate =
+           (* a day's traffic curve compressed to half a simulated
+              second: the trough runs at half the tenant's share, the
+              peak at 1.5x, so the fleet sees both slack and pressure
+              within one run *)
+           Arrival.Diurnal
+             {
+               base_rps = 0.5 *. share_rate;
+               peak_rps = 1.5 *. share_rate;
+               period_s = 0.5;
+             }
+         in
+         Workload.generate ~seed:(seed + 3) ~count:requests
+           (Workload.standard_tenants ~process ~total_rate_rps:rate ())) );
   ]
 
 (* Pattern-prefixed report fields: the windowed view, per-SLO-class
@@ -510,6 +534,97 @@ let run_load c ~requests ~rate ~window_us ~calibrate ~no_golden ~dump_traces ~lo
       in
       Ok (sections, extra, divergence, failures)
 
+(* ---------- graph mode ---------- *)
+
+let completed_write_bytes (r : Scheduler.report) =
+  List.fold_left
+    (fun acc (rc : Telemetry.record) ->
+      match rc.Telemetry.outcome with
+      | Telemetry.Completed -> acc + rc.Telemetry.write_bytes
+      | _ -> acc)
+    0
+    (Telemetry.records r.Scheduler.telemetry)
+
+let graph_benches =
+  List.map (fun g -> (Graph.kernel_name g, Graph.benchmark g)) Graph.standard
+
+(* Graph serving: the three-tenant multi-kernel workload replayed twice
+   — weight residency on (tiles stay pinned across same-tenant repeat
+   requests) and off (reprogram every request) — plus the per-class
+   goldens on the pinned run. The headline figure is weight-write-bytes
+   amortised per 1000 requests, pinned vs unpinned. *)
+let run_graph c ~requests ~rate ~no_golden =
+  let trace =
+    Workload.generate ~seed:c.seed ~count:requests
+      (Workload.graph_tenants ~total_rate_rps:rate ())
+  in
+  let config =
+    { (scheduler_config c) with Scheduler.graphs = graph_benches; graph_residency = true }
+  in
+  let pinned, pinned_section =
+    Report.section ~name:"graph-pinned" (fun () -> Scheduler.replay ~config trace)
+  in
+  summarise "graph-pinned" pinned;
+  let unpinned, unpinned_section =
+    Report.section ~name:"graph-unpinned" (fun () ->
+        Scheduler.replay ~config:{ config with Scheduler.graph_residency = false } trace)
+  in
+  summarise "graph-unpinned" unpinned;
+  let golden_divergence, sections =
+    if no_golden then (None, [ pinned_section; unpinned_section ])
+    else
+      let total, golden_sections =
+        golden_checks ~fleet:c.fleet ~config ~trace ~report:pinned ~section_prefix:"graph-"
+      in
+      (Some total, pinned_section :: unpinned_section :: golden_sections)
+  in
+  let wp = completed_write_bytes pinned and wu = completed_write_bytes unpinned in
+  let per_1000 w (r : Scheduler.report) =
+    let n = Scheduler.completed r in
+    if n = 0 then 0.0 else 1000.0 *. float_of_int w /. float_of_int n
+  in
+  let reduction =
+    if wp > 0 then float_of_int wu /. float_of_int wp
+    else if wu > 0 then float_of_int wu
+    else 1.0
+  in
+  Printf.printf
+    "graph residency: weight-write bytes per 1000 requests %.0f pinned vs %.0f unpinned \
+     (x%.1f reduction)\n"
+    (per_1000 wp pinned) (per_1000 wu unpinned) reduction;
+  let pct r p =
+    match Telemetry.latency_percentile r.Scheduler.telemetry ~p with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let extra =
+    [
+      ("graph_requests", float_of_int requests);
+      ("graph_pinned_completed", float_of_int (Scheduler.completed pinned));
+      ("graph_unpinned_completed", float_of_int (Scheduler.completed unpinned));
+      ("graph_pinned_write_bytes", float_of_int wp);
+      ("graph_unpinned_write_bytes", float_of_int wu);
+      ("graph_pinned_write_bytes_per_1000", per_1000 wp pinned);
+      ("graph_unpinned_write_bytes_per_1000", per_1000 wu unpinned);
+      ("graph_write_reduction_factor", reduction);
+      ("graph_pinned_p50_us", pct pinned 50.0);
+      ("graph_pinned_p99_us", pct pinned 99.0);
+      ("graph_unpinned_p50_us", pct unpinned 50.0);
+      ("graph_unpinned_p99_us", pct unpinned 99.0);
+      ("graph_pinned_makespan_ms", us_of_ps pinned.Scheduler.makespan_ps /. 1000.0);
+      ("graph_unpinned_makespan_ms", us_of_ps unpinned.Scheduler.makespan_ps /. 1000.0);
+    ]
+    @
+    match golden_divergence with
+    | Some d -> [ ("graph_golden_divergence", float_of_int d) ]
+    | None -> []
+  in
+  Ok
+    ( sections,
+      extra,
+      golden_divergence,
+      Scheduler.failures pinned + Scheduler.failures unpinned )
+
 (* ---------- frontend mode ---------- *)
 
 let run_frontend c ~window_us ~socket =
@@ -553,8 +668,8 @@ let run_frontend c ~window_us ~socket =
 
 let run trace_name devices fleet_spec seed queue_capacity max_batch no_batching sequential
     deadline_us tiles cache_capacity tune_db chrome_trace out baseline no_golden strict load
-    requests rate window_us smoke wall_budget_s calibrate dump_traces load_trace listen
-    socket =
+    graph requests rate window_us smoke wall_budget_s calibrate dump_traces load_trace
+    listen socket =
   let t0 = Unix.gettimeofday () in
   let fleet =
     match fleet_spec with
@@ -602,14 +717,37 @@ let run trace_name devices fleet_spec seed queue_capacity max_batch no_batching 
        and arms the wall-clock budget: the CI shape of --load *)
     let requests = if smoke then min requests 300 else requests in
     let calibrate = if calibrate >= 0 then calibrate else if load then 200 else 0 in
+    let replay_base () =
+      Result.map
+        (fun (report, sections, extra, div) ->
+          (sections, extra, div, Scheduler.failures report))
+        (run_replay c ~trace_name ~deadline_us ~chrome_trace ~no_golden)
+    in
     let outcome =
-      if load then run_load c ~requests ~rate ~window_us ~calibrate ~no_golden ~dump_traces
+      if graph then
+        (* the classic fleet replay (or the full --load patterns when
+           both flags are given) rides along so the report keeps the
+           sections the committed baseline gates on *)
+        let base =
+          if load then
+            run_load c ~requests ~rate ~window_us ~calibrate ~no_golden ~dump_traces
+              ~load_trace ~chrome_trace ~deadline_us
+          else replay_base ()
+        in
+        Result.bind base (fun (bsecs, bextra, bdiv, bfail) ->
+            Result.map
+              (fun (gsecs, gextra, gdiv, gfail) ->
+                let div =
+                  match (bdiv, gdiv) with
+                  | Some a, Some b -> Some (a + b)
+                  | d, None | None, d -> d
+                in
+                (bsecs @ gsecs, bextra @ gextra, div, bfail + gfail))
+              (run_graph c ~requests ~rate ~no_golden))
+      else if load then
+        run_load c ~requests ~rate ~window_us ~calibrate ~no_golden ~dump_traces
           ~load_trace ~chrome_trace ~deadline_us
-      else
-        Result.map
-          (fun (report, sections, extra, div) ->
-            (sections, extra, div, Scheduler.failures report))
-          (run_replay c ~trace_name ~deadline_us ~chrome_trace ~no_golden)
+      else replay_base ()
     in
     match outcome with
     | Error code -> code
@@ -633,7 +771,13 @@ let run trace_name devices fleet_spec seed queue_capacity max_batch no_batching 
                   extra)
         in
         let notes =
-          if load then
+          if graph then
+            Printf.sprintf
+              "tdo-serve graph serving: %d multi-kernel requests at %g rps over %s, %d \
+               tiles/device; weight residency pinned vs unpinned, per-class goldens on \
+               the pinned run"
+              requests rate (fleet_desc c) tiles
+          else if load then
             Printf.sprintf
               "tdo-serve open-loop load: %d requests/pattern at %g rps sustained, fleet \
                %s, %d tiles/device, queue capacity %d, calibrate-after %d"
@@ -654,11 +798,23 @@ let run trace_name devices fleet_spec seed queue_capacity max_batch no_batching 
         (* shed requests are an admission outcome, not failures, so
            --strict composes with the overload pattern *)
         let strict_failure = strict && failures > 0 in
+        (* the graph bench exists to show residency pays: fail if
+           pinning stops reducing weight-write bytes by at least 5x *)
+        let residency_regression =
+          graph
+          &&
+          match List.assoc_opt "graph_write_reduction_factor" extra with
+          | Some r -> r < 5.0
+          | None -> false
+        in
         if divergent then prerr_endline "FAIL: golden divergence detected";
         if strict_failure then prerr_endline "FAIL: request failures under --strict";
         if over_budget then
           Printf.eprintf "FAIL: wall clock %.1f s over budget %.1f s\n" wall wall_budget_s;
-        if divergent || strict_failure || over_budget then 1 else 0
+        if residency_regression then
+          prerr_endline "FAIL: weight residency below the x5 write-reduction gate";
+        if divergent || strict_failure || over_budget || residency_regression then 1
+        else 0
   end
 
 let cmd =
@@ -769,10 +925,23 @@ let cmd =
       value & flag
       & info [ "load" ]
           ~doc:
-            "Open-loop load mode: generate sustained, overload and burst-recovery \
-             multi-tenant arrival patterns, drive each through the fleet under the \
-             admission policy with live windowed telemetry, and append one report section \
-             per pattern (plus per-class goldens) to the classic fleet-replay sections.")
+            "Open-loop load mode: generate sustained, overload, burst-recovery and \
+             diurnal multi-tenant arrival patterns, drive each through the fleet under \
+             the admission policy with live windowed telemetry, and append one report \
+             section per pattern (plus per-class goldens) to the classic fleet-replay \
+             sections.")
+  in
+  let graph_arg =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Graph serving mode: generate the three-tenant multi-kernel workload \
+             (graph:mlp4, graph:attn) and replay it twice — with graph-scope weight \
+             residency pinning weight tiles across same-tenant repeat requests, and \
+             without — plus per-class goldens on the pinned run. Reports \
+             weight-write-bytes per 1000 requests for both and the reduction factor. \
+             Use --tiles 4 so a whole model's weights fit pinned.")
   in
   let requests_arg =
     Arg.(
@@ -858,8 +1027,8 @@ let cmd =
       const run $ trace_arg $ devices_arg $ fleet_arg $ seed_arg $ queue_arg
       $ max_batch_arg $ no_batching_arg $ sequential_arg $ deadline_arg $ tiles_arg
       $ cache_arg $ tune_db_arg $ chrome_arg $ out_arg $ baseline_arg $ no_golden_arg
-      $ strict_arg $ load_arg $ requests_arg $ rate_arg $ window_arg $ smoke_arg
-      $ wall_budget_arg $ calibrate_arg $ dump_traces_arg $ load_trace_arg $ listen_arg
-      $ socket_arg)
+      $ strict_arg $ load_arg $ graph_arg $ requests_arg $ rate_arg $ window_arg
+      $ smoke_arg $ wall_budget_arg $ calibrate_arg $ dump_traces_arg $ load_trace_arg
+      $ listen_arg $ socket_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,7 @@
 open Cmdliner
 module Kernels = Tdo_polybench.Kernels
 module Dataset = Tdo_polybench.Dataset
+module Graph = Tdo_graph.Graph
 module Space = Tdo_tune.Space
 module Search = Tdo_tune.Search
 module Db = Tdo_tune.Db
@@ -20,11 +21,13 @@ module Report = Tdo_util.Bench_report
 
 type outcome = { bench : Kernels.benchmark; entry : Db.entry; result : Search.result }
 
-let tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~n ~seed
+let tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~reuse ~n ~seed
     (b : Kernels.benchmark) =
   let source = b.Kernels.source ~n in
   let args () = fst (b.Kernels.make_args ~n ~seed) in
-  match Search.tune ~axes ~beam ~calibration_points ~objective ~cls ~source ~args () with
+  match
+    Search.tune ~axes ~beam ~calibration_points ~objective ~cls ~reuse ~source ~args ()
+  with
   | Error msg -> Error (Printf.sprintf "%s: %s" b.Kernels.name msg)
   | Ok r -> Ok { bench = b; entry = Db.entry_of_result ~n r; result = r }
 
@@ -67,8 +70,8 @@ let never_worse (o : outcome) =
   e.Db.tuned_cycles <= e.Db.default_cycles
   && e.Db.tuned_write_bytes <= e.Db.default_write_bytes
 
-let run dataset n_override kernels objective device_class beam calibration_points seed
-    db_path out baseline smoke strict =
+let run dataset n_override kernels objective device_class beam calibration_points reuse
+    seed db_path out baseline smoke strict =
   let objective =
     match Search.objective_of_string objective with
     | Ok o -> o
@@ -101,7 +104,10 @@ let run dataset n_override kernels objective device_class beam calibration_point
     | names ->
         List.map
           (fun name ->
-            match Kernels.find name with
+            (* graph workloads tune like any kernel: the whole
+               multi-layer program is one function, so the database
+               entry is keyed by the graph's composed digest *)
+            match Graph.find_bench name with
             | Ok b -> b
             | Error msg ->
                 prerr_endline msg;
@@ -114,7 +120,7 @@ let run dataset n_override kernels objective device_class beam calibration_point
       (fun (os, secs) (b : Kernels.benchmark) ->
         let r, sec =
           Report.section ~name:b.Kernels.name (fun () ->
-              tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~n ~seed b)
+              tune_kernel ~axes ~beam ~calibration_points ~objective ~cls ~reuse ~n ~seed b)
         in
         match r with
         | Error msg ->
@@ -167,6 +173,7 @@ let run dataset n_override kernels objective device_class beam calibration_point
       ("mean_calibration_error", mean_cal_err);
       ("problem_n", float_of_int n);
       ("objective_cycles", if objective = Search.Cycles then 1.0 else 0.0);
+      ("reuse", float_of_int (max 1 reuse));
     ]
     @ List.concat_map kernel_extras outcomes
   in
@@ -262,6 +269,16 @@ let cmd =
       & info [ "calibration-points" ] ~docv:"N"
           ~doc:"Exact simulations spent fitting the cost model per kernel.")
   in
+  let reuse_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "reuse" ] ~docv:"R"
+          ~doc:
+            "Expected executions per weight programming (inter-kernel reuse). Graph \
+             serving with weight residency pays the crossbar write once per R requests, \
+             so the search amortises programming cost over R runs when ranking and \
+             choosing the winner. 1 (the default) is the classic per-request model.")
+  in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Argument-synthesis seed.")
   in
@@ -302,16 +319,18 @@ let cmd =
       & info [ "strict" ]
           ~doc:"Exit non-zero if any kernel fails to tune or tunes worse than the default.")
   in
-  let run' dataset n kernels objective device_class beam calib seed db no_db out baseline
-      smoke strict =
-    run dataset n kernels objective device_class beam calib seed
+  let run' dataset n kernels objective device_class beam calib reuse seed db no_db out
+      baseline smoke strict =
+    run dataset n kernels objective device_class beam calib reuse seed
       (if no_db then None else db)
       out baseline smoke strict
   in
-  Cmd.v (Cmd.info "tdo-tune" ~doc:"Cost-model-driven autotuning sweep over PolyBench.")
+  Cmd.v
+    (Cmd.info "tdo-tune"
+       ~doc:"Cost-model-driven autotuning sweep over PolyBench and graph workloads.")
     Term.(
       const run' $ dataset_arg $ n_arg $ kernels_arg $ objective_arg $ device_class_arg
-      $ beam_arg $ calib_arg $ seed_arg $ db_arg $ no_db_arg $ out_arg $ baseline_arg
-      $ smoke_arg $ strict_arg)
+      $ beam_arg $ calib_arg $ reuse_arg $ seed_arg $ db_arg $ no_db_arg $ out_arg
+      $ baseline_arg $ smoke_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,6 +28,7 @@ type profile = {
   energy : Table1.t;
   wears : bool;
   cell_endurance : float;
+  memory_bw_bytes_per_us : float;
 }
 
 (* ~3 VFP cycles per MAC at the A7's 1.2 GHz — the same rate the
@@ -46,6 +47,7 @@ let pcm =
     energy = Table1.ibm_pcm_a7;
     wears = true;
     cell_endurance = 1e7;
+    memory_bw_bytes_per_us = 0.0;
   }
 
 let digital =
@@ -64,6 +66,7 @@ let digital =
     (* SRAM cells: endurance is effectively unbounded; the Eq. 1
        tracker still wants a finite number *)
     cell_endurance = 1e16;
+    memory_bw_bytes_per_us = 0.0;
   }
 
 let host =
@@ -78,6 +81,7 @@ let host =
     energy = Table1.ibm_pcm_a7;
     wears = false;
     cell_endurance = 1e16;
+    memory_bw_bytes_per_us = 0.0;
   }
 
 (* "Be CIM or Be Memory": the role switch reprograms the tile's
@@ -89,6 +93,11 @@ let dual =
     name = "dual";
     dual_mode = true;
     conversion_latency_ps = 10 * Time_base.ps_per_us;
+    (* While drafted for compute the tile stops serving its memory
+       role; every drafted microsecond displaces one DDR3-1600-ish
+       channel's worth of traffic, which the scheduler charges as
+       displaced bandwidth. *)
+    memory_bw_bytes_per_us = 12800.0;
   }
 
 let of_name = function

@@ -60,6 +60,11 @@ type profile = {
       (** endurance/write-pressure terms apply to placement on this
           profile ({!Pcm_crossbar} only) *)
   cell_endurance : float;  (** Eq. 1 parameter; infinite-ish when [not wears] *)
+  memory_bw_bytes_per_us : float;
+      (** memory-role bandwidth a dual-mode tile gives up per
+          microsecond it spends drafted into the compute role — the
+          displaced-traffic charge ("Be CIM or Be Memory"); [0] for
+          profiles that never serve as memory *)
 }
 
 val pcm : profile

@@ -59,6 +59,40 @@ let standard_tenants ?(process = fun _slo rate -> Arrival.Poisson { rate_rps = r
     };
   ]
 
+(* Graph-serving tenants: every request names a whole multi-kernel
+   program ("graph:mlp4", "graph:attn"), so one tenant's stream is
+   exactly the repeat traffic weight residency amortises — two tenants
+   sharing a model (chat-mlp and shadow-mlp) exercise the
+   never-across-tenants isolation property under load. *)
+let graph_tenants ?(process = fun _slo rate -> Arrival.Poisson { rate_rps = rate })
+    ?(n = 24) ~total_rate_rps () =
+  [
+    {
+      tenant = 1;
+      tname = "chat-mlp";
+      slo = Trace.Interactive;
+      process = process Trace.Interactive (0.45 *. total_rate_rps);
+      mix = [ ("graph:mlp4", n, 1) ];
+      deadline_us = None;
+    };
+    {
+      tenant = 2;
+      tname = "rank-attn";
+      slo = Trace.Batch;
+      process = process Trace.Batch (0.35 *. total_rate_rps);
+      mix = [ ("graph:attn", n, 1) ];
+      deadline_us = None;
+    };
+    {
+      tenant = 3;
+      tname = "shadow-mlp";
+      slo = Trace.Best_effort;
+      process = process Trace.Best_effort (0.2 *. total_rate_rps);
+      mix = [ ("graph:mlp4", n, 1) ];
+      deadline_us = None;
+    };
+  ]
+
 let pick_weighted g mix =
   let total = List.fold_left (fun acc (_, _, w) -> acc + w) 0 mix in
   let r = Prng.int g ~bound:total in

@@ -38,6 +38,20 @@ val standard_tenants :
     (default: Poisson at that rate) — override it to make the same
     tenants bursty or diurnal. *)
 
+val graph_tenants :
+  ?process:(Trace.slo -> float -> Arrival.process) ->
+  ?n:int ->
+  total_rate_rps:float ->
+  unit ->
+  tenant list
+(** The three-tenant graph-serving workload: every request names a
+    whole multi-kernel program at size [n] (default 24). "chat-mlp"
+    (interactive, 45%, [graph:mlp4]) and "shadow-mlp" (best-effort,
+    20%, the {e same} model — exercising cross-tenant residency
+    isolation) bracket a batch "rank-attn" tenant (35%, [graph:attn]).
+    The repeat traffic within each tenant's stream is what graph-scope
+    weight residency amortises. *)
+
 val generate : ?seed:int -> count:int -> tenant list -> Trace.t
 (** Merge the tenants' arrival streams into one trace of exactly
     [count] requests (each tenant contributes in proportion to its

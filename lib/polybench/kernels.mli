@@ -27,6 +27,18 @@ type benchmark = {
           n x 1 matrices) *)
 }
 
+val random_arr : Tdo_util.Prng.t -> dims:int list -> Interp.arr
+(** Deterministic PolyBench-style data in [[-1, 1]], rounded to
+    binary32 — the same generator every benchmark's [make_args] uses,
+    exported so composed workloads (graph programs) produce
+    bit-compatible arrays. *)
+
+val zero_arr : dims:int list -> Interp.arr
+
+val mat_of_vec : Interp.arr -> Mat.t
+(** A 1-D array as an [n]x1 matrix (higher ranks fall back to
+    {!Interp.mat_of_arr}) — the readback convention for vectors. *)
+
 val all : benchmark list
 (** In the paper's Fig. 6 order: 2mm, 3mm, gemm, conv, gesummv, bicg,
     mvt. *)

@@ -47,6 +47,14 @@ type t = {
   mutable available_ps : int;
   mutable served : int;
   mutable quarantined : bool;
+  mutable resident : string option;
+      (** residency key of the graph program whose weight tiles are
+          still pinned from the previous run; [None] = latches invalid *)
+  mutable drafted_at_ps : int;
+      (** virtual time a dual tile was last drafted to compute; [-1]
+          when serving its memory role *)
+  mutable displaced_bytes : float;
+      (** lifetime memory-role traffic forgone while drafted *)
 }
 
 let platform_exn t =
@@ -86,6 +94,9 @@ let create ?(platform_config = Platform.default_config) ?cell_endurance ?seed
         available_ps = 0;
         served = 0;
         quarantined = false;
+        resident = None;
+        drafted_at_ps = -1;
+        displaced_bytes = 0.0;
       }
   | Backend.Pcm_crossbar | Backend.Digital_tile ->
       let platform = Platform.create ~config:platform_config ~seed () in
@@ -112,6 +123,9 @@ let create ?(platform_config = Platform.default_config) ?cell_endurance ?seed
         available_ps = 0;
         served = 0;
         quarantined = false;
+        resident = None;
+        drafted_at_ps = -1;
+        displaced_bytes = 0.0;
       }
 
 let id t = t.dev_id
@@ -125,21 +139,54 @@ let write_pressure t = Endurance.Tracker.bytes_written t.tracker
 let is_quarantined t = t.quarantined
 let energy_j t = t.energy
 let mode t = t.mode
+let resident t = t.resident
+let clear_resident t = t.resident <- None
+let displaced_mem_bytes t = t.displaced_bytes
 
-let convert t ~to_compute =
+(* Charge the memory-role traffic the tile has forgone since it was
+   drafted (or last charged) up to [at_ps], and advance the charge
+   cursor so the interval is never double-billed. *)
+let accrue_displacement t ~at_ps =
+  if t.drafted_at_ps >= 0 && at_ps > t.drafted_at_ps then begin
+    let us =
+      float_of_int (at_ps - t.drafted_at_ps) /. float_of_int Tdo_sim.Time_base.ps_per_us
+    in
+    let bytes = us *. t.backend.Backend.memory_bw_bytes_per_us in
+    t.displaced_bytes <- t.displaced_bytes +. bytes;
+    t.drafted_at_ps <- at_ps;
+    bytes
+  end
+  else 0.0
+
+let finalize_displacement t ~at_ps = accrue_displacement t ~at_ps
+
+let convert ?at_ps t ~to_compute =
+  (* A role flip rebuilds the tile's peripheral state; any pinned
+     weights are gone either way. *)
+  t.resident <- None;
   if to_compute then begin
     t.mode <- Backend.Compute_mode;
-    t.to_compute <- t.to_compute + 1
+    t.to_compute <- t.to_compute + 1;
+    (match at_ps with
+    | Some ps when t.backend.Backend.dual_mode -> t.drafted_at_ps <- ps
+    | _ -> ());
+    0.0
   end
   else begin
     t.mode <- Backend.Memory_mode;
-    t.to_memory <- t.to_memory + 1
+    t.to_memory <- t.to_memory + 1;
+    let displaced =
+      match at_ps with Some ps -> accrue_displacement t ~at_ps:ps | None -> 0.0
+    in
+    t.drafted_at_ps <- -1;
+    displaced
   end
 
 let conversions t = (t.to_compute, t.to_memory)
 
 let quarantine t ~rows:(row_off, nrows) =
   t.quarantined <- true;
+  t.resident <- None;
   (* Feed the localisation into the Start-Gap remap: the faulty rows'
      current physical lines stop taking traffic. A line that cannot be
      quarantined (it would kill the device's last healthy line) is left
@@ -163,11 +210,20 @@ let device_energy_j (table : Table1.t) ~macs ~write_bytes ~launches ~roi_instruc
         +. table.Table1.dma_engine_j_per_full_gemv)
   +. (float_of_int roi_instructions *. table.Table1.host_j_per_instruction)
 
-let run t (compiled : Flow.compiled) ~args =
+let run ?residency t (compiled : Flow.compiled) ~args =
   (* A fresh user-space runtime is created inside [Exec.run], so its
-     generation counter restarts; the previous tenant's pinned operand
-     must not survive into this run. *)
-  Cimacc.Micro_engine.invalidate_pinned (engine t);
+     generation counter restarts; a stale pinned operand could alias a
+     new tenant's buffer at a recycled CMA address and must not survive
+     into this run — UNLESS the run replays the exact program the
+     latches were set by. [residency] names that program: the compiled
+     entry (digest + options + class) plus the tenant, and the weights
+     it programs are model-seeded, so an identical key means the same
+     (address, generation, data) programming sequence is about to be
+     replayed verbatim. Only then is skipping the invalidation sound. *)
+  (match residency with
+  | Some key when t.resident = Some key -> ()
+  | _ -> Cimacc.Micro_engine.invalidate_pinned (engine t));
+  t.resident <- None;
   Cimacc.Micro_engine.clear_abft_fault (engine t);
   let platform = platform_exn t in
   let cpu = Platform.cpu platform in
@@ -201,6 +257,12 @@ let run t (compiled : Flow.compiled) ~args =
     device_energy_j t.backend.Backend.energy ~macs ~write_bytes ~launches ~roi_instructions
   in
   t.energy <- t.energy +. energy_j;
+  let abft_mismatches =
+    ec1.Cimacc.Micro_engine.abft_mismatches - ec0.Cimacc.Micro_engine.abft_mismatches
+  in
+  (* Latch the residency key only on a clean completion: a corrupt or
+     faulted run's pinned state is not trusted for reuse. *)
+  if abft_mismatches = 0 then t.resident <- residency;
   {
     service_ps = roi1.Sim.Cpu.roi_time_ps - roi0.Sim.Cpu.roi_time_ps;
     roi_instructions;
@@ -211,8 +273,7 @@ let run t (compiled : Flow.compiled) ~args =
     macs;
     energy_j;
     abft_checks = ec1.Cimacc.Micro_engine.abft_checks - ec0.Cimacc.Micro_engine.abft_checks;
-    abft_mismatches =
-      ec1.Cimacc.Micro_engine.abft_mismatches - ec0.Cimacc.Micro_engine.abft_mismatches;
+    abft_mismatches;
     abft_fault = Cimacc.Micro_engine.last_abft_fault (engine t);
   }
 

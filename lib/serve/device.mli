@@ -114,17 +114,50 @@ val mode : t -> Backend.mode
 (** Current dual-mode role; non-dual devices are always
     [Compute_mode]. *)
 
-val convert : t -> to_compute:bool -> unit
+val convert : ?at_ps:int -> t -> to_compute:bool -> float
 (** Flip a dual-mode device's role and count the conversion. The
     scheduler charges the profile's conversion latency and emits the
-    telemetry event. *)
+    telemetry event. Any pinned-weight residency is dropped — the role
+    switch rebuilds the tile's peripheral state. When [at_ps] is given,
+    the drafted interval is tracked: a revert returns the memory-role
+    bytes the tile displaced while in the compute role (priced at the
+    profile's [memory_bw_bytes_per_us]); a draft returns [0.]. *)
 
 val conversions : t -> int * int
 (** [(to_compute, to_memory)] lifetime conversion counts. *)
 
-val run : t -> Flow.compiled -> args:(string * Interp.value) list -> exec_stats
+val resident : t -> string option
+(** Residency key of the graph program whose weight tiles are still
+    pinned from the previous run, [None] when the latches are invalid.
+    Set by {!run} on clean completion, dropped by {!convert},
+    {!quarantine}, {!clear_resident} and any non-matching run. *)
+
+val clear_resident : t -> unit
+(** Invalidate the residency claim (the scheduler calls this when the
+    backing cache entry is evicted). The engine latches themselves are
+    invalidated lazily by the next {!run}. *)
+
+val displaced_mem_bytes : t -> float
+(** Lifetime memory-role traffic this dual tile gave up while drafted
+    for compute; [0.] for non-dual profiles. *)
+
+val finalize_displacement : t -> at_ps:int -> float
+(** Charge any still-open drafted interval up to [at_ps] (end of
+    replay) and return the newly charged bytes; idempotent per
+    instant. *)
+
+val run :
+  ?residency:string -> t -> Flow.compiled -> args:(string * Interp.value) list -> exec_stats
 (** Execute one compiled request on this CIM device, mutating [Varray]
-    arguments with the results. Raises {!Tdo_ir.Exec.Exec_error} on a
+    arguments with the results. [residency] names the (model, tenant)
+    program this run replays: when it matches the device's current
+    {!resident} key the pinned-operand latches are kept — the run
+    re-derives identical (address, generation) pin keys and would
+    re-program identical model-seeded weight bytes, so programming is
+    skipped with bit-identical results ([exec_stats.write_bytes] = 0).
+    Any other run (no key, different key) invalidates the latches
+    first, exactly as before. On clean completion the key (if any) is
+    latched for the next run. Raises {!Tdo_ir.Exec.Exec_error} on a
     device rejection; the device stays usable. Raises
     [Invalid_argument] on a host-class device — use {!run_host}. *)
 

@@ -180,6 +180,7 @@ let serve ?(emit = prerr_endline) ?(config = default_config) ~input ~output () =
         service_ps = 0;
         retries = 0;
         tuned = false;
+        write_bytes = 0;
         checksum = None;
       }
   in
@@ -198,6 +199,7 @@ let serve ?(emit = prerr_endline) ?(config = default_config) ~input ~output () =
         service_ps = 0;
         retries = 0;
         tuned = false;
+        write_bytes = 0;
         checksum = None;
       };
     respond (Printf.sprintf "err id=%d msg=%s" r.Trace.id msg)
@@ -263,7 +265,7 @@ let serve ?(emit = prerr_endline) ?(config = default_config) ~input ~output () =
         | Some dev -> (
             let start = now_ps () in
             if Device.mode dev = Backend.Memory_mode then begin
-              Device.convert dev ~to_compute:true;
+              let (_ : float) = Device.convert ~at_ps:start dev ~to_compute:true in
               Telemetry.record_conversion telemetry ~at_ps:start ~device:(Device.id dev)
                 ~profile:(Device.profile dev).Backend.name ~to_compute:true
             end;
@@ -306,6 +308,7 @@ let serve ?(emit = prerr_endline) ?(config = default_config) ~input ~output () =
                         service_ps = stats.Device.service_ps;
                         retries = 0;
                         tuned = entry.Kernel_cache.tuned;
+                        write_bytes = stats.Device.write_bytes;
                         checksum = Some checksum;
                       };
                     respond

@@ -27,6 +27,7 @@ type t = {
   opts : Flow.options;
   tuning : Tdo_tune.Db.t option;
   geometries : (Backend.device_class * (int * int)) list;
+  on_evict : (string -> unit) option;
   table : (string, slot) Hashtbl.t;
   mutable tick : int;  (** LRU clock: bumped on every lookup *)
   mutable hits : int;
@@ -35,13 +36,14 @@ type t = {
   mutable compile_s_total : float;
 }
 
-let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?(geometries = []) ()
-    =
+let create ?(capacity = 64) ?(options = Flow.o3_loop_tactics) ?tuning ?(geometries = [])
+    ?on_evict () =
   {
     capacity = max 1 capacity;
     opts = options;
     tuning;
     geometries;
+    on_evict;
     table = Hashtbl.create 32;
     tick = 0;
     hits = 0;
@@ -93,7 +95,10 @@ let evict_lru t =
   match !victim with
   | Some (key, _) ->
       Hashtbl.remove t.table key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      (* residency layered on this entry is now unbacked: the scheduler
+         hooks here to drop any device's matching pinned-weight claim *)
+      (match t.on_evict with Some f -> f key | None -> ())
   | None -> ()
 
 let find_or_compile t ?(cls = Backend.Pcm_crossbar) source =

@@ -47,6 +47,7 @@ val create :
   ?options:Flow.options ->
   ?tuning:Tdo_tune.Db.t ->
   ?geometries:(Backend.device_class * (int * int)) list ->
+  ?on_evict:(string -> unit) ->
   unit ->
   t
 (** LRU cache holding at most [capacity] (default 64, clamped to >= 1)
@@ -57,7 +58,10 @@ val create :
     are refused by {!Tdo_tune.Db.config_for}. [geometries] gives the
     crossbar shape [(rows, cols)] of each class's devices in the fleet,
     used to clamp tuned geometries; entries compiled from the database
-    carry [tuned = true]. *)
+    carry [tuned = true]. [on_evict] is called with the key of every
+    LRU-evicted entry — the invalidation hook graph-scope weight
+    residency hangs off (a pinned claim must not outlive the compiled
+    entry that backs it). *)
 
 val options : t -> Flow.options
 

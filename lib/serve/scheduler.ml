@@ -36,6 +36,8 @@ type config = {
   admission : Admission.policy option;
   calibrate_after : int option;
   on_record : (Telemetry.record -> unit) option;
+  graphs : (string * Kernels.benchmark) list;
+  graph_residency : bool;
 }
 
 let default_config =
@@ -63,6 +65,8 @@ let default_config =
     admission = None;
     calibrate_after = None;
     on_record = None;
+    graphs = [];
+    graph_residency = true;
   }
 
 let golden_config ?(profile = Backend.pcm) c =
@@ -85,6 +89,10 @@ let golden_config ?(profile = Backend.pcm) c =
     admission = None;
     calibrate_after = None;
     on_record = None;
+    (* the oracle re-programs every request from scratch: a divergence
+       of zero against it is the proof that weight residency changed
+       nothing but the programming traffic *)
+    graph_residency = false;
   }
 
 type device_report = {
@@ -95,6 +103,7 @@ type device_report = {
   dev_served : int;
   dev_energy_j : float;
   dev_conversions : int * int;  (** (to compute, to memory) *)
+  dev_displaced_bytes : float;  (** memory-role traffic forgone while drafted *)
 }
 
 type report = {
@@ -218,6 +227,10 @@ type batch = {
   cache_hit : bool;
   bench : Kernels.benchmark;
   entry : Kernel_cache.entry;
+  residency : string option;
+      (** graph-scope residency key — (compiled entry, tenant) — every
+          item of the batch runs under; graph batches are single-tenant
+          by construction *)
   items : queued list;
 }
 
@@ -250,7 +263,7 @@ let execute_batch (b : batch) =
               Device.run_host b.dev ~ast:b.entry.Kernel_cache.ast ~args
                 ~macs:(b.bench.Kernels.macs ~n:r.Trace.n)
           | Backend.Pcm_crossbar | Backend.Digital_tile ->
-              Device.run b.dev b.entry.Kernel_cache.compiled ~args
+              Device.run ?residency:b.residency b.dev b.entry.Kernel_cache.compiled ~args
         in
         match exec () with
         | stats ->
@@ -279,6 +292,7 @@ let execute_batch (b : batch) =
                   service_ps = stats.Device.service_ps;
                   retries = item.attempts;
                   tuned = b.entry.Kernel_cache.tuned;
+                  write_bytes = stats.Device.write_bytes;
                   checksum = Some (checksum_of_mats (readback ()));
                 }
         | exception Tdo_ir.Exec.Exec_error msg ->
@@ -296,6 +310,7 @@ let execute_batch (b : batch) =
                 service_ps = 0;
                 retries = item.attempts;
                 tuned = b.entry.Kernel_cache.tuned;
+                write_bytes = 0;
                 checksum = None;
               })
       b.items
@@ -326,12 +341,6 @@ let replay ?(config = default_config) (trace : Trace.t) =
     |> List.map (fun (p : Backend.profile) -> p.Backend.cls)
     |> List.sort_uniq compare
   in
-  let cache =
-    Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options
-      ?tuning:config.tuning
-      ~geometries:(List.map (fun cls -> (cls, geometry)) classes)
-      ()
-  in
   let devices =
     Array.init ndev (fun id ->
         let d =
@@ -340,6 +349,35 @@ let replay ?(config = default_config) (trace : Trace.t) =
         in
         (match config.on_device_create with Some f -> f d | None -> ());
         d)
+  in
+  (* Resolve a serving kernel name: registered graph programs first,
+     then the PolyBench suite. *)
+  let find_bench name =
+    match List.assoc_opt name config.graphs with
+    | Some bench -> Ok bench
+    | None -> Kernels.find name
+  in
+  let is_graph_kernel name = List.mem_assoc name config.graphs in
+  (* Residency key a run of [entry_key] for [tenant] latches: the
+     compiled entry (digest + options + class) scopes it to the model's
+     exact program, the tenant scopes it as isolation policy. *)
+  let residency_key ~entry_key ~tenant = entry_key ^ "#t" ^ string_of_int tenant in
+  (* A pinned claim must not outlive the compiled entry backing it:
+     eviction drops any device residency derived from the evicted key. *)
+  let cache =
+    Kernel_cache.create ~capacity:config.cache_capacity ~options:config.options
+      ?tuning:config.tuning
+      ~geometries:(List.map (fun cls -> (cls, geometry)) classes)
+      ~on_evict:(fun key ->
+        Array.iter
+          (fun d ->
+            match Device.resident d with
+            | Some rk when String.length rk >= String.length key
+                           && String.sub rk 0 (String.length key) = key ->
+                Device.clear_resident d
+            | _ -> ())
+          devices)
+      ()
   in
   let corruptions = Array.make ndev 0 in
   let telemetry = Telemetry.create ?observer:config.on_record () in
@@ -367,6 +405,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
         service_ps = 0;
         retries = 0;
         tuned = false;
+        write_bytes = 0;
         checksum = None;
       }
   in
@@ -386,6 +425,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
         service_ps = 0;
         retries = 0;
         tuned = false;
+        write_bytes = 0;
         checksum = None;
       }
   in
@@ -429,7 +469,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
      path — exact results, modelled latency. *)
   let run_fallback ?(outcome = Telemetry.Cpu_fallback) ?(retries = 0) ((r : Trace.request), depth)
       =
-    match Kernels.find r.Trace.kernel with
+    match find_bench r.Trace.kernel with
     | Error msg -> record_failed r depth msg
     | Ok bench -> (
         match
@@ -455,6 +495,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 service_ps;
                 retries;
                 tuned = false;
+                write_bytes = 0;
                 checksum = Some (checksum_of_mats mats);
               }
         | exception e -> record_failed r depth (Printexc.to_string e))
@@ -478,13 +519,17 @@ let replay ?(config = default_config) (trace : Trace.t) =
       go (Dll.first queue)
   in
 
-  let pop_batch ~dev_id =
+  let pop_batch ~skip ~dev_id =
     (* The first queued item this device may take: one it has not
-       already corrupted. Items it must skip stay queued, in order. *)
+       already corrupted and that placement does not defer off this
+       device ([skip], e.g. weight-residency items waiting for the
+       device that holds their model). Skipped items stay queued, in
+       order. *)
     let rec find node =
       match node with
       | None -> None
-      | Some n when List.mem dev_id n.Dll.value.tried -> find n.Dll.next
+      | Some n when List.mem dev_id n.Dll.value.tried || skip n.Dll.value ->
+          find n.Dll.next
       | Some n -> Some n
     in
     match find (Dll.first queue) with
@@ -515,6 +560,11 @@ let replay ?(config = default_config) (trace : Trace.t) =
                     it.attempts = 0 && it.tried = []
                     && it.req.Trace.kernel = item.req.Trace.kernel
                     && it.req.Trace.n = item.req.Trace.n
+                    (* graph batches stay single-tenant: one residency
+                       key per batch, and cross-tenant weight reuse is
+                       never even formable *)
+                    && ((not (is_graph_kernel item.req.Trace.kernel))
+                       || it.req.Trace.tenant = item.req.Trace.tenant)
                   then begin
                     Dll.remove queue m;
                     taken := it :: !taken;
@@ -547,7 +597,9 @@ let replay ?(config = default_config) (trace : Trace.t) =
      class would actually run (tuned configurations included). Memoised
      — the compile behind a first estimate is shared with dispatch
      through the kernel cache. *)
-  let est_memo : (string * int * string, float) Hashtbl.t = Hashtbl.create 64 in
+  let est_memo : (string * int * string, float * float * string) Hashtbl.t =
+    Hashtbl.create 64
+  in
   (* Online calibration: measured (plan, cycles) samples per device
      class, fitted once a class has seen [calibrate_after] completed
      requests. The fit is adopted only when it beats the hand-priced
@@ -615,6 +667,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
             end)
           calib_samples
   in
+  (* [(cold_ps, resident_ps, entry_key)]: predicted service from
+     scratch, predicted service with the weight tiles already pinned
+     (zero programming traffic in the plan), and the cache key the
+     class's entry compiles to — what residency keys derive from. *)
   let estimate ~cls (bench : Kernels.benchmark) ~n =
     let key = (bench.Kernels.name, n, Backend.class_name cls) in
     match Hashtbl.find_opt est_memo key with
@@ -627,14 +683,18 @@ let replay ?(config = default_config) (trace : Trace.t) =
               Offload.plan entry.Kernel_cache.options.Flow.tactics
                 entry.Kernel_cache.compiled.Flow.func
             in
-            Cost_model.predict_cycles (model_for cls) plan
+            let model = model_for cls in
+            ( Cost_model.predict_cycles model plan,
+              Cost_model.predict_resident_cycles model plan,
+              entry.Kernel_cache.key )
           with
-          | cycles -> cycles *. Backend.ps_per_cycle
+          | cold, resident, entry_key ->
+              (cold *. Backend.ps_per_cycle, resident *. Backend.ps_per_cycle, entry_key)
           | exception _ ->
               (* the class cannot compile this kernel: never preferred,
                  but still placeable as a last resort so the compile
                  error surfaces through the normal failure record *)
-              Float.max_float
+              (Float.max_float, Float.max_float, "")
         in
         Hashtbl.add est_memo key v;
         v
@@ -643,10 +703,47 @@ let replay ?(config = default_config) (trace : Trace.t) =
      the device must first be drafted out of its memory role, plus a
      small write-pressure bias on classes that wear (endurance has a
      price; classes that do not wear never pay it). Ties break to the
-     least-written, lowest-id device — the pre-fleet behaviour. *)
-  let score dev (bench : Kernels.benchmark) ~n =
+     least-written, lowest-id device — the pre-fleet behaviour. A
+     device whose pinned weights are resident for this (model, tenant)
+     quotes the resident estimate instead: repeat graph traffic sticks
+     to the device already holding its weights — which the wear bias
+     would otherwise actively steer away from, re-programming a fresh
+     tile every few requests. *)
+  (* Rendezvous weight of a device for a residency key, in [0, 1):
+     FNV-1a over the key and device id. Each key gets its own
+     deterministic preference order over the fleet, so when a model's
+     resident devices are busy its overflow lands on the same
+     secondary devices run after run instead of evicting whichever
+     device another model just programmed. *)
+  let affinity key dev =
+    let h = ref 0x811c9dc5 in
+    let feed s =
+      String.iter
+        (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0x3FFFFFFF)
+        s
+    in
+    feed key;
+    feed (string_of_int (Device.id dev));
+    float_of_int (!h land 0xFFFFF) /. 1048576.0
+  in
+
+  let score dev (bench : Kernels.benchmark) ~n ~tenant =
     let profile = Device.profile dev in
-    let est = estimate ~cls:profile.Backend.cls bench ~n in
+    let cold, resident_est, entry_key = estimate ~cls:profile.Backend.cls bench ~n in
+    let est =
+      if config.graph_residency && is_graph_kernel bench.Kernels.name && entry_key <> ""
+      then begin
+        let key = residency_key ~entry_key ~tenant in
+        if Device.resident dev = Some key then resident_est
+        else
+          (* a cold graph placement pays up to one extra programming
+             cost, scaled by the rendezvous weight: the key's
+             first-choice device is penalty-free, its last choice pays
+             the most — a sticky but still cost-aware partition *)
+          cold +. (affinity key dev *. Float.max 0.0 (cold -. resident_est))
+      end
+      else cold
+    in
     let conversion =
       if Device.mode dev = Backend.Memory_mode then
         float_of_int profile.Backend.conversion_latency_ps
@@ -700,9 +797,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
             && (not (Device.is_quarantined d))
             && Device.available_ps d + config.revert_idle_ps <= !now
           then begin
-            Device.convert d ~to_compute:false;
-            Telemetry.record_conversion telemetry ~at_ps:!now ~device:(Device.id d)
-              ~profile:(Device.profile d).Backend.name ~to_compute:false
+            let displaced = Device.convert ~at_ps:!now d ~to_compute:false in
+            Telemetry.record_conversion ~displaced_bytes:displaced telemetry ~at_ps:!now
+              ~device:(Device.id d) ~profile:(Device.profile d).Backend.name
+              ~to_compute:false
           end)
         devices
   in
@@ -735,13 +833,63 @@ let replay ?(config = default_config) (trace : Trace.t) =
               && (Device.mode d = Backend.Compute_mode || dual_draft_allowed ()))
             !free
         in
-        match Dll.find_node queue (fun item -> eligible item <> []) with
+        (* Does [d] already hold this item's model+tenant (under [d]'s
+           own class-specific cache key)? *)
+        let resident_for item d =
+          match find_bench item.req.Trace.kernel with
+          | Error _ -> false
+          | Ok bench ->
+              let _, _, entry_key =
+                estimate ~cls:(Device.profile d).Backend.cls bench ~n:item.req.Trace.n
+              in
+              entry_key <> ""
+              && Device.resident d
+                 = Some (residency_key ~entry_key ~tenant:item.req.Trace.tenant)
+        in
+        (* A graph item whose model is resident on a busy device prefers
+           waiting for that device over paying a cold programming pass on
+           a free one — but only while the wait it has already absorbed
+           is smaller than the programming it would save. Bounded, so a
+           backlogged resident device cannot starve the item forever. *)
+        let worth_waiting item =
+          config.graph_residency
+          && is_graph_kernel item.req.Trace.kernel
+          && Array.exists
+               (fun d ->
+                 (not (Device.is_quarantined d))
+                 && Device.available_ps d > !now
+                 && (not (List.mem (Device.id d) item.tried))
+                 && resident_for item d
+                 &&
+                 match find_bench item.req.Trace.kernel with
+                 | Error _ -> false
+                 | Ok bench ->
+                     let cold, resident_est, _ =
+                       estimate ~cls:(Device.profile d).Backend.cls bench
+                         ~n:item.req.Trace.n
+                     in
+                     (* wait up to twice the programming it saves: the
+                        request breaks even at 1x, and staying put also
+                        spares whichever model this device would have
+                        evicted its own cold pass later *)
+                     float_of_int (!now - item.req.Trace.arrival_ps)
+                     < 2.0 *. (cold -. resident_est))
+               devices
+        in
+        (* May this device take this item right now? Deferring items
+           only ever shrinks the choice to the devices that hold their
+           model; everything else is unrestricted. *)
+        let allowed item d = (not (worth_waiting item)) || resident_for item d in
+        let placeable item =
+          List.exists (allowed item) (eligible item)
+        in
+        match Dll.find_node queue placeable with
         | None -> ()
         | Some node -> (
           progressed := true;
           let item = node.Dll.value in
           let r0 = item.req in
-          match Kernels.find r0.Trace.kernel with
+          match find_bench r0.Trace.kernel with
           | Error msg ->
               (* unknown kernel: no device can help; drop just this item *)
               Dll.remove queue node;
@@ -751,14 +899,19 @@ let replay ?(config = default_config) (trace : Trace.t) =
               let best =
                 List.fold_left
                   (fun acc d ->
-                    let s = score d bench ~n:r0.Trace.n in
+                    let s = score d bench ~n:r0.Trace.n ~tenant:r0.Trace.tenant in
                     match acc with
                     | Some (_, s') when s' <= s -> acc
                     | _ -> Some (d, s))
-                  None (eligible item)
+                  None
+                  (List.filter (allowed item) (eligible item))
               in
               let dev, _ = Option.get best in
-              match pop_batch ~dev_id:(Device.id dev) with
+              match
+                pop_batch
+                  ~skip:(fun it -> not (allowed it dev))
+                  ~dev_id:(Device.id dev)
+              with
               | None -> assert false (* [item] is poppable by [dev] *)
               | Some items -> (
                   match
@@ -771,13 +924,24 @@ let replay ?(config = default_config) (trace : Trace.t) =
                       in
                       let conversion_ps =
                         if Device.mode dev = Backend.Memory_mode then begin
-                          Device.convert dev ~to_compute:true;
+                          let (_ : float) = Device.convert ~at_ps:!now dev ~to_compute:true in
                           Telemetry.record_conversion telemetry ~at_ps:!now
                             ~device:(Device.id dev)
                             ~profile:(Device.profile dev).Backend.name ~to_compute:true;
                           (Device.profile dev).Backend.conversion_latency_ps
                         end
                         else 0
+                      in
+                      let residency =
+                        if
+                          config.graph_residency
+                          && is_graph_kernel bench.Kernels.name
+                          && Device.device_class dev <> Backend.Host_blas
+                        then
+                          Some
+                            (residency_key ~entry_key:entry.Kernel_cache.key
+                               ~tenant:r0.Trace.tenant)
+                        else None
                       in
                       let batch_id = !batch_counter in
                       incr batch_counter;
@@ -790,6 +954,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                           cache_hit;
                           bench;
                           entry;
+                          residency;
                           items;
                         }
                         :: !prepared
@@ -819,7 +984,10 @@ let replay ?(config = default_config) (trace : Trace.t) =
                 (fun acc -> function
                   | Recorded r ->
                       record r;
-                      note_sample b plan r;
+                      (* a warm resident run skipped its programming
+                         traffic, so its measured cycles would poison a
+                         calibration fitted against the full plan *)
+                      if b.residency = None then note_sample b plan r;
                       acc
                   | Corrupt { item; dev_id; service_ps = _; fault } ->
                       handle_corrupt ~item ~dev_id ~fault acc)
@@ -877,6 +1045,12 @@ let replay ?(config = default_config) (trace : Trace.t) =
   let makespan_ps =
     List.fold_left (fun acc r -> max acc r.Telemetry.finish_ps) 0 (Telemetry.records telemetry)
   in
+  (* a tile still drafted at the end of the run has displaced memory
+     traffic right up to the makespan — close the interval so the
+     report's displaced-bytes figure covers the whole run *)
+  Array.iter
+    (fun d -> ignore (Device.finalize_displacement d ~at_ps:makespan_ps : float))
+    devices;
   {
     trace;
     config;
@@ -893,6 +1067,7 @@ let replay ?(config = default_config) (trace : Trace.t) =
                dev_served = Device.requests_served d;
                dev_energy_j = Device.energy_j d;
                dev_conversions = Device.conversions d;
+               dev_displaced_bytes = Device.displaced_mem_bytes d;
              });
     quarantined =
       Array.to_list devices

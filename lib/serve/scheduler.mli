@@ -121,6 +121,24 @@ type config = {
       (** live observer installed on the run's telemetry — sees every
           record as it lands (e.g. {!Telemetry.live_view}); [None] for
           post-hoc-only analysis *)
+  graphs : (string * Tdo_polybench.Kernels.benchmark) list;
+      (** extra kernels resolvable by request name — the graph
+          workloads ({!Tdo_graph.Graph.benchmark}) a trace may carry,
+          looked up before the {!Tdo_polybench.Kernels} registry.
+          [[]] = polybench kernels only (the pre-graph behaviour). *)
+  graph_residency : bool;
+      (** keep a graph's weight tiles pinned on the serving device
+          across requests of the same (model, tenant): a repeat request
+          landing on the device that last served it skips crossbar
+          programming entirely ([write_bytes = 0] in its record), and
+          placement quotes the warm estimate
+          ({!Tdo_tune.Cost_model.predict_resident_cycles}) so repeat
+          traffic sticks to the device holding its weights. Residency
+          is invalidated by dual-mode role flips, quarantine,
+          compiled-cache eviction and any non-matching run on the
+          device; it is keyed by compiled-entry digest {e and} tenant,
+          so one tenant's pinned weights are never served to another.
+          [false] = reprogram on every request. *)
 }
 
 val default_config : config
@@ -149,6 +167,9 @@ type device_report = {
   dev_served : int;  (** requests served *)
   dev_energy_j : float;  (** lifetime energy under the class's table *)
   dev_conversions : int * int;  (** (to compute, to memory) *)
+  dev_displaced_bytes : float;
+      (** memory-role bandwidth this tile's clients lost while it was
+          drafted for compute (dual-mode tiles only; 0 elsewhere) *)
 }
 
 type report = {

@@ -28,6 +28,7 @@ type record = {
   service_ps : int;
   retries : int;
   tuned : bool;
+  write_bytes : int;
   checksum : string option;
 }
 
@@ -52,6 +53,9 @@ type conversion = {
   conv_device : int;
   conv_profile : string;
   to_compute : bool;  (** [false] = reverted to the plain-memory role *)
+  displaced_bytes : float;
+      (** memory-role traffic forgone over the drafted interval a
+          revert closes; [0.] on drafts *)
 }
 
 type t = {
@@ -73,9 +77,10 @@ let record t r =
 let sample_queue_depth t ~at_ps ~depth =
   t.depth_samples <- (at_ps, depth) :: t.depth_samples
 
-let record_conversion t ~at_ps ~device ~profile ~to_compute =
+let record_conversion ?(displaced_bytes = 0.0) t ~at_ps ~device ~profile ~to_compute =
   t.conversions <-
-    { at_ps; conv_device = device; conv_profile = profile; to_compute } :: t.conversions
+    { at_ps; conv_device = device; conv_profile = profile; to_compute; displaced_bytes }
+    :: t.conversions
 
 let conversions t = List.rev t.conversions
 
@@ -163,6 +168,10 @@ type class_counts = {
   retries_against : int;  (** corrupt attempts charged to this profile's devices *)
   to_compute : int;  (** dual-mode conversions into the compute role *)
   to_memory : int;
+  class_write_bytes : int;  (** crossbar programming traffic of completed requests *)
+  class_displaced_bytes : float;
+      (** memory-role bandwidth this profile's dual tiles gave up while
+          drafted (charged on reverts) *)
 }
 
 let empty_class_counts =
@@ -176,6 +185,8 @@ let empty_class_counts =
     retries_against = 0;
     to_compute = 0;
     to_memory = 0;
+    class_write_bytes = 0;
+    class_displaced_bytes = 0.0;
   }
 
 let class_summary t =
@@ -191,7 +202,12 @@ let class_summary t =
       match r.outcome with
       | Completed ->
           bump' (fun c ->
-              { c with served = c.served + 1; retries_against = c.retries_against + r.retries })
+              {
+                c with
+                served = c.served + 1;
+                retries_against = c.retries_against + r.retries;
+                class_write_bytes = c.class_write_bytes + r.write_bytes;
+              })
       | Cpu_fallback -> bump' (fun c -> { c with fallbacks = c.fallbacks + 1 })
       | Recovered_host ->
           bump' (fun c ->
@@ -203,6 +219,9 @@ let class_summary t =
   List.iter
     (fun conv ->
       bump conv.conv_profile (fun c ->
+          let c =
+            { c with class_displaced_bytes = c.class_displaced_bytes +. conv.displaced_bytes }
+          in
           if conv.to_compute then { c with to_compute = c.to_compute + 1 }
           else { c with to_memory = c.to_memory + 1 }))
     t.conversions;
@@ -501,10 +520,10 @@ let chrome_trace t =
   List.iter
     (fun conv ->
       event
-        {|{"name":"%s: convert to %s","ph":"i","ts":%.3f,"pid":1,"tid":%d,"s":"t"}|}
+        {|{"name":"%s: convert to %s","ph":"i","ts":%.3f,"pid":1,"tid":%d,"s":"t","args":{"displaced_bytes":%.0f}}|}
         (escape conv.conv_profile)
         (if conv.to_compute then "compute" else "memory")
-        (us_of_ps conv.at_ps) conv.conv_device)
+        (us_of_ps conv.at_ps) conv.conv_device conv.displaced_bytes)
     (List.rev t.conversions);
   List.iter
     (fun (at_ps, depth) ->
@@ -525,9 +544,10 @@ let chrome_trace t =
   List.iter
     (fun (profile, (c : class_counts)) ->
       event
-        {|{"name":"class-summary %s","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"served":%d,"recovered":%d,"cpu_fallbacks":%d,"rejected":%d,"shed":%d,"failed":%d,"retries_against":%d,"conversions_to_compute":%d,"conversions_to_memory":%d}}|}
+        {|{"name":"class-summary %s","ph":"i","ts":%.3f,"pid":1,"tid":0,"s":"g","args":{"served":%d,"recovered":%d,"cpu_fallbacks":%d,"rejected":%d,"shed":%d,"failed":%d,"retries_against":%d,"conversions_to_compute":%d,"conversions_to_memory":%d,"write_bytes":%d,"displaced_mem_bytes":%.0f}}|}
         (escape profile) (us_of_ps last_finish) c.served c.recovered c.fallbacks c.rejected
-        c.shed c.failed c.retries_against c.to_compute c.to_memory)
+        c.shed c.failed c.retries_against c.to_compute c.to_memory c.class_write_bytes
+        c.class_displaced_bytes)
     (class_summary t);
   (* and one per SLO class, mirroring the per-class shed/served
      accounting the admission layer is judged by *)

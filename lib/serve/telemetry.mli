@@ -49,6 +49,10 @@ type record = {
   tuned : bool;
       (** compiled under a configuration the tuning database supplied
           rather than the scheduler-wide default *)
+  write_bytes : int;
+      (** crossbar bytes programmed serving this request — [0] when the
+          device's pinned weight tiles were resident (graph-scope
+          residency) or the request never touched a crossbar *)
   checksum : string option;  (** digest of the output arrays, comparison key of the golden check *)
 }
 
@@ -79,16 +83,27 @@ val record : t -> record -> unit
 val sample_queue_depth : t -> at_ps:int -> depth:int -> unit
 
 val record_conversion :
-  t -> at_ps:int -> device:int -> profile:string -> to_compute:bool -> unit
+  ?displaced_bytes:float ->
+  t ->
+  at_ps:int ->
+  device:int ->
+  profile:string ->
+  to_compute:bool ->
+  unit
 (** A dual-mode tile switched roles at [at_ps]: [to_compute = true]
     when it was converted into the compute pool, [false] when it
-    reverted to plain memory. *)
+    reverted to plain memory. [displaced_bytes] (default [0.]) is the
+    memory-role traffic the tile gave up over the drafted interval a
+    revert closes. *)
 
 type conversion = {
   at_ps : int;
   conv_device : int;
   conv_profile : string;
   to_compute : bool;  (** [false] = reverted to the plain-memory role *)
+  displaced_bytes : float;
+      (** memory-role traffic forgone over the drafted interval a
+          revert closes; [0.] on drafts *)
 }
 
 val conversions : t -> conversion list
@@ -129,6 +144,10 @@ type class_counts = {
   retries_against : int;  (** corrupt attempts charged to this profile's devices *)
   to_compute : int;  (** dual-mode conversions into the compute role *)
   to_memory : int;
+  class_write_bytes : int;  (** crossbar programming traffic of completed requests *)
+  class_displaced_bytes : float;
+      (** memory-role bandwidth this profile's dual tiles gave up while
+          drafted (charged on reverts) *)
 }
 
 val class_summary : t -> (string * class_counts) list

@@ -61,6 +61,21 @@ let predict_cycles model plan =
   Array.iteri (fun i c -> acc := !acc +. (c *. x.(i))) model.coeffs;
   !acc
 
+(* The same execution with the crossbar weights already resident: every
+   counter survives except the programming traffic, which graph-scope
+   residency (serving layer) skips entirely on a warm device. *)
+let resident_plan (p : Offload.plan) =
+  { p with Offload.rows_programmed = 0; Offload.cells_programmed = 0 }
+
+let predict_resident_cycles model plan = predict_cycles model (resident_plan plan)
+
+let predict_amortized_cycles model ~reuse plan =
+  if reuse <= 1 then predict_cycles model plan
+  else
+    let cold = predict_cycles model plan in
+    let warm = predict_resident_cycles model plan in
+    (cold +. (float_of_int (reuse - 1) *. warm)) /. float_of_int reuse
+
 let predict_write_bytes (p : Offload.plan) = p.Offload.cells_programmed
 
 let write_bytes config f = (Offload.plan config f).Offload.cells_programmed

@@ -33,6 +33,24 @@ val uncalibrated_for : Tdo_backend.Backend.device_class -> t
 
 val predict_cycles : t -> Offload.plan -> float
 
+val resident_plan : Offload.plan -> Offload.plan
+(** The plan with its programming counters ([rows_programmed],
+    [cells_programmed]) zeroed: the census of re-running the same
+    kernel on a device whose pinned weight tiles are already resident
+    (graph-scope residency in the serving layer skips the write). *)
+
+val predict_resident_cycles : t -> Offload.plan -> float
+(** [predict_cycles model (resident_plan plan)] — the warm-device
+    service estimate. *)
+
+val predict_amortized_cycles : t -> reuse:int -> Offload.plan -> float
+(** Expected per-run cycles when the kernel executes [reuse] times
+    against the same resident weights: one cold run plus [reuse - 1]
+    warm runs, averaged. [reuse <= 1] degenerates to
+    {!predict_cycles} — the per-request model. Inter-kernel reuse is
+    what makes write-heavy geometries competitive for graph serving:
+    programming cost amortises, GEMV cost does not. *)
+
 val predict_write_bytes : Offload.plan -> int
 (** Crossbar bytes programmed — exact for compiler-shaped plans. *)
 

@@ -29,6 +29,7 @@ type result = {
   digest : string;
   cls : Tdo_backend.Backend.device_class;
   objective : objective;
+  reuse : int;
   best : evaluation;
   default : evaluation;
   evaluations : evaluation list;
@@ -37,13 +38,6 @@ type result = {
   space_size : int;
   simulated : int;
 }
-
-(* Lexicographic measured score: lower is better. *)
-let measured_score objective (m : Flow.measurement) =
-  match objective with
-  | Cycles -> (float_of_int m.Flow.roi_cycles, 0.0)
-  | Writes -> (float_of_int m.Flow.cim_write_bytes, float_of_int m.Flow.roi_cycles)
-  | Edp -> (m.Flow.edp_js, float_of_int m.Flow.roi_cycles)
 
 let predicted_score objective (e : evaluation) =
   match objective with
@@ -76,8 +70,9 @@ let spread_indices n k =
     |> List.sort_uniq Stdlib.compare
 
 let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
-    ?(objective = Cycles) ?(cls = Tdo_backend.Backend.Pcm_crossbar) ?platform_base ~source
-    ~args () =
+    ?(objective = Cycles) ?(cls = Tdo_backend.Backend.Pcm_crossbar) ?platform_base
+    ?(reuse = 1) ~source ~args () =
+  let reuse = max 1 reuse in
   (* The class fixes the timing model every exact simulation runs
      under (and the prior the calibration subset is spread across), so
      a digital-tile entry is tuned against digital-tile latencies. *)
@@ -148,6 +143,31 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
           calib_set calib_measures
       in
       let model, calibration_error = Cost_model.calibrate samples in
+      (* Under inter-kernel reuse the programming traffic is paid once
+         per [reuse] runs: score every point by its amortised predicted
+         cycles, and discount each measured (cold) run by the model's
+         estimate of the amortisable programming share — the simulator
+         only ever measures cold runs, so the warm fraction has to come
+         from the fitted model. *)
+      let warm_saving_cycles plan =
+        if reuse <= 1 then 0.0
+        else
+          float_of_int (reuse - 1) /. float_of_int reuse
+          *. Float.max 0.0
+               (Cost_model.predict_cycles model plan
+               -. Cost_model.predict_resident_cycles model plan)
+      in
+      let measured_amortized plan (m : Flow.measurement) =
+        Float.max 0.0 (float_of_int m.Flow.roi_cycles -. warm_saving_cycles plan)
+      in
+      let measured_score plan (m : Flow.measurement) =
+        match objective with
+        | Cycles -> (measured_amortized plan m, 0.0)
+        | Writes ->
+            ( float_of_int m.Flow.cim_write_bytes /. float_of_int reuse,
+              measured_amortized plan m )
+        | Edp -> (m.Flow.edp_js, measured_amortized plan m)
+      in
       let measured_so_far =
         List.map2 (fun (p, _, _) m -> (p, m)) calib_set calib_measures
       in
@@ -157,7 +177,7 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
             {
               point;
               plan;
-              predicted_cycles = Cost_model.predict_cycles model plan;
+              predicted_cycles = Cost_model.predict_amortized_cycles model ~reuse plan;
               measurement = List.assoc_opt point measured_so_far;
             })
           compiled
@@ -200,7 +220,7 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
           (fun best e ->
             match (best.measurement, e.measurement) with
             | Some bm, Some em
-              when measured_score objective em < measured_score objective bm ->
+              when measured_score e.plan em < measured_score best.plan bm ->
                 e
             | _ -> best)
           default evaluations
@@ -211,6 +231,7 @@ let tune ?(axes = Space.default_axes) ?(beam = 4) ?(calibration_points = 5)
           digest;
           cls;
           objective;
+          reuse;
           best;
           default;
           evaluations;

@@ -42,6 +42,9 @@ type result = {
       (** device class the search simulated against — stamped into the
           database entry so configurations never cross classes *)
   objective : objective;
+  reuse : int;
+      (** expected executions per weight programming the search
+          amortised over ([1] = per-request, the classic mode) *)
   best : evaluation;  (** measured winner; [measurement] is [Some] *)
   default : evaluation;  (** the compiler default, also measured *)
   evaluations : evaluation list;  (** every point, model-scored *)
@@ -63,6 +66,7 @@ val tune :
   ?objective:objective ->
   ?cls:Tdo_backend.Backend.device_class ->
   ?platform_base:Tdo_runtime.Platform.config ->
+  ?reuse:int ->
   source:string ->
   args:(unit -> (string * Interp.value) list) ->
   unit ->
@@ -72,7 +76,13 @@ val tune :
     [Pcm_crossbar]) selects the device class tuned for: it fixes the
     calibration prior ({!Cost_model.uncalibrated_for}) and, unless
     [platform_base] overrides it, the timing model of every exact
-    simulation ({!Tdo_backend.Backend.platform_config}). [args] must
-    return fresh argument bindings on every call (each simulation
-    mutates them) and be deterministic. [Error] reports an unparsable
-    kernel. *)
+    simulation ({!Tdo_backend.Backend.platform_config}). [reuse]
+    (default 1, clamped to [>= 1]) is the expected executions per
+    weight programming — graph serving with weight residency pays the
+    crossbar write once per [reuse] requests, so points are ranked by
+    {!Cost_model.predict_amortized_cycles} and each measured (cold)
+    run is discounted by the model's estimate of the amortisable
+    programming share before the winner is chosen; write objectives
+    divide write bytes by [reuse]. [args] must return fresh argument
+    bindings on every call (each simulation mutates them) and be
+    deterministic. [Error] reports an unparsable kernel. *)

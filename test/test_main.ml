@@ -4,4 +4,5 @@ let () =
    @ Test_cimacc.suites @ Test_runtime.suites @ Test_lang.suites @ Test_ir.suites
    @ Test_poly.suites @ Test_tactics.suites @ Test_energy.suites @ Test_core.suites
    @ Test_analysis.suites @ Test_ablations.suites @ Test_perf.suites
-   @ Test_serve.suites @ Test_loadgen.suites @ Test_reliab.suites @ Test_tune.suites)
+   @ Test_serve.suites @ Test_loadgen.suites @ Test_reliab.suites @ Test_tune.suites
+   @ Test_graph.suites)

@@ -730,6 +730,7 @@ let test_telemetry_windows () =
       service_ps = (finish_us - arrival_us) * us;
       retries = 0;
       tuned = false;
+      write_bytes = 0;
       checksum = None;
     }
   in
